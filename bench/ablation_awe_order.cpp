@@ -1,0 +1,97 @@
+/// \file ablation_awe_order.cpp
+/// Ablation: accuracy vs stability of moment-matching order q. The paper's
+/// positioning (§II, §V-F): AWE with more moments is more accurate when it
+/// works, but can produce unstable models; the second-order EED form is
+/// always stable. This bench sweeps q over a set of trees and reports, per
+/// order, how often the raw AWE model is unstable and the waveform error
+/// after standard stabilization, with the EED row for comparison.
+
+#include <iostream>
+#include <vector>
+
+#include "relmore/analysis/compare.hpp"
+#include "relmore/circuit/builders.hpp"
+#include "relmore/circuit/random_tree.hpp"
+#include "relmore/eed/eed.hpp"
+#include "relmore/moments/pole_residue.hpp"
+#include "relmore/util/table.hpp"
+
+int main() {
+  using namespace relmore;
+
+  // Test set: the paper's trees plus random strict-RLC trees.
+  std::vector<std::pair<std::string, circuit::RlcTree>> trees;
+  trees.emplace_back("fig5", circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr));
+  trees.emplace_back("fig8", circuit::make_fig8_tree(nullptr));
+  trees.emplace_back("bal4", circuit::make_balanced_tree(4, 2, {20.0, 1.5e-9, 0.15e-12}));
+  circuit::RandomTreeSpec spec;
+  spec.min_sections = 8;
+  spec.max_sections = 24;
+  spec.inductance_lo = 0.2e-9;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    trees.emplace_back("rnd" + std::to_string(seed), circuit::make_random_tree(spec, seed));
+  }
+
+  util::Table table({"model", "unstable / nodes", "mean max|dv| [V]", "worst max|dv| [V]"});
+  for (int q = 2; q <= 6; ++q) {
+    int unstable = 0;
+    int nodes = 0;
+    double err_sum = 0.0;
+    double err_worst = 0.0;
+    int scored = 0;
+    for (const auto& [name, tree] : trees) {
+      const auto models = moments::awe_models_for_tree(tree, q);
+      const auto sinks = tree.leaves();
+      for (const auto sink : sinks) {
+        ++nodes;
+        const auto& raw = models[static_cast<std::size_t>(sink)];
+        if (!raw.stable()) ++unstable;
+        moments::PoleResidueModel usable;
+        try {
+          usable = moments::stabilized(raw);
+        } catch (const std::invalid_argument&) {
+          continue;  // nothing stable at all: cannot score
+        }
+        const auto tm = eed::analyze(tree);
+        const double horizon = analysis::suggest_horizon(tm.at(sink));
+        const sim::Waveform ref =
+            analysis::reference_waveform(tree, sink, sim::StepSource{1.0}, horizon, 801);
+        const sim::Waveform awe_w = usable.step_waveform(ref.times(), 1.0);
+        const double e = ref.max_abs_difference(awe_w);
+        err_sum += e;
+        err_worst = std::max(err_worst, e);
+        ++scored;
+      }
+    }
+    table.add_row({"AWE q=" + std::to_string(q),
+                   std::to_string(unstable) + " / " + std::to_string(nodes),
+                   util::Table::fmt(scored ? err_sum / scored : 0.0, 4),
+                   util::Table::fmt(err_worst, 4)});
+  }
+  // EED row on the same sinks.
+  {
+    double err_sum = 0.0;
+    double err_worst = 0.0;
+    int scored = 0;
+    for (const auto& [name, tree] : trees) {
+      const auto tm = eed::analyze(tree);
+      for (const auto sink : tree.leaves()) {
+        const double horizon = analysis::suggest_horizon(tm.at(sink));
+        const sim::Waveform ref =
+            analysis::reference_waveform(tree, sink, sim::StepSource{1.0}, horizon, 801);
+        const sim::Waveform w = eed::step_waveform(tm.at(sink), ref.times(), 1.0);
+        const double e = ref.max_abs_difference(w);
+        err_sum += e;
+        err_worst = std::max(err_worst, e);
+        ++scored;
+      }
+    }
+    table.add_row({"EED (this paper)", "0 / always stable",
+                   util::Table::fmt(err_sum / scored, 4), util::Table::fmt(err_worst, 4)});
+  }
+  table.print(std::cout, "Ablation — AWE order vs stability vs accuracy (tree sinks)");
+  std::cout << "\nShape check (paper §II): higher-order AWE can beat the 2-pole model\n"
+               "on accuracy but is not guaranteed stable; the EED model trades peak\n"
+               "accuracy for guaranteed stability and closed-form metrics.\n";
+  return 0;
+}

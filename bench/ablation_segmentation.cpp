@@ -1,0 +1,43 @@
+/// \file ablation_segmentation.cpp
+/// Segmentation-convergence ablation: how many lumped sections does a
+/// distributed wire need before the EED metrics and the simulated
+/// reference stop moving? Justifies the defaults in
+/// circuit::suggested_segments() and the section counts used by the
+/// figure benches.
+
+#include <iostream>
+
+#include "relmore/analysis/compare.hpp"
+#include "relmore/circuit/segmentation.hpp"
+#include "relmore/eed/eed.hpp"
+#include "relmore/util/table.hpp"
+
+int main() {
+  using namespace relmore;
+
+  const circuit::WireSpec wire = circuit::global_wire_spec();  // 1 mm global wire
+  util::Table table({"segments", "zeta", "t50 EED [ps]", "t50 sim [ps]", "overshoot EED %",
+                     "overshoot sim %"});
+  for (const int n : {1, 2, 4, 8, 16, 32, 64}) {
+    circuit::RlcTree tree;
+    const circuit::SectionId drv =
+        tree.add_section(circuit::kInput, {25.0, 0.0, 0.0}, "drv");
+    const circuit::SectionId sink = circuit::append_wire(tree, drv, wire, n);
+    const eed::TreeModel tm = eed::analyze(tree);
+    const eed::NodeModel& nm = tm.at(sink);
+    const analysis::StepComparison c = analysis::compare_step_response(tree, sink);
+    table.add_row_numeric({static_cast<double>(n), nm.zeta, c.eed_delay_50 / 1e-12,
+                           c.ref_delay_50 / 1e-12,
+                           nm.underdamped() ? eed::overshoot_pct(nm, 1) : 0.0,
+                           c.ref_overshoot_pct},
+                          5);
+  }
+  table.print(std::cout,
+              "Ablation — lumped-section convergence for a 1 mm global wire (25 ohm driver)");
+  std::cout << "\nrecommended count from suggested_segments(wire, 50 ps edge): "
+            << circuit::suggested_segments(wire, 50e-12) << "\n";
+  std::cout << "\nShape check: EED metrics converge by ~8 segments (the model only\n"
+               "sees the two path sums, which converge fast); the simulated overshoot\n"
+               "needs more segments to settle because it resolves the wavefront.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// \file complexity.cpp
+/// Verifies the Appendix complexity claims with google-benchmark: the
+/// whole-tree EED analysis is O(n) with exactly 2 multiplications per
+/// section, and it beats even one timestep of the reference simulator by
+/// orders of magnitude — the property that made the Elmore delay the
+/// industry workhorse.
+
+#include <benchmark/benchmark.h>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/eed/eed.hpp"
+#include "relmore/moments/tree_moments.hpp"
+#include "relmore/analysis/variation.hpp"
+#include "relmore/eed/sensitivity.hpp"
+#include "relmore/sim/tree_transient.hpp"
+
+namespace {
+
+using namespace relmore;
+
+circuit::RlcTree tree_of(int levels) {
+  return circuit::make_balanced_tree(levels, 2, {10.0, 1e-9, 0.1e-12});
+}
+
+void BM_EedAnalyze(benchmark::State& state) {
+  const circuit::RlcTree tree = tree_of(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eed::analyze(tree));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(tree.size()));
+  state.counters["sections"] = static_cast<double>(tree.size());
+}
+BENCHMARK(BM_EedAnalyze)->DenseRange(4, 14, 2)->Complexity(benchmark::oN);
+
+void BM_EedClosedFormDelayAllSinks(benchmark::State& state) {
+  const circuit::RlcTree tree = tree_of(static_cast<int>(state.range(0)));
+  const auto sinks = tree.leaves();
+  for (auto _ : state) {
+    const eed::TreeModel model = eed::analyze(tree);
+    double acc = 0.0;
+    for (const auto s : sinks) acc += eed::delay_50(model.at(s));
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["sections"] = static_cast<double>(tree.size());
+}
+BENCHMARK(BM_EedClosedFormDelayAllSinks)->DenseRange(4, 12, 2);
+
+void BM_TreeMomentsOrder4(benchmark::State& state) {
+  const circuit::RlcTree tree = tree_of(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moments::tree_moments(tree, 4));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(tree.size()));
+}
+BENCHMARK(BM_TreeMomentsOrder4)->DenseRange(4, 12, 2)->Complexity(benchmark::oN);
+
+void BM_DelaySensitivityGradient(benchmark::State& state) {
+  const circuit::RlcTree tree = tree_of(static_cast<int>(state.range(0)));
+  const auto sink = tree.leaves().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eed::delay_sensitivity(tree, sink));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(tree.size()));
+  state.counters["sections"] = static_cast<double>(tree.size());
+}
+BENCHMARK(BM_DelaySensitivityGradient)->DenseRange(4, 12, 2)->Complexity(benchmark::oN);
+
+void BM_MonteCarloThousandSamples(benchmark::State& state) {
+  const circuit::RlcTree tree = tree_of(static_cast<int>(state.range(0)));
+  const auto sink = tree.leaves().front();
+  const analysis::VariationSpec spec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::monte_carlo_delay(tree, sink, spec, 1000, 1));
+  }
+  state.counters["sections"] = static_cast<double>(tree.size());
+}
+BENCHMARK(BM_MonteCarloThousandSamples)->DenseRange(4, 8, 2);
+
+void BM_SimulatorReference(benchmark::State& state) {
+  const circuit::RlcTree tree = tree_of(static_cast<int>(state.range(0)));
+  sim::TransientOptions opts;
+  opts.t_stop = 2e-9;
+  opts.dt = 1e-12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_tree(tree, sim::StepSource{1.0}, opts));
+  }
+  state.counters["sections"] = static_cast<double>(tree.size());
+}
+BENCHMARK(BM_SimulatorReference)->DenseRange(4, 10, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

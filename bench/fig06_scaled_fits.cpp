@@ -1,0 +1,46 @@
+/// \file fig06_scaled_fits.cpp
+/// Reproduces paper Fig. 6: the time-scaled 50% delay t'_pd and rise time
+/// t'_r versus zeta, with the fitted closed forms (eqs. 33-34) overlaid.
+/// Also reruns the curve fit from scratch (DESIGN.md §4) and prints the
+/// recovered coefficients next to the paper's.
+
+#include <iostream>
+
+#include "relmore/eed/eed.hpp"
+#include "relmore/util/table.hpp"
+
+int main() {
+  using namespace relmore;
+
+  util::Table series({"zeta", "t50_exact", "t50_fit(eq33)", "t50_fit_err%", "rise_exact",
+                      "rise_fit(eq34-form)", "rise_fit_err%"});
+  for (double zeta = 0.0; zeta <= 3.0001; zeta += 0.1) {
+    const double d_exact = eed::scaled_delay_exact(zeta);
+    const double d_fit = eed::scaled_delay_fitted(zeta);
+    const double r_exact = eed::scaled_rise_exact(zeta);
+    const double r_fit = eed::scaled_rise_fitted(zeta);
+    series.add_row_numeric({zeta, d_exact, d_fit, 100.0 * (d_fit - d_exact) / d_exact,
+                            r_exact, r_fit, 100.0 * (r_fit - r_exact) / r_exact},
+                           5);
+  }
+  series.print(std::cout, "Fig. 6 — time-scaled 50% delay and rise time vs zeta");
+  std::cout << "\nCSV:\n";
+  series.print_csv(std::cout);
+
+  // Re-derive the fits (the paper's curve-fitting step).
+  const eed::ScaledFitReport d = eed::fit_scaled_delay();
+  const eed::ScaledFitReport r = eed::fit_scaled_rise();
+  const eed::FitCoefficients paper = eed::delay_fit_paper();
+  util::Table fits({"metric", "a", "b", "c", "rms_resid", "max_resid"});
+  fits.add_row({"t50 paper eq(33)", util::Table::fmt(paper.a, 5), util::Table::fmt(paper.b, 5),
+                util::Table::fmt(paper.c, 5), "-", "-"});
+  fits.add_row_numeric({0, d.coeffs.a, d.coeffs.b, d.coeffs.c, d.rms_residual,
+                        d.max_abs_residual},
+                       5);
+  fits.add_row_numeric({1, r.coeffs.a, r.coeffs.b, r.coeffs.c, r.rms_residual,
+                        r.max_abs_residual},
+                       5);
+  std::cout << "\n(rows: 0 = t50 refit, 1 = rise refit)\n";
+  fits.print(std::cout, "Curve-fit coefficients a*exp(-zeta/b) + c*zeta");
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// \file fig09_input_risetime.cpp
+/// Reproduces paper Fig. 9: the closed-form exponential-input response
+/// (eq. 44) at output O of the Fig. 8 tree versus the reference simulator,
+/// for a sweep of input rise times. The paper's observation: accuracy
+/// improves as the input slows; the step input is the worst case (§V-A).
+
+#include <iostream>
+
+#include "relmore/analysis/compare.hpp"
+#include "relmore/circuit/builders.hpp"
+#include "relmore/eed/eed.hpp"
+#include "relmore/sim/measure.hpp"
+#include "relmore/util/table.hpp"
+
+int main() {
+  using namespace relmore;
+
+  circuit::SectionId out = circuit::kInput;
+  const circuit::RlcTree tree = circuit::make_fig8_tree(&out);
+  const eed::TreeModel model = eed::analyze(tree);
+  const eed::NodeModel& nm = model.at(out);
+
+  std::cout << "Fig. 8 stand-in tree: " << tree.size() << " sections, observed node 'O': "
+            << "zeta=" << nm.zeta << " omega_n=" << nm.omega_n << " rad/s\n\n";
+
+  const double horizon = analysis::suggest_horizon(nm) + 8e-9;
+  const auto grid = sim::uniform_grid(horizon, 1601);
+
+  // Input 90% rise time of V(1-e^{-t/tau}) is 2.3*tau (paper §V-A).
+  util::Table table({"tau_in [ps]", "rise_in(2.3tau) [ps]", "max |err| [V]",
+                     "t50_ref [ps]", "t50_closed [ps]", "t50 err %"});
+  for (const double tau : {1e-13, 2.5e-10, 5e-10, 1e-9, 2e-9, 4e-9}) {
+    const sim::Waveform ref =
+        analysis::reference_waveform(tree, out, sim::ExpSource{1.0, tau}, horizon, 1601);
+    const sim::Waveform closed = eed::exp_input_waveform(nm, grid, 1.0, tau);
+    const double max_err = ref.max_abs_difference(closed);
+    const double t50_ref = sim::measure_rising(ref, 1.0).delay_50;
+    const double t50_closed = closed.first_rise_crossing(0.5);
+    table.add_row_numeric({tau / 1e-12, 2.3 * tau / 1e-12, max_err, t50_ref / 1e-12,
+                           t50_closed / 1e-12,
+                           100.0 * (t50_closed - t50_ref) / t50_ref},
+                          5);
+  }
+  table.print(std::cout,
+              "Fig. 9 — closed form (eq. 44) vs simulator, input rise-time sweep");
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  std::cout << "\nShape check (paper): waveform error shrinks monotonically as the\n"
+               "input rise time grows — the step (first row) is the worst case.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+/// \file fig11_balanced_zeta.cpp
+/// Reproduces paper Fig. 11: step response at node 7 of the balanced
+/// Fig. 5 tree for several values of the equivalent damping factor zeta,
+/// comparing the closed form (eq. 31) and the Elmore (Wyatt) solution to
+/// the reference simulator. Prints waveform samples per zeta plus the
+/// headline per-zeta delay errors (< 4% claimed for this balanced tree).
+
+#include <iostream>
+
+#include "relmore/analysis/compare.hpp"
+#include "relmore/circuit/builders.hpp"
+#include "relmore/eed/eed.hpp"
+#include "relmore/util/table.hpp"
+
+int main() {
+  using namespace relmore;
+  const auto node7 = static_cast<circuit::SectionId>(6);
+
+  util::Table summary({"zeta", "t50_sim [ps]", "t50_EED [ps]", "err %", "t50_Wyatt [ps]",
+                       "Wyatt err %", "overshoot_sim %", "overshoot_EED %", "max|dv| [V]"});
+
+  for (const double target : {0.4, 0.6, 0.8, 1.0, 1.5, 2.5}) {
+    circuit::RlcTree tree = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+    analysis::scale_inductance_for_zeta(tree, node7, target);
+    const analysis::StepComparison c = analysis::compare_step_response(tree, node7);
+    summary.add_row_numeric({c.zeta, c.ref_delay_50 / 1e-12, c.eed_delay_50 / 1e-12,
+                             c.delay_err_pct, c.wyatt_delay_50 / 1e-12, c.wyatt_err_pct,
+                             c.ref_overshoot_pct, c.eed_overshoot_pct, c.waveform_max_err},
+                            5);
+
+    // Waveform series for one representative underdamped case.
+    if (target == 0.6) {
+      const eed::TreeModel model = eed::analyze(tree);
+      const eed::NodeModel& nm = model.at(node7);
+      const double horizon = analysis::suggest_horizon(nm);
+      const auto grid = sim::uniform_grid(horizon, 41);
+      const sim::Waveform ref =
+          analysis::reference_waveform(tree, node7, sim::StepSource{1.0}, horizon, 2001);
+      util::Table wave({"t [ps]", "v_sim", "v_EED(eq31)", "v_Wyatt"});
+      for (const double t : grid) {
+        wave.add_row_numeric({t / 1e-12, ref.value_at(t), eed::step_response(nm, t, 1.0),
+                              eed::wyatt_step_response(nm.sum_rc, t, 1.0)},
+                             5);
+      }
+      wave.print(std::cout, "Fig. 11 waveform (zeta = 0.6 case)");
+      std::cout << "\n";
+    }
+  }
+  summary.print(std::cout, "Fig. 11 — balanced Fig. 5 tree, node 7, zeta sweep");
+  std::cout << "\nCSV:\n";
+  summary.print_csv(std::cout);
+  std::cout << "\nShape check (paper): EED delay error stays below ~4% across all\n"
+               "damping conditions while the Wyatt RC model degrades badly as\n"
+               "zeta drops (inductance grows); Wyatt cannot predict overshoot.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+/// \file fig12_asymmetry.cpp
+/// Reproduces paper Fig. 12: accuracy versus the tree-asymmetry parameter
+/// `asym` (left branch impedance = asym x right branch impedance). The
+/// paper reports errors growing to ~20% for highly asymmetric trees —
+/// the same qualitative degradation the Elmore delay shows on RC trees.
+
+#include <iostream>
+
+#include "relmore/analysis/compare.hpp"
+#include "relmore/circuit/builders.hpp"
+#include "relmore/util/table.hpp"
+
+int main() {
+  using namespace relmore;
+
+  util::Table table({"asym", "zeta@sink", "t50_sim [ps]", "t50_EED [ps]", "delay err %",
+                     "rise err %", "max|dv| [V]"});
+  for (const double asym : {1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0}) {
+    circuit::RlcTree tree = circuit::make_asymmetric_tree(3, asym, {25.0, 2e-9, 0.2e-12});
+    // Observe the all-right sink (lowest-impedance path), like the paper's
+    // node 7; retarget zeta to a fixed 0.9 so only asymmetry varies.
+    const circuit::SectionId sink = tree.leaves().back();
+    analysis::scale_inductance_for_zeta(tree, sink, 0.9);
+    const analysis::StepComparison c = analysis::compare_step_response(tree, sink);
+    table.add_row_numeric({asym, c.zeta, c.ref_delay_50 / 1e-12, c.eed_delay_50 / 1e-12,
+                           c.delay_err_pct, c.rise_err_pct, c.waveform_max_err},
+                          5);
+  }
+  table.print(std::cout, "Fig. 12 — error vs tree asymmetry (asym sweep)");
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  std::cout << "\nShape check (paper): error grows with asym; balanced (asym=1) is a\n"
+               "few percent, highly asymmetric trees reach the ~20% ballpark.\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+/// \file fig15_node_position.cpp
+/// Reproduces paper Fig. 15: accuracy versus node position in a 5-level
+/// balanced binary tree. Nodes near the source see fewer series elements
+/// (more finite zeros in their transfer function), so the 2-pole model is
+/// least accurate there and best at the sinks.
+
+#include <iostream>
+
+#include "relmore/analysis/compare.hpp"
+#include "relmore/circuit/builders.hpp"
+#include "relmore/util/table.hpp"
+
+int main() {
+  using namespace relmore;
+
+  circuit::RlcTree tree = circuit::make_balanced_tree(5, 2, {25.0, 2e-9, 0.2e-12});
+  const circuit::SectionId sink = tree.leaves().front();
+  analysis::scale_inductance_for_zeta(tree, sink, 0.8);
+
+  // Walk the path from the root to one sink; evaluate at each level.
+  const auto path = tree.path_from_input(sink);
+  util::Table table({"level", "node", "zeta", "t50_sim [ps]", "t50_EED [ps]", "delay err %",
+                     "max|dv| [V]"});
+  for (std::size_t d = 0; d < path.size(); ++d) {
+    const circuit::SectionId node = path[d];
+    const analysis::StepComparison c = analysis::compare_step_response(tree, node);
+    table.add_row_numeric({static_cast<double>(d + 1), static_cast<double>(node), c.zeta,
+                           c.ref_delay_50 / 1e-12, c.eed_delay_50 / 1e-12, c.delay_err_pct,
+                           c.waveform_max_err},
+                          5);
+  }
+  table.print(std::cout, "Fig. 15 — error vs node level (5-level binary balanced tree)");
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  std::cout << "\nShape check (paper): the waveform error is largest near the source\n"
+               "and smallest at the sinks — the nodes designers actually time.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+/// \file clock_tree_skew.cpp
+/// Clock-distribution scenario from the paper's introduction: wide,
+/// low-resistance upper-metal wires in clock networks are exactly where
+/// inductance matters. This example builds an H-tree, perturbs one quadrant
+/// (load mismatch), and reports per-sink delay and skew under three models:
+/// Elmore, Wyatt, and the Equivalent Elmore Delay — then validates the EED
+/// numbers against the transient simulator.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "relmore/analysis/compare.hpp"
+#include "relmore/circuit/builders.hpp"
+#include "relmore/eed/eed.hpp"
+#include "relmore/opt/skew_balance.hpp"
+#include "relmore/sim/measure.hpp"
+#include "relmore/sim/tree_transient.hpp"
+#include "relmore/util/table.hpp"
+#include "relmore/util/units.hpp"
+
+namespace {
+
+struct SkewReport {
+  double min_delay = 1e300;
+  double max_delay = -1e300;
+  void absorb(double d) {
+    min_delay = std::min(min_delay, d);
+    max_delay = std::max(max_delay, d);
+  }
+  [[nodiscard]] double skew() const { return max_delay - min_delay; }
+};
+
+}  // namespace
+
+int main() {
+  using namespace relmore;
+  using namespace relmore::util;
+
+  // 4-level H-tree; trunk is a wide global wire.
+  circuit::RlcTree tree = circuit::make_h_tree(4, {20.0_ohm, 6.0_nH, 0.5_pF});
+
+  // Load mismatch: the flip-flop bank on the first sink quadrant is 25%
+  // heavier — the classic source of skew that tuning must fix.
+  const auto sinks = tree.leaves();
+  tree.values(sinks.front()).capacitance *= 1.25;
+
+  const eed::TreeModel model = eed::analyze(tree);
+
+  util::Table table(
+      {"sink", "zeta", "t50 Elmore [ps]", "t50 Wyatt [ps]", "t50 EED [ps]", "t50 sim [ps]"});
+  SkewReport elmore_skew;
+  SkewReport wyatt_skew;
+  SkewReport eed_skew;
+  SkewReport sim_skew;
+
+  // One transient run gives all sink waveforms.
+  sim::TransientOptions opts;
+  opts.t_stop = 30.0_ns;
+  opts.dt = 2.0_ps;
+  const auto res = sim::simulate_tree(tree, sim::StepSource{1.0}, opts);
+
+  for (const auto sink : sinks) {
+    const eed::NodeModel& n = model.at(sink);
+    const double d_elmore = eed::elmore_delay_50(n.sum_rc);
+    const double d_wyatt = eed::wyatt_delay_50(n.sum_rc);
+    const double d_eed = eed::delay_50(n);
+    const double d_sim = sim::measure_rising(res.waveform(sink), 1.0).delay_50;
+    elmore_skew.absorb(d_elmore);
+    wyatt_skew.absorb(d_wyatt);
+    eed_skew.absorb(d_eed);
+    sim_skew.absorb(d_sim);
+    table.add_row({tree.section(sink).name, util::Table::fmt(n.zeta, 3),
+                   util::Table::fmt(d_elmore / 1.0_ps, 4),
+                   util::Table::fmt(d_wyatt / 1.0_ps, 4),
+                   util::Table::fmt(d_eed / 1.0_ps, 4),
+                   util::Table::fmt(d_sim / 1.0_ps, 4)});
+  }
+  table.print(std::cout, "H-tree sink delays under a 25% load mismatch");
+
+  util::Table skew({"model", "skew [ps]"});
+  skew.add_row({"Elmore", util::Table::fmt(elmore_skew.skew() / 1.0_ps, 4)});
+  skew.add_row({"Wyatt", util::Table::fmt(wyatt_skew.skew() / 1.0_ps, 4)});
+  skew.add_row({"EED (this paper)", util::Table::fmt(eed_skew.skew() / 1.0_ps, 4)});
+  skew.add_row({"simulator", util::Table::fmt(sim_skew.skew() / 1.0_ps, 4)});
+  std::cout << "\n";
+  skew.print(std::cout, "Clock skew by model");
+
+  std::cout << "\nThe EED skew tracks the simulator; the RC-only models\n"
+               "misjudge both the absolute delays and the skew because the\n"
+               "inductive part of the path is invisible to them.\n";
+
+  // Fix it: balance the skew by sizing the sink wires on the closed form,
+  // then verify the repair with the simulator.
+  opt::SkewBalanceOptions balance_opts;
+  balance_opts.width_min = 0.1;  // the H-tree's leaf arms are short: allow deep narrowing
+  const opt::SkewBalanceResult fix = opt::balance_skew(tree, balance_opts);
+  const auto res_fixed = sim::simulate_tree(tree, sim::StepSource{1.0}, opts);
+  SkewReport sim_fixed;
+  for (const auto sink : sinks) {
+    sim_fixed.absorb(sim::measure_rising(res_fixed.waveform(sink), 1.0).delay_50);
+  }
+  std::cout << "\nskew balancing (opt::balance_skew, closed-form objective):\n"
+            << "  EED skew  " << util::Table::fmt(fix.skew_before / 1.0_ps, 4) << " -> "
+            << util::Table::fmt(fix.skew_after / 1.0_ps, 4) << " ps\n"
+            << "  simulated " << util::Table::fmt(sim_skew.skew() / 1.0_ps, 4) << " -> "
+            << util::Table::fmt(sim_fixed.skew() / 1.0_ps, 4) << " ps\n"
+            << "The repair was computed purely on the closed form and holds under\n"
+               "simulation — the fidelity property that makes the paper's formulas\n"
+               "usable inside clock-tree tuning loops.\n";
+  return 0;
+}

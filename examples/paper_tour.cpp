@@ -1,0 +1,73 @@
+/// \file paper_tour.cpp
+/// A guided tour of the paper, equation by equation, on one circuit: the
+/// balanced Fig. 5 tree observed at node 7. Each step prints the quantity
+/// the paper derives and the section/equation it comes from — run this
+/// side by side with the paper to map text to code.
+
+#include <iostream>
+
+#include "relmore/relmore.hpp"
+#include "relmore/util/table.hpp"
+
+int main() {
+  using namespace relmore;
+  using util::Table;
+
+  std::cout << "== Equivalent Elmore Delay for RLC Trees — guided tour ==\n\n";
+
+  // Section II background: the RC Elmore/Wyatt baseline.
+  circuit::SectionId node7 = circuit::kInput;
+  circuit::RlcTree tree = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, &node7);
+  const eed::TreeModel model = eed::analyze(tree);
+  const eed::NodeModel& nm = model.at(node7);
+  std::cout << "Fig. 5 balanced tree, node 7. Section II baseline:\n"
+            << "  Elmore time constant  sum(C_k R_k7) = " << nm.sum_rc << " s  (eq. 7)\n"
+            << "  Elmore 50% delay (centroid)  = " << eed::elmore_delay_50(nm.sum_rc)
+            << " s\n"
+            << "  Wyatt 50% delay  ln2*tau      = " << eed::wyatt_delay_50(nm.sum_rc)
+            << " s\n\n";
+
+  // Section III: the second-order characterization.
+  std::cout << "Section III second-order model (eqs. 28-30):\n"
+            << "  sum(C_k L_k7) = " << nm.sum_lc << " s^2   (the new path sum)\n"
+            << "  omega_n = 1/sqrt(sum LC) = " << nm.omega_n << " rad/s  (eq. 30)\n"
+            << "  zeta    = sum RC / (2 sqrt(sum LC)) = " << nm.zeta << "  (eq. 29)\n"
+            << "  response is " << (nm.underdamped() ? "UNDERDAMPED (non-monotone)"
+                                                     : "overdamped/critical")
+            << " — the case RC Elmore cannot represent.\n\n";
+
+  // Appendix: the cost of knowing this for every node.
+  std::uint64_t muls = 0;
+  eed::analyze_counting(tree, &muls);
+  std::cout << "Appendix complexity: analyzing ALL " << tree.size()
+            << " nodes used exactly " << muls << " multiplications (2 per section).\n\n";
+
+  // Section IV: closed-form signal characterization.
+  Table iv({"quantity", "equation", "value"});
+  iv.add_row({"step response v(t50)", "(31)",
+              Table::fmt(eed::step_response(nm, eed::delay_50(nm), 1.0), 4)});
+  iv.add_row({"50% delay (fitted)", "(33)/(35)", Table::fmt(eed::delay_50(nm), 6)});
+  iv.add_row({"rise time 10-90%", "(34)/(36)", Table::fmt(eed::rise_time(nm), 6)});
+  iv.add_row({"1st overshoot [%]", "(39)", Table::fmt(eed::overshoot_pct(nm, 1), 4)});
+  iv.add_row({"time of 1st overshoot", "(40)", Table::fmt(eed::overshoot_time(nm, 1), 6)});
+  iv.add_row({"settling time (x=0.1)", "(41)-(42)", Table::fmt(eed::settling_time(nm), 6)});
+  iv.add_row({"exp-input v(t50), tau=0.5ns", "(43)-(48)",
+              Table::fmt(eed::exp_input_response(nm, eed::delay_50(nm), 1.0, 0.5e-9), 4)});
+  iv.print(std::cout, "Section IV closed forms at node 7 (times in seconds)");
+
+  // Section V: accuracy against the reference simulator.
+  const analysis::StepComparison cmp = analysis::compare_step_response(tree, node7);
+  std::cout << "\nSection V accuracy (our simulator standing in for AS/X):\n"
+            << "  simulator t50 = " << cmp.ref_delay_50 << " s\n"
+            << "  EED error     = " << Table::fmt(cmp.delay_err_pct, 3)
+            << "%   (paper: <4% on its balanced example)\n"
+            << "  Wyatt error   = " << Table::fmt(cmp.wyatt_err_pct, 3)
+            << "%   (the gap inductance-blindness costs)\n"
+            << "  simulated overshoot " << Table::fmt(cmp.ref_overshoot_pct, 3)
+            << "% vs eq.39's " << Table::fmt(cmp.eed_overshoot_pct, 3) << "%\n\n";
+
+  std::cout << "Every number above regenerates the corresponding paper claim; the\n"
+               "figure benches in bench/ sweep these same quantities across the\n"
+               "paper's Section V parameter studies.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// \file quickstart.cpp
+/// Smallest complete use of the library: build an RLC tree, run the O(n)
+/// Equivalent Elmore analysis, and print closed-form timing for every node
+/// alongside the RC-only Elmore/Wyatt baselines.
+
+#include <iostream>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/eed/eed.hpp"
+#include "relmore/util/table.hpp"
+#include "relmore/util/units.hpp"
+
+int main() {
+  using namespace relmore;
+  using namespace relmore::util;  // unit literals
+
+  // A small clock spine: trunk feeding two branches, one of which splits
+  // again. Values are typical upper-metal global wires, where inductance
+  // matters (the paper's motivating regime).
+  circuit::RlcTree tree;
+  const auto trunk = tree.add_section(circuit::kInput, {15.0_ohm, 3.0_nH, 0.10_pF}, "trunk");
+  const auto east = tree.add_section(trunk, {25.0_ohm, 2.0_nH, 0.20_pF}, "east");
+  const auto west = tree.add_section(trunk, {25.0_ohm, 2.0_nH, 0.20_pF}, "west");
+  tree.add_section(east, {10.0_ohm, 1.5_nH, 0.30_pF}, "ff_bank_a");
+  tree.add_section(west, {10.0_ohm, 1.5_nH, 0.30_pF}, "ff_bank_b");
+
+  // One O(n) pass characterizes every node.
+  const eed::TreeModel model = eed::analyze(tree);
+
+  util::Table table({"node", "zeta", "omega_n [Grad/s]", "t50 EED [ps]", "t50 Wyatt [ps]",
+                     "rise [ps]", "overshoot [%]", "settle [ps]"});
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto id = static_cast<circuit::SectionId>(i);
+    const eed::NodeModel& n = model.at(id);
+    table.add_row({tree.section(id).name, util::Table::fmt(n.zeta, 3),
+                   util::Table::fmt(n.omega_n / 1e9, 3),
+                   util::Table::fmt(eed::delay_50(n) / 1.0_ps, 4),
+                   util::Table::fmt(eed::wyatt_delay_50(n.sum_rc) / 1.0_ps, 4),
+                   util::Table::fmt(eed::rise_time(n) / 1.0_ps, 4),
+                   n.underdamped() ? util::Table::fmt(eed::overshoot_pct(n, 1), 3) : "-",
+                   util::Table::fmt(eed::settling_time(n) / 1.0_ps, 4)});
+  }
+  table.print(std::cout, "Equivalent Elmore Delay quickstart (paper eqs. 29-42)");
+
+  std::cout << "\nNote how Wyatt (RC-only) underestimates the delay at the\n"
+               "underdamped sinks: inductance slows the 50% crossing and adds\n"
+               "overshoot the RC model cannot represent.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file report.hpp
+/// Whole-tree timing reports: the per-node table the CLI tool and examples
+/// print, plus sink-skew summaries for clock-network work — all from one
+/// O(n) closed-form analysis.
+
+#include <string>
+#include <vector>
+
+#include "relmore/circuit/rlc_tree.hpp"
+#include "relmore/eed/model.hpp"
+#include "relmore/util/table.hpp"
+
+namespace relmore::analysis {
+
+/// One node's closed-form timing signature.
+struct NodeTimingRow {
+  circuit::SectionId node = circuit::kInput;
+  std::string name;
+  bool is_sink = false;
+  double zeta = 0.0;
+  double omega_n = 0.0;
+  double delay_50 = 0.0;
+  double rise_time = 0.0;
+  double overshoot_pct = 0.0;   ///< 0 when not underdamped
+  double settling_time = 0.0;
+  double wyatt_delay = 0.0;     ///< RC baseline for comparison
+};
+
+/// Timing rows for every node (id order).
+std::vector<NodeTimingRow> tree_timing_report(const circuit::RlcTree& tree);
+
+/// Renders the report as an aligned util::Table (times in the given unit,
+/// e.g. 1e-12 for picoseconds).
+util::Table timing_table(const std::vector<NodeTimingRow>& rows, double time_unit = 1e-12,
+                         const std::string& unit_label = "ps");
+
+/// Sink-delay summary of a (clock) tree.
+struct SkewSummary {
+  double min_delay = 0.0;
+  double max_delay = 0.0;
+  circuit::SectionId fastest = circuit::kInput;
+  circuit::SectionId slowest = circuit::kInput;
+
+  [[nodiscard]] double skew() const { return max_delay - min_delay; }
+};
+
+/// Skew over all sinks under the closed-form EED delay.
+SkewSummary sink_skew(const circuit::RlcTree& tree);
+
+}  // namespace relmore::analysis

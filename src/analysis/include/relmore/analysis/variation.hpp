@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file variation.hpp
+/// Process-variation analysis on top of the closed-form delay: Monte-Carlo
+/// sampling (the closed form is ~10^4x cheaper than simulation, so large
+/// sample counts are free) and the first-order linear estimate built from
+/// the closed-form delay gradient (relmore::eed::delay_sensitivity). The
+/// agreement of the two is itself a consistency check of the gradient.
+
+#include <cstdint>
+#include <vector>
+
+#include "relmore/circuit/rlc_tree.hpp"
+
+namespace relmore::analysis {
+
+/// Relative 1-sigma variation per element class (independent Gaussian per
+/// section, truncated at +-3 sigma; element values never drop below 1% of
+/// nominal).
+struct VariationSpec {
+  double sigma_resistance = 0.1;
+  double sigma_inductance = 0.05;
+  double sigma_capacitance = 0.1;
+};
+
+/// Summary of a sampled delay distribution.
+struct DelayDistribution {
+  double nominal = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double q95 = 0.0;  ///< 95th percentile (timing sign-off corner)
+  std::size_t samples = 0;
+};
+
+/// Monte-Carlo delay distribution at `node` under `spec`, using the
+/// closed-form EED delay per sample. Deterministic in (seed).
+DelayDistribution monte_carlo_delay(const circuit::RlcTree& tree, circuit::SectionId node,
+                                    const VariationSpec& spec, std::size_t samples,
+                                    std::uint64_t seed);
+
+/// First-order standard deviation from the closed-form gradient:
+/// sigma_D^2 = sum_k (dD/dX_k * sigma_X * X_k)^2 over X in {R, L, C}.
+double delay_stddev_linear(const circuit::RlcTree& tree, circuit::SectionId node,
+                           const VariationSpec& spec);
+
+}  // namespace relmore::analysis

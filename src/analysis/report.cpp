@@ -1,0 +1,76 @@
+#include "relmore/analysis/report.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "relmore/eed/eed.hpp"
+
+namespace relmore::analysis {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+std::vector<NodeTimingRow> tree_timing_report(const RlcTree& tree) {
+  if (tree.empty()) throw std::invalid_argument("tree_timing_report: empty tree");
+  const eed::TreeModel model = eed::analyze(tree);
+  const auto leaves = tree.leaves();
+  std::vector<NodeTimingRow> rows;
+  rows.reserve(tree.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto id = static_cast<SectionId>(i);
+    const eed::NodeModel& nm = model.at(id);
+    NodeTimingRow row;
+    row.node = id;
+    row.name = tree.section(id).name.empty() ? "n" + std::to_string(i) : tree.section(id).name;
+    row.is_sink = std::find(leaves.begin(), leaves.end(), id) != leaves.end();
+    row.zeta = nm.zeta;
+    row.omega_n = nm.omega_n;
+    row.delay_50 = eed::delay_50(nm);
+    row.rise_time = eed::rise_time(nm);
+    row.overshoot_pct = nm.underdamped() ? eed::overshoot_pct(nm, 1) : 0.0;
+    row.settling_time = eed::settling_time(nm);
+    row.wyatt_delay = eed::wyatt_delay_50(nm.sum_rc);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+util::Table timing_table(const std::vector<NodeTimingRow>& rows, double time_unit,
+                         const std::string& unit_label) {
+  if (time_unit <= 0.0) throw std::invalid_argument("timing_table: bad time unit");
+  util::Table table({"node", "sink", "zeta", "t50 [" + unit_label + "]",
+                     "rise [" + unit_label + "]", "overshoot [%]",
+                     "settle [" + unit_label + "]", "t50 Wyatt [" + unit_label + "]"});
+  for (const NodeTimingRow& r : rows) {
+    table.add_row({r.name, r.is_sink ? "*" : "", util::Table::fmt(r.zeta, 4),
+                   util::Table::fmt(r.delay_50 / time_unit, 5),
+                   util::Table::fmt(r.rise_time / time_unit, 5),
+                   util::Table::fmt(r.overshoot_pct, 4),
+                   util::Table::fmt(r.settling_time / time_unit, 5),
+                   util::Table::fmt(r.wyatt_delay / time_unit, 5)});
+  }
+  return table;
+}
+
+SkewSummary sink_skew(const RlcTree& tree) {
+  const auto sinks = tree.leaves();
+  if (sinks.empty()) throw std::invalid_argument("sink_skew: tree has no sinks");
+  const eed::TreeModel model = eed::analyze(tree);
+  SkewSummary out;
+  out.min_delay = 1e300;
+  out.max_delay = -1e300;
+  for (SectionId s : sinks) {
+    const double d = eed::delay_50(model.at(s));
+    if (d < out.min_delay) {
+      out.min_delay = d;
+      out.fastest = s;
+    }
+    if (d > out.max_delay) {
+      out.max_delay = d;
+      out.slowest = s;
+    }
+  }
+  return out;
+}
+
+}  // namespace relmore::analysis

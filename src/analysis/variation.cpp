@@ -1,0 +1,110 @@
+#include "relmore/analysis/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "relmore/circuit/random_tree.hpp"
+#include "relmore/eed/eed.hpp"
+#include "relmore/eed/sensitivity.hpp"
+
+namespace relmore::analysis {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+namespace {
+
+/// Standard normal via Box-Muller on the repo's deterministic Rng,
+/// truncated to +-3 for physical plausibility.
+class GaussianSource {
+ public:
+  explicit GaussianSource(std::uint64_t seed) : rng_(seed) {}
+
+  double next() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return clamp(spare_);
+    }
+    double u1 = rng_.uniform();
+    if (u1 <= 1e-300) u1 = 1e-300;
+    const double u2 = rng_.uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    have_spare_ = true;
+    return clamp(mag * std::cos(2.0 * M_PI * u2));
+  }
+
+ private:
+  static double clamp(double g) { return std::clamp(g, -3.0, 3.0); }
+  circuit::Rng rng_;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+double perturb(double nominal, double sigma, GaussianSource& gauss) {
+  if (nominal == 0.0 || sigma == 0.0) return nominal;
+  return std::max(0.01 * nominal, nominal * (1.0 + sigma * gauss.next()));
+}
+
+}  // namespace
+
+DelayDistribution monte_carlo_delay(const RlcTree& tree, SectionId node,
+                                    const VariationSpec& spec, std::size_t samples,
+                                    std::uint64_t seed) {
+  if (samples < 2) throw std::invalid_argument("monte_carlo_delay: need >= 2 samples");
+  const eed::TreeModel nominal_model = eed::analyze(tree);
+  DelayDistribution out;
+  out.nominal = eed::delay_50(nominal_model.at(node));
+  out.samples = samples;
+
+  GaussianSource gauss(seed);
+  std::vector<double> delays;
+  delays.reserve(samples);
+  RlcTree perturbed = tree;  // reuse the topology, rewrite values per sample
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t k = 0; k < tree.size(); ++k) {
+      const auto id = static_cast<SectionId>(k);
+      const auto& v = tree.section(id).v;
+      auto& pv = perturbed.values(id);
+      pv.resistance = perturb(v.resistance, spec.sigma_resistance, gauss);
+      pv.inductance = perturb(v.inductance, spec.sigma_inductance, gauss);
+      pv.capacitance = perturb(v.capacitance, spec.sigma_capacitance, gauss);
+    }
+    const eed::TreeModel m = eed::analyze(perturbed);
+    delays.push_back(eed::delay_50(m.at(node)));
+  }
+
+  double sum = 0.0;
+  out.min = delays.front();
+  out.max = delays.front();
+  for (double d : delays) {
+    sum += d;
+    out.min = std::min(out.min, d);
+    out.max = std::max(out.max, d);
+  }
+  out.mean = sum / static_cast<double>(samples);
+  double var = 0.0;
+  for (double d : delays) var += (d - out.mean) * (d - out.mean);
+  out.stddev = std::sqrt(var / static_cast<double>(samples - 1));
+  std::sort(delays.begin(), delays.end());
+  const auto idx = static_cast<std::size_t>(0.95 * static_cast<double>(samples - 1));
+  out.q95 = delays[idx];
+  return out;
+}
+
+double delay_stddev_linear(const RlcTree& tree, SectionId node, const VariationSpec& spec) {
+  const eed::SensitivityReport rep = eed::delay_sensitivity(tree, node);
+  double var = 0.0;
+  for (std::size_t k = 0; k < tree.size(); ++k) {
+    const auto& v = tree.section(static_cast<SectionId>(k)).v;
+    const auto& s = rep.sections[k];
+    const double dr = s.d_resistance * spec.sigma_resistance * v.resistance;
+    const double dl = s.d_inductance * spec.sigma_inductance * v.inductance;
+    const double dc = s.d_capacitance * spec.sigma_capacitance * v.capacitance;
+    var += dr * dr + dl * dl + dc * dc;
+  }
+  return std::sqrt(var);
+}
+
+}  // namespace relmore::analysis

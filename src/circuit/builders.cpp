@@ -1,0 +1,196 @@
+#include "relmore/circuit/builders.hpp"
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace relmore::circuit {
+
+RlcTree make_line(int sections, const SectionValues& per_section) {
+  if (sections < 1) throw std::invalid_argument("make_line: need at least one section");
+  RlcTree t;
+  SectionId prev = kInput;
+  for (int i = 0; i < sections; ++i) {
+    prev = t.add_section(prev, per_section, "s" + std::to_string(i + 1));
+  }
+  return t;
+}
+
+RlcTree make_balanced_tree(int levels, int branching, const SectionValues& per_section) {
+  return make_balanced_tree_per_level(std::vector<SectionValues>(
+                                          static_cast<std::size_t>(levels), per_section),
+                                      branching);
+}
+
+RlcTree make_balanced_tree_per_level(const std::vector<SectionValues>& per_level,
+                                     int branching) {
+  if (per_level.empty()) throw std::invalid_argument("make_balanced_tree: need >= 1 level");
+  if (branching < 1) throw std::invalid_argument("make_balanced_tree: branching must be >= 1");
+  RlcTree t;
+  std::vector<SectionId> frontier{t.add_section(kInput, per_level[0], "L1.0")};
+  for (std::size_t lvl = 1; lvl < per_level.size(); ++lvl) {
+    std::vector<SectionId> next;
+    next.reserve(frontier.size() * static_cast<std::size_t>(branching));
+    int idx = 0;
+    for (SectionId parent : frontier) {
+      for (int b = 0; b < branching; ++b) {
+        next.push_back(t.add_section(parent, per_level[lvl],
+                                     "L" + std::to_string(lvl + 1) + "." + std::to_string(idx)));
+        ++idx;
+      }
+    }
+    frontier = std::move(next);
+  }
+  return t;
+}
+
+namespace {
+
+void grow_asym(RlcTree& t, SectionId parent, int remaining_levels, double asym,
+               const SectionValues& base, const std::string& prefix) {
+  if (remaining_levels <= 0) return;
+  SectionValues left = base;
+  left.resistance *= asym;
+  left.inductance *= asym;
+  left.capacitance /= asym;
+  const SectionId l = t.add_section(parent, left, prefix + "l");
+  const SectionId r = t.add_section(parent, base, prefix + "r");
+  grow_asym(t, l, remaining_levels - 1, asym, base, prefix + "l");
+  grow_asym(t, r, remaining_levels - 1, asym, base, prefix + "r");
+}
+
+}  // namespace
+
+RlcTree make_asymmetric_tree(int levels, double asym, const SectionValues& base) {
+  if (levels < 1) throw std::invalid_argument("make_asymmetric_tree: need >= 1 level");
+  if (asym <= 0.0) throw std::invalid_argument("make_asymmetric_tree: asym must be positive");
+  RlcTree t;
+  const SectionId root = t.add_section(kInput, base, "root");
+  grow_asym(t, root, levels - 1, asym, base, "");
+  return t;
+}
+
+RlcTree make_fig5_tree(const SectionValues& per_section, SectionId* node7) {
+  RlcTree t;
+  const SectionId s1 = t.add_section(kInput, per_section, "1");
+  const SectionId s2 = t.add_section(s1, per_section, "2");
+  const SectionId s3 = t.add_section(s1, per_section, "3");
+  t.add_section(s2, per_section, "4");
+  t.add_section(s2, per_section, "5");
+  t.add_section(s3, per_section, "6");
+  const SectionId s7 = t.add_section(s3, per_section, "7");
+  if (node7 != nullptr) *node7 = s7;
+  return t;
+}
+
+RlcTree make_fig8_tree(SectionId* out) {
+  // Representative substitution for the paper's Fig. 8 (values lost in the
+  // available text): a stem feeding a near sink, plus a two-way branch with
+  // one deep path ending at the observed output "O". Values give
+  // zeta ~ 0.8 at O, i.e. a visibly underdamped yet settling response.
+  RlcTree t;
+  const SectionId stem = t.add_section(kInput, {10.0, 1.5e-9, 0.10e-12}, "stem");
+  const SectionId a = t.add_section(stem, {15.0, 2.0e-9, 0.12e-12}, "a");
+  t.add_section(a, {20.0, 1.0e-9, 0.25e-12}, "sink1");
+  const SectionId b = t.add_section(stem, {12.0, 2.5e-9, 0.10e-12}, "b");
+  const SectionId b1 = t.add_section(b, {18.0, 2.0e-9, 0.15e-12}, "b1");
+  t.add_section(b1, {25.0, 1.5e-9, 0.20e-12}, "sink2");
+  const SectionId b2 = t.add_section(b, {14.0, 2.2e-9, 0.12e-12}, "b2");
+  const SectionId o = t.add_section(b2, {16.0, 2.8e-9, 0.30e-12}, "O");
+  if (out != nullptr) *out = o;
+  return t;
+}
+
+RlcTree make_h_tree(int levels, const SectionValues& unit) {
+  if (levels < 1) throw std::invalid_argument("make_h_tree: need >= 1 level");
+  RlcTree t;
+  // Each H-level splits into two half-length arms; wire halving scales R and
+  // L by 1/2 and C by 1/2 per arm.
+  std::vector<SectionId> frontier;
+  SectionValues v = unit;
+  frontier.push_back(t.add_section(kInput, v, "trunk"));
+  for (int lvl = 1; lvl < levels; ++lvl) {
+    v.resistance *= 0.5;
+    v.inductance *= 0.5;
+    v.capacitance *= 0.5;
+    std::vector<SectionId> next;
+    int idx = 0;
+    for (SectionId parent : frontier) {
+      next.push_back(
+          t.add_section(parent, v, "h" + std::to_string(lvl) + "." + std::to_string(idx++)));
+      next.push_back(
+          t.add_section(parent, v, "h" + std::to_string(lvl) + "." + std::to_string(idx++)));
+    }
+    frontier = std::move(next);
+  }
+  return t;
+}
+
+RlcTree make_comb_tree(int spine_sections, const SectionValues& spine,
+                       const SectionValues& tooth) {
+  if (spine_sections < 1) {
+    throw std::invalid_argument("make_comb_tree: need at least one spine section");
+  }
+  RlcTree t;
+  SectionId prev = kInput;
+  for (int i = 0; i < spine_sections; ++i) {
+    prev = t.add_section(prev, spine, "spine" + std::to_string(i));
+    t.add_section(prev, tooth, "tooth" + std::to_string(i));
+  }
+  return t;
+}
+
+RlcTree binarize(const RlcTree& tree, std::vector<SectionId>* original_of) {
+  RlcTree out;
+  std::vector<SectionId> map_back;
+  // new id of each original section (ids are topological, parents first).
+  std::vector<SectionId> new_id(tree.size(), kInput);
+
+  // Recursively place a list of children under `parent_new`, chaining
+  // zero-impedance stubs whenever more than two children remain.
+  const std::function<void(const std::vector<SectionId>&, SectionId)> place =
+      [&](const std::vector<SectionId>& children, SectionId parent_new) {
+        if (children.empty()) return;
+        if (children.size() <= 2) {
+          for (SectionId c : children) {
+            const SectionId nid = out.add_section(parent_new, tree.section(c).v,
+                                                  tree.section(c).name);
+            map_back.push_back(c);
+            new_id[static_cast<std::size_t>(c)] = nid;
+            place(tree.children(c), nid);
+          }
+          return;
+        }
+        // First child attaches directly; the rest go behind a zero stub.
+        const SectionId first = children.front();
+        const SectionId nid =
+            out.add_section(parent_new, tree.section(first).v, tree.section(first).name);
+        map_back.push_back(first);
+        new_id[static_cast<std::size_t>(first)] = nid;
+        place(tree.children(first), nid);
+        const SectionId stub = out.add_section(parent_new, SectionValues{0.0, 0.0, 0.0}, "");
+        map_back.push_back(kInput);
+        place(std::vector<SectionId>(children.begin() + 1, children.end()), stub);
+      };
+
+  place(tree.roots(), kInput);
+  if (original_of != nullptr) *original_of = std::move(map_back);
+  return out;
+}
+
+void scale_inductances(RlcTree& tree, double factor) {
+  if (factor < 0.0) throw std::invalid_argument("scale_inductances: negative factor");
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    tree.values(static_cast<SectionId>(i)).inductance *= factor;
+  }
+}
+
+void scale_resistances(RlcTree& tree, double factor) {
+  if (factor < 0.0) throw std::invalid_argument("scale_resistances: negative factor");
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    tree.values(static_cast<SectionId>(i)).resistance *= factor;
+  }
+}
+
+}  // namespace relmore::circuit

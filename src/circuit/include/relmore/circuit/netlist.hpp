@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file netlist.hpp
+/// Netlist I/O for RLC trees.
+///
+/// Two formats are supported:
+///  1. the *tree netlist*, a minimal line format that round-trips RlcTree
+///     exactly:
+///         # comment
+///         section <name> <parent-name|-> R=<val> L=<val> C=<val>
+///     Values accept SPICE SI suffixes (f p n u m k meg g t).
+///  2. a SPICE subset: `R/L/C` cards (plus an optional `V` card naming the
+///     input node) are parsed and the series R–L chains are collapsed back
+///     into tree sections, so decks written by write_spice() — or by other
+///     tools following the same convention — can be re-imported.
+
+#include <iosfwd>
+#include <string>
+
+#include "relmore/circuit/rlc_tree.hpp"
+
+namespace relmore::circuit {
+
+/// Parses "12.5", "2n", "0.2p", "1meg" etc. Throws std::invalid_argument on
+/// malformed input.
+double parse_spice_value(const std::string& text);
+
+/// Writes the tree netlist format.
+void write_tree_netlist(const RlcTree& tree, std::ostream& os);
+
+/// Parses the tree netlist format. Throws std::invalid_argument with a
+/// line-numbered message on any syntax or topology error.
+RlcTree read_tree_netlist(std::istream& is);
+
+/// Options for SPICE export.
+struct SpiceWriteOptions {
+  std::string input_node = "in";
+  double supply_volts = 1.0;
+  double input_rise_seconds = 0.0;  ///< 0 = ideal step
+  double tran_stop_seconds = 0.0;   ///< 0 = omit .tran card
+};
+
+/// Emits a SPICE deck: V source at the input, one R (and L when nonzero)
+/// per section, one C per loaded node.
+void write_spice(const RlcTree& tree, std::ostream& os, const SpiceWriteOptions& opts = {});
+
+/// Parses a SPICE-subset deck back into an RlcTree. The input node is taken
+/// from the V card when present, else a node literally named "in".
+/// Throws std::invalid_argument when the deck is not a tree of series R/L
+/// sections with grounded capacitors.
+RlcTree read_spice(std::istream& is);
+
+}  // namespace relmore::circuit

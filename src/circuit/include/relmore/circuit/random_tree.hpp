@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file random_tree.hpp
+/// Seeded pseudo-random RLC tree generation for property-based testing and
+/// fuzzing. Uses its own splitmix64/xoroshiro generator so test circuits
+/// are bit-reproducible across platforms and standard-library versions
+/// (std::mt19937 distributions are not portable across implementations).
+
+#include <cstdint>
+
+#include "relmore/circuit/rlc_tree.hpp"
+
+namespace relmore::circuit {
+
+/// Parameter ranges for random tree generation. Values are drawn
+/// log-uniformly between lo and hi so decades are sampled evenly.
+struct RandomTreeSpec {
+  int min_sections = 3;
+  int max_sections = 40;
+  int max_children = 3;          ///< per node
+  double resistance_lo = 1.0;    ///< ohm
+  double resistance_hi = 100.0;
+  double inductance_lo = 0.1e-9;  ///< H; set lo = hi = 0 for RC trees
+  double inductance_hi = 10e-9;
+  double capacitance_lo = 10e-15;  ///< F
+  double capacitance_hi = 1e-12;
+};
+
+/// Deterministic 64-bit generator (xoroshiro128++ seeded via splitmix64).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+  /// Log-uniform in [lo, hi]; returns lo when lo == hi (including 0).
+  double log_uniform(double lo, double hi);
+
+ private:
+  std::uint64_t next();
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+/// Generates a random tree; the same (spec, seed) pair always yields the
+/// same tree. Every tree has at least one section and valid topology.
+RlcTree make_random_tree(const RandomTreeSpec& spec, std::uint64_t seed);
+
+}  // namespace relmore::circuit

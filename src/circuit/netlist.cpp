@@ -1,0 +1,293 @@
+#include "relmore/circuit/netlist.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace relmore::circuit {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream ss(line);
+  std::string tok;
+  while (ss >> tok) out.push_back(tok);
+  return out;
+}
+
+[[noreturn]] void fail(int line_no, const std::string& msg) {
+  throw std::invalid_argument("netlist line " + std::to_string(line_no) + ": " + msg);
+}
+
+}  // namespace
+
+double parse_spice_value(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("parse_spice_value: empty value");
+  std::size_t pos = 0;
+  double base = 0.0;
+  try {
+    base = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_spice_value: malformed number '" + text + "'");
+  }
+  std::string suffix = lower(text.substr(pos));
+  // Strip trailing unit letters SPICE allows ("2nH", "0.2pF", "5kohm").
+  static const std::map<std::string, double> kScale = {
+      {"", 1.0},     {"f", 1e-15}, {"p", 1e-12}, {"n", 1e-9}, {"u", 1e-6},
+      {"m", 1e-3},   {"k", 1e3},   {"meg", 1e6}, {"g", 1e9},  {"t", 1e12},
+  };
+  // Longest-prefix match on the suffix; remaining letters must be unit text.
+  for (const auto& prefix : {std::string("meg"), std::string("f"), std::string("p"),
+                             std::string("n"), std::string("u"), std::string("m"),
+                             std::string("k"), std::string("g"), std::string("t")}) {
+    if (suffix.rfind(prefix, 0) == 0) {
+      const std::string rest = suffix.substr(prefix.size());
+      if (rest.empty() || rest == "h" || rest == "f" || rest == "ohm" || rest == "s" ||
+          rest == "v") {
+        return base * kScale.at(prefix);
+      }
+    }
+  }
+  if (suffix.empty() || suffix == "h" || suffix == "f" || suffix == "ohm" || suffix == "s" ||
+      suffix == "v") {
+    return base;
+  }
+  throw std::invalid_argument("parse_spice_value: unknown suffix '" + suffix + "'");
+}
+
+void write_tree_netlist(const RlcTree& tree, std::ostream& os) {
+  os << "# relmore tree netlist, " << tree.size() << " sections\n";
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const Section& s = tree.section(static_cast<SectionId>(i));
+    const std::string name = s.name.empty() ? "s" + std::to_string(i) : s.name;
+    std::string parent = "-";
+    if (s.parent != kInput) {
+      const Section& p = tree.section(s.parent);
+      parent = p.name.empty() ? "s" + std::to_string(s.parent) : p.name;
+    }
+    os << "section " << name << " " << parent << " R=" << s.v.resistance
+       << " L=" << s.v.inductance << " C=" << s.v.capacitance << "\n";
+  }
+}
+
+RlcTree read_tree_netlist(std::istream& is) {
+  RlcTree tree;
+  std::map<std::string, SectionId> by_name;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    if (lower(toks[0]) != "section") fail(line_no, "expected 'section', got '" + toks[0] + "'");
+    if (toks.size() != 6) fail(line_no, "expected: section <name> <parent|-> R= L= C=");
+    const std::string& name = toks[1];
+    const std::string& parent_name = toks[2];
+    if (by_name.count(name) != 0) fail(line_no, "duplicate section name '" + name + "'");
+    SectionId parent = kInput;
+    if (parent_name != "-") {
+      const auto it = by_name.find(parent_name);
+      if (it == by_name.end()) fail(line_no, "unknown parent '" + parent_name + "'");
+      parent = it->second;
+    }
+    SectionValues v;
+    for (std::size_t t = 3; t < 6; ++t) {
+      const auto eq = toks[t].find('=');
+      if (eq == std::string::npos) fail(line_no, "expected key=value, got '" + toks[t] + "'");
+      const std::string key = lower(toks[t].substr(0, eq));
+      double val = 0.0;
+      try {
+        val = parse_spice_value(toks[t].substr(eq + 1));
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+      if (key == "r") {
+        v.resistance = val;
+      } else if (key == "l") {
+        v.inductance = val;
+      } else if (key == "c") {
+        v.capacitance = val;
+      } else {
+        fail(line_no, "unknown key '" + key + "'");
+      }
+    }
+    try {
+      by_name[name] = tree.add_section(parent, v, name);
+    } catch (const std::invalid_argument& e) {
+      fail(line_no, e.what());
+    }
+  }
+  return tree;
+}
+
+void write_spice(const RlcTree& tree, std::ostream& os, const SpiceWriteOptions& opts) {
+  os << "* relmore RLC tree export (" << tree.size() << " sections)\n";
+  if (opts.input_rise_seconds > 0.0) {
+    os << "Vin " << opts.input_node << " 0 PWL(0 0 " << opts.input_rise_seconds << " "
+       << opts.supply_volts << ")\n";
+  } else {
+    os << "Vin " << opts.input_node << " 0 PWL(0 0 1e-15 " << opts.supply_volts << ")\n";
+  }
+  auto node_name = [&](SectionId i) {
+    return i == kInput ? opts.input_node : "n" + std::to_string(i);
+  };
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto id = static_cast<SectionId>(i);
+    const Section& s = tree.section(id);
+    const std::string up = node_name(s.parent);
+    const std::string down = node_name(id);
+    if (s.v.inductance > 0.0) {
+      const std::string mid = "m" + std::to_string(i);
+      os << "R" << i << " " << up << " " << mid << " " << s.v.resistance << "\n";
+      os << "L" << i << " " << mid << " " << down << " " << s.v.inductance << "\n";
+    } else {
+      os << "R" << i << " " << up << " " << down << " " << s.v.resistance << "\n";
+    }
+    if (s.v.capacitance > 0.0) {
+      os << "C" << i << " " << down << " 0 " << s.v.capacitance << "\n";
+    }
+  }
+  if (opts.tran_stop_seconds > 0.0) {
+    os << ".tran " << opts.tran_stop_seconds / 1000.0 << " " << opts.tran_stop_seconds << "\n";
+  }
+  os << ".end\n";
+}
+
+namespace {
+
+struct SeriesEdge {
+  std::string other;
+  double resistance = 0.0;
+  double inductance = 0.0;
+};
+
+}  // namespace
+
+RlcTree read_spice(std::istream& is) {
+  std::map<std::string, std::vector<SeriesEdge>> adj;  // node -> series neighbors
+  std::map<std::string, double> cap;                   // node -> grounded C
+  std::string input_node;
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(toks[0][0])));
+    if (toks[0][0] == '*' || toks[0][0] == '.') continue;
+    if (kind == 'v') {
+      if (toks.size() < 3) fail(line_no, "malformed V card");
+      input_node = toks[1] == "0" ? toks[2] : toks[1];
+      continue;
+    }
+    if (kind != 'r' && kind != 'l' && kind != 'c') {
+      fail(line_no, std::string("unsupported element '") + toks[0] + "'");
+    }
+    if (toks.size() < 4) fail(line_no, "element card needs: name n1 n2 value");
+    const std::string n1 = toks[1];
+    const std::string n2 = toks[2];
+    double value = 0.0;
+    try {
+      value = parse_spice_value(toks[3]);
+    } catch (const std::invalid_argument& e) {
+      fail(line_no, e.what());
+    }
+    if (kind == 'c') {
+      const std::string node = n1 == "0" ? n2 : n1;
+      if (n1 != "0" && n2 != "0") fail(line_no, "capacitors must be grounded in an RLC tree");
+      cap[node] += value;
+      continue;
+    }
+    SeriesEdge e1{n2, 0.0, 0.0};
+    SeriesEdge e2{n1, 0.0, 0.0};
+    if (kind == 'r') {
+      e1.resistance = e2.resistance = value;
+    } else {
+      e1.inductance = e2.inductance = value;
+    }
+    adj[n1].push_back(e1);
+    adj[n2].push_back(e2);
+  }
+
+  if (input_node.empty()) {
+    if (adj.count("in") != 0) {
+      input_node = "in";
+    } else {
+      throw std::invalid_argument("read_spice: no V card and no node named 'in'");
+    }
+  }
+  if (adj.count(input_node) == 0) {
+    throw std::invalid_argument("read_spice: input node has no series elements");
+  }
+
+  RlcTree tree;
+  // DFS from the input, collapsing chains of series elements through
+  // unloaded degree-2 nodes into single sections.
+  struct Work {
+    std::string node;      // node to expand
+    SectionId section;     // tree section ending at `node` (kInput at start)
+    std::string came_from; // avoid walking back up the edge we arrived on
+  };
+  std::vector<Work> stack{{input_node, kInput, ""}};
+  std::map<std::string, bool> visited{{input_node, true}};
+
+  while (!stack.empty()) {
+    const Work w = stack.back();
+    stack.pop_back();
+    for (const SeriesEdge& first : adj[w.node]) {
+      if (first.other == w.came_from) continue;
+      if (visited.count(first.other) != 0) {
+        // In a tree the only edge to a visited node is the one we arrived
+        // on (came_from); any other such edge closes a cycle.
+        throw std::invalid_argument("read_spice: circuit graph contains a loop at node " +
+                                    first.other);
+      }
+      // Walk the chain until a node that carries a C, branches, or is a leaf.
+      double r_acc = first.resistance;
+      double l_acc = first.inductance;
+      std::string prev = w.node;
+      std::string cur = first.other;
+      while (true) {
+        const auto& nbrs = adj[cur];
+        const bool loaded = cap.count(cur) != 0;
+        if (loaded || nbrs.size() != 2) break;
+        const SeriesEdge& next = nbrs[0].other == prev ? nbrs[1] : nbrs[0];
+        r_acc += next.resistance;
+        l_acc += next.inductance;
+        prev = cur;
+        cur = next.other;
+        if (visited.count(cur) != 0) {
+          throw std::invalid_argument("read_spice: circuit graph contains a loop at node " +
+                                      cur);
+        }
+      }
+      if (visited.count(cur) != 0) {
+        throw std::invalid_argument("read_spice: circuit graph contains a loop at node " + cur);
+      }
+      visited[cur] = true;
+      const double c = cap.count(cur) != 0 ? cap.at(cur) : 0.0;
+      const SectionId sec = tree.add_section(w.section, {r_acc, l_acc, c}, cur);
+      stack.push_back({cur, sec, prev});
+    }
+  }
+  if (tree.empty()) throw std::invalid_argument("read_spice: no tree sections found");
+  return tree;
+}
+
+}  // namespace relmore::circuit

@@ -1,0 +1,94 @@
+#include "relmore/circuit/random_tree.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace relmore::circuit {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  s0_ = splitmix64(sm);
+  s1_ = splitmix64(sm);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;  // xoroshiro must not start at all-zero
+}
+
+std::uint64_t Rng::next() {
+  // xoroshiro128++
+  const std::uint64_t result = rotl(s0_ + s1_, 17) + s0_;
+  const std::uint64_t t = s1_ ^ s0_;
+  s0_ = rotl(s0_, 49) ^ t ^ (t << 21);
+  s1_ = rotl(t, 28);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  if (hi < lo) throw std::invalid_argument("Rng::uniform_int: empty range");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int>(next() % span);
+}
+
+double Rng::log_uniform(double lo, double hi) {
+  if (lo < 0.0 || hi < lo) throw std::invalid_argument("Rng::log_uniform: bad range");
+  if (lo == hi) return lo;
+  if (lo == 0.0) return hi * uniform();  // degenerate: fall back to linear
+  const double u = uniform();
+  return lo * std::exp(u * std::log(hi / lo));
+}
+
+RlcTree make_random_tree(const RandomTreeSpec& spec, std::uint64_t seed) {
+  if (spec.min_sections < 1 || spec.max_sections < spec.min_sections) {
+    throw std::invalid_argument("make_random_tree: bad section count range");
+  }
+  if (spec.max_children < 1) {
+    throw std::invalid_argument("make_random_tree: max_children must be >= 1");
+  }
+  Rng rng(seed);
+  const int n = rng.uniform_int(spec.min_sections, spec.max_sections);
+
+  RlcTree tree;
+  std::vector<SectionId> open;  // nodes still accepting children
+  auto draw = [&]() -> SectionValues {
+    return {rng.log_uniform(spec.resistance_lo, spec.resistance_hi),
+            rng.log_uniform(spec.inductance_lo, spec.inductance_hi),
+            rng.log_uniform(spec.capacitance_lo, spec.capacitance_hi)};
+  };
+
+  open.push_back(tree.add_section(kInput, draw(), "r0"));
+  std::vector<int> child_count{0};
+  for (int i = 1; i < n; ++i) {
+    const int pick = rng.uniform_int(0, static_cast<int>(open.size()) - 1);
+    const SectionId parent = open[static_cast<std::size_t>(pick)];
+    const SectionId id = tree.add_section(parent, draw(), "r" + std::to_string(i));
+    child_count[static_cast<std::size_t>(parent)]++;
+    if (child_count[static_cast<std::size_t>(parent)] >= spec.max_children) {
+      open[static_cast<std::size_t>(pick)] = open.back();
+      open.pop_back();
+    }
+    open.push_back(id);
+    child_count.push_back(0);
+  }
+  return tree;
+}
+
+}  // namespace relmore::circuit

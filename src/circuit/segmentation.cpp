@@ -1,0 +1,55 @@
+#include "relmore/circuit/segmentation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace relmore::circuit {
+
+WireSpec global_wire_spec() {
+  // ~1 um-thick copper, wide upper-metal wire over a ground plane:
+  // low resistance, transmission-line-like. Representative of the clock
+  // spines in the paper's motivation ([5]-[8], [14]).
+  return {1e-3, 20e3, 0.5e-6, 150e-12};  // 20 ohm/mm, 0.5 nH/mm, 0.15 pF/mm
+}
+
+WireSpec local_wire_spec() {
+  // Minimum-pitch lower-metal wire: resistance dominates, inductance is
+  // negligible at on-chip rise times.
+  return {0.1e-3, 800e3, 0.3e-6, 200e-12};
+}
+
+SectionValues segment_values(const WireSpec& wire, int segments) {
+  if (segments < 1) throw std::invalid_argument("segment_values: segments must be >= 1");
+  if (wire.length_m <= 0.0) throw std::invalid_argument("segment_values: non-positive length");
+  const double frac = wire.length_m / static_cast<double>(segments);
+  return {wire.r_per_m * frac, wire.l_per_m * frac, wire.c_per_m * frac};
+}
+
+SectionId append_wire(RlcTree& tree, SectionId parent, const WireSpec& wire, int segments,
+                      const std::string& prefix) {
+  const SectionValues v = segment_values(wire, segments);
+  SectionId cur = parent;
+  for (int i = 0; i < segments; ++i) {
+    cur = tree.add_section(cur, v, prefix + "." + std::to_string(i));
+  }
+  return cur;
+}
+
+int suggested_segments(const WireSpec& wire, double signal_rise_seconds, int min_segments) {
+  if (signal_rise_seconds <= 0.0) {
+    throw std::invalid_argument("suggested_segments: non-positive rise time");
+  }
+  // Spatial extent of the signal edge: v = 1/sqrt(l c); lambda ~ v * t_r.
+  // Resolve the edge with ~10 segments over the shorter of (wire, edge).
+  const double lc = wire.l_per_m * wire.c_per_m;
+  if (lc <= 0.0) return std::max(min_segments, 1);
+  const double velocity = 1.0 / std::sqrt(lc);
+  const double edge_extent = velocity * signal_rise_seconds;
+  const double needed = 10.0 * wire.length_m / std::max(edge_extent, 1e-12);
+  const int n = static_cast<int>(std::ceil(needed));
+  return std::clamp(n, std::max(min_segments, 1), 1000);
+}
+
+}  // namespace relmore::circuit

@@ -1,0 +1,27 @@
+#include "relmore/eed/elmore.hpp"
+
+#include <cmath>
+
+#include "relmore/eed/model.hpp"
+
+namespace relmore::eed {
+
+std::vector<double> elmore_time_constants(const circuit::RlcTree& tree) {
+  const TreeModel model = analyze(tree);
+  std::vector<double> tau(model.nodes.size());
+  for (std::size_t i = 0; i < tau.size(); ++i) tau[i] = model.nodes[i].sum_rc;
+  return tau;
+}
+
+double elmore_delay_50(double tau) { return tau; }
+
+double wyatt_delay_50(double tau) { return std::log(2.0) * tau; }
+
+double wyatt_rise_time(double tau) { return std::log(9.0) * tau; }
+
+double wyatt_step_response(double tau, double t, double v_supply) {
+  if (t <= 0.0) return 0.0;
+  return v_supply * -std::expm1(-t / tau);
+}
+
+}  // namespace relmore::eed

@@ -1,0 +1,63 @@
+#include "relmore/eed/fit.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "relmore/util/fit.hpp"
+
+namespace relmore::eed {
+
+namespace {
+
+/// Fits a*exp(-z^p/b) + c*z (+ d); `extended` also fits the exponent p
+/// and offset d (the rise-time shape needs both).
+ScaledFitReport fit_metric(const std::function<double(double)>& exact, double zeta_min,
+                           double zeta_max, int samples, const FitCoefficients& seed,
+                           bool extended) {
+  if (samples < 4 || zeta_max <= zeta_min || zeta_min < 0.0) {
+    throw std::invalid_argument("fit_scaled_*: bad sweep parameters");
+  }
+  std::vector<double> zs(static_cast<std::size_t>(samples));
+  std::vector<double> ys(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const double z = zeta_min + (zeta_max - zeta_min) * static_cast<double>(i) /
+                                    static_cast<double>(samples - 1);
+    zs[static_cast<std::size_t>(i)] = z;
+    ys[static_cast<std::size_t>(i)] = exact(z);
+  }
+  // In extended mode the offset is slaved to the zeta = 0 anchor
+  // (d = y(0) − a), so the fit is exact in the pure-LC limit and only
+  // (a, b, c, p) are free.
+  const double y0 = exact(0.0);
+  const auto model = [extended, y0](double z, const std::vector<double>& prm) {
+    const double p = extended ? prm[3] : 1.0;
+    const double d = extended ? y0 - prm[0] : 0.0;
+    const double zp = z == 0.0 ? 0.0 : std::pow(z, p);
+    return prm[0] * std::exp(-zp / prm[1]) + prm[2] * z + d;
+  };
+  std::vector<double> p0{seed.a, seed.b, seed.c};
+  if (extended) p0.push_back(seed.p);
+  const util::FitResult r = util::fit_nonlinear(model, zs, ys, std::move(p0));
+  ScaledFitReport rep;
+  rep.coeffs = {r.params[0], r.params[1], r.params[2], extended ? r.params[3] : 1.0,
+                extended ? y0 - r.params[0] : 0.0};
+  rep.rms_residual = r.rms_residual;
+  rep.max_abs_residual = r.max_abs_residual;
+  return rep;
+}
+
+}  // namespace
+
+ScaledFitReport fit_scaled_delay(double zeta_min, double zeta_max, int samples) {
+  return fit_metric([](double z) { return scaled_delay_exact(z); }, zeta_min, zeta_max,
+                    samples, delay_fit_paper(), /*extended=*/false);
+}
+
+ScaledFitReport fit_scaled_rise(double zeta_min, double zeta_max, int samples) {
+  return fit_metric([](double z) { return scaled_rise_exact(z); }, zeta_min, zeta_max, samples,
+                    {2.0, 1.3, 4.55, 1.7, -0.9}, /*extended=*/true);
+}
+
+}  // namespace relmore::eed

@@ -1,0 +1,75 @@
+#include "relmore/eed/frequency.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace relmore::eed {
+
+namespace {
+
+bool is_rc_limit(const NodeModel& node) { return !std::isfinite(node.omega_n); }
+
+}  // namespace
+
+std::complex<double> transfer_function(const NodeModel& node, double omega) {
+  if (omega < 0.0) throw std::invalid_argument("transfer_function: negative frequency");
+  if (is_rc_limit(node)) {
+    return 1.0 / std::complex<double>(1.0, omega * node.sum_rc);
+  }
+  const double x = omega / node.omega_n;  // normalized frequency
+  return 1.0 / std::complex<double>(1.0 - x * x, 2.0 * node.zeta * x);
+}
+
+double magnitude_db(const NodeModel& node, double omega) {
+  return 20.0 * std::log10(std::abs(transfer_function(node, omega)));
+}
+
+double phase_deg(const NodeModel& node, double omega) {
+  const std::complex<double> h = transfer_function(node, omega);
+  double deg = std::arg(h) * 180.0 / M_PI;
+  // A stable low-pass accumulates up to -180 degrees; atan2 wraps the
+  // second-order branch into (0, 180] — unwrap to the causal branch.
+  if (deg > 0.0) deg -= 360.0;
+  return deg;
+}
+
+std::vector<BodePoint> bode_sweep(const NodeModel& node, double omega_lo, double omega_hi,
+                                  int points) {
+  if (points < 2 || omega_lo <= 0.0 || omega_hi <= omega_lo) {
+    throw std::invalid_argument("bode_sweep: bad sweep parameters");
+  }
+  std::vector<BodePoint> out(static_cast<std::size_t>(points));
+  const double ratio = std::log(omega_hi / omega_lo);
+  for (int i = 0; i < points; ++i) {
+    const double w =
+        omega_lo * std::exp(ratio * static_cast<double>(i) / static_cast<double>(points - 1));
+    out[static_cast<std::size_t>(i)] = {w, magnitude_db(node, w), phase_deg(node, w)};
+  }
+  return out;
+}
+
+bool has_resonant_peak(const NodeModel& node) {
+  return !is_rc_limit(node) && node.zeta < M_SQRT1_2;
+}
+
+double peak_frequency(const NodeModel& node) {
+  if (!has_resonant_peak(node)) {
+    throw std::invalid_argument("peak_frequency: node has no resonant peak");
+  }
+  return node.omega_n * std::sqrt(1.0 - 2.0 * node.zeta * node.zeta);
+}
+
+double peak_magnitude(const NodeModel& node) {
+  if (!has_resonant_peak(node)) {
+    throw std::invalid_argument("peak_magnitude: node has no resonant peak");
+  }
+  return 1.0 / (2.0 * node.zeta * std::sqrt(1.0 - node.zeta * node.zeta));
+}
+
+double bandwidth_3db(const NodeModel& node) {
+  if (is_rc_limit(node)) return 1.0 / node.sum_rc;
+  const double a = 1.0 - 2.0 * node.zeta * node.zeta;
+  return node.omega_n * std::sqrt(a + std::sqrt(a * a + 1.0));
+}
+
+}  // namespace relmore::eed

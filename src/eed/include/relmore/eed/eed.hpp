@@ -1,0 +1,12 @@
+#pragma once
+
+/// \file eed.hpp
+/// Umbrella header for the Equivalent Elmore Delay library: include this to
+/// get the node model, the closed-form signal characterization, the
+/// time-domain responses, the RC baselines, and the curve-fit tooling.
+
+#include "relmore/eed/elmore.hpp"     // IWYU pragma: export
+#include "relmore/eed/fit.hpp"        // IWYU pragma: export
+#include "relmore/eed/model.hpp"      // IWYU pragma: export
+#include "relmore/eed/response.hpp"   // IWYU pragma: export
+#include "relmore/eed/second_order.hpp"  // IWYU pragma: export

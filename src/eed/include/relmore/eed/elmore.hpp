@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file elmore.hpp
+/// The RC baselines the paper generalizes: the Elmore delay [15] (first
+/// moment as the delay itself) and the Wyatt approximation [16] (first
+/// moment as a single-pole time constant, delay = ln2 * tau). For RLC
+/// trees both ignore inductance entirely — that gap is the paper's
+/// motivation, and these are the baselines every figure bench prints.
+
+#include <vector>
+
+#include "relmore/circuit/rlc_tree.hpp"
+
+namespace relmore::eed {
+
+/// Elmore time constants tau_i = sum_k C_k R_ki for every node, O(n).
+std::vector<double> elmore_time_constants(const circuit::RlcTree& tree);
+
+/// Elmore's original 50% delay estimate: the time constant itself.
+double elmore_delay_50(double tau);
+
+/// Wyatt's single-pole 50% delay: ln2 * tau.
+double wyatt_delay_50(double tau);
+
+/// Wyatt's single-pole 10-90% rise time: ln9 * tau.
+double wyatt_rise_time(double tau);
+
+/// Wyatt single-pole step response 1 - e^{-t/tau} scaled by v_supply.
+double wyatt_step_response(double tau, double t, double v_supply = 1.0);
+
+}  // namespace relmore::eed

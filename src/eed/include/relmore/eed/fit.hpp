@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file fit.hpp
+/// Re-derivation of the paper's curve fits (eqs. 33–34). The paper built
+/// its closed forms by fitting  a·e^(−zeta/b) + c·zeta  to the numerically
+/// exact time-scaled 50% delay and rise time; this module reruns that fit
+/// with the library's own Gauss–Newton solver so the shipped coefficients
+/// are reproducible from first principles (and testable against the
+/// paper's published delay coefficients).
+
+#include "relmore/eed/second_order.hpp"
+
+namespace relmore::eed {
+
+/// Result of refitting one scaled metric.
+struct ScaledFitReport {
+  FitCoefficients coeffs;
+  double rms_residual = 0.0;
+  double max_abs_residual = 0.0;
+};
+
+/// Fits a·e^(−z/b) + c·z to scaled_delay_exact over [zeta_min, zeta_max].
+ScaledFitReport fit_scaled_delay(double zeta_min = 0.0, double zeta_max = 3.0,
+                                 int samples = 121);
+
+/// Fits the same form to scaled_rise_exact.
+ScaledFitReport fit_scaled_rise(double zeta_min = 0.0, double zeta_max = 3.0,
+                                int samples = 121);
+
+}  // namespace relmore::eed

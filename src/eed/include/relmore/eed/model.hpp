@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file model.hpp
+/// The Equivalent Elmore Delay model for RLC trees (the paper's core
+/// contribution, Section III + Appendix).
+///
+/// Each node i of an RLC tree is characterized by two path/subtree sums
+///
+///   SR_i = sum_k C_k R_ki   (the classic Elmore time constant), and
+///   SL_i = sum_k C_k L_ki   (its inductive analogue),
+///
+/// where R_ki (L_ki) is the resistance (inductance) common to the paths
+/// from the input to nodes k and i. From these, the second-order
+/// approximation at node i (paper eqs. 29–30) is
+///
+///   omega_n,i = 1/sqrt(SL_i),   zeta_i = SR_i / (2 sqrt(SL_i)).
+///
+/// Both sums for *all* nodes are computed with two O(n) traversals and
+/// exactly two multiplications per section (paper Appendix, Figs. 17–18).
+
+#include <cstdint>
+#include <vector>
+
+#include "relmore/circuit/rlc_tree.hpp"
+
+namespace relmore::eed {
+
+/// Second-order characterization of one tree node.
+struct NodeModel {
+  double sum_rc = 0.0;   ///< SR_i = sum C_k R_ki [s] — the Elmore delay T_D,i
+  double sum_lc = 0.0;   ///< SL_i = sum C_k L_ki [s^2]
+  double zeta = 0.0;     ///< damping factor (eq. 29); +inf for pure-RC nodes
+  double omega_n = 0.0;  ///< natural frequency [rad/s] (eq. 30); +inf for SL=0
+
+  /// True when the node's response is underdamped (non-monotone).
+  [[nodiscard]] bool underdamped() const { return zeta < 1.0; }
+};
+
+/// Per-tree analysis result.
+struct TreeModel {
+  std::vector<NodeModel> nodes;  ///< indexed by SectionId
+  /// Downstream (subtree) capacitance seen by each section — the upward
+  /// pass of the Appendix algorithm, exposed because wire sizing and buffer
+  /// insertion reuse it.
+  std::vector<double> load_capacitance;
+
+  [[nodiscard]] const NodeModel& at(circuit::SectionId i) const {
+    return nodes.at(static_cast<std::size_t>(i));
+  }
+};
+
+/// Analyzes every node of the tree in O(n) (two traversals).
+TreeModel analyze(const circuit::RlcTree& tree);
+
+/// Instrumented variant counting the floating-point multiplications spent,
+/// to verify the Appendix claim that the count is exactly 2·(sections).
+TreeModel analyze_counting(const circuit::RlcTree& tree, std::uint64_t* multiplications);
+
+}  // namespace relmore::eed

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file response.hpp
+/// Time-domain responses of the second-order node model to the inputs the
+/// paper analyses: ideal step (eq. 31), saturating exponential (eqs. 43–48),
+/// and arbitrary sources (via the model's ODE, paper Section IV's "multiply
+/// by the Laplace transform of the input" procedure done numerically).
+
+#include <vector>
+
+#include "relmore/eed/model.hpp"
+#include "relmore/sim/source.hpp"
+#include "relmore/sim/waveform.hpp"
+
+namespace relmore::eed {
+
+/// Step response v_i(t) with supply `v_supply` (paper eq. 31).
+double step_response(const NodeModel& node, double t, double v_supply = 1.0);
+
+/// Closed-form response to the exponential input V(1 − e^{−t/tau})
+/// (paper eqs. 43–48), valid for all damping conditions.
+double exp_input_response(const NodeModel& node, double t, double v_supply, double tau);
+
+/// Closed-form response to a finite linear ramp (0 → v_supply over
+/// `rise_seconds`, then flat) — the other canonical driver waveform the
+/// paper's Section IV procedure covers. Derived by integrating the step
+/// response: v(t) = V/T·[S(t) − S(t−T)] with S = ∫ step.
+double ramp_input_response(const NodeModel& node, double t, double v_supply,
+                           double rise_seconds);
+
+/// Samples step_response over `times`.
+sim::Waveform step_waveform(const NodeModel& node, const std::vector<double>& times,
+                            double v_supply = 1.0);
+
+/// Samples exp_input_response over `times`.
+sim::Waveform exp_input_waveform(const NodeModel& node, const std::vector<double>& times,
+                                 double v_supply, double tau);
+
+/// Samples ramp_input_response over `times`.
+sim::Waveform ramp_input_waveform(const NodeModel& node, const std::vector<double>& times,
+                                  double v_supply, double rise_seconds);
+
+/// Response of the second-order model to an arbitrary source, integrated
+/// with adaptive RK45 on  v'' + 2 zeta omega_n v' + omega_n^2 v =
+/// omega_n^2 u(t). Sampled at `times` (must be increasing from >= 0).
+sim::Waveform arbitrary_input_waveform(const NodeModel& node, const sim::Source& source,
+                                       const std::vector<double>& times);
+
+}  // namespace relmore::eed

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file sensitivity.hpp
+/// Closed-form delay sensitivities — the payoff of the paper's emphasis on
+/// a *continuous analytical* delay expression (abstract, §IV): the fitted
+/// 50% delay at a node is differentiable in every section's R, L, C, and
+/// the whole gradient is computable in O(n) by chaining
+///
+///   D_i = t'(zeta_i) * sqrt(SL_i),      zeta_i = SR_i / (2 sqrt(SL_i))
+///
+/// through the two path sums. Gradients drive sizing optimizers and the
+/// first-order process-variation estimate in relmore::analysis.
+
+#include <vector>
+
+#include "relmore/circuit/rlc_tree.hpp"
+#include "relmore/eed/model.hpp"
+
+namespace relmore::eed {
+
+/// Partial derivatives of one metric with respect to one section's values.
+struct SectionSensitivity {
+  double d_resistance = 0.0;   ///< d(metric)/dR_k  [s/ohm]
+  double d_inductance = 0.0;   ///< d(metric)/dL_k  [s/H]
+  double d_capacitance = 0.0;  ///< d(metric)/dC_k  [s/F]
+};
+
+/// Gradient of the fitted 50% delay at `node` w.r.t. every section.
+struct SensitivityReport {
+  circuit::SectionId node = circuit::kInput;
+  double delay = 0.0;                          ///< nominal delay at `node`
+  std::vector<SectionSensitivity> sections;    ///< indexed by SectionId
+};
+
+/// d/dzeta of the fitted scaled delay (paper eq. 33 form, analytic).
+double scaled_delay_fitted_derivative(double zeta);
+
+/// Computes the full delay gradient at `node` in O(n). For nodes with no
+/// inductance on any contributing path (pure-RC limit) the L-sensitivities
+/// are reported as 0 and R/C follow the Wyatt form ln2·SR.
+SensitivityReport delay_sensitivity(const circuit::RlcTree& tree, circuit::SectionId node);
+
+}  // namespace relmore::eed

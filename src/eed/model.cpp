@@ -1,0 +1,75 @@
+#include "relmore/eed/model.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace relmore::eed {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+namespace {
+
+TreeModel analyze_impl(const RlcTree& tree, std::uint64_t* mul_count) {
+  if (tree.empty()) throw std::invalid_argument("eed::analyze: empty tree");
+  const std::size_t n = tree.size();
+  TreeModel model;
+  model.nodes.resize(n);
+  model.load_capacitance.assign(n, 0.0);
+  std::uint64_t muls = 0;
+
+  // Upward pass (paper Fig. 17): total load capacitance per section.
+  // Children have larger ids than parents, so one reverse scan suffices.
+  for (std::size_t i = 0; i < n; ++i) {
+    model.load_capacitance[i] = tree.section(static_cast<SectionId>(i)).v.capacitance;
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    const SectionId parent = tree.section(static_cast<SectionId>(i)).parent;
+    if (parent != circuit::kInput) {
+      model.load_capacitance[static_cast<std::size_t>(parent)] += model.load_capacitance[i];
+    }
+  }
+
+  // Downward pass (paper Fig. 18): accumulate SR and SL along each path.
+  // SR_i = SR_parent + R_i * Ctot_i ; SL_i = SL_parent + L_i * Ctot_i.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<SectionId>(i);
+    const auto& v = tree.section(id).v;
+    const SectionId parent = tree.section(id).parent;
+    const double sr_up = parent == circuit::kInput
+                             ? 0.0
+                             : model.nodes[static_cast<std::size_t>(parent)].sum_rc;
+    const double sl_up = parent == circuit::kInput
+                             ? 0.0
+                             : model.nodes[static_cast<std::size_t>(parent)].sum_lc;
+    NodeModel& nm = model.nodes[i];
+    nm.sum_rc = sr_up + v.resistance * model.load_capacitance[i];
+    nm.sum_lc = sl_up + v.inductance * model.load_capacitance[i];
+    muls += 2;
+
+    if (nm.sum_lc > 0.0) {
+      const double root = std::sqrt(nm.sum_lc);
+      nm.omega_n = 1.0 / root;
+      nm.zeta = nm.sum_rc / (2.0 * root);
+    } else {
+      // Pure-RC node: the second-order model degenerates to the Elmore
+      // (Wyatt) single-pole model, i.e. the zeta -> inf limit.
+      nm.omega_n = std::numeric_limits<double>::infinity();
+      nm.zeta = std::numeric_limits<double>::infinity();
+    }
+  }
+
+  if (mul_count != nullptr) *mul_count = muls;
+  return model;
+}
+
+}  // namespace
+
+TreeModel analyze(const RlcTree& tree) { return analyze_impl(tree, nullptr); }
+
+TreeModel analyze_counting(const RlcTree& tree, std::uint64_t* multiplications) {
+  return analyze_impl(tree, multiplications);
+}
+
+}  // namespace relmore::eed

@@ -1,0 +1,172 @@
+#include "relmore/eed/response.hpp"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "relmore/eed/second_order.hpp"
+#include "relmore/util/integrate.hpp"
+
+namespace relmore::eed {
+
+namespace {
+
+using Complex = std::complex<double>;
+
+bool is_rc_limit(const NodeModel& node) { return !std::isfinite(node.omega_n); }
+
+/// Poles of the node's second-order transfer function, separated if they
+/// coincide (simple-pole partial fractions then remain valid to rounding).
+std::pair<Complex, Complex> node_poles(const NodeModel& node) {
+  double zeta = node.zeta;
+  if (std::abs(zeta - 1.0) < 1e-7) zeta = 1.0 + 1e-7;  // split the double pole
+  const Complex disc = std::sqrt(Complex(zeta * zeta - 1.0, 0.0));
+  const Complex p1 = node.omega_n * (-zeta + disc);
+  const Complex p2 = node.omega_n * (-zeta - disc);
+  return {p1, p2};
+}
+
+}  // namespace
+
+double step_response(const NodeModel& node, double t, double v_supply) {
+  if (t <= 0.0) return 0.0;
+  if (is_rc_limit(node)) {
+    return v_supply * -std::expm1(-t / node.sum_rc);  // Wyatt single-pole limit
+  }
+  return v_supply * scaled_step_response(node.zeta, node.omega_n * t);
+}
+
+double exp_input_response(const NodeModel& node, double t, double v_supply, double tau) {
+  if (tau <= 0.0) throw std::invalid_argument("exp_input_response: tau must be positive");
+  if (t <= 0.0) return 0.0;
+  if (is_rc_limit(node)) {
+    // Single-pole system 1/(1 + sT) driven by V(1 - e^{-t/tau}).
+    const double T = node.sum_rc;
+    if (std::abs(T - tau) < 1e-12 * std::max(T, tau)) {
+      return v_supply * (1.0 - std::exp(-t / T) * (1.0 + t / T));
+    }
+    return v_supply *
+           (1.0 - (T * std::exp(-t / T) - tau * std::exp(-t / tau)) / (T - tau));
+  }
+  // Partial fractions of  H(s) V (1/s - 1/(s + a)),  a = 1/tau,
+  // H(s) = wn^2 / ((s - p1)(s - p2))  (paper eqs. 44-48).
+  auto [p1, p2] = node_poles(node);
+  double a = 1.0 / tau;
+  // Keep -a away from the poles (pole/zero collision => resonant term);
+  // a tiny perturbation changes the waveform by O(1e-9).
+  const double sep = std::min(std::abs(p1 + a), std::abs(p2 + a));
+  if (sep < 1e-9 * node.omega_n) a *= 1.0 + 1e-7;
+
+  const double wn2 = node.omega_n * node.omega_n;
+  const Complex r1 = wn2 / (p1 * (p1 - p2));           // H/s residue at p1
+  const Complex r2 = wn2 / (p2 * (p2 - p1));           // H/s residue at p2
+  const Complex q0 = wn2 / ((-a - p1) * (-a - p2));    // H/(s+a) residue at -a
+  const Complex q1 = wn2 / ((p1 + a) * (p1 - p2));     // H/(s+a) residue at p1
+  const Complex q2 = wn2 / ((p2 + a) * (p2 - p1));     // H/(s+a) residue at p2
+
+  const Complex e1 = std::exp(p1 * t);
+  const Complex e2 = std::exp(p2 * t);
+  const double ea = std::exp(-a * t);
+  const Complex v = 1.0 + (r1 - q1) * e1 + (r2 - q2) * e2 - q0 * ea;
+  return v_supply * v.real();
+}
+
+sim::Waveform step_waveform(const NodeModel& node, const std::vector<double>& times,
+                            double v_supply) {
+  std::vector<double> v(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) v[i] = step_response(node, times[i], v_supply);
+  return sim::Waveform(times, v);
+}
+
+sim::Waveform exp_input_waveform(const NodeModel& node, const std::vector<double>& times,
+                                 double v_supply, double tau) {
+  std::vector<double> v(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    v[i] = exp_input_response(node, times[i], v_supply, tau);
+  }
+  return sim::Waveform(times, v);
+}
+
+namespace {
+
+/// S(t) = integral from 0 to t of the unit step response. The step
+/// response is 1 + r1 e^{p1 t} + r2 e^{p2 t} with r_i the residues of
+/// H(s)/s, so S(t) = t + sum_i (r_i/p_i)(e^{p_i t} - 1).
+double integrated_step_response(const NodeModel& node, double t) {
+  if (t <= 0.0) return 0.0;
+  if (is_rc_limit(node)) {
+    const double T = node.sum_rc;
+    return t - T * -std::expm1(-t / T);
+  }
+  auto [p1, p2] = node_poles(node);
+  const double wn2 = node.omega_n * node.omega_n;
+  const Complex r1 = wn2 / (p1 * (p1 - p2));
+  const Complex r2 = wn2 / (p2 * (p2 - p1));
+  const Complex acc =
+      r1 / p1 * (std::exp(p1 * t) - 1.0) + r2 / p2 * (std::exp(p2 * t) - 1.0);
+  return t + acc.real();
+}
+
+}  // namespace
+
+double ramp_input_response(const NodeModel& node, double t, double v_supply,
+                           double rise_seconds) {
+  if (rise_seconds <= 0.0) return step_response(node, t, v_supply);
+  if (t <= 0.0) return 0.0;
+  const double s_now = integrated_step_response(node, t);
+  const double s_shift = t > rise_seconds ? integrated_step_response(node, t - rise_seconds)
+                                          : 0.0;
+  return v_supply / rise_seconds * (s_now - s_shift);
+}
+
+sim::Waveform ramp_input_waveform(const NodeModel& node, const std::vector<double>& times,
+                                  double v_supply, double rise_seconds) {
+  std::vector<double> v(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    v[i] = ramp_input_response(node, times[i], v_supply, rise_seconds);
+  }
+  return sim::Waveform(times, v);
+}
+
+sim::Waveform arbitrary_input_waveform(const NodeModel& node, const sim::Source& source,
+                                       const std::vector<double>& times) {
+  if (times.empty()) throw std::invalid_argument("arbitrary_input_waveform: no sample times");
+  if (is_rc_limit(node)) {
+    // First-order ODE: T v' + v = u.
+    const double T = node.sum_rc;
+    const util::OdeRhs rhs = [&](double t, const std::vector<double>& y,
+                                 std::vector<double>& dy) {
+      dy[0] = (sim::source_value(source, t) - y[0]) / T;
+    };
+    std::vector<double> out(times.size());
+    std::vector<double> y{0.0};
+    double t_prev = 0.0;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      y = util::integrate_ode(rhs, t_prev, std::move(y), times[i]);
+      out[i] = y[0];
+      t_prev = times[i];
+    }
+    return sim::Waveform(times, out);
+  }
+  const double z2w = 2.0 * node.zeta * node.omega_n;
+  const double wn2 = node.omega_n * node.omega_n;
+  const util::OdeRhs rhs = [&](double t, const std::vector<double>& y,
+                               std::vector<double>& dy) {
+    dy[0] = y[1];
+    dy[1] = wn2 * (sim::source_value(source, t) - y[0]) - z2w * y[1];
+  };
+  std::vector<double> out(times.size());
+  std::vector<double> y{0.0, 0.0};
+  double t_prev = 0.0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] < t_prev) {
+      throw std::invalid_argument("arbitrary_input_waveform: times must be non-decreasing");
+    }
+    y = util::integrate_ode(rhs, t_prev, std::move(y), times[i]);
+    out[i] = y[0];
+    t_prev = times[i];
+  }
+  return sim::Waveform(times, out);
+}
+
+}  // namespace relmore::eed

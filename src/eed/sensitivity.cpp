@@ -1,0 +1,97 @@
+#include "relmore/eed/sensitivity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "relmore/eed/second_order.hpp"
+
+namespace relmore::eed {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+double scaled_delay_fitted_derivative(double zeta) {
+  const FitCoefficients f = delay_fit_paper();
+  return -f.a / f.b * std::exp(-zeta / f.b) + f.c;
+}
+
+SensitivityReport delay_sensitivity(const RlcTree& tree, SectionId node) {
+  const TreeModel model = analyze(tree);
+  const NodeModel& nm = model.at(node);
+  const std::size_t n = tree.size();
+
+  SensitivityReport rep;
+  rep.node = node;
+  rep.delay = delay_50(nm);
+  rep.sections.assign(n, {});
+
+  // Common-path prefix sums: for every section k, the resistance and
+  // inductance shared by path(node) and path(k) is the prefix of
+  // path(node) up to the divergence point. anchor[k] propagates the
+  // divergence prefix downward in one id-ordered pass (parents first).
+  const auto path = tree.path_from_input(node);
+  std::vector<double> r_common(n, 0.0);
+  std::vector<double> l_common(n, 0.0);
+  {
+    std::vector<char> on_path(n, 0);
+    std::vector<double> r_prefix(n, 0.0);
+    std::vector<double> l_prefix(n, 0.0);
+    double r_acc = 0.0;
+    double l_acc = 0.0;
+    for (SectionId j : path) {
+      r_acc += tree.section(j).v.resistance;
+      l_acc += tree.section(j).v.inductance;
+      on_path[static_cast<std::size_t>(j)] = 1;
+      r_prefix[static_cast<std::size_t>(j)] = r_acc;
+      l_prefix[static_cast<std::size_t>(j)] = l_acc;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      if (on_path[k] != 0) {
+        r_common[k] = r_prefix[k];
+        l_common[k] = l_prefix[k];
+      } else {
+        const SectionId parent = tree.section(static_cast<SectionId>(k)).parent;
+        if (parent != circuit::kInput) {
+          r_common[k] = r_common[static_cast<std::size_t>(parent)];
+          l_common[k] = l_common[static_cast<std::size_t>(parent)];
+        }
+        // Root sections off the path share nothing: common stays 0.
+      }
+    }
+  }
+
+  const bool rc_limit = !(nm.sum_lc > 0.0);
+  double d_dsr;  // d(delay)/d(SR)
+  double d_dsl;  // d(delay)/d(SL)
+  if (rc_limit) {
+    // Wyatt limit: D = ln2 * SR. Inductance sensitivities are zero in the
+    // strict limit (the fitted model only sees L through SL > 0).
+    d_dsr = std::log(2.0);
+    d_dsl = 0.0;
+  } else {
+    const double root_sl = std::sqrt(nm.sum_lc);
+    const double tp = scaled_delay_fitted(nm.zeta);
+    const double dtp = scaled_delay_fitted_derivative(nm.zeta);
+    // D = t'(zeta) * sqrt(SL); zeta = SR / (2 sqrt(SL)).
+    d_dsr = dtp / 2.0;
+    d_dsl = -dtp * nm.sum_rc / (4.0 * nm.sum_lc) + tp / (2.0 * root_sl);
+  }
+
+  // Chain rule through the path sums:
+  //   dSR/dR_k = Ctot_k for k on path(node), else 0; same for L;
+  //   dSR/dC_k = R_common(k), dSL/dC_k = L_common(k) for every k.
+  std::vector<char> on_path(n, 0);
+  for (SectionId j : path) on_path[static_cast<std::size_t>(j)] = 1;
+  for (std::size_t k = 0; k < n; ++k) {
+    SectionSensitivity& s = rep.sections[k];
+    if (on_path[k] != 0) {
+      const double load = model.load_capacitance[k];
+      s.d_resistance = d_dsr * load;
+      s.d_inductance = d_dsl * load;
+    }
+    s.d_capacitance = d_dsr * r_common[k] + d_dsl * l_common[k];
+  }
+  return rep;
+}
+
+}  // namespace relmore::eed

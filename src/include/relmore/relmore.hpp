@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file relmore.hpp
+/// Whole-library umbrella header. Prefer the per-module headers in real
+/// builds; this exists for quick experiments and the examples.
+
+#include "relmore/analysis/compare.hpp"      // IWYU pragma: export
+#include "relmore/analysis/report.hpp"       // IWYU pragma: export
+#include "relmore/analysis/variation.hpp"    // IWYU pragma: export
+#include "relmore/circuit/builders.hpp"      // IWYU pragma: export
+#include "relmore/circuit/netlist.hpp"       // IWYU pragma: export
+#include "relmore/circuit/random_tree.hpp"   // IWYU pragma: export
+#include "relmore/circuit/rlc_tree.hpp"      // IWYU pragma: export
+#include "relmore/circuit/segmentation.hpp"  // IWYU pragma: export
+#include "relmore/eed/eed.hpp"               // IWYU pragma: export
+#include "relmore/eed/figures_of_merit.hpp"  // IWYU pragma: export
+#include "relmore/eed/frequency.hpp"         // IWYU pragma: export
+#include "relmore/eed/sensitivity.hpp"       // IWYU pragma: export
+#include "relmore/moments/pole_residue.hpp"  // IWYU pragma: export
+#include "relmore/moments/tree_moments.hpp"  // IWYU pragma: export
+#include "relmore/sim/adaptive.hpp"          // IWYU pragma: export
+#include "relmore/sim/measure.hpp"           // IWYU pragma: export
+#include "relmore/sim/mna.hpp"               // IWYU pragma: export
+#include "relmore/sim/state_space.hpp"       // IWYU pragma: export
+#include "relmore/sim/tree_transient.hpp"    // IWYU pragma: export
+#include "relmore/sim/waveform_io.hpp"       // IWYU pragma: export
+#include "relmore/util/units.hpp"            // IWYU pragma: export

@@ -1,0 +1,281 @@
+#include "relmore/linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace relmore::linalg {
+
+namespace {
+
+constexpr double kEps = 1e-14;
+
+/// Complex dense matrix as nested vectors (n is small; clarity over speed).
+using CMat = std::vector<std::vector<Complex>>;
+
+/// Householder reduction of a real square matrix to upper Hessenberg form;
+/// accumulates the orthogonal similarity Q (A = Q H Q^T).
+void hessenberg(Matrix& a, Matrix& q) {
+  const std::size_t n = a.rows();
+  q = Matrix::identity(n);
+  if (n < 3) return;
+  std::vector<double> v(n);
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    // Householder vector annihilating column k below the subdiagonal.
+    double norm = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) norm += a(i, k) * a(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;
+    const double alpha = a(k + 1, k) >= 0.0 ? -norm : norm;
+    double vnorm2 = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      v[i] = a(i, k);
+      if (i == k + 1) v[i] -= alpha;
+      vnorm2 += v[i] * v[i];
+    }
+    if (vnorm2 == 0.0) continue;
+    const double beta = 2.0 / vnorm2;
+    // A := (I - beta v v^T) A
+    for (std::size_t c = k; c < n; ++c) {
+      double dot = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) dot += v[i] * a(i, c);
+      dot *= beta;
+      for (std::size_t i = k + 1; i < n; ++i) a(i, c) -= dot * v[i];
+    }
+    // A := A (I - beta v v^T)
+    for (std::size_t r = 0; r < n; ++r) {
+      double dot = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) dot += a(r, i) * v[i];
+      dot *= beta;
+      for (std::size_t i = k + 1; i < n; ++i) a(r, i) -= dot * v[i];
+    }
+    // Q := Q (I - beta v v^T)
+    for (std::size_t r = 0; r < n; ++r) {
+      double dot = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) dot += q(r, i) * v[i];
+      dot *= beta;
+      for (std::size_t i = k + 1; i < n; ++i) q(r, i) -= dot * v[i];
+    }
+    // Clean exact zeros below the subdiagonal of column k.
+    a(k + 1, k) = alpha;
+    for (std::size_t i = k + 2; i < n; ++i) a(i, k) = 0.0;
+  }
+}
+
+struct Givens {
+  double c = 1.0;   // real by construction
+  Complex s{0.0, 0.0};
+};
+
+/// Rotation zeroing the second component of (a, b)^T.
+Givens make_givens(Complex a, Complex b) {
+  Givens g;
+  if (b == Complex{0.0, 0.0}) return g;
+  if (a == Complex{0.0, 0.0}) {
+    g.c = 0.0;
+    g.s = 1.0;
+    return g;
+  }
+  const Complex t = b / a;
+  g.c = 1.0 / std::sqrt(1.0 + std::norm(t));
+  g.s = std::conj(t) * g.c;
+  return g;
+}
+
+/// Wilkinson shift from the trailing 2x2 block [[a,b],[c,d]].
+Complex wilkinson_shift(Complex a, Complex b, Complex c, Complex d) {
+  const Complex tr2 = 0.5 * (a + d);
+  const Complex disc = std::sqrt(tr2 * tr2 - (a * d - b * c));
+  const Complex l1 = tr2 + disc;
+  const Complex l2 = tr2 - disc;
+  return std::abs(l1 - d) < std::abs(l2 - d) ? l1 : l2;
+}
+
+/// Complex Schur decomposition of an upper Hessenberg complex matrix `h`
+/// (n x n) in place; accumulates the unitary similarity into `u`
+/// (A = U T U^H once combined with the Hessenberg Q).
+void schur_hessenberg(CMat& h, CMat& u, int max_sweeps) {
+  const std::size_t n = h.size();
+  if (n == 0) return;
+  if (max_sweeps <= 0) max_sweeps = 60 * static_cast<int>(n) + 200;
+
+  std::size_t hi = n - 1;
+  int sweeps = 0;
+  int stagnation = 0;
+  while (hi > 0) {
+    // Zero negligible subdiagonals, then deflate from the bottom.
+    for (std::size_t k = 1; k <= hi; ++k) {
+      const double mag = std::abs(h[k][k - 1]);
+      if (mag <= kEps * (std::abs(h[k - 1][k - 1]) + std::abs(h[k][k]))) h[k][k - 1] = 0.0;
+    }
+    if (h[hi][hi - 1] == Complex{0.0, 0.0}) {
+      --hi;
+      stagnation = 0;
+      continue;
+    }
+    // Active window [lo..hi]: walk up to the nearest zero subdiagonal.
+    std::size_t lo = hi;
+    while (lo > 0 && h[lo][lo - 1] != Complex{0.0, 0.0}) --lo;
+
+    if (++sweeps > max_sweeps) throw std::runtime_error("schur: QR iteration did not converge");
+
+    Complex mu = wilkinson_shift(h[hi - 1][hi - 1], h[hi - 1][hi], h[hi][hi - 1], h[hi][hi]);
+    if (++stagnation % 16 == 0) {
+      // Exceptional shift to break rare cycles.
+      mu = h[hi][hi] + Complex{1.5 * std::abs(h[hi][hi - 1]), 0.0};
+    }
+
+    // Explicit shifted QR sweep on the window: H - mu I = Q R, H' = R Q + mu I.
+    for (std::size_t k = lo; k <= hi; ++k) h[k][k] -= mu;
+    std::vector<Givens> rot(hi - lo);
+    for (std::size_t k = lo; k < hi; ++k) {
+      const Givens g = make_givens(h[k][k], h[k + 1][k]);
+      rot[k - lo] = g;
+      // Apply from the left to rows k, k+1 (columns k..n-1).
+      for (std::size_t j = k; j < n; ++j) {
+        const Complex x = h[k][j];
+        const Complex y = h[k + 1][j];
+        h[k][j] = g.c * x + g.s * y;
+        h[k + 1][j] = -std::conj(g.s) * x + g.c * y;
+      }
+      h[k + 1][k] = 0.0;
+    }
+    // H := R Q^H* ... multiply by G_k^H on the right, in order.
+    for (std::size_t k = lo; k < hi; ++k) {
+      const Givens g = rot[k - lo];
+      const std::size_t top = std::min(k + 1, hi);
+      for (std::size_t i = 0; i <= top; ++i) {
+        const Complex x = h[i][k];
+        const Complex y = h[i][k + 1];
+        h[i][k] = g.c * x + std::conj(g.s) * y;
+        h[i][k + 1] = -g.s * x + g.c * y;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const Complex x = u[i][k];
+        const Complex y = u[i][k + 1];
+        u[i][k] = g.c * x + std::conj(g.s) * y;
+        u[i][k + 1] = -g.s * x + g.c * y;
+      }
+    }
+    for (std::size_t k = lo; k <= hi; ++k) h[k][k] += mu;
+  }
+}
+
+/// Unit-norm eigenvector of the upper triangular `t` for eigenvalue at
+/// index k, expressed back in the original basis through `u`.
+std::vector<Complex> triangular_eigenvector(const CMat& t, const CMat& u, std::size_t k) {
+  const std::size_t n = t.size();
+  std::vector<Complex> y(n, Complex{0.0, 0.0});
+  y[k] = 1.0;
+  const Complex lambda = t[k][k];
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i) scale = std::max(scale, std::abs(t[i][i]));
+  const double floor = std::max(scale, 1.0) * 1e-300;
+  for (std::size_t ii = k; ii-- > 0;) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t j = ii + 1; j <= k; ++j) acc += t[ii][j] * y[j];
+    Complex den = t[ii][ii] - lambda;
+    if (std::abs(den) < kEps * std::max(scale, 1.0)) {
+      // Defective or clustered eigenvalue: nudge the denominator. The
+      // circuit matrices we target have simple poles, so this is a guard,
+      // not a code path tests rely on.
+      den = Complex{kEps * std::max(scale, 1.0), 0.0};
+    }
+    y[ii] = -acc / den;
+    if (std::abs(y[ii]) > 1e250) {
+      for (std::size_t j = ii; j <= k; ++j) y[j] *= 1e-250;
+    }
+  }
+  (void)floor;
+  // Back to the original basis: v = U y.
+  std::vector<Complex> v(n, Complex{0.0, 0.0});
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t j = 0; j <= k; ++j) acc += u[i][j] * y[j];
+    v[i] = acc;
+  }
+  double norm = 0.0;
+  for (const Complex& c : v) norm += std::norm(c);
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (Complex& c : v) c /= norm;
+  }
+  return v;
+}
+
+/// Runs Hessenberg + Schur; returns (T, U) with A = U T U^H.
+void schur(const Matrix& a, CMat& t, CMat& u, int max_sweeps) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("eigen: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix h = a;
+  Matrix q;
+  hessenberg(h, q);
+  t.assign(n, std::vector<Complex>(n, Complex{0.0, 0.0}));
+  u.assign(n, std::vector<Complex>(n, Complex{0.0, 0.0}));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      t[i][j] = h(i, j);
+      u[i][j] = q(i, j);
+    }
+  }
+  schur_hessenberg(t, u, max_sweeps);
+}
+
+}  // namespace
+
+std::vector<Complex> eigenvalues(const Matrix& a, int max_sweeps) {
+  CMat t;
+  CMat u;
+  schur(a, t, u, max_sweeps);
+  std::vector<Complex> vals(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) vals[i] = t[i][i];
+  return vals;
+}
+
+EigenSystem eigen_decompose(const Matrix& a, int max_sweeps) {
+  CMat t;
+  CMat u;
+  schur(a, t, u, max_sweeps);
+  EigenSystem es;
+  const std::size_t n = a.rows();
+  es.values.resize(n);
+  es.vectors.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    es.values[k] = t[k][k];
+    es.vectors[k] = triangular_eigenvector(t, u, k);
+  }
+  return es;
+}
+
+std::vector<Complex> solve_complex(std::vector<std::vector<Complex>> m, std::vector<Complex> b) {
+  const std::size_t n = m.size();
+  if (b.size() != n) throw std::invalid_argument("solve_complex: size mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(m[col][col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(m[r][col]) > best) {
+        best = std::abs(m[r][col]);
+        pivot = r;
+      }
+    }
+    if (best == 0.0) throw std::runtime_error("solve_complex: singular matrix");
+    std::swap(m[col], m[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const Complex f = m[r][col] / m[col][col];
+      if (f == Complex{0.0, 0.0}) continue;
+      for (std::size_t c = col; c < n; ++c) m[r][c] -= f * m[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<Complex> x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    Complex acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= m[ri][c] * x[c];
+    x[ri] = acc / m[ri][ri];
+  }
+  return x;
+}
+
+}  // namespace relmore::linalg

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file eigen.hpp
+/// Eigen-decomposition of real nonsymmetric matrices via Householder
+/// Hessenberg reduction followed by complex shifted-QR (Wilkinson shift,
+/// Givens rotations) to Schur form, with eigenvectors recovered by
+/// triangular back-substitution.
+///
+/// This powers the *exact* modal transient solver: an RLC tree's state
+/// matrix is real nonsymmetric, its eigenvalues are the exact circuit poles,
+/// and expanding the step response in the eigenbasis gives waveforms with no
+/// time-discretization error — our stand-in for the paper's AS/X reference.
+
+#include <complex>
+#include <vector>
+
+#include "relmore/linalg/matrix.hpp"
+
+namespace relmore::linalg {
+
+using Complex = std::complex<double>;
+
+/// Right eigen-decomposition A v_k = lambda_k v_k.
+struct EigenSystem {
+  std::vector<Complex> values;                ///< eigenvalues (unordered pairs conjugate)
+  std::vector<std::vector<Complex>> vectors;  ///< vectors[k] = unit-norm right eigenvector
+};
+
+/// All eigenvalues of a real square matrix. Throws std::runtime_error when
+/// the QR iteration fails to converge (does not happen for the circuit
+/// matrices this library builds, but the guard is kept honest).
+std::vector<Complex> eigenvalues(const Matrix& a, int max_sweeps = 0);
+
+/// Eigenvalues and right eigenvectors.
+EigenSystem eigen_decompose(const Matrix& a, int max_sweeps = 0);
+
+/// Solves the complex dense system M x = b with partial-pivot elimination.
+/// Exposed because the modal solver must expand initial conditions in a
+/// (complex) eigenvector basis.
+std::vector<Complex> solve_complex(std::vector<std::vector<Complex>> m, std::vector<Complex> b);
+
+}  // namespace relmore::linalg

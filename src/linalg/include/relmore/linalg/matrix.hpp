@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Dense row-major real matrix with LU factorization. Sized for the
+/// moderate systems EDA macromodeling needs (MNA matrices and state-space
+/// models up to a few thousand unknowns); no attempt at BLAS-level tuning.
+
+#include <cstddef>
+#include <vector>
+
+namespace relmore::linalg {
+
+/// Dense real matrix, row-major storage.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds from nested initializer-style data; rows must be equal length.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] std::vector<double> operator*(const std::vector<double>& v) const;
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  /// Max-abs entry (used by tests for residual checks).
+  [[nodiscard]] double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting, reusable across many solves —
+/// the transient engines factor once per (circuit, timestep) and back-solve
+/// every step.
+class LuFactor {
+ public:
+  /// Factors `a` (square). Throws std::runtime_error when singular to
+  /// machine precision.
+  explicit LuFactor(Matrix a);
+
+  [[nodiscard]] std::vector<double> solve(std::vector<double> b) const;
+  [[nodiscard]] std::size_t size() const { return lu_.rows(); }
+
+  /// Determinant from the factorization (sign-corrected by the permutation).
+  [[nodiscard]] double determinant() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+};
+
+}  // namespace relmore::linalg

@@ -1,0 +1,144 @@
+#include "relmore/linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace relmore::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols_) throw std::invalid_argument("Matrix::from_rows: ragged rows");
+    for (std::size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("Matrix::operator*: shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = (*this)(r, k);
+      if (v == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += v * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& v) const {
+  if (cols_ != v.size()) throw std::invalid_argument("Matrix::operator*: vector size mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix::operator+=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix::operator-=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+LuFactor::LuFactor(Matrix a) : lu_(std::move(a)), perm_(lu_.rows()) {
+  if (lu_.rows() != lu_.cols()) throw std::invalid_argument("LuFactor: matrix must be square");
+  const std::size_t n = lu_.rows();
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0.0) throw std::runtime_error("LuFactor: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(col, c), lu_(pivot, c));
+      std::swap(perm_[col], perm_[pivot]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double inv = 1.0 / lu_(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = lu_(r, col) * inv;
+      lu_(r, col) = f;
+      if (f == 0.0) continue;
+      for (std::size_t c = col + 1; c < n; ++c) lu_(r, c) -= f * lu_(col, c);
+    }
+  }
+}
+
+std::vector<double> LuFactor::solve(std::vector<double> b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw std::invalid_argument("LuFactor::solve: size mismatch");
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward: L y = Pb (unit diagonal).
+  for (std::size_t r = 1; r < n; ++r) {
+    double acc = x[r];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
+    x[r] = acc;
+  }
+  // Backward: U x = y.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
+    x[ri] = acc / lu_(ri, ri);
+  }
+  return x;
+}
+
+double LuFactor::determinant() const {
+  double det = static_cast<double>(perm_sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+}  // namespace relmore::linalg

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file tree_moments.hpp
+/// Exact transfer-function moments of every node of an RLC tree.
+///
+/// The voltage transfer function at node i expands as
+/// V_i(s) = sum_q m_q^i s^q with m_0 = 1 and (paper eqs. 20–23)
+///
+///   m_q^i = − sum_{j in path(i)} [ R_j * S_{q−1}(j) + L_j * S_{q−2}(j) ],
+///   S_r(j) = sum_{k in subtree(j)} C_k * m_r^k,
+///
+/// computed here in O(n) per order with one upward (subtree sums) and one
+/// downward (path sums) traversal — the RLC generalization of the
+/// Rubinstein–Penfield/Ratzlaff recursion the paper cites [29][48]. These
+/// are the *exact* moments; the paper's contribution approximates m_2 to
+/// recover a recursive closed form (see relmore/eed).
+
+#include <vector>
+
+#include "relmore/circuit/rlc_tree.hpp"
+
+namespace relmore::moments {
+
+/// moments[q][node] = m_q at that node, for q = 0..max_order.
+/// max_order >= 0; moments[0] is all ones.
+std::vector<std::vector<double>> tree_moments(const circuit::RlcTree& tree, int max_order);
+
+/// Convenience: the first and second moments of one node.
+struct FirstTwoMoments {
+  double m1 = 0.0;
+  double m2 = 0.0;
+};
+FirstTwoMoments first_two_moments(const circuit::RlcTree& tree, circuit::SectionId node);
+
+}  // namespace relmore::moments

@@ -1,0 +1,61 @@
+#include "relmore/moments/tree_moments.hpp"
+
+#include <stdexcept>
+
+namespace relmore::moments {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+std::vector<std::vector<double>> tree_moments(const RlcTree& tree, int max_order) {
+  if (tree.empty()) throw std::invalid_argument("tree_moments: empty tree");
+  if (max_order < 0) throw std::invalid_argument("tree_moments: max_order must be >= 0");
+  const std::size_t n = tree.size();
+  std::vector<std::vector<double>> m(static_cast<std::size_t>(max_order) + 1,
+                                     std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) m[0][i] = 1.0;
+
+  // Subtree capacitive-weighted sums of the two previous orders.
+  std::vector<double> s_prev1(n);  // S_{q-1}
+  std::vector<double> s_prev2(n);  // S_{q-2}
+
+  auto subtree_sums = [&](const std::vector<double>& order_m, std::vector<double>& out) {
+    // Children have larger ids (append-only invariant), so a reverse scan
+    // accumulates child sums into parents in one pass.
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = tree.section(static_cast<SectionId>(i)).v.capacitance * order_m[i];
+    }
+    for (std::size_t i = n; i-- > 0;) {
+      const SectionId parent = tree.section(static_cast<SectionId>(i)).parent;
+      if (parent != circuit::kInput) out[static_cast<std::size_t>(parent)] += out[i];
+    }
+  };
+
+  for (int q = 1; q <= max_order; ++q) {
+    subtree_sums(m[static_cast<std::size_t>(q - 1)], s_prev1);
+    if (q >= 2) {
+      subtree_sums(m[static_cast<std::size_t>(q - 2)], s_prev2);
+    } else {
+      std::fill(s_prev2.begin(), s_prev2.end(), 0.0);
+    }
+    // Downward pass: path sums (parents have smaller ids).
+    auto& mq = m[static_cast<std::size_t>(q)];
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = static_cast<SectionId>(i);
+      const auto& v = tree.section(id).v;
+      const SectionId parent = tree.section(id).parent;
+      const double upstream = parent == circuit::kInput
+                                  ? 0.0
+                                  : mq[static_cast<std::size_t>(parent)];
+      mq[i] = upstream - (v.resistance * s_prev1[i] + v.inductance * s_prev2[i]);
+    }
+  }
+  return m;
+}
+
+FirstTwoMoments first_two_moments(const RlcTree& tree, SectionId node) {
+  const auto m = tree_moments(tree, 2);
+  return {m[1][static_cast<std::size_t>(node)], m[2][static_cast<std::size_t>(node)]};
+}
+
+}  // namespace relmore::moments

@@ -1,0 +1,182 @@
+#include "relmore/opt/buffer_insertion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "relmore/eed/eed.hpp"
+#include "relmore/sim/measure.hpp"
+#include "relmore/sim/tree_transient.hpp"
+
+namespace relmore::opt {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+namespace {
+
+void check_problem(const BufferInsertionProblem& p) {
+  if (p.slots < 1 || p.slots > 20) {
+    throw std::invalid_argument("buffer insertion: slots must be in [1, 20]");
+  }
+  if (p.segments_per_span < 1) {
+    throw std::invalid_argument("buffer insertion: segments_per_span must be >= 1");
+  }
+  if (p.wire.length_m <= 0.0) {
+    throw std::invalid_argument("buffer insertion: wire length must be positive");
+  }
+}
+
+/// One stage: spans consecutive unbuffered slots. Described by its driver
+/// resistance, number of inter-slot spans of wire, and the load cap at the
+/// far end (next buffer's input or the sink).
+struct Stage {
+  double driver_resistance = 0.0;
+  int spans = 0;
+  double load_capacitance = 0.0;
+  bool ends_in_buffer = false;
+};
+
+std::vector<Stage> decompose(const BufferInsertionProblem& p,
+                             const std::vector<bool>& buffered) {
+  if (buffered.size() != static_cast<std::size_t>(p.slots)) {
+    throw std::invalid_argument("buffer insertion: candidate size mismatch");
+  }
+  std::vector<Stage> stages;
+  Stage cur;
+  cur.driver_resistance = p.source_resistance;
+  cur.spans = 0;
+  // Slot i sits after span i (spans = slots + 1 total, last span ends at
+  // the sink).
+  for (int slot = 0; slot < p.slots; ++slot) {
+    ++cur.spans;
+    if (buffered[static_cast<std::size_t>(slot)]) {
+      cur.load_capacitance = p.buffer.input_capacitance;
+      cur.ends_in_buffer = true;
+      stages.push_back(cur);
+      cur = Stage{};
+      cur.driver_resistance = p.buffer.output_resistance;
+    }
+  }
+  ++cur.spans;  // final span to the sink
+  cur.load_capacitance = p.sink_capacitance;
+  cur.ends_in_buffer = false;
+  stages.push_back(cur);
+  return stages;
+}
+
+/// Builds the RLC tree of one stage; returns (tree, sink id).
+RlcTree stage_tree(const BufferInsertionProblem& p, const Stage& st, SectionId* sink) {
+  const int total_spans = p.slots + 1;
+  circuit::WireSpec span = p.wire;
+  span.length_m = p.wire.length_m * static_cast<double>(st.spans) /
+                  static_cast<double>(total_spans);
+  RlcTree tree;
+  const SectionId drv =
+      tree.add_section(circuit::kInput, {st.driver_resistance, 0.0, 0.0}, "drv");
+  const SectionId far =
+      circuit::append_wire(tree, drv, span, p.segments_per_span * st.spans, "w");
+  const SectionId load = tree.add_section(far, {1.0, 1e-14, st.load_capacitance}, "load");
+  if (sink != nullptr) *sink = load;
+  return tree;
+}
+
+double stage_delay_model(const BufferInsertionProblem& p, const Stage& st, DelayModel model) {
+  SectionId sink = circuit::kInput;
+  const RlcTree tree = stage_tree(p, st, &sink);
+  const eed::TreeModel tm = eed::analyze(tree);
+  const eed::NodeModel& nm = tm.at(sink);
+  const double wire_delay = model == DelayModel::kWyattRc ? eed::wyatt_delay_50(nm.sum_rc)
+                                                          : eed::delay_50(nm);
+  return wire_delay + (st.ends_in_buffer ? p.buffer.intrinsic_delay : 0.0);
+}
+
+double stage_delay_simulated(const BufferInsertionProblem& p, const Stage& st) {
+  SectionId sink = circuit::kInput;
+  const RlcTree tree = stage_tree(p, st, &sink);
+  const eed::TreeModel tm = eed::analyze(tree);
+  const double horizon = 20.0 * std::max(eed::delay_50(tm.at(sink)), 1e-12);
+  sim::TransientOptions opts;
+  opts.t_stop = horizon;
+  opts.dt = horizon / 20000.0;
+  const auto res = sim::simulate_tree(tree, sim::StepSource{1.0}, opts);
+  const double d = sim::measure_rising(res.waveform(sink), 1.0).delay_50;
+  if (d < 0.0) throw std::runtime_error("stage_delay_simulated: no 50% crossing in horizon");
+  return d + (st.ends_in_buffer ? p.buffer.intrinsic_delay : 0.0);
+}
+
+}  // namespace
+
+double evaluate_solution(const BufferInsertionProblem& problem,
+                         const std::vector<bool>& buffered, DelayModel model) {
+  check_problem(problem);
+  double total = 0.0;
+  for (const Stage& st : decompose(problem, buffered)) {
+    total += stage_delay_model(problem, st, model);
+  }
+  return total;
+}
+
+double evaluate_solution_simulated(const BufferInsertionProblem& problem,
+                                   const std::vector<bool>& buffered) {
+  check_problem(problem);
+  double total = 0.0;
+  for (const Stage& st : decompose(problem, buffered)) {
+    total += stage_delay_simulated(problem, st);
+  }
+  return total;
+}
+
+BufferSolution optimize_buffers_exhaustive(const BufferInsertionProblem& problem,
+                                           DelayModel model) {
+  check_problem(problem);
+  const auto n = static_cast<std::uint32_t>(problem.slots);
+  BufferSolution best;
+  best.delay = std::numeric_limits<double>::infinity();
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<bool> cand(n);
+    for (std::uint32_t i = 0; i < n; ++i) cand[i] = (mask >> i) & 1u;
+    const double d = evaluate_solution(problem, cand, model);
+    if (d < best.delay) {
+      best.delay = d;
+      best.buffered = std::move(cand);
+    }
+  }
+  return best;
+}
+
+double ranking_fidelity(const BufferInsertionProblem& problem, DelayModel model,
+                        int max_candidates) {
+  check_problem(problem);
+  const auto n = static_cast<std::uint32_t>(problem.slots);
+  const std::uint32_t total = 1u << n;
+  // Deterministically subsample the candidate space when it is large.
+  const std::uint32_t stride = std::max(1u, total / static_cast<std::uint32_t>(max_candidates));
+  std::vector<double> model_delay;
+  std::vector<double> sim_delay;
+  for (std::uint32_t mask = 0; mask < total; mask += stride) {
+    std::vector<bool> cand(n);
+    for (std::uint32_t i = 0; i < n; ++i) cand[i] = (mask >> i) & 1u;
+    model_delay.push_back(evaluate_solution(problem, cand, model));
+    sim_delay.push_back(evaluate_solution_simulated(problem, cand));
+  }
+  // Spearman rank correlation.
+  const auto ranks = [](const std::vector<double>& v) {
+    std::vector<std::size_t> idx(v.size());
+    std::iota(idx.begin(), idx.end(), 0u);
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+    std::vector<double> r(v.size());
+    for (std::size_t pos = 0; pos < idx.size(); ++pos) r[idx[pos]] = static_cast<double>(pos);
+    return r;
+  };
+  const std::vector<double> ra = ranks(model_delay);
+  const std::vector<double> rb = ranks(sim_delay);
+  const double m = static_cast<double>(ra.size());
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) d2 += (ra[i] - rb[i]) * (ra[i] - rb[i]);
+  return 1.0 - 6.0 * d2 / (m * (m * m - 1.0));
+}
+
+}  // namespace relmore::opt

@@ -1,0 +1,26 @@
+#include "relmore/opt/driver.hpp"
+
+#include <stdexcept>
+
+namespace relmore::opt {
+
+Driver Driver::sized(double size) const {
+  if (size <= 0.0) throw std::invalid_argument("Driver::sized: size must be positive");
+  return {output_resistance / size, input_capacitance * size, intrinsic_delay};
+}
+
+Driver unit_inverter() { return {2000.0, 1e-15, 10e-12}; }
+
+std::vector<Driver> geometric_library(const Driver& base, int count) {
+  if (count < 1) throw std::invalid_argument("geometric_library: count must be >= 1");
+  std::vector<Driver> lib;
+  lib.reserve(static_cast<std::size_t>(count));
+  double size = 1.0;
+  for (int i = 0; i < count; ++i) {
+    lib.push_back(base.sized(size));
+    size *= 2.0;
+  }
+  return lib;
+}
+
+}  // namespace relmore::opt

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file buffer_insertion.hpp
+/// Buffer (repeater) insertion on a long wire with discrete slot
+/// positions — the van Ginneken-style use case the paper cites ([27],
+/// [28]). Each candidate solution selects a subset of slots to buffer;
+/// the path delay is the sum of per-stage delays (driver + wire + next
+/// stage's input load) evaluated under a chosen closed-form model, and
+/// the simulator scores the same solutions for fidelity analysis:
+/// a model with high fidelity ranks candidates in the same order the
+/// simulator does, even when its absolute numbers are off (paper §I).
+
+#include <cstdint>
+#include <vector>
+
+#include "relmore/circuit/segmentation.hpp"
+#include "relmore/opt/driver.hpp"
+#include "relmore/opt/wire_sizing.hpp"  // DelayModel
+
+namespace relmore::opt {
+
+/// A line with `slots` equally spaced candidate buffer positions.
+struct BufferInsertionProblem {
+  circuit::WireSpec wire;       ///< total wire
+  int slots = 6;                ///< candidate positions (excluding source)
+  Driver buffer;                ///< repeater inserted at a chosen slot
+  double source_resistance = 30.0;
+  double sink_capacitance = 50e-15;
+  int segments_per_span = 4;    ///< lumped sections per inter-slot span
+};
+
+/// One candidate: buffered[i] says whether slot i holds a repeater.
+struct BufferSolution {
+  std::vector<bool> buffered;
+  double delay = 0.0;  ///< under the model that produced/evaluated it
+};
+
+/// Path delay of a candidate under a closed-form model: stages are the
+/// maximal unbuffered wire spans; each stage is an RLC line driven by the
+/// previous stage's driver and loaded by the next stage's input cap.
+double evaluate_solution(const BufferInsertionProblem& problem,
+                         const std::vector<bool>& buffered, DelayModel model);
+
+/// Same path delay measured with the transient simulator stage by stage
+/// (linearized drivers), summing measured stage 50% delays.
+double evaluate_solution_simulated(const BufferInsertionProblem& problem,
+                                   const std::vector<bool>& buffered);
+
+/// Exhaustively enumerates all 2^slots candidates (slots <= 20) and
+/// returns the model-optimal one.
+BufferSolution optimize_buffers_exhaustive(const BufferInsertionProblem& problem,
+                                           DelayModel model);
+
+/// Fidelity of a model on this problem: Spearman rank correlation between
+/// the model's ranking of all candidates and the simulator's. 1.0 means
+/// the model always picks the same order.
+double ranking_fidelity(const BufferInsertionProblem& problem, DelayModel model,
+                        int max_candidates = 64);
+
+}  // namespace relmore::opt

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file driver.hpp
+/// Linearized gate/driver models for the synthesis use cases (paper §IV:
+/// buffer insertion, wire sizing). A driver is the standard switch-level
+/// abstraction: output resistance + input capacitance + intrinsic delay,
+/// with the usual 1/size and *size scaling.
+
+#include <vector>
+
+namespace relmore::opt {
+
+/// Linearized CMOS driver/repeater.
+struct Driver {
+  double output_resistance = 0.0;  ///< ohm
+  double input_capacitance = 0.0;  ///< farad
+  double intrinsic_delay = 0.0;    ///< seconds added per stage
+
+  /// Scaled copy: R/size, C*size, same intrinsic delay (first order).
+  [[nodiscard]] Driver sized(double size) const;
+};
+
+/// A minimum-size reference inverter in a generic fast process.
+Driver unit_inverter();
+
+/// Geometrically sized driver library {1x, 2x, 4x, ... } with `count`
+/// entries starting from `base`.
+std::vector<Driver> geometric_library(const Driver& base, int count);
+
+}  // namespace relmore::opt

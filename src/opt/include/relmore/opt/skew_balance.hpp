@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file skew_balance.hpp
+/// Clock-skew balancing by sink-wire sizing: narrow the final wire section
+/// of every fast sink until its closed-form delay matches the slowest
+/// sink's. The delay is continuous and monotone in the section width
+/// (paper §IV's argument for analytic expressions inside optimizers), so
+/// each sink reduces to a bracketed root find.
+///
+/// Width model for the tuned section (same as opt::wire_sizing): R/w and a
+/// weak L(w) = L·(1 − ll·ln w); the section capacitance is treated as
+/// load-dominated and left fixed.
+
+#include <vector>
+
+#include "relmore/circuit/rlc_tree.hpp"
+
+namespace relmore::opt {
+
+struct SkewBalanceOptions {
+  double width_min = 0.25;             ///< narrowest allowed sink wire
+  double inductance_width_slope = 0.1; ///< ll in L(w) = L (1 - ll ln w)
+  double tolerance = 1e-5;             ///< relative delay-match tolerance
+};
+
+struct SkewBalanceResult {
+  double skew_before = 0.0;
+  double skew_after = 0.0;
+  /// Width applied to each sink's final section (1.0 = untouched);
+  /// indexed by position in tree.leaves().
+  std::vector<double> sink_widths;
+};
+
+/// Balances the tree in place. Returns the before/after skew under the
+/// closed-form EED delay. Throws std::invalid_argument for trees without
+/// sinks or non-positive option values.
+SkewBalanceResult balance_skew(circuit::RlcTree& tree,
+                               const SkewBalanceOptions& opts = {});
+
+}  // namespace relmore::opt

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file van_ginneken.hpp
+/// Van Ginneken's buffer-insertion dynamic program on RLC trees — the
+/// paper's most-cited downstream application ([27] van Ginneken'90, [28]
+/// Alpert'97). The classic DP maximizes the required arrival time (RAT) at
+/// the source under the *additive* Elmore RC delay, propagating Pareto
+/// candidate lists (load, RAT) bottom-up and optionally inserting a buffer
+/// at every section boundary.
+///
+/// Inductance breaks additivity, so the DP itself runs on the RC model
+/// (as all industrial implementations did); this module then *rescores*
+/// any buffering under the Equivalent Elmore Delay, stage by stage, which
+/// is exactly how the paper positions its contribution: a drop-in delay
+/// evaluator with RC-Elmore ergonomics but RLC awareness.
+
+#include <vector>
+
+#include "relmore/circuit/rlc_tree.hpp"
+#include "relmore/opt/driver.hpp"
+#include "relmore/opt/wire_sizing.hpp"  // DelayModel
+
+namespace relmore::opt {
+
+/// Result of the DP.
+struct VanGinnekenResult {
+  /// buffered[k] == true: a buffer is inserted at section k's downstream
+  /// node (driving the subtree below it).
+  std::vector<bool> buffered;
+  /// Maximized required arrival time at the source (more positive = more
+  /// slack; sinks default to RAT 0, so this is minus the worst path delay).
+  double source_rat = 0.0;
+  int buffer_count = 0;
+  /// Number of Pareto candidates examined (complexity diagnostics).
+  std::size_t candidates_explored = 0;
+};
+
+/// Runs the DP. `sink_rat[i]` gives the required time at section i (only
+/// leaf entries are read; pass {} for all-zero). `source_resistance`
+/// models the root driver when computing the final source RAT.
+VanGinnekenResult van_ginneken(const circuit::RlcTree& tree, const Driver& buffer,
+                               double source_resistance,
+                               const std::vector<double>& sink_rat = {});
+
+/// Worst-sink path delay of a buffered tree under a closed-form model:
+/// buffers split the tree into stages; each stage's sink delays come from
+/// the chosen model; path delays accumulate stage by stage.
+double evaluate_buffered_tree(const circuit::RlcTree& tree, const std::vector<bool>& buffered,
+                              const Driver& buffer, double source_resistance,
+                              DelayModel model);
+
+}  // namespace relmore::opt

@@ -1,0 +1,65 @@
+#include "relmore/opt/path_timing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "relmore/eed/eed.hpp"
+#include "relmore/util/roots.hpp"
+
+namespace relmore::opt {
+
+namespace {
+
+/// First upward crossing of `level` by the closed-form ramp response.
+double ramp_crossing(const eed::NodeModel& node, double rise, double level) {
+  const auto f = [&](double t) {
+    return eed::ramp_input_response(node, t, 1.0, rise) - level;
+  };
+  // Characteristic time scale: the larger of the input rise and the
+  // node's own delay sets the bracket growth.
+  const double scale = std::max(rise, std::max(eed::delay_50(node), 1e-18));
+  const auto root = util::find_root_forward(f, 0.0, 0.05 * scale, 1.6, 400);
+  if (!root) throw std::runtime_error("time_stage: response never crossed level");
+  return *root;
+}
+
+}  // namespace
+
+StageTiming time_stage(const eed::NodeModel& node, double input_rise_seconds) {
+  if (input_rise_seconds < 0.0) {
+    throw std::invalid_argument("time_stage: negative input rise");
+  }
+  StageTiming out;
+  out.zeta = node.zeta;
+  out.input_rise = input_rise_seconds;
+  if (input_rise_seconds == 0.0) {
+    out.delay = eed::delay_50(node);
+    out.output_rise = eed::rise_time(node);
+    return out;
+  }
+  const double t50_out = ramp_crossing(node, input_rise_seconds, 0.5);
+  const double t50_in = 0.5 * input_rise_seconds;
+  out.delay = t50_out - t50_in;
+  const double t10 = ramp_crossing(node, input_rise_seconds, 0.1);
+  const double t90 = ramp_crossing(node, input_rise_seconds, 0.9);
+  out.output_rise = t90 - t10;
+  return out;
+}
+
+PathTiming time_path(const std::vector<PathStage>& stages, double first_input_rise) {
+  if (stages.empty()) throw std::invalid_argument("time_path: empty path");
+  PathTiming out;
+  double rise = first_input_rise;
+  for (const PathStage& st : stages) {
+    if (st.tree.empty()) throw std::invalid_argument("time_path: stage with empty tree");
+    const eed::TreeModel model = eed::analyze(st.tree);
+    StageTiming timing = time_stage(model.at(st.sink), rise);
+    timing.delay += st.intrinsic_delay;
+    out.total_delay += timing.delay;
+    rise = timing.output_rise;
+    out.stages.push_back(timing);
+  }
+  return out;
+}
+
+}  // namespace relmore::opt

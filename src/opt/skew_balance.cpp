@@ -1,0 +1,75 @@
+#include "relmore/opt/skew_balance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "relmore/analysis/report.hpp"
+#include "relmore/eed/eed.hpp"
+#include "relmore/util/roots.hpp"
+
+namespace relmore::opt {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+namespace {
+
+/// Applies width w to a section whose nominal values are `nominal`.
+void apply_width(RlcTree& tree, SectionId s, const circuit::SectionValues& nominal, double w,
+                 double ll) {
+  auto& v = tree.values(s);
+  v.resistance = nominal.resistance / w;
+  v.inductance = nominal.inductance * std::max(0.1, 1.0 - ll * std::log(w));
+  // capacitance: load-dominated, left at nominal.
+}
+
+}  // namespace
+
+SkewBalanceResult balance_skew(RlcTree& tree, const SkewBalanceOptions& opts) {
+  if (opts.width_min <= 0.0 || opts.width_min >= 1.0 || opts.tolerance <= 0.0) {
+    throw std::invalid_argument("balance_skew: bad options");
+  }
+  const auto sinks = tree.leaves();
+  if (sinks.empty()) throw std::invalid_argument("balance_skew: tree has no sinks");
+
+  const analysis::SkewSummary before = analysis::sink_skew(tree);
+  SkewBalanceResult result;
+  result.skew_before = before.skew();
+  result.sink_widths.assign(sinks.size(), 1.0);
+
+  const double target = before.max_delay;
+  for (std::size_t si = 0; si < sinks.size(); ++si) {
+    const SectionId s = sinks[si];
+    const circuit::SectionValues nominal = tree.section(s).v;
+    if (nominal.resistance <= 0.0) continue;  // nothing to size
+
+    const auto delay_at = [&](double w) {
+      apply_width(tree, s, nominal, w, opts.inductance_width_slope);
+      const auto model = eed::analyze(tree);
+      return eed::delay_50(model.at(s));
+    };
+    const double d1 = delay_at(1.0);
+    if (d1 >= target * (1.0 - opts.tolerance)) {
+      apply_width(tree, s, nominal, 1.0, opts.inductance_width_slope);
+      continue;  // already the slowest (or close enough)
+    }
+    // Narrowing raises R hence the delay; find w in [width_min, 1] with
+    // delay == target. If even the narrowest width cannot reach it, clamp.
+    const double d_min_w = delay_at(opts.width_min);
+    if (d_min_w < target) {
+      result.sink_widths[si] = opts.width_min;
+      continue;  // clamped; apply_width already left width_min in place
+    }
+    const auto f = [&](double w) { return delay_at(w) - target; };
+    const auto root = util::brent(f, opts.width_min, 1.0);
+    const double w = root.value_or(opts.width_min);
+    apply_width(tree, s, nominal, w, opts.inductance_width_slope);
+    result.sink_widths[si] = w;
+  }
+
+  result.skew_after = analysis::sink_skew(tree).skew();
+  return result;
+}
+
+}  // namespace relmore::opt

@@ -1,0 +1,253 @@
+#include "relmore/opt/van_ginneken.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "relmore/eed/eed.hpp"
+
+namespace relmore::opt {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+namespace {
+
+/// One DP candidate: downstream load and required arrival time seen from
+/// the current point, plus the buffer assignment that achieves it.
+struct Candidate {
+  double load = 0.0;
+  double rat = 0.0;
+  std::vector<bool> buffered;  // over all sections
+};
+
+/// Keeps only Pareto-optimal candidates: sort by load ascending and drop
+/// any whose RAT does not strictly improve on a lighter candidate.
+void prune(std::vector<Candidate>& cands) {
+  std::sort(cands.begin(), cands.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.load != b.load) return a.load < b.load;
+    return a.rat > b.rat;
+  });
+  std::vector<Candidate> kept;
+  double best_rat = -std::numeric_limits<double>::infinity();
+  for (auto& c : cands) {
+    if (c.rat > best_rat) {
+      best_rat = c.rat;
+      kept.push_back(std::move(c));
+    }
+  }
+  cands = std::move(kept);
+}
+
+}  // namespace
+
+VanGinnekenResult van_ginneken(const RlcTree& tree, const Driver& buffer,
+                               double source_resistance,
+                               const std::vector<double>& sink_rat) {
+  if (tree.empty()) throw std::invalid_argument("van_ginneken: empty tree");
+  if (!sink_rat.empty() && sink_rat.size() != tree.size()) {
+    throw std::invalid_argument("van_ginneken: sink_rat size mismatch");
+  }
+  const std::size_t n = tree.size();
+  std::vector<std::vector<Candidate>> node_cands(n);
+  VanGinnekenResult result;
+
+  // Bottom-up over sections (children have larger ids).
+  for (std::size_t ii = n; ii-- > 0;) {
+    const auto id = static_cast<SectionId>(ii);
+    const auto& children = tree.children(id);
+    std::vector<Candidate> cands;
+
+    if (children.empty()) {
+      Candidate c;
+      c.load = 0.0;  // the node's own C is charged through its section below
+      c.rat = sink_rat.empty() ? 0.0 : sink_rat[ii];
+      c.buffered.assign(n, false);
+      cands.push_back(std::move(c));
+    } else {
+      // Merge children candidate lists: loads add, RATs take the minimum.
+      cands = node_cands[static_cast<std::size_t>(children[0])];
+      for (std::size_t ci = 1; ci < children.size(); ++ci) {
+        const auto& other = node_cands[static_cast<std::size_t>(children[ci])];
+        std::vector<Candidate> merged;
+        merged.reserve(cands.size() * other.size());
+        for (const Candidate& a : cands) {
+          for (const Candidate& b : other) {
+            Candidate m;
+            m.load = a.load + b.load;
+            m.rat = std::min(a.rat, b.rat);
+            m.buffered = a.buffered;
+            for (std::size_t k = 0; k < n; ++k) {
+              if (b.buffered[k]) m.buffered[k] = true;
+            }
+            merged.push_back(std::move(m));
+          }
+        }
+        cands = std::move(merged);
+        prune(cands);
+      }
+      // Free the children lists early.
+      for (SectionId c : children) node_cands[static_cast<std::size_t>(c)].clear();
+
+      // Buffer option at this node (drives the merged subtree).
+      std::vector<Candidate> with_buffer;
+      for (const Candidate& c : cands) {
+        Candidate b = c;
+        b.rat = c.rat - buffer.intrinsic_delay - buffer.output_resistance * c.load;
+        b.load = buffer.input_capacitance;
+        b.buffered[ii] = true;
+        with_buffer.push_back(std::move(b));
+      }
+      cands.insert(cands.end(), std::make_move_iterator(with_buffer.begin()),
+                   std::make_move_iterator(with_buffer.end()));
+      prune(cands);
+    }
+
+    // Propagate up through section ii: the wire charges its own node cap
+    // plus the downstream load through R_ii (lumped-section Elmore term).
+    const auto& v = tree.section(id).v;
+    for (Candidate& c : cands) {
+      c.load += v.capacitance;
+      c.rat -= v.resistance * c.load;
+    }
+    prune(cands);
+    result.candidates_explored += cands.size();
+    node_cands[ii] = std::move(cands);
+  }
+
+  // Combine root sections at the input node, then subtract the source
+  // driver's own delay.
+  std::vector<Candidate> top = node_cands[static_cast<std::size_t>(tree.roots()[0])];
+  for (std::size_t ri = 1; ri < tree.roots().size(); ++ri) {
+    const auto& other = node_cands[static_cast<std::size_t>(tree.roots()[ri])];
+    std::vector<Candidate> merged;
+    for (const Candidate& a : top) {
+      for (const Candidate& b : other) {
+        Candidate m;
+        m.load = a.load + b.load;
+        m.rat = std::min(a.rat, b.rat);
+        m.buffered = a.buffered;
+        for (std::size_t k = 0; k < n; ++k) {
+          if (b.buffered[k]) m.buffered[k] = true;
+        }
+        merged.push_back(std::move(m));
+      }
+    }
+    top = std::move(merged);
+    prune(top);
+  }
+
+  double best = -std::numeric_limits<double>::infinity();
+  const Candidate* best_cand = nullptr;
+  for (const Candidate& c : top) {
+    const double q = c.rat - source_resistance * c.load;
+    if (q > best) {
+      best = q;
+      best_cand = &c;
+    }
+  }
+  if (best_cand == nullptr) throw std::logic_error("van_ginneken: no candidates");
+  result.source_rat = best;
+  result.buffered = best_cand->buffered;
+  result.buffer_count = static_cast<int>(
+      std::count(result.buffered.begin(), result.buffered.end(), true));
+  return result;
+}
+
+namespace {
+
+/// Builds the stage tree rooted at `driver_r` driving the sections below
+/// `start_children`, cutting at buffered nodes (which appear as the buffer
+/// input capacitance). Records which original sections ended the stage
+/// with a buffer, and the mapping original section -> stage section.
+struct Stage {
+  RlcTree tree;
+  std::vector<SectionId> stage_id;        ///< per original section, -1 if absent
+  std::vector<SectionId> buffer_roots;    ///< original sections whose node holds a buffer
+};
+
+Stage build_stage(const RlcTree& tree, const std::vector<bool>& buffered,
+                  const Driver& buffer, double driver_r,
+                  const std::vector<SectionId>& start_children) {
+  Stage st;
+  st.stage_id.assign(tree.size(), circuit::kInput);
+  const SectionId drv = st.tree.add_section(circuit::kInput, {driver_r, 0.0, 0.0}, "drv");
+  // DFS copying sections until (and including) buffered nodes.
+  struct Item {
+    SectionId orig;
+    SectionId parent_in_stage;
+  };
+  std::vector<Item> stack;
+  for (SectionId c : start_children) stack.push_back({c, drv});
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    const auto& s = tree.section(it.orig);
+    circuit::SectionValues v = s.v;
+    const bool is_buffer = buffered[static_cast<std::size_t>(it.orig)];
+    if (is_buffer) v.capacitance += buffer.input_capacitance;
+    const SectionId sid = st.tree.add_section(it.parent_in_stage, v, s.name);
+    st.stage_id[static_cast<std::size_t>(it.orig)] = sid;
+    if (is_buffer) {
+      st.buffer_roots.push_back(it.orig);
+      continue;  // the stage ends here; downstream belongs to the next stage
+    }
+    for (SectionId c : tree.children(it.orig)) stack.push_back({c, sid});
+  }
+  return st;
+}
+
+double stage_delay_at(const Stage& st, SectionId orig, DelayModel model) {
+  const eed::TreeModel m = eed::analyze(st.tree);
+  const SectionId sid = st.stage_id[static_cast<std::size_t>(orig)];
+  const eed::NodeModel& nm = m.at(sid);
+  return model == DelayModel::kWyattRc ? eed::wyatt_delay_50(nm.sum_rc) : eed::delay_50(nm);
+}
+
+}  // namespace
+
+double evaluate_buffered_tree(const RlcTree& tree, const std::vector<bool>& buffered,
+                              const Driver& buffer, double source_resistance,
+                              DelayModel model) {
+  if (buffered.size() != tree.size()) {
+    throw std::invalid_argument("evaluate_buffered_tree: buffered size mismatch");
+  }
+  for (std::size_t k = 0; k < tree.size(); ++k) {
+    if (buffered[k] && tree.children(static_cast<SectionId>(k)).empty()) {
+      throw std::invalid_argument("evaluate_buffered_tree: buffer at a leaf drives nothing");
+    }
+  }
+  // BFS over stages: (stage start children, accumulated delay at the
+  // stage's driver input).
+  struct Work {
+    std::vector<SectionId> children;
+    double driver_r;
+    double arrival;
+  };
+  std::vector<Work> queue{{tree.roots(), source_resistance, 0.0}};
+  double worst_sink = 0.0;
+  while (!queue.empty()) {
+    const Work w = queue.back();
+    queue.pop_back();
+    const Stage st = build_stage(tree, buffered, buffer, w.driver_r, w.children);
+    // Real sinks inside this stage: leaves of the original tree reached
+    // without crossing a buffer.
+    for (std::size_t k = 0; k < tree.size(); ++k) {
+      const auto id = static_cast<SectionId>(k);
+      if (st.stage_id[k] == circuit::kInput) continue;
+      if (buffered[k]) continue;
+      if (!tree.children(id).empty()) continue;
+      worst_sink = std::max(worst_sink, w.arrival + stage_delay_at(st, id, model));
+    }
+    // Next stages start below each buffer.
+    for (SectionId b : st.buffer_roots) {
+      const double arrive =
+          w.arrival + stage_delay_at(st, b, model) + buffer.intrinsic_delay;
+      queue.push_back({tree.children(b), buffer.output_resistance, arrive});
+    }
+  }
+  return worst_sink;
+}
+
+}  // namespace relmore::opt

@@ -1,0 +1,88 @@
+#include "relmore/opt/wire_sizing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "relmore/eed/eed.hpp"
+#include "relmore/util/minimize.hpp"
+
+namespace relmore::opt {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+namespace {
+
+void check_problem(const WireSizingProblem& p) {
+  if (p.segments < 1) throw std::invalid_argument("wire sizing: segments must be >= 1");
+  if (p.width_min <= 0.0 || p.width_max < p.width_min) {
+    throw std::invalid_argument("wire sizing: bad width bounds");
+  }
+}
+
+}  // namespace
+
+RlcTree build_sized_line(const WireSizingProblem& problem, const std::vector<double>& widths) {
+  check_problem(problem);
+  if (widths.size() != static_cast<std::size_t>(problem.segments)) {
+    throw std::invalid_argument("build_sized_line: width count mismatch");
+  }
+  RlcTree tree;
+  SectionId prev = tree.add_section(circuit::kInput,
+                                    {problem.driver_resistance, 0.0, 0.0}, "driver");
+  for (int i = 0; i < problem.segments; ++i) {
+    const double w = widths[static_cast<std::size_t>(i)];
+    if (w <= 0.0) throw std::invalid_argument("build_sized_line: non-positive width");
+    const double r = problem.unit_resistance / w;
+    const double l =
+        problem.unit_inductance * std::max(0.1, 1.0 - problem.inductance_width_slope *
+                                                          std::log(w));
+    const double c = problem.unit_area_cap * w + problem.unit_fringe_cap;
+    prev = tree.add_section(prev, {r, l, c}, "seg" + std::to_string(i));
+  }
+  tree.add_section(prev, {1.0, 1e-14, problem.load_capacitance}, "load");
+  return tree;
+}
+
+double sized_line_delay(const WireSizingProblem& problem, const std::vector<double>& widths,
+                        DelayModel model) {
+  const RlcTree tree = build_sized_line(problem, widths);
+  const auto sink = static_cast<SectionId>(tree.size() - 1);
+  const eed::TreeModel tm = eed::analyze(tree);
+  const eed::NodeModel& nm = tm.at(sink);
+  switch (model) {
+    case DelayModel::kWyattRc:
+      return eed::wyatt_delay_50(nm.sum_rc);
+    case DelayModel::kEquivalentElmore:
+      return eed::delay_50(nm);
+  }
+  throw std::logic_error("sized_line_delay: unknown model");
+}
+
+WireSizingResult optimize_wire_sizing(const WireSizingProblem& problem, DelayModel model) {
+  check_problem(problem);
+  const auto n = static_cast<std::size_t>(problem.segments);
+  const std::vector<double> lo(n, problem.width_min);
+  const std::vector<double> hi(n, problem.width_max);
+  std::vector<double> x0(n, 1.0);
+  for (double& w : x0) w = std::clamp(w, problem.width_min, problem.width_max);
+
+  const auto objective = [&](const std::vector<double>& widths) {
+    return sized_line_delay(problem, widths, model);
+  };
+  util::CoordinateDescentOptions opts;
+  opts.max_sweeps = 40;
+  opts.x_tol = 1e-4;
+  const util::CoordinateDescentResult r =
+      util::minimize_coordinate_descent(objective, std::move(x0), lo, hi, opts);
+
+  WireSizingResult out;
+  out.widths = r.x;
+  out.delay = r.f;
+  out.sweeps = r.sweeps;
+  out.converged = r.converged;
+  return out;
+}
+
+}  // namespace relmore::opt

@@ -1,0 +1,82 @@
+#include "relmore/sim/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "relmore/sim/tree_stepper.hpp"
+
+namespace relmore::sim {
+
+using circuit::RlcTree;
+
+TransientResult simulate_tree_adaptive(const RlcTree& tree, const Source& source,
+                                       const AdaptiveOptions& opts) {
+  if (tree.empty()) throw std::invalid_argument("simulate_tree_adaptive: empty tree");
+  if (opts.t_stop <= 0.0 || opts.tol <= 0.0) {
+    throw std::invalid_argument("simulate_tree_adaptive: t_stop and tol must be positive");
+  }
+  const double dt_min = opts.dt_min > 0.0 ? opts.dt_min : opts.t_stop * 1e-9;
+  const double dt_max = opts.dt_max > 0.0 ? opts.dt_max : opts.t_stop / 50.0;
+  if (dt_max < dt_min) {
+    throw std::invalid_argument("simulate_tree_adaptive: dt_max < dt_min");
+  }
+  const std::size_t n = tree.size();
+
+  TransientResult out;
+  out.node_voltage.assign(n, {});
+  out.time.push_back(0.0);
+  for (std::size_t i = 0; i < n; ++i) out.node_voltage[i].push_back(0.0);
+
+  TreeStepper full(tree);
+  TreeStepper halves(tree);
+  double h = std::clamp(dt_min * 16.0, dt_min, dt_max);
+  double t = 0.0;
+  // Startup damping for step discontinuities, as in the fixed-step engine.
+  int be_remaining = 2;
+
+  for (std::size_t step = 0; step < opts.max_steps; ++step) {
+    if (t >= opts.t_stop) return out;
+    h = std::min(h, opts.t_stop - t);
+    const auto method = be_remaining > 0 ? TreeStepper::Method::kBackwardEuler
+                                         : TreeStepper::Method::kTrapezoidal;
+
+    // One full step vs two half steps from the same checkpoint.
+    const TreeStepper::State checkpoint = full.state();
+    full.step(h, source_value(source, t + h), method);
+    halves.set_state(checkpoint);
+    halves.step(0.5 * h, source_value(source, t + 0.5 * h), method);
+    halves.step(0.5 * h, source_value(source, t + h), method);
+
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      err = std::max(err, std::abs(full.voltages()[i] - halves.voltages()[i]));
+    }
+
+    if (err <= opts.tol || h <= dt_min * (1.0 + 1e-12)) {
+      // Accept; keep the (more accurate) half-step solution.
+      t += h;
+      full.set_state(halves.state());
+      out.time.push_back(t);
+      for (std::size_t i = 0; i < n; ++i) {
+        out.node_voltage[i].push_back(halves.voltages()[i]);
+      }
+      if (be_remaining > 0) --be_remaining;
+      // Grow cautiously (2nd-order method: err ~ h^3 for TR halving).
+      const double grow = err > 0.0 ? std::cbrt(opts.tol / err) : 2.0;
+      h = std::clamp(h * std::clamp(0.9 * grow, 0.3, 2.0), dt_min, dt_max);
+    } else {
+      // Reject; shrink and retry from the checkpoint.
+      full.set_state(checkpoint);
+      const double shrink = std::cbrt(opts.tol / err);
+      h = std::clamp(h * std::clamp(0.9 * shrink, 0.1, 0.7), dt_min, dt_max);
+      if (h <= dt_min && err > 100.0 * opts.tol) {
+        throw std::runtime_error(
+            "simulate_tree_adaptive: cannot meet tolerance above dt_min");
+      }
+    }
+  }
+  throw std::runtime_error("simulate_tree_adaptive: max step count exceeded");
+}
+
+}  // namespace relmore::sim

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file adaptive.hpp
+/// Error-controlled transient simulation: wraps the fixed-step tree engine
+/// in a step-doubling (Richardson) loop so callers give a *tolerance*
+/// instead of a timestep. Each accepted interval is computed twice — once
+/// with step h and once with two h/2 steps — and the difference drives the
+/// local-error estimate, with the h/2 result kept (local extrapolation).
+
+#include "relmore/circuit/rlc_tree.hpp"
+#include "relmore/sim/source.hpp"
+#include "relmore/sim/tree_transient.hpp"
+
+namespace relmore::sim {
+
+struct AdaptiveOptions {
+  double t_stop = 0.0;       ///< required
+  double tol = 1e-4;         ///< local error tolerance (volts, absolute)
+  double dt_min = 0.0;       ///< 0 = t_stop * 1e-9
+  double dt_max = 0.0;       ///< 0 = t_stop / 50
+  std::size_t max_steps = 2'000'000;
+};
+
+/// Adaptive transient from zero state; the returned time grid is
+/// non-uniform. Throws std::runtime_error when the step controller cannot
+/// meet the tolerance above dt_min.
+TransientResult simulate_tree_adaptive(const circuit::RlcTree& tree, const Source& source,
+                                       const AdaptiveOptions& opts);
+
+}  // namespace relmore::sim

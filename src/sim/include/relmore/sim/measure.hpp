@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file measure.hpp
+/// Standard timing measurements extracted from simulated waveforms: the
+/// quantities the paper characterizes in closed form (50% delay, 10–90%
+/// rise time, overshoot, settling time), measured here numerically so the
+/// closed forms can be scored against simulation.
+
+#include <optional>
+
+#include "relmore/sim/waveform.hpp"
+
+namespace relmore::sim {
+
+/// Measured timing parameters of a (possibly non-monotone) rising response.
+struct TimingMeasurement {
+  double delay_50 = -1.0;       ///< first crossing of 50% of final value
+  double rise_10_90 = -1.0;     ///< t(90%) − t(10%), first crossings
+  double peak_value = 0.0;      ///< global maximum of the waveform
+  double overshoot_pct = 0.0;   ///< 100·(peak − final)/final, clamped at 0
+  double peak_time = -1.0;      ///< time of the global maximum
+  double settling_time = -1.0;  ///< last excursion beyond ±x·final (−1 if never settles)
+};
+
+/// Measures a rising waveform against the reference final value
+/// `v_final` (pass the supply voltage; using the last sample would bias
+/// underdamped waveforms that have not fully rung down).
+/// `settle_band` is the paper's `x` (default 0.1 = ±10%).
+TimingMeasurement measure_rising(const Waveform& w, double v_final, double settle_band = 0.1);
+
+/// First time after which the waveform stays within ±band·v_final of
+/// v_final; std::nullopt when it never settles inside the sampled window.
+std::optional<double> settling_time(const Waveform& w, double v_final, double band);
+
+}  // namespace relmore::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file mna.hpp
+/// Generic modified-nodal-analysis transient engine.
+///
+/// Unknowns are all node voltages plus all branch (inductor) currents,
+/// giving the descriptor system  E x' = F x + g u(t).  A fixed-step
+/// trapezoidal discretization factors (E/h − F/2) once per run and
+/// back-solves every step. Slower than the specialized tree engine but
+/// derived independently (matrix stamps instead of Norton sweeps), so
+/// agreement between the two is a strong correctness signal; it also
+/// tolerates zero L or zero C sections, which the modal solver does not.
+
+#include "relmore/circuit/rlc_tree.hpp"
+#include "relmore/linalg/matrix.hpp"
+#include "relmore/sim/source.hpp"
+#include "relmore/sim/tree_transient.hpp"
+
+namespace relmore::sim {
+
+/// Descriptor-form matrices of a tree: E x' = F x + g u with
+/// x = [v_0..v_{n-1}, j_0..j_{n-1}].
+struct MnaSystem {
+  linalg::Matrix E;
+  linalg::Matrix F;
+  std::vector<double> g;
+};
+
+/// Stamps the tree into descriptor form.
+MnaSystem build_mna(const circuit::RlcTree& tree);
+
+/// Trapezoidal transient on the MNA system; same options/result contract as
+/// simulate_tree(). (be_startup_steps is honored the same way.)
+TransientResult simulate_mna(const circuit::RlcTree& tree, const Source& source,
+                             const TransientOptions& opts);
+
+}  // namespace relmore::sim

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file source.hpp
+/// Input waveforms applied at the tree's input node. The paper analyses a
+/// step input (worst case, §V-A), an exponential input (eq. 43), and argues
+/// the model works for arbitrary inputs; PWL covers ramps and general
+/// test vectors.
+
+#include <stdexcept>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace relmore::sim {
+
+/// Ideal step: 0 for t < 0, `volts` for t >= 0.
+struct StepSource {
+  double volts = 1.0;
+};
+
+/// Linear ramp 0 -> volts over [0, rise_seconds], then flat.
+struct RampSource {
+  double volts = 1.0;
+  double rise_seconds = 1e-9;
+};
+
+/// Saturating exponential `volts * (1 - exp(-t/tau))` (paper eq. 43).
+/// The 90% rise time of this source is 2.3 * tau (paper §V-A).
+struct ExpSource {
+  double volts = 1.0;
+  double tau_seconds = 1e-9;
+};
+
+/// Piecewise-linear source through (t, v) breakpoints; clamps outside.
+struct PwlSource {
+  std::vector<std::pair<double, double>> points;
+};
+
+using Source = std::variant<StepSource, RampSource, ExpSource, PwlSource>;
+
+/// Source value at time t (t < 0 returns the t=0 limit from below, i.e. 0
+/// for the canonical sources).
+double source_value(const Source& src, double t);
+
+/// Final (t -> inf) value of the source.
+double source_final_value(const Source& src);
+
+}  // namespace relmore::sim

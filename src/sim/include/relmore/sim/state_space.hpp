@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file state_space.hpp
+/// Exact (discretization-free) transient solution of an RLC tree via
+/// eigen-decomposition of its state-space model.
+///
+/// With states x = [inductor currents; capacitor voltages], an RLC tree in
+/// which every section has L > 0 and C > 0 satisfies x' = A x + b u(t).
+/// Expanding in the eigenbasis of A solves step, ramp, PWL (per affine
+/// segment) and exponential inputs *analytically*: the returned samples
+/// carry no time-stepping error, only rounding. This is the gold reference
+/// that stands in for the paper's AS/X simulator (DESIGN.md §4); the
+/// eigenvalues of A are the exact circuit poles, used directly by tests
+/// and by the AWE comparison.
+
+#include <span>
+#include <vector>
+
+#include "relmore/circuit/rlc_tree.hpp"
+#include "relmore/linalg/eigen.hpp"
+#include "relmore/linalg/matrix.hpp"
+#include "relmore/sim/source.hpp"
+#include "relmore/sim/waveform.hpp"
+
+namespace relmore::sim {
+
+/// State-space matrices of a strictly-RLC tree (all L > 0, all C > 0).
+struct StateSpace {
+  linalg::Matrix A;        ///< 2n x 2n
+  std::vector<double> b;   ///< input vector: x' = A x + b u
+  std::size_t sections = 0;
+
+  /// State index of section i's inductor current / node voltage.
+  [[nodiscard]] std::size_t current_index(circuit::SectionId i) const {
+    return static_cast<std::size_t>(i);
+  }
+  [[nodiscard]] std::size_t voltage_index(circuit::SectionId i) const {
+    return sections + static_cast<std::size_t>(i);
+  }
+};
+
+/// Builds the state-space model; throws std::invalid_argument when any
+/// section has L <= 0 or C <= 0 (use the companion-model engines there).
+StateSpace build_state_space(const circuit::RlcTree& tree);
+
+/// Exact transient solver. Construction performs the eigen-decomposition
+/// (O(n^3)); every response afterwards is a cheap modal evaluation.
+class ModalSolver {
+ public:
+  explicit ModalSolver(const circuit::RlcTree& tree);
+
+  /// Exact circuit poles (eigenvalues of A).
+  [[nodiscard]] const std::vector<linalg::Complex>& poles() const { return eig_.values; }
+
+  /// Node voltage at the requested times for a zero-state response to
+  /// `source`. Times must be non-decreasing and non-negative.
+  [[nodiscard]] std::vector<double> response(circuit::SectionId node, const Source& source,
+                                             std::span<const double> times) const;
+
+  /// Convenience wrapper returning a Waveform on the given grid.
+  [[nodiscard]] Waveform response_waveform(circuit::SectionId node, const Source& source,
+                                           const std::vector<double>& times) const;
+
+  /// Exact transfer function H(j·omega) from the input to node's voltage:
+  /// solves (j w I - A) x = b and reads the voltage component. This is the
+  /// frequency-domain gold reference for the closed-form models.
+  [[nodiscard]] linalg::Complex transfer(circuit::SectionId node, double omega) const;
+
+  /// Exact H(s) at arbitrary complex s (Laplace domain) — feeds the Talbot
+  /// numerical inverse-Laplace cross check (util::invert_laplace_talbot).
+  [[nodiscard]] linalg::Complex transfer_laplace(circuit::SectionId node,
+                                                 linalg::Complex s) const;
+
+ private:
+  /// Full state at time offsets within one affine-input segment.
+  struct Segment {
+    double a = 0.0;  ///< u = a + b*(t - t0) on the segment
+    double b = 0.0;
+    double t0 = 0.0;
+    double t1 = 0.0;  ///< +inf for the last segment
+  };
+
+  [[nodiscard]] std::vector<Segment> segments_for(const Source& source) const;
+  void modal_coefficients(const std::vector<double>& mismatch,
+                          std::vector<linalg::Complex>& coeff) const;
+
+  StateSpace ss_;
+  linalg::EigenSystem eig_;
+  linalg::LuFactor lu_a_;  ///< factor of A for particular solutions
+};
+
+}  // namespace relmore::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file tree_stepper.hpp
+/// Steppable core of the O(n)-per-step tree transient engine. Exposed so
+/// the adaptive (step-doubling) driver can copy and roll back state; the
+/// fixed-step simulate_tree() is a thin loop over it.
+
+#include <vector>
+
+#include "relmore/circuit/rlc_tree.hpp"
+
+namespace relmore::sim {
+
+/// Advances companion-model state of one RLC tree a timestep at a time.
+/// The referenced tree must outlive the stepper.
+class TreeStepper {
+ public:
+  enum class Method { kBackwardEuler, kTrapezoidal };
+
+  /// Full integration state; value type so drivers can checkpoint/rollback.
+  struct State {
+    std::vector<double> i_l;     ///< inductor currents
+    std::vector<double> v_l;     ///< inductor voltages
+    std::vector<double> i_c;     ///< capacitor currents
+    std::vector<double> v_node;  ///< node voltages
+    double time = 0.0;
+  };
+
+  explicit TreeStepper(const circuit::RlcTree& tree);
+
+  /// Advances by h with the input node held at `v_in_next` (the source
+  /// value at the *end* of the step).
+  void step(double h, double v_in_next, Method method);
+
+  [[nodiscard]] const std::vector<double>& voltages() const { return state_.v_node; }
+  [[nodiscard]] double time() const { return state_.time; }
+  [[nodiscard]] const State& state() const { return state_; }
+  void set_state(State s) { state_ = std::move(s); }
+
+ private:
+  const circuit::RlcTree* tree_;
+  State state_;
+  // Per-step scratch (members to avoid reallocation).
+  std::vector<double> g_eq_;
+  std::vector<double> j_eq_;
+  std::vector<double> g_node_;
+  std::vector<double> j_node_;
+  std::vector<double> r_b_;
+  std::vector<double> e_b_;
+  std::vector<double> i_b_;
+};
+
+}  // namespace relmore::sim

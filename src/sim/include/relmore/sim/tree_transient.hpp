@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file tree_transient.hpp
+/// Fast transient engine specialized to RLC trees.
+///
+/// Trapezoidal companion models turn each timestep into a *resistive tree
+/// with sources*, which is solved exactly in O(n) with one upward Norton
+/// collapse and one downward voltage-distribution sweep — no matrix is ever
+/// assembled. The first few steps use backward-Euler companions to damp the
+/// trapezoidal ringing an ideal step otherwise excites. This engine is the
+/// workhorse reference simulator (our AS/X stand-in); MnaTransient and the
+/// modal solver cross-check it.
+
+#include <vector>
+
+#include "relmore/circuit/rlc_tree.hpp"
+#include "relmore/sim/source.hpp"
+#include "relmore/sim/waveform.hpp"
+
+namespace relmore::sim {
+
+struct TransientOptions {
+  double t_stop = 0.0;        ///< required: simulation end time
+  double dt = 0.0;            ///< required: fixed timestep
+  int be_startup_steps = 2;   ///< backward-Euler steps before switching to trapezoidal
+};
+
+/// Node voltages sampled at every timestep for every section.
+struct TransientResult {
+  std::vector<double> time;
+  std::vector<std::vector<double>> node_voltage;  ///< [section][step]
+
+  [[nodiscard]] Waveform waveform(circuit::SectionId node) const;
+};
+
+/// Simulates the tree from zero initial conditions with an ideal voltage
+/// source at the input. Throws std::invalid_argument on bad options.
+TransientResult simulate_tree(const circuit::RlcTree& tree, const Source& source,
+                              const TransientOptions& opts);
+
+/// Picks a conservative timestep for the tree: a fraction of the fastest
+/// section's characteristic time min(sqrt(LC), RC, L/R over nonzero values).
+double suggest_timestep(const circuit::RlcTree& tree, double fraction = 0.02);
+
+}  // namespace relmore::sim

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file waveform_io.hpp
+/// CSV import/export for waveforms and multi-node transient results, so
+/// bench outputs plot with any external tool and externally simulated
+/// waveforms (e.g. from the exported SPICE decks) can be scored with
+/// sim::measure_rising / Waveform::max_abs_difference.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "relmore/sim/tree_transient.hpp"
+#include "relmore/sim/waveform.hpp"
+
+namespace relmore::sim {
+
+/// Writes "time,<label>" rows.
+void write_waveform_csv(const Waveform& w, std::ostream& os,
+                        const std::string& label = "v");
+
+/// Reads a two-column CSV (header optional); extra columns are ignored.
+/// Throws std::invalid_argument on malformed rows or non-increasing time.
+Waveform read_waveform_csv(std::istream& is);
+
+/// Writes "time,v0,v1,..." for all (or the selected) nodes of a transient
+/// result; labels defaults to "n<i>".
+void write_transient_csv(const TransientResult& result, std::ostream& os,
+                         const std::vector<std::string>& labels = {});
+
+}  // namespace relmore::sim

@@ -1,0 +1,51 @@
+#include "relmore/sim/measure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace relmore::sim {
+
+std::optional<double> settling_time(const Waveform& w, double v_final, double band) {
+  if (w.empty()) throw std::invalid_argument("settling_time: empty waveform");
+  const double lo = v_final * (1.0 - band);
+  const double hi = v_final * (1.0 + band);
+  const auto& t = w.times();
+  const auto& v = w.values();
+  // Walk backwards to the last sample outside the band.
+  std::size_t last_outside = t.size();  // sentinel: none
+  for (std::size_t i = t.size(); i-- > 0;) {
+    if (v[i] < lo || v[i] > hi) {
+      last_outside = i;
+      break;
+    }
+  }
+  if (last_outside == t.size()) return t.front();
+  if (last_outside + 1 >= t.size()) return std::nullopt;  // still outside at the end
+  // Interpolate the band crossing between last_outside and the next sample.
+  const double bound = v[last_outside] > hi ? hi : lo;
+  const double dv = v[last_outside + 1] - v[last_outside];
+  double frac = dv != 0.0 ? (bound - v[last_outside]) / dv : 1.0;
+  frac = std::clamp(frac, 0.0, 1.0);
+  return t[last_outside] + frac * (t[last_outside + 1] - t[last_outside]);
+}
+
+TimingMeasurement measure_rising(const Waveform& w, double v_final, double settle_band) {
+  if (w.empty()) throw std::invalid_argument("measure_rising: empty waveform");
+  if (v_final <= 0.0) throw std::invalid_argument("measure_rising: v_final must be positive");
+  TimingMeasurement m;
+  m.delay_50 = w.first_rise_crossing(0.5 * v_final);
+  const double t10 = w.first_rise_crossing(0.1 * v_final);
+  const double t90 = w.first_rise_crossing(0.9 * v_final);
+  if (t10 >= 0.0 && t90 >= 0.0) m.rise_10_90 = t90 - t10;
+  m.peak_value = w.max_value();
+  const auto& v = w.values();
+  const std::size_t peak_idx = static_cast<std::size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+  m.peak_time = w.times()[peak_idx];
+  m.overshoot_pct = std::max(0.0, 100.0 * (m.peak_value - v_final) / v_final);
+  if (const auto ts = settling_time(w, v_final, settle_band)) m.settling_time = *ts;
+  return m;
+}
+
+}  // namespace relmore::sim

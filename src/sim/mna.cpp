@@ -1,0 +1,103 @@
+#include "relmore/sim/mna.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace relmore::sim {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+using linalg::LuFactor;
+using linalg::Matrix;
+
+MnaSystem build_mna(const RlcTree& tree) {
+  if (tree.empty()) throw std::invalid_argument("build_mna: empty tree");
+  const std::size_t n = tree.size();
+  MnaSystem sys;
+  sys.E = Matrix(2 * n, 2 * n);
+  sys.F = Matrix(2 * n, 2 * n);
+  sys.g.assign(2 * n, 0.0);
+
+  // Row i (node equation):   C_i v_i' = j_i - sum_{c in children(i)} j_c
+  // Row n+i (branch equation): L_i j_i' = v_parent - v_i - R_i j_i
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<SectionId>(i);
+    const auto& v = tree.section(id).v;
+    sys.E(i, i) = v.capacitance;
+    sys.F(i, n + i) = 1.0;
+    for (SectionId c : tree.children(id)) {
+      sys.F(i, n + static_cast<std::size_t>(c)) = -1.0;
+    }
+    sys.E(n + i, n + i) = v.inductance;
+    sys.F(n + i, i) = -1.0;
+    sys.F(n + i, n + i) = -v.resistance;
+    const SectionId parent = tree.section(id).parent;
+    if (parent == circuit::kInput) {
+      sys.g[n + i] = 1.0;
+    } else {
+      sys.F(n + i, static_cast<std::size_t>(parent)) = 1.0;
+    }
+  }
+  return sys;
+}
+
+TransientResult simulate_mna(const RlcTree& tree, const Source& source,
+                             const TransientOptions& opts) {
+  if (opts.t_stop <= 0.0 || opts.dt <= 0.0) {
+    throw std::invalid_argument("simulate_mna: t_stop and dt must be positive");
+  }
+  const MnaSystem sys = build_mna(tree);
+  const std::size_t n = tree.size();
+  const std::size_t m = 2 * n;
+  const double h = opts.dt;
+  const auto steps = static_cast<std::size_t>(std::ceil(opts.t_stop / opts.dt));
+
+  // Trapezoidal:   (E/h - F/2) x_k = (E/h + F/2) x_{k-1} + g (u_k + u_{k-1})/2
+  // Backward Euler:(E/h - F)   x_k = (E/h)       x_{k-1} + g u_k
+  Matrix lhs_tr = sys.E;
+  lhs_tr *= 1.0 / h;
+  {
+    Matrix half = sys.F;
+    half *= 0.5;
+    lhs_tr -= half;
+  }
+  Matrix rhs_tr = sys.E;
+  rhs_tr *= 1.0 / h;
+  {
+    Matrix half = sys.F;
+    half *= 0.5;
+    rhs_tr += half;
+  }
+  Matrix lhs_be = sys.E;
+  lhs_be *= 1.0 / h;
+  lhs_be -= sys.F;
+  Matrix rhs_be = sys.E;
+  rhs_be *= 1.0 / h;
+
+  const LuFactor lu_tr(lhs_tr);
+  const LuFactor lu_be(lhs_be);
+
+  std::vector<double> x(m, 0.0);
+  TransientResult out;
+  out.time.reserve(steps + 1);
+  out.node_voltage.assign(n, {});
+  out.time.push_back(0.0);
+  for (std::size_t i = 0; i < n; ++i) out.node_voltage[i].push_back(0.0);
+
+  double u_prev = source_value(source, 0.0);
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const double t = static_cast<double>(step) * h;
+    const double u = source_value(source, t);
+    const bool trapezoidal = static_cast<int>(step) > opts.be_startup_steps;
+    std::vector<double> rhs = trapezoidal ? rhs_tr * x : rhs_be * x;
+    const double drive = trapezoidal ? 0.5 * (u + u_prev) : u;
+    for (std::size_t i = 0; i < m; ++i) rhs[i] += sys.g[i] * drive;
+    x = trapezoidal ? lu_tr.solve(std::move(rhs)) : lu_be.solve(std::move(rhs));
+    out.time.push_back(t);
+    for (std::size_t i = 0; i < n; ++i) out.node_voltage[i].push_back(x[i]);
+    u_prev = u;
+  }
+  return out;
+}
+
+}  // namespace relmore::sim

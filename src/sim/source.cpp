@@ -1,0 +1,54 @@
+#include "relmore/sim/source.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace relmore::sim {
+
+namespace {
+
+struct ValueVisitor {
+  double t;
+  double operator()(const StepSource& s) const { return t >= 0.0 ? s.volts : 0.0; }
+  double operator()(const RampSource& s) const {
+    if (t <= 0.0) return 0.0;
+    if (t >= s.rise_seconds) return s.volts;
+    return s.volts * t / s.rise_seconds;
+  }
+  double operator()(const ExpSource& s) const {
+    if (t <= 0.0) return 0.0;
+    return s.volts * -std::expm1(-t / s.tau_seconds);
+  }
+  double operator()(const PwlSource& s) const {
+    if (s.points.empty()) throw std::invalid_argument("PwlSource: no points");
+    if (t <= s.points.front().first) return s.points.front().second;
+    if (t >= s.points.back().first) return s.points.back().second;
+    for (std::size_t i = 1; i < s.points.size(); ++i) {
+      if (t <= s.points[i].first) {
+        const auto& [t0, v0] = s.points[i - 1];
+        const auto& [t1, v1] = s.points[i];
+        if (t1 == t0) return v1;
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+      }
+    }
+    return s.points.back().second;
+  }
+};
+
+struct FinalVisitor {
+  double operator()(const StepSource& s) const { return s.volts; }
+  double operator()(const RampSource& s) const { return s.volts; }
+  double operator()(const ExpSource& s) const { return s.volts; }
+  double operator()(const PwlSource& s) const {
+    if (s.points.empty()) throw std::invalid_argument("PwlSource: no points");
+    return s.points.back().second;
+  }
+};
+
+}  // namespace
+
+double source_value(const Source& src, double t) { return std::visit(ValueVisitor{t}, src); }
+
+double source_final_value(const Source& src) { return std::visit(FinalVisitor{}, src); }
+
+}  // namespace relmore::sim

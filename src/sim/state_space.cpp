@@ -1,0 +1,215 @@
+#include "relmore/sim/state_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace relmore::sim {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+using linalg::Complex;
+using linalg::LuFactor;
+using linalg::Matrix;
+
+StateSpace build_state_space(const RlcTree& tree) {
+  if (tree.empty()) throw std::invalid_argument("build_state_space: empty tree");
+  const std::size_t n = tree.size();
+  for (const auto& s : tree.sections()) {
+    if (s.v.inductance <= 0.0 || s.v.capacitance <= 0.0) {
+      throw std::invalid_argument(
+          "build_state_space: every section needs L > 0 and C > 0 "
+          "(use simulate_tree/simulate_mna for degenerate sections)");
+    }
+  }
+  StateSpace ss;
+  ss.sections = n;
+  ss.A = Matrix(2 * n, 2 * n);
+  ss.b.assign(2 * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<SectionId>(i);
+    const auto& v = tree.section(id).v;
+    const std::size_t ci = ss.current_index(id);
+    const std::size_t vi = ss.voltage_index(id);
+    // L_i di/dt = v_parent - v_i - R_i i
+    ss.A(ci, vi) = -1.0 / v.inductance;
+    ss.A(ci, ci) = -v.resistance / v.inductance;
+    const SectionId parent = tree.section(id).parent;
+    if (parent == circuit::kInput) {
+      ss.b[ci] = 1.0 / v.inductance;
+    } else {
+      ss.A(ci, ss.voltage_index(parent)) = 1.0 / v.inductance;
+    }
+    // C_i dv/dt = i - sum(children currents)
+    ss.A(vi, ci) = 1.0 / v.capacitance;
+    for (SectionId c : tree.children(id)) {
+      ss.A(vi, ss.current_index(c)) = -1.0 / v.capacitance;
+    }
+  }
+  return ss;
+}
+
+ModalSolver::ModalSolver(const RlcTree& tree)
+    : ss_(build_state_space(tree)), eig_(linalg::eigen_decompose(ss_.A)), lu_a_(ss_.A) {}
+
+std::vector<ModalSolver::Segment> ModalSolver::segments_for(const Source& source) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<Segment> segs;
+  if (const auto* st = std::get_if<StepSource>(&source)) {
+    segs.push_back({st->volts, 0.0, 0.0, kInf});
+  } else if (const auto* rp = std::get_if<RampSource>(&source)) {
+    if (rp->rise_seconds <= 0.0) {
+      segs.push_back({rp->volts, 0.0, 0.0, kInf});
+    } else {
+      segs.push_back({0.0, rp->volts / rp->rise_seconds, 0.0, rp->rise_seconds});
+      segs.push_back({rp->volts, 0.0, rp->rise_seconds, kInf});
+    }
+  } else if (const auto* pw = std::get_if<PwlSource>(&source)) {
+    if (pw->points.empty()) throw std::invalid_argument("ModalSolver: PWL without points");
+    double t_prev = 0.0;
+    double v_prev = source_value(source, 0.0);
+    for (const auto& [t, v] : pw->points) {
+      if (t < 0.0) {
+        v_prev = v;
+        continue;
+      }
+      if (t > t_prev) {
+        segs.push_back({v_prev, (v - v_prev) / (t - t_prev), t_prev, t});
+      }
+      t_prev = t;
+      v_prev = v;
+    }
+    segs.push_back({v_prev, 0.0, t_prev, kInf});
+  } else {
+    throw std::logic_error("ModalSolver: exponential sources are handled analytically");
+  }
+  return segs;
+}
+
+void ModalSolver::modal_coefficients(const std::vector<double>& mismatch,
+                                     std::vector<Complex>& coeff) const {
+  const std::size_t m = mismatch.size();
+  std::vector<std::vector<Complex>> w(m, std::vector<Complex>(m));
+  std::vector<Complex> rhs(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    rhs[i] = mismatch[i];
+    for (std::size_t j = 0; j < m; ++j) w[i][j] = eig_.vectors[j][i];
+  }
+  coeff = linalg::solve_complex(std::move(w), std::move(rhs));
+}
+
+std::vector<double> ModalSolver::response(SectionId node, const Source& source,
+                                          std::span<const double> times) const {
+  const std::size_t m = 2 * ss_.sections;
+  const std::size_t comp = ss_.voltage_index(node);
+  std::vector<double> out(times.size(), 0.0);
+
+  auto eval_modal = [&](const std::vector<Complex>& coeff, double s, std::size_t k) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t j = 0; j < m; ++j) {
+      acc += coeff[j] * std::exp(eig_.values[j] * s) * eig_.vectors[j][k];
+    }
+    return acc.real();
+  };
+
+  if (const auto* ex = std::get_if<ExpSource>(&source)) {
+    // u = V (1 - e^{-t/tau}); particular solution x_ss + e^{-t/tau} z with
+    // (A + I/tau) z = b V.
+    double tau = ex->tau_seconds;
+    if (tau <= 0.0) throw std::invalid_argument("ModalSolver: ExpSource tau must be positive");
+    std::vector<double> bv(m);
+    for (std::size_t i = 0; i < m; ++i) bv[i] = ss_.b[i] * ex->volts;
+    std::vector<double> x_ss = lu_a_.solve(bv);
+    for (double& v : x_ss) v = -v;
+
+    std::vector<double> z;
+    for (int attempt = 0;; ++attempt) {
+      Matrix shifted = ss_.A;
+      for (std::size_t i = 0; i < m; ++i) shifted(i, i) += 1.0 / tau;
+      try {
+        z = LuFactor(shifted).solve(bv);
+        break;
+      } catch (const std::runtime_error&) {
+        // -1/tau collides with a pole; nudge tau (documented limitation).
+        if (attempt >= 3) throw;
+        tau *= 1.0 + 1e-9;
+      }
+    }
+    std::vector<double> mismatch(m);
+    for (std::size_t i = 0; i < m; ++i) mismatch[i] = -(x_ss[i] + z[i]);
+    std::vector<Complex> coeff;
+    modal_coefficients(mismatch, coeff);
+    for (std::size_t k = 0; k < times.size(); ++k) {
+      const double t = times[k];
+      if (t < 0.0) {
+        out[k] = 0.0;
+        continue;
+      }
+      out[k] = x_ss[comp] + std::exp(-t / tau) * z[comp] + eval_modal(coeff, t, comp);
+    }
+    return out;
+  }
+
+  // Affine-segment chaining for step/ramp/PWL inputs.
+  const std::vector<Segment> segs = segments_for(source);
+  std::vector<double> x0(m, 0.0);  // state at the start of the current segment
+  std::size_t ti = 0;
+  while (ti < times.size() && times[ti] < 0.0) out[ti++] = 0.0;
+
+  for (std::size_t si = 0; si < segs.size(); ++si) {
+    const Segment& seg = segs[si];
+    // Particular solution p + q s on the segment (s = t - t0):
+    //   0 = A q + b*slope   -> q = -A^{-1} (b*slope)
+    //   q = A p + b*a       -> p = A^{-1} (q - b*a)
+    std::vector<double> rhs(m);
+    for (std::size_t i = 0; i < m; ++i) rhs[i] = ss_.b[i] * seg.b;
+    std::vector<double> q = lu_a_.solve(rhs);
+    for (double& v : q) v = -v;
+    for (std::size_t i = 0; i < m; ++i) rhs[i] = q[i] - ss_.b[i] * seg.a;
+    std::vector<double> p = lu_a_.solve(rhs);
+
+    std::vector<double> mismatch(m);
+    for (std::size_t i = 0; i < m; ++i) mismatch[i] = x0[i] - p[i];
+    std::vector<Complex> coeff;
+    modal_coefficients(mismatch, coeff);
+
+    while (ti < times.size() && (times[ti] < seg.t1 || si + 1 == segs.size())) {
+      const double s = times[ti] - seg.t0;
+      out[ti] = p[comp] + q[comp] * s + eval_modal(coeff, s, comp);
+      ++ti;
+    }
+    if (ti >= times.size()) break;
+    // Advance the full state to the segment boundary.
+    const double s_end = seg.t1 - seg.t0;
+    for (std::size_t i = 0; i < m; ++i) {
+      x0[i] = p[i] + q[i] * s_end + eval_modal(coeff, s_end, i);
+    }
+  }
+  return out;
+}
+
+Waveform ModalSolver::response_waveform(SectionId node, const Source& source,
+                                        const std::vector<double>& times) const {
+  return Waveform(times, response(node, source, times));
+}
+
+Complex ModalSolver::transfer(SectionId node, double omega) const {
+  if (omega < 0.0) throw std::invalid_argument("ModalSolver::transfer: negative frequency");
+  return transfer_laplace(node, Complex{0.0, omega});
+}
+
+Complex ModalSolver::transfer_laplace(SectionId node, Complex s) const {
+  const std::size_t m = 2 * ss_.sections;
+  std::vector<std::vector<Complex>> lhs(m, std::vector<Complex>(m));
+  std::vector<Complex> rhs(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    rhs[i] = ss_.b[i];
+    for (std::size_t j = 0; j < m; ++j) lhs[i][j] = -ss_.A(i, j);
+    lhs[i][i] += s;
+  }
+  const std::vector<Complex> x = linalg::solve_complex(std::move(lhs), std::move(rhs));
+  return x[ss_.voltage_index(node)];
+}
+
+}  // namespace relmore::sim

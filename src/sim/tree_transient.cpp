@@ -1,0 +1,164 @@
+#include "relmore/sim/tree_transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "relmore/sim/tree_stepper.hpp"
+
+namespace relmore::sim {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+Waveform TransientResult::waveform(SectionId node) const {
+  return Waveform(time, node_voltage.at(static_cast<std::size_t>(node)));
+}
+
+TreeStepper::TreeStepper(const RlcTree& tree) : tree_(&tree) {
+  if (tree.empty()) throw std::invalid_argument("TreeStepper: empty tree");
+  const std::size_t n = tree.size();
+  state_.i_l.assign(n, 0.0);
+  state_.v_l.assign(n, 0.0);
+  state_.i_c.assign(n, 0.0);
+  state_.v_node.assign(n, 0.0);
+  state_.time = 0.0;
+  g_eq_.resize(n);
+  j_eq_.resize(n);
+  g_node_.resize(n);
+  j_node_.resize(n);
+  r_b_.resize(n);
+  e_b_.resize(n);
+  i_b_.resize(n);
+}
+
+void TreeStepper::step(double h, double v_in_next, Method method) {
+  if (h <= 0.0) throw std::invalid_argument("TreeStepper::step: h must be positive");
+  const RlcTree& tree = *tree_;
+  const std::size_t n = tree.size();
+  const bool trapezoidal = method == Method::kTrapezoidal;
+
+  // Companion elements from history (trapezoidal or backward Euler).
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& v = tree.section(static_cast<SectionId>(i)).v;
+    if (trapezoidal) {
+      const double rl = 2.0 * v.inductance / h;
+      r_b_[i] = v.resistance + rl;
+      e_b_[i] = -(rl * state_.i_l[i] + state_.v_l[i]);
+      const double gc = 2.0 * v.capacitance / h;
+      g_node_[i] = gc;
+      j_node_[i] = gc * state_.v_node[i] + state_.i_c[i];
+    } else {
+      const double rl = v.inductance / h;
+      r_b_[i] = v.resistance + rl;
+      e_b_[i] = -(rl * state_.i_l[i]);
+      const double gc = v.capacitance / h;
+      g_node_[i] = gc;
+      j_node_[i] = gc * state_.v_node[i];
+    }
+  }
+
+  // Upward sweep (children have larger ids than parents by construction):
+  // collapse each section + its subtree into a Norton pair at the parent.
+  for (std::size_t ii = n; ii-- > 0;) {
+    const auto id = static_cast<SectionId>(ii);
+    if (g_node_[ii] > 0.0) {
+      const double denom = 1.0 + r_b_[ii] * g_node_[ii];
+      const double ge = g_node_[ii] / denom;
+      const double v_off = e_b_[ii] + j_node_[ii] / g_node_[ii];
+      g_eq_[ii] = ge;
+      j_eq_[ii] = ge * v_off;
+    } else {
+      // No shunt path at/below this node: the branch carries the (fixed)
+      // injected history current.
+      g_eq_[ii] = 0.0;
+      j_eq_[ii] = j_node_[ii];
+    }
+    const SectionId parent = tree.section(id).parent;
+    if (parent != circuit::kInput) {
+      // KCL at the parent node: the branch contributes conductance g_eq
+      // and injects +j_eq.
+      const auto p = static_cast<std::size_t>(parent);
+      g_node_[p] += g_eq_[ii];
+      j_node_[p] += j_eq_[ii];
+    }
+  }
+
+  // Downward sweep: branch currents from the collapsed Norton pairs, node
+  // voltages from the local branch relation v_p - v_i = r_b*i + e_b.
+  std::vector<double> v_prev = state_.v_node;  // needed for the C history
+  for (std::size_t ii = 0; ii < n; ++ii) {
+    const auto id = static_cast<SectionId>(ii);
+    const SectionId parent = tree.section(id).parent;
+    const double v_p =
+        parent == circuit::kInput ? v_in_next : state_.v_node[static_cast<std::size_t>(parent)];
+    const double cur = g_node_[ii] > 0.0 ? g_eq_[ii] * v_p - j_eq_[ii] : -j_node_[ii];
+    i_b_[ii] = cur;
+    state_.v_node[ii] = v_p - r_b_[ii] * cur - e_b_[ii];
+  }
+
+  // Update companion histories.
+  for (std::size_t ii = 0; ii < n; ++ii) {
+    const auto& v = tree.section(static_cast<SectionId>(ii)).v;
+    const double rl = (trapezoidal ? 2.0 : 1.0) * v.inductance / h;
+    const double gc = (trapezoidal ? 2.0 : 1.0) * v.capacitance / h;
+    double i_c_new;
+    if (trapezoidal) {
+      i_c_new = gc * state_.v_node[ii] - (gc * v_prev[ii] + state_.i_c[ii]);
+    } else {
+      i_c_new = gc * (state_.v_node[ii] - v_prev[ii]);
+    }
+    state_.v_l[ii] = v.inductance > 0.0 ? rl * i_b_[ii] + e_b_[ii] : 0.0;
+    state_.i_l[ii] = i_b_[ii];
+    state_.i_c[ii] = v.capacitance > 0.0 ? i_c_new : 0.0;
+  }
+  state_.time += h;
+}
+
+TransientResult simulate_tree(const RlcTree& tree, const Source& source,
+                              const TransientOptions& opts) {
+  if (tree.empty()) throw std::invalid_argument("simulate_tree: empty tree");
+  if (opts.t_stop <= 0.0 || opts.dt <= 0.0) {
+    throw std::invalid_argument("simulate_tree: t_stop and dt must be positive");
+  }
+  const std::size_t n = tree.size();
+  const auto steps = static_cast<std::size_t>(std::ceil(opts.t_stop / opts.dt));
+
+  TransientResult out;
+  out.time.reserve(steps + 1);
+  out.node_voltage.assign(n, {});
+  for (auto& v : out.node_voltage) v.reserve(steps + 1);
+
+  TreeStepper stepper(tree);
+  out.time.push_back(0.0);
+  for (std::size_t i = 0; i < n; ++i) out.node_voltage[i].push_back(0.0);
+
+  const double h = opts.dt;
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const double t = static_cast<double>(step) * h;
+    const auto method = static_cast<int>(step) > opts.be_startup_steps
+                            ? TreeStepper::Method::kTrapezoidal
+                            : TreeStepper::Method::kBackwardEuler;
+    stepper.step(h, source_value(source, t), method);
+    out.time.push_back(t);
+    for (std::size_t ii = 0; ii < n; ++ii) {
+      out.node_voltage[ii].push_back(stepper.voltages()[ii]);
+    }
+  }
+  return out;
+}
+
+double suggest_timestep(const RlcTree& tree, double fraction) {
+  double tmin = std::numeric_limits<double>::infinity();
+  for (const auto& s : tree.sections()) {
+    const double lc = s.v.inductance * s.v.capacitance;
+    if (lc > 0.0) tmin = std::min(tmin, std::sqrt(lc));
+    const double rc = s.v.resistance * s.v.capacitance;
+    if (rc > 0.0) tmin = std::min(tmin, rc);
+  }
+  if (!std::isfinite(tmin)) throw std::invalid_argument("suggest_timestep: degenerate tree");
+  return fraction * tmin;
+}
+
+}  // namespace relmore::sim

@@ -1,0 +1,83 @@
+#include "relmore/sim/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace relmore::sim {
+
+Waveform::Waveform(std::vector<double> times, std::vector<double> values)
+    : t_(std::move(times)), v_(std::move(values)) {
+  if (t_.size() != v_.size()) throw std::invalid_argument("Waveform: size mismatch");
+  for (std::size_t i = 1; i < t_.size(); ++i) {
+    if (t_[i] <= t_[i - 1]) {
+      throw std::invalid_argument("Waveform: times must be strictly increasing");
+    }
+  }
+}
+
+double Waveform::t_begin() const {
+  if (empty()) throw std::logic_error("Waveform: empty");
+  return t_.front();
+}
+
+double Waveform::t_end() const {
+  if (empty()) throw std::logic_error("Waveform: empty");
+  return t_.back();
+}
+
+double Waveform::value_at(double t) const {
+  if (empty()) throw std::logic_error("Waveform: empty");
+  if (t <= t_.front()) return v_.front();
+  if (t >= t_.back()) return v_.back();
+  const auto it = std::upper_bound(t_.begin(), t_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - t_.begin());
+  const std::size_t lo = hi - 1;
+  const double w = (t - t_[lo]) / (t_[hi] - t_[lo]);
+  return v_[lo] + w * (v_[hi] - v_[lo]);
+}
+
+double Waveform::first_rise_crossing(double threshold) const {
+  for (std::size_t i = 1; i < t_.size(); ++i) {
+    if (v_[i - 1] < threshold && v_[i] >= threshold) {
+      const double w = (threshold - v_[i - 1]) / (v_[i] - v_[i - 1]);
+      return t_[i - 1] + w * (t_[i] - t_[i - 1]);
+    }
+  }
+  if (!v_.empty() && v_.front() >= threshold) return t_.front();
+  return -1.0;
+}
+
+double Waveform::max_value() const {
+  if (empty()) throw std::logic_error("Waveform: empty");
+  return *std::max_element(v_.begin(), v_.end());
+}
+
+double Waveform::min_value() const {
+  if (empty()) throw std::logic_error("Waveform: empty");
+  return *std::min_element(v_.begin(), v_.end());
+}
+
+double Waveform::final_value() const {
+  if (empty()) throw std::logic_error("Waveform: empty");
+  return v_.back();
+}
+
+double Waveform::max_abs_difference(const Waveform& other) const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < t_.size(); ++i) {
+    m = std::max(m, std::abs(v_[i] - other.value_at(t_[i])));
+  }
+  return m;
+}
+
+std::vector<double> uniform_grid(double t_stop, std::size_t samples) {
+  if (samples < 2 || t_stop <= 0.0) throw std::invalid_argument("uniform_grid: bad arguments");
+  std::vector<double> t(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    t[i] = t_stop * static_cast<double>(i) / static_cast<double>(samples - 1);
+  }
+  return t;
+}
+
+}  // namespace relmore::sim

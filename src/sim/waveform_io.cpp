@@ -1,0 +1,69 @@
+#include "relmore/sim/waveform_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace relmore::sim {
+
+void write_waveform_csv(const Waveform& w, std::ostream& os, const std::string& label) {
+  os << "time," << label << "\n";
+  os.precision(17);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    os << w.times()[i] << "," << w.values()[i] << "\n";
+  }
+}
+
+Waveform read_waveform_csv(std::istream& is) {
+  std::vector<double> t;
+  std::vector<double> v;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string t_cell;
+    std::string v_cell;
+    if (!std::getline(ss, t_cell, ',') || !std::getline(ss, v_cell, ',')) {
+      throw std::invalid_argument("read_waveform_csv: line " + std::to_string(line_no) +
+                                  ": need at least two columns");
+    }
+    double tv = 0.0;
+    double vv = 0.0;
+    try {
+      tv = std::stod(t_cell);
+      vv = std::stod(v_cell);
+    } catch (const std::exception&) {
+      if (line_no == 1) continue;  // header row
+      throw std::invalid_argument("read_waveform_csv: line " + std::to_string(line_no) +
+                                  ": malformed number");
+    }
+    t.push_back(tv);
+    v.push_back(vv);
+  }
+  if (t.empty()) throw std::invalid_argument("read_waveform_csv: no samples");
+  return Waveform(std::move(t), std::move(v));  // validates monotone time
+}
+
+void write_transient_csv(const TransientResult& result, std::ostream& os,
+                         const std::vector<std::string>& labels) {
+  const std::size_t n = result.node_voltage.size();
+  if (!labels.empty() && labels.size() != n) {
+    throw std::invalid_argument("write_transient_csv: label count mismatch");
+  }
+  os << "time";
+  for (std::size_t i = 0; i < n; ++i) {
+    os << "," << (labels.empty() ? "n" + std::to_string(i) : labels[i]);
+  }
+  os << "\n";
+  os.precision(17);
+  for (std::size_t s = 0; s < result.time.size(); ++s) {
+    os << result.time[s];
+    for (std::size_t i = 0; i < n; ++i) os << "," << result.node_voltage[i][s];
+    os << "\n";
+  }
+}
+
+}  // namespace relmore::sim

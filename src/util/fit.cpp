@@ -1,0 +1,148 @@
+#include "relmore/util/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace relmore::util {
+
+namespace {
+
+/// Solves the square system M x = b in place with partial pivoting.
+std::vector<double> solve_square(std::vector<std::vector<double>> M, std::vector<double> b) {
+  const std::size_t n = M.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(M[r][col]) > std::abs(M[pivot][col])) pivot = r;
+    }
+    if (M[pivot][col] == 0.0) throw std::runtime_error("solve_square: singular matrix");
+    std::swap(M[col], M[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = M[r][col] / M[col][col];
+      for (std::size_t c = col; c < n; ++c) M[r][c] -= f * M[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= M[ri][c] * x[c];
+    x[ri] = acc / M[ri][ri];
+  }
+  return x;
+}
+
+double rms(const std::vector<double>& r) {
+  double s = 0.0;
+  for (double v : r) s += v * v;
+  return std::sqrt(s / static_cast<double>(r.size()));
+}
+
+}  // namespace
+
+std::vector<double> linear_least_squares(const std::vector<std::vector<double>>& A,
+                                         const std::vector<double>& y) {
+  if (A.empty() || A.size() != y.size()) {
+    throw std::invalid_argument("linear_least_squares: shape mismatch");
+  }
+  const std::size_t m = A.size();
+  const std::size_t n = A[0].size();
+  std::vector<std::vector<double>> AtA(n, std::vector<double>(n, 0.0));
+  std::vector<double> Aty(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (A[r].size() != n) throw std::invalid_argument("linear_least_squares: ragged rows");
+    for (std::size_t i = 0; i < n; ++i) {
+      Aty[i] += A[r][i] * y[r];
+      for (std::size_t j = 0; j < n; ++j) AtA[i][j] += A[r][i] * A[r][j];
+    }
+  }
+  return solve_square(std::move(AtA), std::move(Aty));
+}
+
+FitResult fit_nonlinear(const std::function<double(double, const std::vector<double>&)>& model,
+                        const std::vector<double>& xs, const std::vector<double>& ys,
+                        std::vector<double> p0, int max_iter, double tol) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument("fit_nonlinear: shape mismatch");
+  }
+  const std::size_t m = xs.size();
+  const std::size_t np = p0.size();
+
+  auto residuals = [&](const std::vector<double>& p) {
+    std::vector<double> r(m);
+    for (std::size_t i = 0; i < m; ++i) r[i] = model(xs[i], p) - ys[i];
+    return r;
+  };
+
+  std::vector<double> p = std::move(p0);
+  std::vector<double> r = residuals(p);
+  double cost = rms(r);
+  double lambda = 1e-3;
+  FitResult out;
+
+  for (int iter = 0; iter < max_iter; ++iter) {
+    out.iterations = iter + 1;
+    // Forward-difference Jacobian.
+    std::vector<std::vector<double>> J(m, std::vector<double>(np));
+    for (std::size_t j = 0; j < np; ++j) {
+      const double h = 1e-7 * (1.0 + std::abs(p[j]));
+      std::vector<double> pj = p;
+      pj[j] += h;
+      for (std::size_t i = 0; i < m; ++i) J[i][j] = (model(xs[i], pj) - (r[i] + ys[i])) / h;
+    }
+    // Normal equations with Levenberg damping: (JtJ + lambda diag) dp = -Jt r
+    std::vector<std::vector<double>> JtJ(np, std::vector<double>(np, 0.0));
+    std::vector<double> Jtr(np, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t a = 0; a < np; ++a) {
+        Jtr[a] += J[i][a] * r[i];
+        for (std::size_t b = 0; b < np; ++b) JtJ[a][b] += J[i][a] * J[i][b];
+      }
+    }
+    bool improved = false;
+    for (int attempt = 0; attempt < 12 && !improved; ++attempt) {
+      auto M = JtJ;
+      for (std::size_t a = 0; a < np; ++a) M[a][a] += lambda * (JtJ[a][a] + 1e-12);
+      std::vector<double> rhs(np);
+      for (std::size_t a = 0; a < np; ++a) rhs[a] = -Jtr[a];
+      std::vector<double> dp;
+      try {
+        dp = solve_square(std::move(M), std::move(rhs));
+      } catch (const std::runtime_error&) {
+        lambda *= 10.0;
+        continue;
+      }
+      std::vector<double> pn(np);
+      for (std::size_t a = 0; a < np; ++a) pn[a] = p[a] + dp[a];
+      const std::vector<double> rn = residuals(pn);
+      const double cn = rms(rn);
+      if (cn < cost) {
+        double step = 0.0;
+        for (double v : dp) step = std::max(step, std::abs(v));
+        p = std::move(pn);
+        r = rn;
+        const double drop = cost - cn;
+        cost = cn;
+        lambda = std::max(lambda * 0.3, 1e-12);
+        improved = true;
+        if (step < tol || drop < tol * (1.0 + cost)) {
+          out.converged = true;
+        }
+      } else {
+        lambda *= 10.0;
+      }
+    }
+    if (!improved || out.converged) {
+      out.converged = out.converged || !improved;
+      break;
+    }
+  }
+  out.params = std::move(p);
+  out.rms_residual = cost;
+  out.max_abs_residual = 0.0;
+  for (double v : r) out.max_abs_residual = std::max(out.max_abs_residual, std::abs(v));
+  return out;
+}
+
+}  // namespace relmore::util

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file fit.hpp
+/// Least-squares fitting: linear (normal equations) and damped Gauss–Newton
+/// (Levenberg) for small nonlinear models. Used to re-derive the paper's
+/// curve-fit coefficients for the time-scaled 50% delay and rise time
+/// (paper eqs. 33–34).
+
+#include <functional>
+#include <vector>
+
+namespace relmore::util {
+
+/// Result of a fit: parameter vector and residual quality.
+struct FitResult {
+  std::vector<double> params;
+  double rms_residual = 0.0;
+  double max_abs_residual = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Solves min ||A p - y||_2 where A is given row-major (rows x cols,
+/// rows >= cols) via normal equations with partial-pivot Gaussian
+/// elimination. Small dense problems only.
+std::vector<double> linear_least_squares(const std::vector<std::vector<double>>& A,
+                                         const std::vector<double>& y);
+
+/// Damped Gauss–Newton (Levenberg) fit of model(x, p) to samples (xs, ys).
+/// The Jacobian is formed by forward differences. `p0` seeds the iteration.
+FitResult fit_nonlinear(const std::function<double(double, const std::vector<double>&)>& model,
+                        const std::vector<double>& xs, const std::vector<double>& ys,
+                        std::vector<double> p0, int max_iter = 200, double tol = 1e-12);
+
+}  // namespace relmore::util

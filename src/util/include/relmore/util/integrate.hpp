@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file integrate.hpp
+/// Adaptive Dormand–Prince RK45 ODE integration for small dense systems, and
+/// adaptive Simpson quadrature. The ODE integrator is an *independent* cross
+/// check for the circuit engines (it knows nothing about MNA or companion
+/// models) and the driver for arbitrary-input responses of the second-order
+/// macromodel.
+
+#include <functional>
+#include <vector>
+
+namespace relmore::util {
+
+/// dy/dt = f(t, y); f writes the derivative into `dydt` (same size as y).
+using OdeRhs = std::function<void(double t, const std::vector<double>& y,
+                                  std::vector<double>& dydt)>;
+
+struct OdeOptions {
+  double rel_tol = 1e-9;
+  double abs_tol = 1e-12;
+  double initial_step = 0.0;  ///< 0 = auto
+  double max_step = 0.0;      ///< 0 = unbounded
+  std::size_t max_steps = 2'000'000;
+};
+
+/// Integrates from (t0, y0) to t1, invoking `observe(t, y)` after every
+/// accepted step (including the initial state). Returns the final state.
+/// Throws std::runtime_error if the step count is exhausted.
+std::vector<double> integrate_ode(const OdeRhs& f, double t0, std::vector<double> y0, double t1,
+                                  const OdeOptions& opts = {},
+                                  const std::function<void(double, const std::vector<double>&)>&
+                                      observe = nullptr);
+
+/// Adaptive Simpson quadrature of f over [a, b].
+double integrate_quad(const std::function<double(double)>& f, double a, double b,
+                      double tol = 1e-10, int max_depth = 40);
+
+}  // namespace relmore::util

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file laplace.hpp
+/// Numerical inverse Laplace transform (fixed Talbot contour). Interconnect
+/// macromodels live in the s-domain; Talbot inversion turns any transfer
+/// function evaluable at complex s into a time-domain sample without
+/// eigenvalue analysis or time stepping — a fourth, independent route to
+/// reference waveforms (modal, trapezoidal, RK45 being the others).
+
+#include <complex>
+#include <functional>
+
+namespace relmore::util {
+
+/// F: the Laplace-domain function, evaluable at complex s with Re(s) along
+/// the Talbot contour. Returns f(t) for t > 0. `terms` trades accuracy for
+/// F-evaluations; 32 gives ~1e-8 for smooth, stable F. Throws
+/// std::invalid_argument for t <= 0.
+double invert_laplace_talbot(const std::function<std::complex<double>(std::complex<double>)>& F,
+                             double t, int terms = 32);
+
+}  // namespace relmore::util

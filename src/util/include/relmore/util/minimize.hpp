@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file minimize.hpp
+/// Scalar minimization (golden-section) and cyclic coordinate descent —
+/// the optimization loops the closed-form delay models are designed to
+/// live inside ("continuous ... useful for optimization", paper §IV).
+
+#include <functional>
+#include <vector>
+
+namespace relmore::util {
+
+/// Result of a scalar minimization.
+struct MinimizeResult {
+  double x = 0.0;
+  double f = 0.0;
+  int evaluations = 0;
+};
+
+/// Golden-section search for a minimum of a unimodal f on [a, b].
+MinimizeResult minimize_golden(const std::function<double(double)>& f, double a, double b,
+                               double x_tol = 1e-9, int max_iter = 200);
+
+/// Options for coordinate descent.
+struct CoordinateDescentOptions {
+  int max_sweeps = 60;
+  double x_tol = 1e-6;       ///< per-coordinate golden-section tolerance
+  double f_tol = 1e-12;      ///< stop when a full sweep improves less than this
+};
+
+/// Result of a multivariate minimization.
+struct CoordinateDescentResult {
+  std::vector<double> x;
+  double f = 0.0;
+  int sweeps = 0;
+  bool converged = false;
+};
+
+/// Cyclic coordinate descent with golden-section line searches, boxed to
+/// [lo[i], hi[i]] per coordinate. Suitable for the smooth, low-dimensional
+/// sizing problems in relmore::opt; not a general NLP solver.
+CoordinateDescentResult minimize_coordinate_descent(
+    const std::function<double(const std::vector<double>&)>& f, std::vector<double> x0,
+    const std::vector<double>& lo, const std::vector<double>& hi,
+    const CoordinateDescentOptions& opts = {});
+
+}  // namespace relmore::util

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file polynomial.hpp
+/// Real-coefficient polynomials with complex root extraction.
+///
+/// Used by the AWE/Padé model (denominator roots = approximate poles) and by
+/// the two-pole baseline. Roots are found with the Durand–Kerner
+/// (Weierstrass) simultaneous iteration, which is robust for the low orders
+/// (<= ~12) that interconnect macromodels need.
+
+#include <complex>
+#include <vector>
+
+namespace relmore::util {
+
+/// Polynomial `c[0] + c[1] x + ... + c[n] x^n` over the reals.
+class Polynomial {
+ public:
+  Polynomial() = default;
+  /// Coefficients in ascending-power order. Trailing zeros are trimmed.
+  explicit Polynomial(std::vector<double> ascending_coeffs);
+
+  /// Degree; the zero polynomial reports degree 0.
+  [[nodiscard]] int degree() const;
+  [[nodiscard]] const std::vector<double>& coeffs() const { return c_; }
+
+  [[nodiscard]] double operator()(double x) const;
+  [[nodiscard]] std::complex<double> operator()(std::complex<double> x) const;
+
+  [[nodiscard]] Polynomial derivative() const;
+
+  /// All complex roots via Durand–Kerner. Conjugate symmetry is enforced on
+  /// the result (imaginary parts below a relative tolerance are snapped to
+  /// zero). Throws std::invalid_argument for the zero polynomial.
+  [[nodiscard]] std::vector<std::complex<double>> roots(int max_iter = 500,
+                                                        double tol = 1e-13) const;
+
+ private:
+  std::vector<double> c_{0.0};
+};
+
+}  // namespace relmore::util

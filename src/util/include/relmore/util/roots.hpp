@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file roots.hpp
+/// Scalar root finding: bracketed bisection and Brent's method.
+
+#include <functional>
+#include <optional>
+
+namespace relmore::util {
+
+/// Options controlling the iteration of a scalar root search.
+struct RootOptions {
+  double x_tol = 1e-13;    ///< absolute tolerance on the bracket width
+  double f_tol = 0.0;      ///< stop when |f(x)| <= f_tol (0 = rely on x_tol)
+  int max_iter = 200;      ///< iteration cap
+};
+
+/// Finds a root of `f` in the bracket [a, b] with Brent's method.
+///
+/// Requires f(a) and f(b) to have opposite signs (either may be zero).
+/// Returns std::nullopt when the bracket is invalid or the iteration cap is
+/// exceeded without convergence.
+std::optional<double> brent(const std::function<double(double)>& f, double a, double b,
+                            const RootOptions& opts = {});
+
+/// Plain bisection; slower than brent() but immune to pathological functions.
+std::optional<double> bisect(const std::function<double(double)>& f, double a, double b,
+                             const RootOptions& opts = {});
+
+/// Expands [a, b] geometrically to the right until f changes sign, then
+/// finds the root with brent(). Useful for "first crossing after t=a"
+/// searches where the right edge is unknown. `growth` scales the step each
+/// attempt; gives up after `max_expand` expansions.
+std::optional<double> find_root_forward(const std::function<double(double)>& f, double a,
+                                        double initial_step, double growth = 1.6,
+                                        int max_expand = 200, const RootOptions& opts = {});
+
+}  // namespace relmore::util

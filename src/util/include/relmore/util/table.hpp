@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file table.hpp
+/// Minimal text-table / CSV emitter used by the benchmark harness so every
+/// figure-reproduction binary prints the same machine-readable rows.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace relmore::util {
+
+/// Column-aligned text table with an optional CSV rendering.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 6);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with padded columns, a header rule, and a leading title line.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Renders as CSV (header + rows).
+  void print_csv(std::ostream& os) const;
+
+  /// Formats a double with fixed significant digits (shared helper).
+  static std::string fmt(double v, int precision = 6);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace relmore::util

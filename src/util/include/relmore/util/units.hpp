@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file units.hpp
+/// SI unit helpers for circuit quantities. All library quantities are plain
+/// `double` in base SI units (ohm, henry, farad, second, volt); these literal
+/// suffixes exist so example/test circuits read like a datasheet:
+/// `25.0_ohm, 2.0_nH, 0.2_pF`.
+
+namespace relmore::util {
+
+// NOLINTBEGIN(google-runtime-int) — UDL operators require long double.
+constexpr double operator""_ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kohm(long double v) { return static_cast<double>(v) * 1e3; }
+
+constexpr double operator""_H(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mH(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uH(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nH(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pH(long double v) { return static_cast<double>(v) * 1e-12; }
+
+constexpr double operator""_F(long double v) { return static_cast<double>(v); }
+constexpr double operator""_uF(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nF(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ps(long double v) { return static_cast<double>(v) * 1e-12; }
+
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+// NOLINTEND(google-runtime-int)
+
+}  // namespace relmore::util

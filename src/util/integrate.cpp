@@ -1,0 +1,124 @@
+#include "relmore/util/integrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace relmore::util {
+
+namespace {
+
+// Dormand–Prince 5(4) tableau.
+constexpr double kC[7] = {0.0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1.0, 1.0};
+constexpr double kA[7][6] = {
+    {},
+    {1.0 / 5},
+    {3.0 / 40, 9.0 / 40},
+    {44.0 / 45, -56.0 / 15, 32.0 / 9},
+    {19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
+    {9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656},
+    {35.0 / 384, 0.0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84},
+};
+constexpr double kB5[7] = {35.0 / 384,     0.0,  500.0 / 1113, 125.0 / 192,
+                           -2187.0 / 6784, 11.0 / 84, 0.0};
+constexpr double kB4[7] = {5179.0 / 57600,  0.0,        7571.0 / 16695, 393.0 / 640,
+                           -92097.0 / 339200, 187.0 / 2100, 1.0 / 40};
+
+}  // namespace
+
+std::vector<double> integrate_ode(
+    const OdeRhs& f, double t0, std::vector<double> y0, double t1, const OdeOptions& opts,
+    const std::function<void(double, const std::vector<double>&)>& observe) {
+  if (t1 < t0) throw std::invalid_argument("integrate_ode: t1 < t0");
+  const std::size_t n = y0.size();
+  std::vector<double> y = std::move(y0);
+  if (observe) observe(t0, y);
+  if (t1 == t0) return y;
+
+  double h = opts.initial_step > 0.0 ? opts.initial_step : (t1 - t0) / 1000.0;
+  if (opts.max_step > 0.0) h = std::min(h, opts.max_step);
+  double t = t0;
+
+  std::vector<std::vector<double>> k(7, std::vector<double>(n));
+  std::vector<double> ytmp(n);
+  std::vector<double> y5(n);
+  std::vector<double> y4(n);
+
+  for (std::size_t step = 0; step < opts.max_steps; ++step) {
+    if (t >= t1) return y;
+    h = std::min(h, t1 - t);
+
+    f(t, y, k[0]);
+    for (int s = 1; s < 7; ++s) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = y[i];
+        for (int j = 0; j < s; ++j) acc += h * kA[s][j] * k[j][i];
+        ytmp[i] = acc;
+      }
+      f(t + kC[s] * h, ytmp, k[s]);
+    }
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc5 = y[i];
+      double acc4 = y[i];
+      for (int s = 0; s < 7; ++s) {
+        acc5 += h * kB5[s] * k[s][i];
+        acc4 += h * kB4[s] * k[s][i];
+      }
+      y5[i] = acc5;
+      y4[i] = acc4;
+      const double sc = opts.abs_tol + opts.rel_tol * std::max(std::abs(y[i]), std::abs(acc5));
+      const double e = (acc5 - acc4) / sc;
+      err += e * e;
+    }
+    err = std::sqrt(err / static_cast<double>(n));
+
+    if (err <= 1.0) {
+      t += h;
+      y.swap(y5);
+      if (observe) observe(t, y);
+    }
+    const double safety = 0.9;
+    double factor = err > 0.0 ? safety * std::pow(err, -0.2) : 5.0;
+    factor = std::clamp(factor, 0.2, 5.0);
+    h *= factor;
+    if (opts.max_step > 0.0) h = std::min(h, opts.max_step);
+    if (h < 1e-16 * (t1 - t0)) throw std::runtime_error("integrate_ode: step underflow");
+  }
+  throw std::runtime_error("integrate_ode: max step count exceeded");
+}
+
+namespace {
+
+double simpson(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(const std::function<double(double)>& f, double a, double fa, double b, double fb,
+                double m, double fm, double whole, double tol, int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(a, fa, m, fm, flm);
+  const double right = simpson(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) return left + right + delta / 15.0;
+  return adaptive(f, a, fa, m, fm, lm, flm, left, 0.5 * tol, depth - 1) +
+         adaptive(f, m, fm, b, fb, rm, frm, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double integrate_quad(const std::function<double(double)>& f, double a, double b, double tol,
+                      int max_depth) {
+  if (a == b) return 0.0;
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(m);
+  const double whole = simpson(a, fa, b, fb, fm);
+  return adaptive(f, a, fa, b, fb, m, fm, whole, tol, max_depth);
+}
+
+}  // namespace relmore::util

@@ -1,0 +1,34 @@
+#include "relmore/util/laplace.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace relmore::util {
+
+double invert_laplace_talbot(
+    const std::function<std::complex<double>(std::complex<double>)>& F, double t, int terms) {
+  if (t <= 0.0) throw std::invalid_argument("invert_laplace_talbot: t must be positive");
+  if (terms < 4) throw std::invalid_argument("invert_laplace_talbot: terms must be >= 4");
+  // Fixed Talbot contour (Abate & Valko): s(theta) = r*theta*(cot(theta) + i),
+  // theta in (-pi, pi), with r = 2*M/(5t). Midpoint rule over theta > 0,
+  // doubling the real part by conjugate symmetry, plus the theta = 0 term.
+  const int M = terms;
+  const double r = 2.0 * static_cast<double>(M) / (5.0 * t);
+
+  // theta = 0 term: s = r, ds/dtheta contributes weight 0.5 * e^{rt} F(r).
+  double acc = 0.5 * std::exp(r * t) * F(std::complex<double>(r, 0.0)).real();
+
+  for (int k = 1; k < M; ++k) {
+    const double theta = static_cast<double>(k) * M_PI / static_cast<double>(M);
+    const double cot = std::cos(theta) / std::sin(theta);
+    const std::complex<double> s(r * theta * cot, r * theta);
+    // sigma(theta) = theta + (theta*cot - 1)*cot  — the contour derivative factor.
+    const double sigma = theta + (theta * cot - 1.0) * cot;
+    const std::complex<double> integrand =
+        std::exp(s * t) * F(s) * std::complex<double>(1.0, sigma);
+    acc += integrand.real();
+  }
+  return acc * r / static_cast<double>(M);
+}
+
+}  // namespace relmore::util

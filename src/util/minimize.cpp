@@ -1,0 +1,87 @@
+#include "relmore/util/minimize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace relmore::util {
+
+MinimizeResult minimize_golden(const std::function<double(double)>& f, double a, double b,
+                               double x_tol, int max_iter) {
+  if (b < a) throw std::invalid_argument("minimize_golden: b < a");
+  constexpr double kInvPhi = 0.6180339887498949;
+  MinimizeResult out;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  out.evaluations = 2;
+  for (int i = 0; i < max_iter && (b - a) > x_tol; ++i) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+    ++out.evaluations;
+  }
+  if (f1 <= f2) {
+    out.x = x1;
+    out.f = f1;
+  } else {
+    out.x = x2;
+    out.f = f2;
+  }
+  return out;
+}
+
+CoordinateDescentResult minimize_coordinate_descent(
+    const std::function<double(const std::vector<double>&)>& f, std::vector<double> x0,
+    const std::vector<double>& lo, const std::vector<double>& hi,
+    const CoordinateDescentOptions& opts) {
+  const std::size_t n = x0.size();
+  if (lo.size() != n || hi.size() != n) {
+    throw std::invalid_argument("minimize_coordinate_descent: bound size mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (hi[i] < lo[i]) throw std::invalid_argument("minimize_coordinate_descent: hi < lo");
+    if (x0[i] < lo[i] || x0[i] > hi[i]) {
+      throw std::invalid_argument("minimize_coordinate_descent: x0 out of bounds");
+    }
+  }
+  CoordinateDescentResult out;
+  out.x = std::move(x0);
+  out.f = f(out.x);
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    out.sweeps = sweep + 1;
+    const double before = out.f;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double>& x = out.x;
+      const auto line = [&](double xi) {
+        const double saved = x[i];
+        x[i] = xi;
+        const double v = f(x);
+        x[i] = saved;
+        return v;
+      };
+      const MinimizeResult m = minimize_golden(line, lo[i], hi[i], opts.x_tol);
+      if (m.f < out.f) {
+        x[i] = m.x;
+        out.f = m.f;
+      }
+    }
+    if (before - out.f < opts.f_tol * (1.0 + std::abs(before))) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace relmore::util

@@ -1,0 +1,90 @@
+#include "relmore/util/polynomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace relmore::util {
+
+Polynomial::Polynomial(std::vector<double> ascending_coeffs) : c_(std::move(ascending_coeffs)) {
+  while (c_.size() > 1 && c_.back() == 0.0) c_.pop_back();
+  if (c_.empty()) c_.push_back(0.0);
+}
+
+int Polynomial::degree() const { return static_cast<int>(c_.size()) - 1; }
+
+double Polynomial::operator()(double x) const {
+  double acc = 0.0;
+  for (auto it = c_.rbegin(); it != c_.rend(); ++it) acc = acc * x + *it;
+  return acc;
+}
+
+std::complex<double> Polynomial::operator()(std::complex<double> x) const {
+  std::complex<double> acc = 0.0;
+  for (auto it = c_.rbegin(); it != c_.rend(); ++it) acc = acc * x + *it;
+  return acc;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (c_.size() <= 1) return Polynomial{{0.0}};
+  std::vector<double> d(c_.size() - 1);
+  for (std::size_t i = 1; i < c_.size(); ++i) d[i - 1] = c_[i] * static_cast<double>(i);
+  return Polynomial{std::move(d)};
+}
+
+std::vector<std::complex<double>> Polynomial::roots(int max_iter, double tol) const {
+  const int n = degree();
+  if (n == 0) {
+    if (c_[0] == 0.0) throw std::invalid_argument("Polynomial::roots: zero polynomial");
+    return {};
+  }
+  // Normalize to monic.
+  std::vector<double> a(c_.begin(), c_.end());
+  const double lead = a.back();
+  for (double& v : a) v /= lead;
+
+  // Cauchy bound on root magnitude seeds the Durand–Kerner circle.
+  double bound = 0.0;
+  for (int i = 0; i < n; ++i) bound = std::max(bound, std::abs(a[i]));
+  bound += 1.0;
+
+  std::vector<std::complex<double>> z(static_cast<std::size_t>(n));
+  // Non-real seed angle avoids symmetry traps for real-coefficient inputs.
+  const std::complex<double> seed = 0.4 * bound * std::polar(1.0, 0.9);
+  for (int i = 0; i < n; ++i) {
+    z[static_cast<std::size_t>(i)] =
+        seed * std::polar(1.0, 2.0 * M_PI * static_cast<double>(i) / static_cast<double>(n));
+  }
+
+  const Polynomial monic{a};
+  for (int iter = 0; iter < max_iter; ++iter) {
+    double max_step = 0.0;
+    for (int i = 0; i < n; ++i) {
+      std::complex<double> denom = 1.0;
+      for (int j = 0; j < n; ++j) {
+        if (j != i) denom *= (z[static_cast<std::size_t>(i)] - z[static_cast<std::size_t>(j)]);
+      }
+      if (denom == std::complex<double>{0.0, 0.0}) {
+        // Perturb coincident iterates.
+        z[static_cast<std::size_t>(i)] += 1e-8 * bound;
+        continue;
+      }
+      const std::complex<double> step = monic(z[static_cast<std::size_t>(i)]) / denom;
+      z[static_cast<std::size_t>(i)] -= step;
+      max_step = std::max(max_step, std::abs(step));
+    }
+    if (max_step < tol * bound) break;
+  }
+
+  // Snap near-real roots and enforce conjugate pairing for presentation.
+  for (auto& r : z) {
+    if (std::abs(r.imag()) < 1e-9 * (1.0 + std::abs(r.real()))) r = {r.real(), 0.0};
+  }
+  std::sort(z.begin(), z.end(), [](const auto& p, const auto& q) {
+    if (p.real() != q.real()) return p.real() < q.real();
+    return p.imag() < q.imag();
+  });
+  return z;
+}
+
+}  // namespace relmore::util

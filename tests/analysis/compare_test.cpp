@@ -1,0 +1,99 @@
+#include "relmore/analysis/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/eed/eed.hpp"
+
+namespace relmore::analysis {
+namespace {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+TEST(ZetaTargeting, HitsTargetExactly) {
+  RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  const double factor = scale_inductance_for_zeta(t, 6, 0.5);
+  EXPECT_GT(factor, 0.0);
+  const auto model = eed::analyze(t);
+  EXPECT_NEAR(model.at(6).zeta, 0.5, 1e-9);
+}
+
+TEST(ZetaTargeting, RejectsBadTargets) {
+  RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  EXPECT_THROW(scale_inductance_for_zeta(t, 6, 0.0), std::invalid_argument);
+  RlcTree rc = circuit::make_line(2, {100.0, 0.0, 1e-12});
+  EXPECT_THROW(scale_inductance_for_zeta(rc, 1, 0.5), std::invalid_argument);
+}
+
+TEST(ReferenceWaveform, ModalAndTreeEngineAgree) {
+  const RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  // Small strict-RLC tree uses the modal path; force the tree-engine path
+  // by querying through a large horizon helper comparison instead:
+  const sim::Waveform ref =
+      reference_waveform(t, 6, sim::StepSource{1.0}, 5e-9, 501);
+  EXPECT_NEAR(ref.final_value(), 1.0, 2e-2);
+  EXPECT_NEAR(ref.values().front(), 0.0, 1e-12);
+}
+
+TEST(ReferenceWaveform, FallsBackForRcTrees) {
+  const RlcTree rc = circuit::make_balanced_tree(3, 2, {100.0, 0.0, 0.1e-12});
+  const sim::Waveform ref =
+      reference_waveform(rc, 6, sim::StepSource{1.0}, 2e-10, 301);
+  EXPECT_GT(ref.final_value(), 0.5);
+  EXPECT_LE(ref.max_value(), 1.0 + 1e-6);  // RC: no overshoot
+}
+
+TEST(ReferenceWaveform, RejectsBadHorizon) {
+  const RlcTree t = circuit::make_line(1, {10.0, 1e-9, 1e-12});
+  EXPECT_THROW(reference_waveform(t, 0, sim::StepSource{1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(SuggestHorizon, LongEnoughToSettle) {
+  const RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  const auto model = eed::analyze(t);
+  const double h = suggest_horizon(model.at(6));
+  const sim::Waveform ref = reference_waveform(t, 6, sim::StepSource{1.0}, h, 1001);
+  EXPECT_NEAR(ref.final_value(), 1.0, 0.02);
+}
+
+TEST(CompareStep, BalancedFig5DelayErrorSmall) {
+  // The paper's headline: < 4% delay error on the balanced Fig. 5 tree.
+  RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  scale_inductance_for_zeta(t, 6, 0.8);
+  const StepComparison c = compare_step_response(t, 6);
+  EXPECT_NEAR(c.zeta, 0.8, 1e-9);
+  EXPECT_GT(c.ref_delay_50, 0.0);
+  EXPECT_LT(c.delay_err_pct, 5.0);
+}
+
+TEST(CompareStep, PopulatesAllBaselines) {
+  RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  const StepComparison c = compare_step_response(t, 6);
+  EXPECT_GT(c.eed_delay_50, 0.0);
+  EXPECT_GT(c.eed_delay_exact, 0.0);
+  EXPECT_GT(c.wyatt_delay_50, 0.0);
+  EXPECT_GT(c.elmore_delay_50, c.wyatt_delay_50);  // tau > ln2 tau
+  EXPECT_GT(c.eed_rise, 0.0);
+  EXPECT_GE(c.waveform_max_err, 0.0);
+}
+
+TEST(CompareStep, UnderdampedNodeReportsOvershoot) {
+  RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  scale_inductance_for_zeta(t, 6, 0.4);
+  const StepComparison c = compare_step_response(t, 6);
+  EXPECT_GT(c.eed_overshoot_pct, 10.0);
+  EXPECT_GT(c.ref_overshoot_pct, 5.0);
+}
+
+TEST(CompareStep, WyattWorseThanEedWhenInductanceDominates) {
+  RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  scale_inductance_for_zeta(t, 6, 0.35);
+  const StepComparison c = compare_step_response(t, 6);
+  EXPECT_LT(c.delay_err_pct, c.wyatt_err_pct);
+}
+
+}  // namespace
+}  // namespace relmore::analysis

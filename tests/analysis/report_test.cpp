@@ -1,0 +1,88 @@
+#include "relmore/analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/eed/eed.hpp"
+
+namespace relmore::analysis {
+namespace {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+TEST(Report, RowPerNode) {
+  SectionId out = circuit::kInput;
+  const RlcTree t = circuit::make_fig8_tree(&out);
+  const auto rows = tree_timing_report(t);
+  ASSERT_EQ(rows.size(), t.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].node, static_cast<SectionId>(i));
+    EXPECT_GT(rows[i].delay_50, 0.0);
+    EXPECT_GT(rows[i].rise_time, 0.0);
+    EXPECT_GT(rows[i].settling_time, 0.0);
+  }
+}
+
+TEST(Report, MarksSinks) {
+  SectionId out = circuit::kInput;
+  const RlcTree t = circuit::make_fig8_tree(&out);
+  const auto rows = tree_timing_report(t);
+  const auto leaves = t.leaves();
+  int sink_count = 0;
+  for (const auto& r : rows) {
+    if (r.is_sink) ++sink_count;
+  }
+  EXPECT_EQ(static_cast<std::size_t>(sink_count), leaves.size());
+  EXPECT_TRUE(rows[static_cast<std::size_t>(out)].is_sink);
+  EXPECT_FALSE(rows[0].is_sink);
+}
+
+TEST(Report, ValuesMatchDirectCalls) {
+  SectionId out = circuit::kInput;
+  const RlcTree t = circuit::make_fig8_tree(&out);
+  const auto rows = tree_timing_report(t);
+  const auto model = eed::analyze(t);
+  const auto& row = rows[static_cast<std::size_t>(out)];
+  EXPECT_DOUBLE_EQ(row.delay_50, eed::delay_50(model.at(out)));
+  EXPECT_DOUBLE_EQ(row.rise_time, eed::rise_time(model.at(out)));
+  EXPECT_DOUBLE_EQ(row.wyatt_delay, eed::wyatt_delay_50(model.at(out).sum_rc));
+}
+
+TEST(Report, TableRenders) {
+  SectionId out = circuit::kInput;
+  const RlcTree t = circuit::make_fig8_tree(&out);
+  const auto table = timing_table(tree_timing_report(t));
+  EXPECT_EQ(table.rows(), t.size());
+  std::ostringstream os;
+  table.print(os, "report");
+  EXPECT_NE(os.str().find("t50 [ps]"), std::string::npos);
+  EXPECT_NE(os.str().find("O"), std::string::npos);
+  EXPECT_THROW(timing_table(tree_timing_report(t), 0.0), std::invalid_argument);
+}
+
+TEST(Report, SkewZeroOnBalancedTree) {
+  const RlcTree h = circuit::make_h_tree(4, {40.0, 4e-9, 0.4e-12});
+  const SkewSummary s = sink_skew(h);
+  EXPECT_NEAR(s.skew(), 0.0, 1e-16);
+  EXPECT_GT(s.min_delay, 0.0);
+}
+
+TEST(Report, SkewDetectsLoadMismatch) {
+  RlcTree h = circuit::make_h_tree(3, {40.0, 4e-9, 0.4e-12});
+  const auto sinks = h.leaves();
+  h.values(sinks.front()).capacitance *= 2.0;
+  const SkewSummary s = sink_skew(h);
+  EXPECT_GT(s.skew(), 0.0);
+  EXPECT_EQ(s.slowest, sinks.front());
+}
+
+TEST(Report, RejectsEmptyTree) {
+  EXPECT_THROW(tree_timing_report(RlcTree{}), std::invalid_argument);
+  EXPECT_THROW(sink_skew(RlcTree{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace relmore::analysis

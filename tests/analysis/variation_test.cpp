@@ -1,0 +1,98 @@
+#include "relmore/analysis/variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/eed/eed.hpp"
+
+namespace relmore::analysis {
+namespace {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+RlcTree test_tree(SectionId* out) { return circuit::make_fig8_tree(out); }
+
+TEST(Variation, DeterministicForSeed) {
+  SectionId out = circuit::kInput;
+  const RlcTree t = test_tree(&out);
+  const VariationSpec spec;
+  const auto a = monte_carlo_delay(t, out, spec, 200, 7);
+  const auto b = monte_carlo_delay(t, out, spec, 200, 7);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
+  EXPECT_DOUBLE_EQ(a.q95, b.q95);
+}
+
+TEST(Variation, ZeroSigmaCollapsesToNominal) {
+  SectionId out = circuit::kInput;
+  const RlcTree t = test_tree(&out);
+  VariationSpec spec;
+  spec.sigma_resistance = 0.0;
+  spec.sigma_inductance = 0.0;
+  spec.sigma_capacitance = 0.0;
+  const auto d = monte_carlo_delay(t, out, spec, 50, 1);
+  EXPECT_NEAR(d.stddev, 0.0, 1e-12 * d.nominal);
+  EXPECT_NEAR(d.mean, d.nominal, 1e-12 * d.nominal);
+  EXPECT_DOUBLE_EQ(d.min, d.max);
+}
+
+TEST(Variation, StatisticsAreOrdered) {
+  SectionId out = circuit::kInput;
+  const RlcTree t = test_tree(&out);
+  const auto d = monte_carlo_delay(t, out, VariationSpec{}, 500, 3);
+  EXPECT_LE(d.min, d.mean);
+  EXPECT_LE(d.mean, d.max);
+  EXPECT_GE(d.q95, d.mean - d.stddev);
+  EXPECT_LE(d.q95, d.max);
+  EXPECT_GT(d.stddev, 0.0);
+  // Mean near nominal for moderate sigmas.
+  EXPECT_NEAR(d.mean, d.nominal, 0.1 * d.nominal);
+}
+
+TEST(Variation, SpreadGrowsWithSigma) {
+  SectionId out = circuit::kInput;
+  const RlcTree t = test_tree(&out);
+  VariationSpec small;
+  small.sigma_resistance = small.sigma_capacitance = 0.02;
+  small.sigma_inductance = 0.01;
+  VariationSpec large;
+  large.sigma_resistance = large.sigma_capacitance = 0.15;
+  large.sigma_inductance = 0.08;
+  const auto ds = monte_carlo_delay(t, out, small, 400, 5);
+  const auto dl = monte_carlo_delay(t, out, large, 400, 5);
+  EXPECT_GT(dl.stddev, 3.0 * ds.stddev);
+}
+
+TEST(Variation, LinearEstimateTracksMonteCarloForSmallSigma) {
+  SectionId out = circuit::kInput;
+  const RlcTree t = test_tree(&out);
+  VariationSpec spec;
+  spec.sigma_resistance = 0.03;
+  spec.sigma_inductance = 0.02;
+  spec.sigma_capacitance = 0.03;
+  const double linear = delay_stddev_linear(t, out, spec);
+  const auto mc = monte_carlo_delay(t, out, spec, 4000, 17);
+  EXPECT_NEAR(linear, mc.stddev, 0.2 * mc.stddev);
+}
+
+TEST(Variation, RejectsTooFewSamples) {
+  SectionId out = circuit::kInput;
+  const RlcTree t = test_tree(&out);
+  EXPECT_THROW(monte_carlo_delay(t, out, VariationSpec{}, 1, 0), std::invalid_argument);
+}
+
+TEST(Variation, LinearEstimateZeroForZeroSigma) {
+  SectionId out = circuit::kInput;
+  const RlcTree t = test_tree(&out);
+  VariationSpec spec;
+  spec.sigma_resistance = 0.0;
+  spec.sigma_inductance = 0.0;
+  spec.sigma_capacitance = 0.0;
+  EXPECT_DOUBLE_EQ(delay_stddev_linear(t, out, spec), 0.0);
+}
+
+}  // namespace
+}  // namespace relmore::analysis

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/circuit/random_tree.hpp"
+#include "relmore/eed/model.hpp"
+#include "relmore/sim/mna.hpp"
+#include "relmore/sim/tree_transient.hpp"
+
+namespace relmore::circuit {
+namespace {
+
+TEST(Binarize, BinaryTreeUnchanged) {
+  const RlcTree t = make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  std::vector<SectionId> back;
+  const RlcTree b = binarize(t, &back);
+  EXPECT_EQ(b.size(), t.size());  // no stubs needed
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NE(back[i], kInput);
+  }
+}
+
+TEST(Binarize, WideNodeGetsStubs) {
+  const RlcTree t = make_balanced_tree(2, 5, {10.0, 1e-9, 0.1e-12});
+  const RlcTree b = binarize(t);
+  EXPECT_GT(b.size(), t.size());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_LE(b.children(static_cast<SectionId>(i)).size(), 2u) << "node " << i;
+  }
+  EXPECT_DOUBLE_EQ(b.total_capacitance(), t.total_capacitance());
+}
+
+TEST(Binarize, EedAnalysisInvariant) {
+  // The Appendix claim: the transformation is electrically neutral, so the
+  // per-node EED characterization of every original node is unchanged.
+  const RlcTree t = make_balanced_tree(3, 4, {15.0, 1.2e-9, 0.15e-12});
+  std::vector<SectionId> back;
+  const RlcTree b = binarize(t, &back);
+  const auto mt = eed::analyze(t);
+  const auto mb = eed::analyze(b);
+  for (std::size_t nb = 0; nb < b.size(); ++nb) {
+    const SectionId orig = back[nb];
+    if (orig == kInput) continue;  // inserted stub
+    EXPECT_NEAR(mb.nodes[nb].sum_rc, mt.at(orig).sum_rc,
+                1e-12 * mt.at(orig).sum_rc + 1e-30)
+        << "node " << nb;
+    EXPECT_NEAR(mb.nodes[nb].sum_lc, mt.at(orig).sum_lc,
+                1e-12 * mt.at(orig).sum_lc + 1e-40);
+  }
+}
+
+TEST(Binarize, TransientInvariantOnWideStar) {
+  RlcTree t;
+  const SectionId hub = t.add_section(kInput, 10.0, 1e-9, 0.1e-12, "hub");
+  for (int i = 0; i < 5; ++i) {
+    t.add_section(hub, 20.0 + i, 1e-9, 0.05e-12, "leaf" + std::to_string(i));
+  }
+  std::vector<SectionId> back;
+  const RlcTree b = binarize(t, &back);
+  sim::TransientOptions opts;
+  opts.t_stop = 2e-9;
+  opts.dt = 2e-13;
+  const auto ra = sim::simulate_tree(t, sim::StepSource{1.0}, opts);
+  const auto rb = sim::simulate_tree(b, sim::StepSource{1.0}, opts);
+  for (std::size_t nb = 0; nb < b.size(); ++nb) {
+    const SectionId orig = back[nb];
+    if (orig == kInput) continue;
+    const double err = rb.waveform(static_cast<SectionId>(nb))
+                           .max_abs_difference(ra.waveform(orig));
+    EXPECT_LT(err, 1e-9) << "node " << nb;
+  }
+}
+
+/// Property fuzz: random bushy trees binarize into valid equivalent trees.
+class BinarizeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BinarizeFuzz, InvariantOnRandomTrees) {
+  RandomTreeSpec spec;
+  spec.min_sections = 5;
+  spec.max_sections = 25;
+  spec.max_children = 6;
+  const RlcTree t = make_random_tree(spec, GetParam());
+  std::vector<SectionId> back;
+  const RlcTree b = binarize(t, &back);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_LE(b.children(static_cast<SectionId>(i)).size(), 2u);
+  }
+  const auto mt = eed::analyze(t);
+  const auto mb = eed::analyze(b);
+  for (std::size_t nb = 0; nb < b.size(); ++nb) {
+    if (back[nb] == kInput) continue;
+    EXPECT_NEAR(mb.nodes[nb].sum_rc, mt.at(back[nb]).sum_rc,
+                1e-12 * mt.at(back[nb]).sum_rc + 1e-30);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuit, BinarizeFuzz, ::testing::Values(1u, 9u, 42u, 77u));
+
+}  // namespace
+}  // namespace relmore::circuit

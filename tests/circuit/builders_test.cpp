@@ -1,0 +1,149 @@
+#include "relmore/circuit/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace relmore::circuit {
+namespace {
+
+const SectionValues kUnit{10.0, 1e-9, 0.1e-12};
+
+TEST(Builders, LineHasChainTopology) {
+  const RlcTree t = make_line(5, kUnit);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.depth(), 5);
+  EXPECT_EQ(t.leaves().size(), 1u);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_EQ(t.section(static_cast<SectionId>(i)).parent, static_cast<SectionId>(i - 1));
+  }
+}
+
+TEST(Builders, LineRejectsZeroSections) {
+  EXPECT_THROW(make_line(0, kUnit), std::invalid_argument);
+}
+
+TEST(Builders, BalancedBinaryTreeSizes) {
+  // levels n, branching 2 -> 2^n - 1 sections, 2^{n-1} sinks.
+  for (int levels = 1; levels <= 5; ++levels) {
+    const RlcTree t = make_balanced_tree(levels, 2, kUnit);
+    EXPECT_EQ(t.size(), (1u << levels) - 1u) << "levels=" << levels;
+    EXPECT_EQ(t.leaves().size(), 1u << (levels - 1)) << "levels=" << levels;
+    EXPECT_EQ(t.depth(), levels);
+  }
+}
+
+TEST(Builders, BalancedTreeBranchingSixteen) {
+  // Paper Fig. 13(b): 2 levels, branching 16 -> 16 sinks, 17 sections.
+  const RlcTree t = make_balanced_tree(2, 16, kUnit);
+  EXPECT_EQ(t.size(), 17u);
+  EXPECT_EQ(t.leaves().size(), 16u);
+  EXPECT_EQ(t.depth(), 2);
+}
+
+TEST(Builders, BalancedTreeRejectsBadArgs) {
+  EXPECT_THROW(make_balanced_tree(0, 2, kUnit), std::invalid_argument);
+  EXPECT_THROW(make_balanced_tree(2, 0, kUnit), std::invalid_argument);
+}
+
+TEST(Builders, PerLevelValuesApplied) {
+  const std::vector<SectionValues> levels{{1.0, 1e-9, 1e-12}, {2.0, 2e-9, 2e-12}};
+  const RlcTree t = make_balanced_tree_per_level(levels, 2);
+  EXPECT_DOUBLE_EQ(t.section(0).v.resistance, 1.0);
+  EXPECT_DOUBLE_EQ(t.section(1).v.resistance, 2.0);
+  EXPECT_DOUBLE_EQ(t.section(2).v.resistance, 2.0);
+}
+
+TEST(Builders, AsymmetricTreeScalesLeftBranch) {
+  const double asym = 2.0;
+  const RlcTree t = make_asymmetric_tree(3, asym, kUnit);
+  EXPECT_EQ(t.size(), 7u);
+  // Root's children: left (id 1) has asym x impedance of right (id 2).
+  EXPECT_DOUBLE_EQ(t.section(1).v.resistance, asym * t.section(2).v.resistance);
+  EXPECT_DOUBLE_EQ(t.section(1).v.inductance, asym * t.section(2).v.inductance);
+  EXPECT_DOUBLE_EQ(t.section(1).v.capacitance, t.section(2).v.capacitance / asym);
+}
+
+TEST(Builders, AsymmetricTreeWithUnitAsymIsBalanced) {
+  const RlcTree t = make_asymmetric_tree(3, 1.0, kUnit);
+  for (const auto& s : t.sections()) {
+    EXPECT_DOUBLE_EQ(s.v.resistance, kUnit.resistance);
+    EXPECT_DOUBLE_EQ(s.v.inductance, kUnit.inductance);
+    EXPECT_DOUBLE_EQ(s.v.capacitance, kUnit.capacitance);
+  }
+}
+
+TEST(Builders, Fig5TreeTopology) {
+  SectionId node7 = kInput;
+  const RlcTree t = make_fig5_tree(kUnit, &node7);
+  EXPECT_EQ(t.size(), 7u);
+  EXPECT_EQ(t.depth(), 3);
+  EXPECT_EQ(t.leaves().size(), 4u);
+  EXPECT_EQ(node7, t.find_by_name("7"));
+  EXPECT_EQ(t.level(node7), 3);
+}
+
+TEST(Builders, Fig8TreeHasObservedOutput) {
+  SectionId out = kInput;
+  const RlcTree t = make_fig8_tree(&out);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(out, t.find_by_name("O"));
+  EXPECT_EQ(t.leaves().size(), 3u);
+}
+
+TEST(Builders, HTreeDoublesArmsPerLevel) {
+  const RlcTree t = make_h_tree(3, kUnit);
+  // 1 + 2 + 4 sections.
+  EXPECT_EQ(t.size(), 7u);
+  EXPECT_EQ(t.leaves().size(), 4u);
+  // Arms halve R, L, C each level.
+  EXPECT_DOUBLE_EQ(t.section(1).v.resistance, kUnit.resistance / 2.0);
+  EXPECT_DOUBLE_EQ(t.section(3).v.resistance, kUnit.resistance / 4.0);
+}
+
+TEST(Builders, CombTreeShape) {
+  const RlcTree t = make_comb_tree(4, kUnit, {5.0, 0.5e-9, 0.3e-12});
+  EXPECT_EQ(t.size(), 8u);           // 4 spine + 4 teeth
+  EXPECT_EQ(t.leaves().size(), 4u);  // every tooth ends in a sink
+  // Tooth i hangs off spine i.
+  EXPECT_EQ(t.section(1).parent, 0);
+  EXPECT_EQ(t.section(3).parent, 2);
+  EXPECT_DOUBLE_EQ(t.section(1).v.capacitance, 0.3e-12);
+  EXPECT_THROW(make_comb_tree(0, kUnit, kUnit), std::invalid_argument);
+}
+
+TEST(Builders, ScaleInductances) {
+  RlcTree t = make_line(2, kUnit);
+  scale_inductances(t, 3.0);
+  EXPECT_DOUBLE_EQ(t.section(0).v.inductance, 3.0 * kUnit.inductance);
+  EXPECT_THROW(scale_inductances(t, -1.0), std::invalid_argument);
+}
+
+TEST(Builders, ScaleResistances) {
+  RlcTree t = make_line(2, kUnit);
+  scale_resistances(t, 0.5);
+  EXPECT_DOUBLE_EQ(t.section(1).v.resistance, 0.5 * kUnit.resistance);
+}
+
+// Property: balanced trees are symmetric — all sinks have identical paths.
+class BalancedSymmetrySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BalancedSymmetrySweep, AllSinkPathsIdentical) {
+  const int branching = GetParam();
+  const RlcTree t = make_balanced_tree(3, branching, kUnit);
+  const auto sinks = t.leaves();
+  const auto ref_path = t.path_from_input(sinks.front());
+  for (const SectionId sink : sinks) {
+    const auto path = t.path_from_input(sink);
+    ASSERT_EQ(path.size(), ref_path.size());
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      EXPECT_DOUBLE_EQ(t.section(path[i]).v.resistance,
+                       t.section(ref_path[i]).v.resistance);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Builders, BalancedSymmetrySweep, ::testing::Values(2, 3, 4, 8, 16));
+
+}  // namespace
+}  // namespace relmore::circuit

@@ -1,0 +1,110 @@
+#include "relmore/circuit/random_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace relmore::circuit {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng r(11);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW(r.uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, LogUniformRangeAndDegenerates) {
+  Rng r(13);
+  for (int i = 0; i < 200; ++i) {
+    const double v = r.log_uniform(1e-12, 1e-9);
+    EXPECT_GE(v, 1e-12);
+    EXPECT_LE(v, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(r.log_uniform(5.0, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(r.log_uniform(0.0, 0.0), 0.0);
+  EXPECT_THROW(r.log_uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(RandomTree, ReproducibleFromSeed) {
+  const RandomTreeSpec spec;
+  const RlcTree a = make_random_tree(spec, 99);
+  const RlcTree b = make_random_tree(spec, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto id = static_cast<SectionId>(i);
+    EXPECT_EQ(a.section(id).parent, b.section(id).parent);
+    EXPECT_DOUBLE_EQ(a.section(id).v.resistance, b.section(id).v.resistance);
+  }
+}
+
+TEST(RandomTree, RespectsSpecBounds) {
+  RandomTreeSpec spec;
+  spec.min_sections = 5;
+  spec.max_sections = 12;
+  spec.max_children = 2;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const RlcTree t = make_random_tree(spec, seed);
+    EXPECT_GE(t.size(), 5u);
+    EXPECT_LE(t.size(), 12u);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const auto id = static_cast<SectionId>(i);
+      EXPECT_LE(t.children(id).size(), 2u);
+      EXPECT_GE(t.section(id).v.resistance, spec.resistance_lo);
+      EXPECT_LE(t.section(id).v.resistance, spec.resistance_hi);
+      EXPECT_GE(t.section(id).v.capacitance, spec.capacitance_lo);
+      EXPECT_LE(t.section(id).v.capacitance, spec.capacitance_hi);
+    }
+  }
+}
+
+TEST(RandomTree, RcOnlyWhenInductanceRangeZero) {
+  RandomTreeSpec spec;
+  spec.inductance_lo = 0.0;
+  spec.inductance_hi = 0.0;
+  const RlcTree t = make_random_tree(spec, 3);
+  for (const auto& s : t.sections()) EXPECT_DOUBLE_EQ(s.v.inductance, 0.0);
+}
+
+TEST(RandomTree, ValidatesSpec) {
+  RandomTreeSpec bad;
+  bad.min_sections = 0;
+  EXPECT_THROW(make_random_tree(bad, 1), std::invalid_argument);
+  RandomTreeSpec bad2;
+  bad2.max_children = 0;
+  EXPECT_THROW(make_random_tree(bad2, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace relmore::circuit

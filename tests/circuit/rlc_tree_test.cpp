@@ -1,0 +1,127 @@
+#include "relmore/circuit/rlc_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace relmore::circuit {
+namespace {
+
+RlcTree three_section_line() {
+  RlcTree t;
+  const SectionId a = t.add_section(kInput, 1.0, 2.0, 3.0, "a");
+  const SectionId b = t.add_section(a, 4.0, 5.0, 6.0, "b");
+  t.add_section(b, 7.0, 8.0, 9.0, "c");
+  return t;
+}
+
+TEST(RlcTree, AddAndQuerySections) {
+  const RlcTree t = three_section_line();
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_DOUBLE_EQ(t.section(1).v.resistance, 4.0);
+  EXPECT_EQ(t.section(1).parent, 0);
+  EXPECT_EQ(t.section(0).parent, kInput);
+}
+
+TEST(RlcTree, RootsAndChildren) {
+  RlcTree t;
+  const SectionId r = t.add_section(kInput, 1.0, 0.0, 1.0);
+  const SectionId c1 = t.add_section(r, 1.0, 0.0, 1.0);
+  const SectionId c2 = t.add_section(r, 1.0, 0.0, 1.0);
+  ASSERT_EQ(t.roots().size(), 1u);
+  EXPECT_EQ(t.roots()[0], r);
+  ASSERT_EQ(t.children(r).size(), 2u);
+  EXPECT_EQ(t.children(r)[0], c1);
+  EXPECT_EQ(t.children(r)[1], c2);
+  EXPECT_TRUE(t.children(c1).empty());
+}
+
+TEST(RlcTree, MultipleRootsAllowed) {
+  RlcTree t;
+  t.add_section(kInput, 1.0, 0.0, 1.0);
+  t.add_section(kInput, 1.0, 0.0, 1.0);
+  EXPECT_EQ(t.roots().size(), 2u);
+}
+
+TEST(RlcTree, RejectsUnknownParent) {
+  RlcTree t;
+  EXPECT_THROW(t.add_section(5, 1.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(t.add_section(-2, 1.0, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(RlcTree, RejectsNegativeValues) {
+  RlcTree t;
+  EXPECT_THROW(t.add_section(kInput, -1.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(t.add_section(kInput, 1.0, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(t.add_section(kInput, 1.0, 0.0, -1.0), std::invalid_argument);
+}
+
+TEST(RlcTree, ZeroValuesAllowed) {
+  RlcTree t;
+  EXPECT_NO_THROW(t.add_section(kInput, 0.0, 0.0, 0.0));
+}
+
+TEST(RlcTree, LevelsAndDepth) {
+  const RlcTree t = three_section_line();
+  EXPECT_EQ(t.level(0), 1);
+  EXPECT_EQ(t.level(2), 3);
+  EXPECT_EQ(t.depth(), 3);
+}
+
+TEST(RlcTree, PathFromInput) {
+  const RlcTree t = three_section_line();
+  const auto path = t.path_from_input(2);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0);
+  EXPECT_EQ(path[1], 1);
+  EXPECT_EQ(path[2], 2);
+}
+
+TEST(RlcTree, Leaves) {
+  RlcTree t;
+  const SectionId r = t.add_section(kInput, 1.0, 0.0, 1.0);
+  const SectionId a = t.add_section(r, 1.0, 0.0, 1.0);
+  const SectionId b = t.add_section(r, 1.0, 0.0, 1.0);
+  const auto leaves = t.leaves();
+  ASSERT_EQ(leaves.size(), 2u);
+  EXPECT_EQ(leaves[0], a);
+  EXPECT_EQ(leaves[1], b);
+}
+
+TEST(RlcTree, TotalCapacitance) {
+  const RlcTree t = three_section_line();
+  EXPECT_DOUBLE_EQ(t.total_capacitance(), 18.0);
+}
+
+TEST(RlcTree, FindByName) {
+  const RlcTree t = three_section_line();
+  EXPECT_EQ(t.find_by_name("b"), 1);
+  EXPECT_EQ(t.find_by_name("zzz"), kInput);
+}
+
+TEST(RlcTree, MutableValues) {
+  RlcTree t = three_section_line();
+  t.values(0).resistance = 42.0;
+  EXPECT_DOUBLE_EQ(t.section(0).v.resistance, 42.0);
+}
+
+TEST(RlcTree, OutOfRangeThrows) {
+  const RlcTree t = three_section_line();
+  EXPECT_THROW((void)t.section(3), std::out_of_range);
+  EXPECT_THROW((void)t.children(-1), std::out_of_range);
+  EXPECT_THROW((void)t.level(99), std::out_of_range);
+}
+
+TEST(RlcTree, TopologicalOrderIsParentFirst) {
+  const RlcTree t = three_section_line();
+  const auto order = t.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const SectionId parent = t.section(order[i]).parent;
+    if (parent != kInput) {
+      EXPECT_LT(parent, order[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace relmore::circuit

@@ -1,0 +1,94 @@
+#include "relmore/circuit/segmentation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "relmore/eed/model.hpp"
+
+namespace relmore::circuit {
+namespace {
+
+TEST(Segmentation, ValuesSplitEvenly) {
+  const WireSpec w{2e-3, 20e3, 0.5e-6, 150e-12};
+  const SectionValues v = segment_values(w, 4);
+  EXPECT_DOUBLE_EQ(v.resistance, 20e3 * 2e-3 / 4.0);
+  EXPECT_DOUBLE_EQ(v.inductance, 0.5e-6 * 2e-3 / 4.0);
+  EXPECT_DOUBLE_EQ(v.capacitance, 150e-12 * 2e-3 / 4.0);
+}
+
+TEST(Segmentation, TotalsPreservedAcrossSegmentCounts) {
+  const WireSpec w = global_wire_spec();
+  for (int n : {1, 3, 10, 50}) {
+    const SectionValues v = segment_values(w, n);
+    EXPECT_NEAR(v.resistance * n, w.r_per_m * w.length_m, 1e-9);
+    EXPECT_NEAR(v.capacitance * n, w.c_per_m * w.length_m, 1e-20);
+  }
+}
+
+TEST(Segmentation, AppendWireBuildsChain) {
+  RlcTree t;
+  const SectionId end = append_wire(t, kInput, global_wire_spec(), 8, "bus");
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(end, 7);
+  EXPECT_EQ(t.depth(), 8);
+  EXPECT_EQ(t.section(0).name, "bus.0");
+  EXPECT_EQ(t.section(7).name, "bus.7");
+}
+
+TEST(Segmentation, ElmoreDelayConvergesWithSegments) {
+  // The Elmore delay of an n-segment uniform RC(LC) wire converges to
+  // RC_total/2 + ... as n grows; successive refinements shrink the change.
+  const WireSpec w = global_wire_spec();
+  double prev = -1.0;
+  double prev_change = 1e300;
+  for (int n : {2, 8, 32, 128}) {
+    RlcTree t;
+    const SectionId end = append_wire(t, kInput, w, n);
+    const auto model = eed::analyze(t);
+    const double tau = model.at(end).sum_rc;
+    if (prev >= 0.0) {
+      const double change = std::abs(tau - prev);
+      EXPECT_LT(change, prev_change);
+      prev_change = change;
+    }
+    prev = tau;
+  }
+  // Distributed limit: tau = R_tot * C_tot / 2.
+  const double r_tot = w.r_per_m * w.length_m;
+  const double c_tot = w.c_per_m * w.length_m;
+  EXPECT_NEAR(prev, r_tot * c_tot / 2.0, 0.01 * r_tot * c_tot / 2.0);
+}
+
+TEST(Segmentation, SuggestedSegmentsScalesWithEdgeRate) {
+  const WireSpec w = global_wire_spec();
+  const int slow = suggested_segments(w, 1e-9);
+  const int fast = suggested_segments(w, 20e-12);
+  EXPECT_GE(fast, slow);
+  EXPECT_GE(slow, 5);
+  EXPECT_LE(fast, 1000);
+}
+
+TEST(Segmentation, SuggestedSegmentsRcWire) {
+  WireSpec rc = local_wire_spec();
+  rc.l_per_m = 0.0;
+  EXPECT_EQ(suggested_segments(rc, 1e-10), 5);  // falls back to the minimum
+}
+
+TEST(Segmentation, RejectsBadArguments) {
+  const WireSpec w = global_wire_spec();
+  EXPECT_THROW(segment_values(w, 0), std::invalid_argument);
+  EXPECT_THROW(segment_values(WireSpec{}, 3), std::invalid_argument);
+  EXPECT_THROW(suggested_segments(w, 0.0), std::invalid_argument);
+}
+
+TEST(Segmentation, PresetSpecsAreSane) {
+  const WireSpec g = global_wire_spec();
+  const WireSpec l = local_wire_spec();
+  // Local wires are far more resistive per metre; global wires carry the
+  // inductance-significant regime.
+  EXPECT_GT(l.r_per_m, 10.0 * g.r_per_m);
+  EXPECT_GT(g.l_per_m, 0.0);
+  EXPECT_GT(g.c_per_m, 0.0);
+}
+
+}  // namespace
+}  // namespace relmore::circuit

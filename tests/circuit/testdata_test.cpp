@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "relmore/circuit/netlist.hpp"
+#include "relmore/eed/model.hpp"
+
+#ifndef RELMORE_TESTDATA_DIR
+#error "RELMORE_TESTDATA_DIR must be defined by the build"
+#endif
+
+namespace relmore::circuit {
+namespace {
+
+std::ifstream open_data(const std::string& name) {
+  std::ifstream f(std::string(RELMORE_TESTDATA_DIR) + "/" + name);
+  EXPECT_TRUE(f.good()) << "missing testdata file " << name;
+  return f;
+}
+
+TEST(Testdata, Fig5NetlistLoadsAndMatchesPaperShape) {
+  auto f = open_data("fig5_balanced.net");
+  const RlcTree t = read_tree_netlist(f);
+  EXPECT_EQ(t.size(), 7u);
+  EXPECT_EQ(t.depth(), 3);
+  EXPECT_EQ(t.leaves().size(), 4u);
+  const SectionId node7 = t.find_by_name("7");
+  ASSERT_NE(node7, kInput);
+  const auto model = eed::analyze(t);
+  // All four sinks identical by symmetry.
+  for (SectionId s : t.leaves()) {
+    EXPECT_NEAR(model.at(s).zeta, model.at(node7).zeta, 1e-12);
+  }
+}
+
+TEST(Testdata, Fig8NetlistMatchesBuilder) {
+  auto f = open_data("fig8_standin.net");
+  const RlcTree t = read_tree_netlist(f);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_NE(t.find_by_name("O"), kInput);
+  EXPECT_EQ(t.leaves().size(), 3u);
+  const auto model = eed::analyze(t);
+  const auto& nm = model.at(t.find_by_name("O"));
+  EXPECT_GT(nm.zeta, 0.1);
+  EXPECT_LT(nm.zeta, 1.0);  // documented as moderately underdamped
+}
+
+TEST(Testdata, SpiceDeckLoads) {
+  auto f = open_data("global_net.sp");
+  const RlcTree t = read_spice(f);
+  EXPECT_EQ(t.size(), 4u);  // four collapsed sections
+  EXPECT_EQ(t.leaves().size(), 2u);
+  // The RC-only stub kept L = 0.
+  bool has_rc_only = false;
+  for (const auto& s : t.sections()) {
+    if (s.v.inductance == 0.0) has_rc_only = true;
+  }
+  EXPECT_TRUE(has_rc_only);
+  EXPECT_NEAR(t.total_capacitance(), (0.1 + 0.12 + 0.2 + 0.3) * 1e-12, 1e-18);
+}
+
+}  // namespace
+}  // namespace relmore::circuit

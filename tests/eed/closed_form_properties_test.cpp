@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relmore/eed/response.hpp"
+#include "relmore/eed/second_order.hpp"
+
+namespace relmore::eed {
+namespace {
+
+NodeModel node_with(double zeta, double omega_n = 1.0e9) {
+  NodeModel n;
+  n.zeta = zeta;
+  n.omega_n = omega_n;
+  n.sum_rc = 2.0 * zeta / omega_n;
+  n.sum_lc = 1.0 / (omega_n * omega_n);
+  return n;
+}
+
+/// Property sweep over the underdamped range: every closed-form signal
+/// characterization statement of Section IV holds against the response
+/// formula itself.
+class UnderdampedProperties : public ::testing::TestWithParam<double> {};
+
+TEST_P(UnderdampedProperties, ExtremaSitWhereEq40Says) {
+  const double zeta = GetParam();
+  const NodeModel n = node_with(zeta);
+  for (int k = 1; k <= 4; ++k) {
+    const double tk = overshoot_time(n, k);
+    // The derivative of the step response vanishes at every extremum.
+    EXPECT_NEAR(scaled_step_derivative(zeta, n.omega_n * tk), 0.0, 1e-9) << "k=" << k;
+  }
+}
+
+TEST_P(UnderdampedProperties, OvershootsAlternateAndDecay) {
+  const double zeta = GetParam();
+  const NodeModel n = node_with(zeta);
+  for (int k = 1; k <= 4; ++k) {
+    const double excursion = overshoot_pct(n, k);
+    EXPECT_GT(excursion, 0.0);
+    if (k > 1) {
+      EXPECT_LT(excursion, overshoot_pct(n, k - 1));
+    }
+    const double v = step_response(n, overshoot_time(n, k), 1.0);
+    const double expected = 1.0 + (k % 2 == 1 ? 1.0 : -1.0) * excursion / 100.0;
+    EXPECT_NEAR(v, expected, 1e-9) << "k=" << k;
+  }
+}
+
+TEST_P(UnderdampedProperties, AfterSettlingAllExtremaInsideBand) {
+  const double zeta = GetParam();
+  const NodeModel n = node_with(zeta);
+  const double band = 0.1;
+  const double ts = settling_time(n, band);
+  // Check the next several extrema after ts.
+  for (int k = 1; k <= 30; ++k) {
+    const double tk = overshoot_time(n, k);
+    if (tk < ts - 1e-18) continue;
+    const double v = step_response(n, tk, 1.0);
+    EXPECT_LE(std::abs(v - 1.0), band + 1e-9) << "k=" << k;
+  }
+}
+
+TEST_P(UnderdampedProperties, DelayBeforeFirstPeakAndRiseOrdering) {
+  const double zeta = GetParam();
+  const NodeModel n = node_with(zeta);
+  const double d = delay_50_exact(n);
+  const double t1 = overshoot_time(n, 1);
+  EXPECT_LT(d, t1);
+  EXPECT_LT(rise_time_exact(n), t1);  // 90% crossed before the peak
+  EXPECT_LT(d, settling_time(n));
+}
+
+TEST_P(UnderdampedProperties, FrequencyAndTimeOvershootConsistent) {
+  // The first overshoot (eq. 39) and the resonance peak both grow as zeta
+  // falls; check the monotone link on neighbors.
+  const double zeta = GetParam();
+  const NodeModel lo = node_with(zeta);
+  const NodeModel hi = node_with(std::min(zeta + 0.1, 0.99));
+  EXPECT_GT(overshoot_pct(lo, 1), overshoot_pct(hi, 1) - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(SecondOrder, UnderdampedProperties,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.85));
+
+/// Sweep across all damping regimes: ordering and consistency of the
+/// closed-form metrics.
+class AllDampingProperties : public ::testing::TestWithParam<double> {};
+
+TEST_P(AllDampingProperties, CrossingsOrdered) {
+  const double zeta = GetParam();
+  const double t10 = scaled_crossing_exact(zeta, 0.1);
+  const double t50 = scaled_crossing_exact(zeta, 0.5);
+  const double t90 = scaled_crossing_exact(zeta, 0.9);
+  EXPECT_LT(t10, t50);
+  EXPECT_LT(t50, t90);
+  EXPECT_NEAR(t90 - t10, scaled_rise_exact(zeta), 1e-10);
+  EXPECT_NEAR(t50, scaled_delay_exact(zeta), 1e-10);
+}
+
+TEST_P(AllDampingProperties, ResponseAtCrossingsMatchesLevels) {
+  const double zeta = GetParam();
+  for (double frac : {0.1, 0.5, 0.9}) {
+    const double t = scaled_crossing_exact(zeta, frac);
+    EXPECT_NEAR(scaled_step_response(zeta, t), frac, 1e-9);
+  }
+}
+
+TEST_P(AllDampingProperties, PhysicalAndScaledConsistent) {
+  const double zeta = GetParam();
+  const NodeModel n = node_with(zeta, 3.7e9);
+  EXPECT_NEAR(delay_50_exact(n) * n.omega_n, scaled_delay_exact(zeta), 1e-9);
+  EXPECT_NEAR(rise_time_exact(n) * n.omega_n, scaled_rise_exact(zeta), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SecondOrder, AllDampingProperties,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0, 1.3, 2.0, 3.0, 5.0));
+
+}  // namespace
+}  // namespace relmore::eed

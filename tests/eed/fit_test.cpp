@@ -1,0 +1,63 @@
+#include "relmore/eed/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace relmore::eed {
+namespace {
+
+TEST(Fit, DelayRefitCloseToPaperCoefficients) {
+  // Re-deriving the paper's eq. (33) fit from scratch should land near the
+  // published constants (1.047, 0.85, 1.39) — they fitted the same curve.
+  const ScaledFitReport rep = fit_scaled_delay();
+  EXPECT_NEAR(rep.coeffs.a, 1.047, 0.08);
+  EXPECT_NEAR(rep.coeffs.b, 0.85, 0.12);
+  EXPECT_NEAR(rep.coeffs.c, 1.39, 0.06);
+  EXPECT_LT(rep.rms_residual, 0.03);
+}
+
+TEST(Fit, RiseRefitMatchesStoredCoefficients) {
+  // The constants shipped in rise_fit_refit() are the output of this very
+  // fit; this test pins them so drift is caught.
+  const ScaledFitReport rep = fit_scaled_rise();
+  const FitCoefficients stored = rise_fit_refit();
+  EXPECT_NEAR(rep.coeffs.a, stored.a, 0.02);
+  EXPECT_NEAR(rep.coeffs.b, stored.b, 0.02);
+  EXPECT_NEAR(rep.coeffs.c, stored.c, 0.02);
+  EXPECT_NEAR(rep.coeffs.p, stored.p, 0.02);
+  EXPECT_NEAR(rep.coeffs.d, stored.d, 0.02);
+  EXPECT_LT(rep.rms_residual, 0.08);
+  // The anchored offset makes the fit exact in the pure-LC limit.
+  EXPECT_NEAR(rep.coeffs(0.0), scaled_rise_exact(0.0), 1e-9);
+}
+
+TEST(Fit, ResidualsSmallRelativeToMetric) {
+  const ScaledFitReport d = fit_scaled_delay();
+  // Scaled delay spans ~[1, 5] on zeta in [0,3]; fit is a few percent.
+  EXPECT_LT(d.max_abs_residual, 0.12);
+}
+
+TEST(Fit, RespectsCustomRange) {
+  // Fitting only the overdamped tail should push the linear slope toward
+  // the asymptotic 2 ln2 = 1.386.
+  const ScaledFitReport rep = fit_scaled_delay(1.5, 4.0, 61);
+  EXPECT_NEAR(rep.coeffs.c, 2.0 * std::log(2.0), 0.05);
+}
+
+TEST(Fit, RejectsBadParameters) {
+  EXPECT_THROW(fit_scaled_delay(1.0, 0.5, 50), std::invalid_argument);
+  EXPECT_THROW(fit_scaled_delay(0.0, 3.0, 2), std::invalid_argument);
+  EXPECT_THROW(fit_scaled_rise(-1.0, 3.0, 50), std::invalid_argument);
+}
+
+TEST(Fit, PaperDelayCoefficientsAnchorChecks) {
+  // The published coefficients encode two physical anchors.
+  const FitCoefficients paper = delay_fit_paper();
+  EXPECT_NEAR(paper(0.0), M_PI / 3.0, 0.01);               // pure LC delay
+  const double big = 5.0;
+  EXPECT_NEAR(paper(big) / big, 2.0 * std::log(2.0), 0.02);  // RC slope
+}
+
+}  // namespace
+}  // namespace relmore::eed

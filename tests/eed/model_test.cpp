@@ -1,0 +1,134 @@
+#include "relmore/eed/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relmore/circuit/builders.hpp"
+
+namespace relmore::eed {
+namespace {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+TEST(Model, SingleSectionMatchesPaperEq14And15) {
+  // Paper eqs. 14-15: for a single RLC section, zeta = (R/2) sqrt(C/L),
+  // omega_n = 1/sqrt(LC).
+  RlcTree t;
+  const double r = 30.0;
+  const double l = 4e-9;
+  const double c = 0.25e-12;
+  t.add_section(circuit::kInput, r, l, c);
+  const TreeModel m = analyze(t);
+  EXPECT_NEAR(m.at(0).zeta, r / 2.0 * std::sqrt(c / l), 1e-12);
+  EXPECT_NEAR(m.at(0).omega_n, 1.0 / std::sqrt(l * c), 1.0);
+  EXPECT_NEAR(m.at(0).sum_rc, r * c, 1e-24);
+  EXPECT_NEAR(m.at(0).sum_lc, l * c, 1e-33);
+}
+
+TEST(Model, SumRcMatchesBruteForceElmore) {
+  // Brute force: SR_i = sum over caps k of C_k * (common path resistance).
+  SectionId out = circuit::kInput;
+  const RlcTree t = circuit::make_fig8_tree(&out);
+  const TreeModel m = analyze(t);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const auto id = static_cast<SectionId>(i);
+    const auto path_i = t.path_from_input(id);
+    double sr = 0.0;
+    double sl = 0.0;
+    for (std::size_t k = 0; k < t.size(); ++k) {
+      const auto path_k = t.path_from_input(static_cast<SectionId>(k));
+      double r_common = 0.0;
+      double l_common = 0.0;
+      for (std::size_t d = 0; d < std::min(path_i.size(), path_k.size()); ++d) {
+        if (path_i[d] != path_k[d]) break;
+        r_common += t.section(path_i[d]).v.resistance;
+        l_common += t.section(path_i[d]).v.inductance;
+      }
+      sr += t.section(static_cast<SectionId>(k)).v.capacitance * r_common;
+      sl += t.section(static_cast<SectionId>(k)).v.capacitance * l_common;
+    }
+    EXPECT_NEAR(m.at(id).sum_rc, sr, 1e-12 * sr) << "node " << i;
+    EXPECT_NEAR(m.at(id).sum_lc, sl, 1e-12 * sl) << "node " << i;
+  }
+}
+
+TEST(Model, LoadCapacitanceIsSubtreeSum) {
+  const RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  const TreeModel m = analyze(t);
+  // Root sees all 7 capacitors.
+  EXPECT_NEAR(m.load_capacitance[0], 7.0 * 0.2e-12, 1e-25);
+  // A leaf sees only its own.
+  EXPECT_NEAR(m.load_capacitance[6], 0.2e-12, 1e-25);
+  // Level-2 section sees itself + 2 leaves.
+  EXPECT_NEAR(m.load_capacitance[1], 3.0 * 0.2e-12, 1e-25);
+}
+
+TEST(Model, PureRcNodeDegeneratesToElmore) {
+  RlcTree t;
+  t.add_section(circuit::kInput, 100.0, 0.0, 1e-12);
+  const TreeModel m = analyze(t);
+  EXPECT_FALSE(std::isfinite(m.at(0).zeta));
+  EXPECT_FALSE(std::isfinite(m.at(0).omega_n));
+  EXPECT_NEAR(m.at(0).sum_rc, 100.0 * 1e-12, 1e-24);
+  EXPECT_FALSE(m.at(0).underdamped());
+}
+
+TEST(Model, ZetaDecreasesWithInductance) {
+  // Paper: "as the inductance increases, zeta decreases".
+  RlcTree t1 = circuit::make_fig5_tree({25.0, 1e-9, 0.2e-12}, nullptr);
+  RlcTree t2 = circuit::make_fig5_tree({25.0, 4e-9, 0.2e-12}, nullptr);
+  EXPECT_GT(analyze(t1).at(6).zeta, analyze(t2).at(6).zeta);
+}
+
+TEST(Model, ZetaScalesAsInverseSqrtL) {
+  RlcTree t = circuit::make_fig5_tree({25.0, 1e-9, 0.2e-12}, nullptr);
+  const double z1 = analyze(t).at(6).zeta;
+  circuit::scale_inductances(t, 4.0);
+  const double z2 = analyze(t).at(6).zeta;
+  EXPECT_NEAR(z2, z1 / 2.0, 1e-12);
+}
+
+TEST(Model, MultiplicationCountIsTwoPerSection) {
+  // The Appendix claims 2N multiplications for the summations.
+  for (int levels : {2, 3, 4, 5}) {
+    const RlcTree t = circuit::make_balanced_tree(levels, 2, {10.0, 1e-9, 0.1e-12});
+    std::uint64_t muls = 0;
+    analyze_counting(t, &muls);
+    EXPECT_EQ(muls, 2u * t.size()) << "levels=" << levels;
+  }
+}
+
+TEST(Model, RejectsEmptyTree) {
+  EXPECT_THROW(analyze(RlcTree{}), std::invalid_argument);
+}
+
+TEST(Model, DownstreamNodesHaveLargerSums) {
+  // SR and SL accumulate along any root-to-leaf path.
+  const RlcTree t = circuit::make_line(5, {10.0, 1e-9, 0.1e-12});
+  const TreeModel m = analyze(t);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_GT(m.nodes[i].sum_rc, m.nodes[i - 1].sum_rc);
+    EXPECT_GT(m.nodes[i].sum_lc, m.nodes[i - 1].sum_lc);
+  }
+}
+
+// Property sweep: on balanced trees every sink has the same (zeta, omega_n).
+class BalancedSinkSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BalancedSinkSweep, SinksIdentical) {
+  const RlcTree t = circuit::make_balanced_tree(4, GetParam(), {20.0, 1.5e-9, 0.15e-12});
+  const TreeModel m = analyze(t);
+  const auto sinks = t.leaves();
+  const NodeModel& ref = m.at(sinks.front());
+  for (const SectionId s : sinks) {
+    EXPECT_NEAR(m.at(s).zeta, ref.zeta, 1e-12);
+    EXPECT_NEAR(m.at(s).omega_n, ref.omega_n, ref.omega_n * 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Model, BalancedSinkSweep, ::testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace relmore::eed

@@ -1,0 +1,156 @@
+#include "relmore/eed/response.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "relmore/eed/second_order.hpp"
+#include "relmore/sim/waveform.hpp"
+
+namespace relmore::eed {
+namespace {
+
+NodeModel underdamped_node() {
+  NodeModel n;
+  n.zeta = 0.5;
+  n.omega_n = 1.0e9;
+  n.sum_rc = 2.0 * n.zeta / n.omega_n;
+  n.sum_lc = 1.0 / (n.omega_n * n.omega_n);
+  return n;
+}
+
+NodeModel overdamped_node() {
+  NodeModel n;
+  n.zeta = 1.8;
+  n.omega_n = 1.0e9;
+  n.sum_rc = 2.0 * n.zeta / n.omega_n;
+  n.sum_lc = 1.0 / (n.omega_n * n.omega_n);
+  return n;
+}
+
+NodeModel rc_node() {
+  NodeModel n;
+  n.sum_rc = 1e-9;
+  n.sum_lc = 0.0;
+  n.zeta = std::numeric_limits<double>::infinity();
+  n.omega_n = std::numeric_limits<double>::infinity();
+  return n;
+}
+
+TEST(StepResponse, MatchesScaledForm) {
+  const NodeModel n = underdamped_node();
+  for (double t : {0.2e-9, 1.0e-9, 3.0e-9}) {
+    EXPECT_NEAR(step_response(n, t, 2.0),
+                2.0 * scaled_step_response(n.zeta, n.omega_n * t), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(step_response(n, -1e-9, 2.0), 0.0);
+}
+
+TEST(StepResponse, RcLimitIsExponential) {
+  const NodeModel n = rc_node();
+  EXPECT_NEAR(step_response(n, 1e-9, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(ExpInput, ReducesTowardStepForTinyTau) {
+  const NodeModel n = underdamped_node();
+  for (double t : {0.5e-9, 1.5e-9, 4.0e-9}) {
+    EXPECT_NEAR(exp_input_response(n, t, 1.0, 1e-15), step_response(n, t, 1.0), 1e-4);
+  }
+}
+
+TEST(ExpInput, StartsAtZeroSettlesAtSupply) {
+  for (const NodeModel& n : {underdamped_node(), overdamped_node()}) {
+    EXPECT_NEAR(exp_input_response(n, 0.0, 1.8, 0.5e-9), 0.0, 1e-12);
+    EXPECT_NEAR(exp_input_response(n, 200.0e-9, 1.8, 0.5e-9), 1.8, 1e-6);
+  }
+}
+
+TEST(ExpInput, MatchesOdeIntegration) {
+  // Cross-check closed form (eq. 44) against RK45 on the same model.
+  const double tau = 0.7e-9;
+  for (const NodeModel& n : {underdamped_node(), overdamped_node()}) {
+    const auto grid = sim::uniform_grid(8.0e-9, 81);
+    const sim::Waveform closed = exp_input_waveform(n, grid, 1.0, tau);
+    const sim::Waveform ode =
+        arbitrary_input_waveform(n, sim::ExpSource{1.0, tau}, grid);
+    EXPECT_LT(closed.max_abs_difference(ode), 1e-7);
+  }
+}
+
+TEST(ExpInput, RcLimitTwoTimeConstants) {
+  const NodeModel n = rc_node();
+  const double tau = 0.4e-9;
+  const double T = n.sum_rc;
+  const double t = 1.3e-9;
+  const double expected =
+      1.0 - (T * std::exp(-t / T) - tau * std::exp(-t / tau)) / (T - tau);
+  EXPECT_NEAR(exp_input_response(n, t, 1.0, tau), expected, 1e-12);
+}
+
+TEST(ExpInput, RcLimitEqualTimeConstants) {
+  const NodeModel n = rc_node();
+  const double t = 2.0e-9;
+  const double T = n.sum_rc;
+  const double expected = 1.0 - std::exp(-t / T) * (1.0 + t / T);
+  EXPECT_NEAR(exp_input_response(n, t, 1.0, T), expected, 1e-9);
+}
+
+TEST(ExpInput, SurvivesPoleCollision) {
+  // tau = 1/(zeta omega_n) can collide with a real pole; the guard must
+  // keep the result finite and close to neighboring tau values.
+  const NodeModel n = overdamped_node();
+  auto [p1_zeta] = std::tuple{n.zeta - std::sqrt(n.zeta * n.zeta - 1.0)};
+  const double pole_mag = n.omega_n * p1_zeta;
+  const double tau = 1.0 / pole_mag;
+  const double v = exp_input_response(n, 2.0e-9, 1.0, tau);
+  EXPECT_TRUE(std::isfinite(v));
+  const double v_near = exp_input_response(n, 2.0e-9, 1.0, tau * 1.001);
+  EXPECT_NEAR(v, v_near, 5e-3);
+}
+
+TEST(ExpInput, RejectsBadTau) {
+  EXPECT_THROW(exp_input_response(underdamped_node(), 1e-9, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(ArbitraryInput, StepMatchesClosedForm) {
+  const NodeModel n = underdamped_node();
+  const auto grid = sim::uniform_grid(8.0e-9, 81);
+  const sim::Waveform ode = arbitrary_input_waveform(n, sim::StepSource{1.0}, grid);
+  const sim::Waveform closed = step_waveform(n, grid, 1.0);
+  EXPECT_LT(ode.max_abs_difference(closed), 1e-6);
+}
+
+TEST(ArbitraryInput, RcNodeRampFollowsInput) {
+  // A slow ramp through a fast RC: output tracks input minus T*slope lag.
+  const NodeModel n = rc_node();
+  const double rise = 50.0e-9;  // much slower than T = 1 ns
+  const auto grid = sim::uniform_grid(rise, 51);
+  const sim::Waveform w =
+      arbitrary_input_waveform(n, sim::RampSource{1.0, rise}, grid);
+  const double slope = 1.0 / rise;
+  const double mid = w.value_at(25.0e-9);
+  EXPECT_NEAR(mid, slope * (25.0e-9 - n.sum_rc), 1e-3);
+}
+
+TEST(ArbitraryInput, RejectsEmptyAndDecreasingTimes) {
+  const NodeModel n = underdamped_node();
+  EXPECT_THROW(arbitrary_input_waveform(n, sim::StepSource{1.0}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(arbitrary_input_waveform(n, sim::StepSource{1.0}, {1e-9, 0.5e-9}),
+               std::invalid_argument);
+}
+
+TEST(Waveforms, SampleConsistently) {
+  const NodeModel n = underdamped_node();
+  const auto grid = sim::uniform_grid(5e-9, 11);
+  const sim::Waveform w = step_waveform(n, grid, 1.5);
+  ASSERT_EQ(w.size(), 11u);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w.values()[i], step_response(n, grid[i], 1.5));
+  }
+}
+
+}  // namespace
+}  // namespace relmore::eed

@@ -1,0 +1,136 @@
+#include "relmore/eed/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/circuit/random_tree.hpp"
+#include "relmore/eed/eed.hpp"
+
+namespace relmore::eed {
+namespace {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+/// Central finite difference of the fitted delay w.r.t. one element.
+double fd_delay(RlcTree tree, SectionId node, SectionId k, int element, double h_rel) {
+  auto& v = tree.values(k);
+  double* field = element == 0 ? &v.resistance : element == 1 ? &v.inductance
+                                                              : &v.capacitance;
+  const double nominal = *field;
+  const double h = h_rel * (nominal > 0.0 ? nominal : 1e-15);
+  *field = nominal + h;
+  const double up = delay_50(analyze(tree).at(node));
+  *field = nominal - h;
+  const double dn = delay_50(analyze(tree).at(node));
+  *field = nominal;
+  return (up - dn) / (2.0 * h);
+}
+
+TEST(Sensitivity, FittedDerivativeMatchesFiniteDifference) {
+  for (double zeta : {0.3, 0.8, 1.5, 3.0}) {
+    const double h = 1e-6;
+    const double fd = (scaled_delay_fitted(zeta + h) - scaled_delay_fitted(zeta - h)) /
+                      (2.0 * h);
+    EXPECT_NEAR(scaled_delay_fitted_derivative(zeta), fd, 1e-6) << "zeta=" << zeta;
+  }
+}
+
+TEST(Sensitivity, GradientMatchesFiniteDifferenceOnFig8) {
+  SectionId out = circuit::kInput;
+  const RlcTree tree = circuit::make_fig8_tree(&out);
+  const SensitivityReport rep = delay_sensitivity(tree, out);
+  ASSERT_EQ(rep.sections.size(), tree.size());
+  for (std::size_t k = 0; k < tree.size(); ++k) {
+    const auto id = static_cast<SectionId>(k);
+    const double fr = fd_delay(tree, out, id, 0, 1e-5);
+    const double fl = fd_delay(tree, out, id, 1, 1e-5);
+    const double fc = fd_delay(tree, out, id, 2, 1e-5);
+    const auto& s = rep.sections[k];
+    const double scale = std::abs(rep.delay);
+    EXPECT_NEAR(s.d_resistance * 1.0, fr, 1e-4 * scale / 1.0 + std::abs(fr) * 1e-4)
+        << "R, section " << k;
+    EXPECT_NEAR(s.d_inductance, fl, std::abs(fl) * 1e-3 + 1e-9 * scale) << "L, section " << k;
+    EXPECT_NEAR(s.d_capacitance, fc, std::abs(fc) * 1e-3 + 1e-9 * scale) << "C, section " << k;
+  }
+}
+
+TEST(Sensitivity, OffPathResistanceHasZeroSensitivity) {
+  // R and L of sections off the observation path do not enter SR/SL.
+  RlcTree t;
+  const SectionId root = t.add_section(circuit::kInput, 10.0, 1e-9, 0.1e-12);
+  const SectionId obs = t.add_section(root, 20.0, 2e-9, 0.2e-12, "obs");
+  const SectionId side = t.add_section(root, 30.0, 3e-9, 0.3e-12, "side");
+  const SensitivityReport rep = delay_sensitivity(t, obs);
+  EXPECT_DOUBLE_EQ(rep.sections[static_cast<std::size_t>(side)].d_resistance, 0.0);
+  EXPECT_DOUBLE_EQ(rep.sections[static_cast<std::size_t>(side)].d_inductance, 0.0);
+  // But its capacitance loads the shared root: nonzero C sensitivity.
+  EXPECT_GT(rep.sections[static_cast<std::size_t>(side)].d_capacitance, 0.0);
+}
+
+TEST(Sensitivity, SiblingSubtreeCapacitanceUsesSharedPrefixOnly) {
+  // The common resistance for a sibling's capacitor is the shared prefix:
+  // here only the root section.
+  RlcTree t;
+  const SectionId root = t.add_section(circuit::kInput, 10.0, 1e-9, 0.1e-12);
+  const SectionId obs = t.add_section(root, 20.0, 2e-9, 0.2e-12);
+  const SectionId side = t.add_section(root, 30.0, 3e-9, 0.3e-12);
+  const SectionId side_leaf = t.add_section(side, 40.0, 4e-9, 0.4e-12);
+  const SensitivityReport rep = delay_sensitivity(t, obs);
+  // dSR/dC for side and side_leaf both equal R(root) = 10; the deeper
+  // sibling node adds nothing because the paths diverge at the root.
+  const double d_dsr_ratio = rep.sections[static_cast<std::size_t>(side_leaf)].d_capacitance /
+                             rep.sections[static_cast<std::size_t>(side)].d_capacitance;
+  EXPECT_NEAR(d_dsr_ratio, 1.0, 1e-12);
+}
+
+TEST(Sensitivity, RcLimitUsesWyattSlope) {
+  RlcTree t = circuit::make_line(3, {100.0, 0.0, 1e-12});
+  const SensitivityReport rep = delay_sensitivity(t, 2);
+  // D = ln2 * SR; dD/dR_0 = ln2 * (total downstream C of section 0).
+  EXPECT_NEAR(rep.sections[0].d_resistance, std::log(2.0) * 3e-12, 1e-18);
+  EXPECT_DOUBLE_EQ(rep.sections[0].d_inductance, 0.0);
+}
+
+TEST(Sensitivity, WideningDownstreamCapacitanceAlwaysHurts) {
+  // dD/dC_k >= 0 for every k: adding load capacitance anywhere never
+  // speeds up a node (for physical damping levels).
+  SectionId out = circuit::kInput;
+  const RlcTree tree = circuit::make_fig8_tree(&out);
+  const SensitivityReport rep = delay_sensitivity(tree, out);
+  for (std::size_t k = 0; k < tree.size(); ++k) {
+    EXPECT_GE(rep.sections[k].d_capacitance, 0.0) << "section " << k;
+  }
+}
+
+/// Property sweep: gradient matches finite differences on random trees.
+class SensitivityFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SensitivityFuzz, MatchesFiniteDifference) {
+  circuit::RandomTreeSpec spec;
+  spec.min_sections = 4;
+  spec.max_sections = 14;
+  spec.inductance_lo = 0.2e-9;
+  const RlcTree tree = circuit::make_random_tree(spec, GetParam());
+  const SectionId sink = tree.leaves().back();
+  const SensitivityReport rep = delay_sensitivity(tree, sink);
+  // Check a few sections: the sink itself, the root, and a mid section.
+  for (const SectionId k :
+       {static_cast<SectionId>(0), sink, static_cast<SectionId>(tree.size() / 2)}) {
+    for (int elem = 0; elem < 3; ++elem) {
+      const double fd = fd_delay(tree, sink, k, elem, 1e-5);
+      const double an = elem == 0 ? rep.sections[static_cast<std::size_t>(k)].d_resistance
+                        : elem == 1 ? rep.sections[static_cast<std::size_t>(k)].d_inductance
+                                    : rep.sections[static_cast<std::size_t>(k)].d_capacitance;
+      EXPECT_NEAR(an, fd, std::abs(fd) * 1e-3 + 1e-6 * std::abs(rep.delay))
+          << "seed " << GetParam() << " section " << k << " elem " << elem;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Eed, SensitivityFuzz, ::testing::Values(2u, 4u, 6u, 8u, 10u));
+
+}  // namespace
+}  // namespace relmore::eed

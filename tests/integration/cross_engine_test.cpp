@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/sim/mna.hpp"
+#include "relmore/sim/state_space.hpp"
+#include "relmore/sim/tree_transient.hpp"
+#include "relmore/util/integrate.hpp"
+
+namespace relmore {
+namespace {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+/// Three-way agreement between independently-derived engines is this
+/// repository's substitute for the paper's proprietary AS/X reference
+/// (DESIGN.md §4): trapezoidal Norton sweeps, MNA matrix stamps, and the
+/// exact modal solution share no code paths beyond the tree itself.
+class ThreeEngineAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThreeEngineAgreement, StepResponsesCoincide) {
+  const double l_nh = GetParam();
+  const RlcTree t = circuit::make_fig5_tree({25.0, l_nh * 1e-9, 0.2e-12}, nullptr);
+  const auto node7 = static_cast<SectionId>(6);
+
+  sim::TransientOptions opts;
+  opts.t_stop = 8e-9 * std::sqrt(std::max(1.0, l_nh));
+  opts.dt = opts.t_stop / 20000.0;
+
+  const auto tree_res = sim::simulate_tree(t, sim::StepSource{1.0}, opts);
+  const auto mna_res = sim::simulate_mna(t, sim::StepSource{1.0}, opts);
+  const sim::ModalSolver modal(t);
+  const auto grid = sim::uniform_grid(opts.t_stop, 801);
+  const sim::Waveform w_modal = modal.response_waveform(node7, sim::StepSource{1.0}, grid);
+  const sim::Waveform w_tree = tree_res.waveform(node7);
+  const sim::Waveform w_mna = mna_res.waveform(node7);
+
+  // Tree vs MNA: identical discretization, so near machine precision.
+  EXPECT_LT(w_tree.max_abs_difference(w_mna), 1e-8);
+  // Discretized vs exact: bounded by the trapezoidal truncation error.
+  EXPECT_LT(w_modal.max_abs_difference(w_tree), 3e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Integration, ThreeEngineAgreement,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+/// A fourth, even more independent check: raw RK45 on the state-space ODE.
+TEST(CrossEngine, Rk45MatchesModalOnLine) {
+  const RlcTree t = circuit::make_line(4, {15.0, 1.2e-9, 0.12e-12});
+  const sim::StateSpace ss = sim::build_state_space(t);
+  const std::size_t m = ss.A.rows();
+  const util::OdeRhs rhs = [&](double, const std::vector<double>& y,
+                               std::vector<double>& dy) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = ss.b[i];  // unit step input
+      for (std::size_t j = 0; j < m; ++j) acc += ss.A(i, j) * y[j];
+      dy[i] = acc;
+    }
+  };
+  const double t_stop = 4e-9;
+  const auto y = util::integrate_ode(rhs, 0.0, std::vector<double>(m, 0.0), t_stop);
+
+  const sim::ModalSolver modal(t);
+  const std::vector<double> at{t_stop};
+  const auto v = modal.response(3, sim::StepSource{1.0}, at);
+  EXPECT_NEAR(y[ss.voltage_index(3)], v[0], 1e-6);
+}
+
+TEST(CrossEngine, DegenerateSectionsOnlyOnCompanionEngines) {
+  // Mixed tree: one section has L = 0 — modal must refuse, companions agree.
+  RlcTree t;
+  const SectionId a = t.add_section(circuit::kInput, 20.0, 1e-9, 0.1e-12);
+  t.add_section(a, 50.0, 0.0, 0.2e-12);
+  EXPECT_THROW(sim::ModalSolver{t}, std::invalid_argument);
+
+  sim::TransientOptions opts;
+  opts.t_stop = 2e-9;
+  opts.dt = 1e-13;
+  const auto r1 = sim::simulate_tree(t, sim::StepSource{1.0}, opts);
+  const auto r2 = sim::simulate_mna(t, sim::StepSource{1.0}, opts);
+  EXPECT_LT(r1.waveform(1).max_abs_difference(r2.waveform(1)), 1e-8);
+}
+
+TEST(CrossEngine, LargeTreeEnginesAgree) {
+  // 6-level binary balanced tree (63 sections) — big enough to stress the
+  // O(n) sweeps, still cheap for dense MNA.
+  const RlcTree t = circuit::make_balanced_tree(6, 2, {10.0, 0.8e-9, 0.08e-12});
+  sim::TransientOptions opts;
+  opts.t_stop = 6e-9;
+  opts.dt = 5e-13;
+  const auto r1 = sim::simulate_tree(t, sim::StepSource{1.0}, opts);
+  const auto r2 = sim::simulate_mna(t, sim::StepSource{1.0}, opts);
+  const auto sink = t.leaves().back();
+  EXPECT_LT(r1.waveform(sink).max_abs_difference(r2.waveform(sink)), 1e-7);
+}
+
+TEST(CrossEngine, ExponentialInputAgreement) {
+  const RlcTree t = circuit::make_fig8_tree(nullptr);
+  const SectionId out = t.find_by_name("O");
+  const sim::Source src = sim::ExpSource{1.0, 0.3e-9};
+  sim::TransientOptions opts;
+  opts.t_stop = 5e-9;
+  opts.dt = 2e-13;
+  const auto r1 = sim::simulate_tree(t, src, opts);
+  const sim::ModalSolver modal(t);
+  const auto grid = sim::uniform_grid(opts.t_stop, 501);
+  const sim::Waveform w_modal = modal.response_waveform(out, src, grid);
+  EXPECT_LT(w_modal.max_abs_difference(r1.waveform(out)), 3e-3);
+}
+
+}  // namespace
+}  // namespace relmore

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "relmore/analysis/compare.hpp"
+#include "relmore/circuit/builders.hpp"
+#include "relmore/circuit/netlist.hpp"
+#include "relmore/eed/eed.hpp"
+#include "relmore/sim/measure.hpp"
+
+namespace relmore {
+namespace {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+/// Full user journey: netlist in -> analysis -> closed-form metrics ->
+/// validation against simulation.
+TEST(EndToEnd, NetlistToTimingReport) {
+  std::istringstream netlist(
+      "section trunk -     R=20 L=1.5n C=0.1p\n"
+      "section left  trunk R=30 L=2n   C=0.2p\n"
+      "section right trunk R=25 L=1.8n C=0.15p\n"
+      "section sink  right R=15 L=2.2n C=0.3p\n");
+  const RlcTree tree = circuit::read_tree_netlist(netlist);
+  const SectionId sink = tree.find_by_name("sink");
+  ASSERT_NE(sink, circuit::kInput);
+
+  const eed::TreeModel model = eed::analyze(tree);
+  const eed::NodeModel& nm = model.at(sink);
+  EXPECT_GT(nm.zeta, 0.0);
+  EXPECT_TRUE(std::isfinite(nm.omega_n));
+
+  const double delay = eed::delay_50(nm);
+  const double rise = eed::rise_time(nm);
+  EXPECT_GT(delay, 0.0);
+  EXPECT_GT(rise, delay * 0.3);
+
+  // Validate the closed forms against the reference simulation.
+  const analysis::StepComparison cmp = analysis::compare_step_response(tree, sink);
+  EXPECT_LT(cmp.delay_err_pct, 15.0);
+  // Waveform error on this hand-built (unbalanced) tree peaks near the
+  // first overshoot; the delay/rise macro features stay tight.
+  EXPECT_LT(cmp.waveform_max_err, 0.3);
+}
+
+TEST(EndToEnd, SpiceExportReimportPreservesTiming) {
+  SectionId out = circuit::kInput;
+  const RlcTree original = circuit::make_fig8_tree(&out);
+  std::stringstream deck;
+  circuit::write_spice(original, deck);
+  const RlcTree reimported = circuit::read_spice(deck);
+
+  const auto m1 = eed::analyze(original);
+  const auto m2 = eed::analyze(reimported);
+  // Node numbering may differ; compare the multiset of sink delays via sums.
+  double d1 = 0.0;
+  for (SectionId s : original.leaves()) d1 += eed::delay_50(m1.at(s));
+  double d2 = 0.0;
+  for (SectionId s : reimported.leaves()) d2 += eed::delay_50(m2.at(s));
+  EXPECT_NEAR(d1, d2, 1e-12 * std::abs(d1));
+}
+
+TEST(EndToEnd, ClockTreeSkewIsZeroOnSymmetricHTree) {
+  const RlcTree h = circuit::make_h_tree(4, {40.0, 4e-9, 0.4e-12});
+  const auto model = eed::analyze(h);
+  const auto sinks = h.leaves();
+  double min_d = 1e300;
+  double max_d = -1e300;
+  for (SectionId s : sinks) {
+    const double d = eed::delay_50(model.at(s));
+    min_d = std::min(min_d, d);
+    max_d = std::max(max_d, d);
+  }
+  EXPECT_NEAR(max_d - min_d, 0.0, 1e-15);  // perfectly balanced => zero skew
+}
+
+TEST(EndToEnd, WireSizingImprovesDelayMonotonically) {
+  // Widening a wire (R/w, L/w roughly, C*w) changes delay; the continuous
+  // closed form supports optimization loops — verify it responds smoothly.
+  double prev_delay = 1e300;
+  bool decreased_once = false;
+  for (double w = 1.0; w <= 4.0; w += 0.5) {
+    RlcTree t;
+    t.add_section(circuit::kInput, 100.0 / w, 2e-9 / w, 0.1e-12 * w, "wire");
+    t.add_section(0, 5.0, 0.1e-9, 0.5e-12, "load");
+    const auto model = eed::analyze(t);
+    const double d = eed::delay_50(model.at(1));
+    EXPECT_TRUE(std::isfinite(d));
+    if (d < prev_delay) decreased_once = true;
+    prev_delay = d;
+  }
+  EXPECT_TRUE(decreased_once);
+}
+
+TEST(EndToEnd, ElmoreFidelityRankingPreserved) {
+  // The paper's fidelity argument: rankings by the closed form should
+  // match rankings by simulation. Construct three candidate routes with
+  // different wire lengths and check the order agrees.
+  std::vector<double> eed_delays;
+  std::vector<double> sim_delays;
+  for (int sections : {2, 4, 6}) {
+    const RlcTree t = circuit::make_line(sections, {20.0, 1e-9, 0.1e-12});
+    const auto sink = static_cast<SectionId>(sections - 1);
+    const auto model = eed::analyze(t);
+    eed_delays.push_back(eed::delay_50(model.at(sink)));
+    const analysis::StepComparison cmp = analysis::compare_step_response(t, sink);
+    sim_delays.push_back(cmp.ref_delay_50);
+  }
+  EXPECT_LT(eed_delays[0], eed_delays[1]);
+  EXPECT_LT(eed_delays[1], eed_delays[2]);
+  EXPECT_LT(sim_delays[0], sim_delays[1]);
+  EXPECT_LT(sim_delays[1], sim_delays[2]);
+}
+
+}  // namespace
+}  // namespace relmore

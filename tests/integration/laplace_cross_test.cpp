@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/sim/state_space.hpp"
+#include "relmore/util/laplace.hpp"
+
+namespace relmore {
+namespace {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+/// Fourth independent reference path: numerically invert the *exact*
+/// Laplace-domain transfer function (from the state-space resolvent) with
+/// the Talbot contour, and compare against the modal time-domain solution.
+/// The two share only the state matrix itself — the Talbot path never sees
+/// eigenvalues, and the modal path never sees the contour.
+TEST(LaplaceCross, TalbotStepMatchesModalOnFig5) {
+  const RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  const sim::ModalSolver modal(t);
+  const auto node7 = static_cast<SectionId>(6);
+
+  const auto step_s = [&](std::complex<double> s) {
+    return modal.transfer_laplace(node7, s) / s;  // step input: H(s)/s
+  };
+  const auto grid = sim::uniform_grid(4e-9, 17);
+  const auto exact = modal.response(node7, sim::StepSource{1.0}, grid);
+  for (std::size_t i = 1; i < grid.size(); ++i) {  // Talbot needs t > 0
+    // This response is strongly oscillatory (|Im p|*t up to ~50 rad);
+    // fixed-Talbot in double precision bottoms out near 1e-3 there
+    // (rounding grows as e^{2M/5} while truncation shrinks with M). The
+    // value of this test is the independent structural cross-check, not
+    // precision — tests/util/laplace_test.cpp covers accuracy on smooth
+    // transforms.
+    const double talbot = util::invert_laplace_talbot(step_s, grid[i], 64);
+    EXPECT_NEAR(talbot, exact[i], 2e-3) << "t=" << grid[i];
+  }
+}
+
+TEST(LaplaceCross, TalbotExponentialInputMatchesModal) {
+  const RlcTree t = circuit::make_fig8_tree(nullptr);
+  const SectionId out = t.find_by_name("O");
+  const sim::ModalSolver modal(t);
+  const double tau = 0.5e-9;
+  const auto in_s = [&](std::complex<double> s) {
+    // V(1 - e^{-t/tau}) <-> 1/s - 1/(s + 1/tau).
+    return modal.transfer_laplace(out, s) * (1.0 / s - 1.0 / (s + 1.0 / tau));
+  };
+  const auto grid = sim::uniform_grid(5e-9, 11);
+  const auto exact = modal.response(out, sim::ExpSource{1.0, tau}, grid);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    const double talbot = util::invert_laplace_talbot(in_s, grid[i], 64);
+    EXPECT_NEAR(talbot, exact[i], 2e-3) << "t=" << grid[i];
+  }
+}
+
+}  // namespace
+}  // namespace relmore

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relmore/circuit/random_tree.hpp"
+#include "relmore/eed/eed.hpp"
+#include "relmore/linalg/matrix.hpp"
+#include "relmore/moments/tree_moments.hpp"
+#include "relmore/sim/measure.hpp"
+#include "relmore/sim/mna.hpp"
+#include "relmore/sim/state_space.hpp"
+#include "relmore/sim/tree_transient.hpp"
+
+namespace relmore {
+namespace {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+circuit::RandomTreeSpec strict_rlc_spec() {
+  circuit::RandomTreeSpec spec;
+  spec.min_sections = 3;
+  spec.max_sections = 18;
+  spec.inductance_lo = 0.1e-9;  // strictly positive L for the modal solver
+  return spec;
+}
+
+/// Fuzz: the two companion-model engines agree on random trees.
+class EngineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineFuzz, TreeAndMnaAgree) {
+  const RlcTree t = circuit::make_random_tree(strict_rlc_spec(), GetParam());
+  const auto model = eed::analyze(t);
+  // Pick the deepest sink for the longest dynamics.
+  SectionId sink = t.leaves().front();
+  for (SectionId s : t.leaves()) {
+    if (model.at(s).sum_rc > model.at(sink).sum_rc) sink = s;
+  }
+  sim::TransientOptions opts;
+  const double horizon =
+      10.0 * std::max(model.at(sink).sum_rc, 2.0 / model.at(sink).omega_n);
+  opts.t_stop = horizon;
+  opts.dt = horizon / 20000.0;
+  const auto a = sim::simulate_tree(t, sim::StepSource{1.0}, opts);
+  const auto b = sim::simulate_mna(t, sim::StepSource{1.0}, opts);
+  EXPECT_LT(a.waveform(sink).max_abs_difference(b.waveform(sink)), 1e-7)
+      << "seed " << GetParam() << " sections " << t.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, EngineFuzz,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u, 606u, 707u, 808u));
+
+/// Property: exact tree moments equal the state-space moments
+/// m_k = -c^T A^{-(k+1)} b for every node and order — two completely
+/// independent derivations (path-tracing vs matrix resolvent expansion).
+class MomentFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MomentFuzz, PathTracingMatchesResolventExpansion) {
+  const RlcTree t = circuit::make_random_tree(strict_rlc_spec(), GetParam());
+  const int max_order = 4;
+  const auto m = moments::tree_moments(t, max_order);
+
+  const sim::StateSpace ss = sim::build_state_space(t);
+  const linalg::LuFactor lu(ss.A);
+  // Iterate v_{k+1} = A^{-1} v_k starting from v_0 = A^{-1} b;
+  // then m_k(node) = -v_{k}[voltage_index(node)] ... with v_k = A^{-(k+1)} b.
+  std::vector<double> v = lu.solve(ss.b);
+  for (int k = 0; k <= max_order; ++k) {
+    for (std::size_t node = 0; node < t.size(); ++node) {
+      const double expected = -v[ss.voltage_index(static_cast<SectionId>(node))];
+      const double got = m[static_cast<std::size_t>(k)][node];
+      const double scale = std::max(std::abs(expected), 1e-300);
+      EXPECT_LT(std::abs(got - expected) / scale, 1e-8)
+          << "seed " << GetParam() << " node " << node << " order " << k;
+    }
+    v = lu.solve(v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, MomentFuzz, ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+/// Property: on random trees the EED closed-form delay is finite, positive,
+/// ordered (downstream nodes are slower along any path), and within a sane
+/// factor of the simulator at the sinks.
+class DelayFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DelayFuzz, ClosedFormSaneAndOrdered) {
+  const RlcTree t = circuit::make_random_tree(strict_rlc_spec(), GetParam());
+  const auto model = eed::analyze(t);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const auto id = static_cast<SectionId>(i);
+    const double d = eed::delay_50(model.at(id));
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_GT(d, 0.0);
+    const SectionId parent = t.section(id).parent;
+    if (parent != circuit::kInput) {
+      EXPECT_GE(model.at(id).sum_rc, model.at(parent).sum_rc);
+      EXPECT_GE(model.at(id).sum_lc, model.at(parent).sum_lc);
+    }
+  }
+  // Spot check one sink against the modal reference.
+  const SectionId sink = t.leaves().back();
+  const auto& nm = model.at(sink);
+  const double horizon = 10.0 * std::max(nm.sum_rc, 3.0 / (std::min(nm.zeta, 1.0) *
+                                                           nm.omega_n));
+  const sim::ModalSolver solver(t);
+  const auto grid = sim::uniform_grid(horizon, 4001);
+  const sim::Waveform ref = solver.response_waveform(sink, sim::StepSource{1.0}, grid);
+  const double ref_delay = sim::measure_rising(ref, 1.0).delay_50;
+  if (ref_delay > 0.0) {
+    const double d = eed::delay_50(nm);
+    EXPECT_GT(d, 0.2 * ref_delay) << "seed " << GetParam();
+    EXPECT_LT(d, 5.0 * ref_delay) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, DelayFuzz,
+                         ::testing::Values(7u, 17u, 27u, 37u, 47u, 57u, 67u));
+
+/// Fuzz including degenerate (RC-only) sections: companion engines must
+/// handle L = 0 gracefully and produce monotone RC responses.
+class RcFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RcFuzz, RcTreesMonotone) {
+  circuit::RandomTreeSpec spec = strict_rlc_spec();
+  spec.inductance_lo = 0.0;
+  spec.inductance_hi = 0.0;
+  const RlcTree t = circuit::make_random_tree(spec, GetParam());
+  const auto model = eed::analyze(t);
+  const SectionId sink = t.leaves().front();
+  sim::TransientOptions opts;
+  // RC settling is governed by the slowest node; 20x its Elmore constant
+  // reaches the supply to well under 0.1%.
+  double slowest = 0.0;
+  for (const auto& nm : model.nodes) slowest = std::max(slowest, nm.sum_rc);
+  opts.t_stop = 20.0 * slowest;
+  opts.dt = opts.t_stop / 10000.0;
+  const auto res = sim::simulate_tree(t, sim::StepSource{1.0}, opts);
+  const auto w = res.waveform(sink);
+  EXPECT_LE(w.max_value(), 1.0 + 1e-9) << "seed " << GetParam();
+  EXPECT_GE(w.min_value(), -1e-9);
+  EXPECT_NEAR(w.final_value(), 1.0, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RcFuzz, ::testing::Values(3u, 13u, 23u, 33u));
+
+}  // namespace
+}  // namespace relmore

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/circuit/netlist.hpp"
+#include "relmore/eed/eed.hpp"
+#include "relmore/linalg/eigen.hpp"
+#include "relmore/sim/state_space.hpp"
+#include "relmore/sim/tree_transient.hpp"
+
+namespace relmore {
+namespace {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+/// Trapezoidal integration is A-stable: even with a timestep 1000x larger
+/// than the fastest time constant the solution must stay bounded (it will
+/// be inaccurate and ring numerically, but never blow up).
+TEST(Stress, TrapezoidalAStableUnderHugeTimestep) {
+  const RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  sim::TransientOptions opts;
+  opts.t_stop = 2e-6;  // thousands of natural periods
+  opts.dt = 2e-9;      // ~100x the fastest sqrt(LC)
+  const auto res = sim::simulate_tree(t, sim::StepSource{1.0}, opts);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const auto w = res.waveform(static_cast<SectionId>(i));
+    EXPECT_LT(w.max_value(), 10.0) << "node " << i;
+    EXPECT_GT(w.min_value(), -10.0) << "node " << i;
+    EXPECT_NEAR(w.final_value(), 1.0, 0.05) << "node " << i;
+  }
+}
+
+/// Extreme element ratios: femtofarad loads against kilohm drivers and
+/// microhenry inductors must not break the O(n) analysis.
+TEST(Stress, ExtremeElementRatiosStayFinite) {
+  RlcTree t;
+  const SectionId a = t.add_section(circuit::kInput, 1e4, 1e-6, 1e-18);
+  const SectionId b = t.add_section(a, 1e-3, 1e-15, 1e-9);
+  const auto model = eed::analyze(t);
+  for (const auto id : {a, b}) {
+    const auto& nm = model.at(id);
+    EXPECT_TRUE(std::isfinite(nm.zeta));
+    EXPECT_TRUE(std::isfinite(eed::delay_50(nm)));
+    EXPECT_GT(eed::delay_50(nm), 0.0);
+  }
+}
+
+/// Deep path: a 512-section line exercises the recursion-free traversals.
+TEST(Stress, VeryDeepLine) {
+  const RlcTree t = circuit::make_line(512, {1.0, 0.05e-9, 0.01e-12});
+  const auto model = eed::analyze(t);
+  const auto sink = static_cast<SectionId>(511);
+  EXPECT_TRUE(std::isfinite(model.at(sink).zeta));
+  EXPECT_GT(model.at(sink).sum_rc, model.at(0).sum_rc);
+  EXPECT_EQ(t.depth(), 512);
+  EXPECT_EQ(t.path_from_input(sink).size(), 512u);
+}
+
+/// Wide tree: 1 + 256 star exercises the child-list handling.
+TEST(Stress, VeryWideStar) {
+  RlcTree t;
+  const SectionId hub = t.add_section(circuit::kInput, 10.0, 1e-9, 0.1e-12);
+  for (int i = 0; i < 256; ++i) t.add_section(hub, 20.0, 1e-9, 0.05e-12);
+  EXPECT_EQ(t.children(hub).size(), 256u);
+  const auto model = eed::analyze(t);
+  // The hub sees all 257 capacitors.
+  EXPECT_NEAR(model.load_capacitance[0], 0.1e-12 + 256 * 0.05e-12, 1e-18);
+}
+
+/// Netlist parser fuzz: every malformed deck throws std::invalid_argument
+/// (never crashes, never silently succeeds).
+TEST(Stress, NetlistParserRejectsGarbageGracefully) {
+  const char* bad_cases[] = {
+      "section\n",                                  // missing fields
+      "section a - R=1 L=0\n",                      // too few pairs
+      "section a - R=1 L=0 C=1 extra=2\n",          // too many pairs
+      "section a - R=one L=0 C=1\n",                // bad number
+      "section a b R=1 L=0 C=1\n",                  // unknown parent
+      "nonsense a - R=1 L=0 C=1\n",                 // wrong keyword
+      "section a - R=-5 L=0 C=1\n",                 // negative element
+      "section a - Q=1 L=0 C=1\n",                  // unknown key
+  };
+  for (const char* deck : bad_cases) {
+    std::istringstream is(deck);
+    EXPECT_THROW(circuit::read_tree_netlist(is), std::invalid_argument) << deck;
+  }
+}
+
+TEST(Stress, SpiceParserRejectsGarbageGracefully) {
+  const char* bad_cases[] = {
+      "R1 in\n",                          // missing operands
+      "D1 in out 1\n",                    // unsupported element
+      "V1 in 0 PWL(0 0)\nR1 in a xyz\n",  // bad value
+      "R1 a b 100\nC1 b 0 1p\n",          // no input reference
+  };
+  for (const char* deck : bad_cases) {
+    std::istringstream is(deck);
+    EXPECT_THROW(circuit::read_spice(is), std::invalid_argument) << deck;
+  }
+}
+
+/// Eigen solver on a badly scaled circuit-like matrix (entries spanning
+/// 1e-12 .. 1e12): eigenvalues must still satisfy the residual bound.
+TEST(Stress, EigenSolverBadlyScaledMatrix) {
+  RlcTree t;
+  t.add_section(circuit::kInput, 1e3, 1e-6, 1e-15);
+  t.add_section(0, 1e-1, 1e-12, 1e-9);
+  const sim::StateSpace ss = sim::build_state_space(t);
+  const auto es = linalg::eigen_decompose(ss.A);
+  double scale = ss.A.max_abs();
+  for (std::size_t k = 0; k < es.values.size(); ++k) {
+    double residual = 0.0;
+    for (std::size_t i = 0; i < ss.A.rows(); ++i) {
+      linalg::Complex acc{0.0, 0.0};
+      for (std::size_t j = 0; j < ss.A.cols(); ++j) acc += ss.A(i, j) * es.vectors[k][j];
+      residual = std::max(residual, std::abs(acc - es.values[k] * es.vectors[k][i]));
+    }
+    EXPECT_LT(residual, 1e-8 * scale) << "pair " << k;
+    EXPECT_LE(es.values[k].real(), 1e-8 * scale);  // passive circuit: stable
+  }
+}
+
+/// Sources behave at boundary instants and huge times.
+TEST(Stress, SourceBoundaryBehaviour) {
+  const sim::Source ramp = sim::RampSource{1.0, 0.0};  // zero-rise ramp
+  EXPECT_DOUBLE_EQ(sim::source_value(ramp, 1e-15), 1.0);
+  const sim::Source pwl = sim::PwlSource{{{1e-9, 0.5}, {1e-9, 0.7}}};  // duplicate t
+  EXPECT_DOUBLE_EQ(sim::source_value(pwl, 1e-9), 0.5);
+  EXPECT_DOUBLE_EQ(sim::source_value(pwl, 2e-9), 0.7);
+  const sim::Source exp_src = sim::ExpSource{2.0, 1e-12};
+  EXPECT_DOUBLE_EQ(sim::source_value(exp_src, 1.0), 2.0);  // no overflow at huge t/tau
+}
+
+/// Scaled-response functions at extreme zeta.
+TEST(Stress, ScaledResponsesExtremeZeta) {
+  EXPECT_NEAR(eed::scaled_step_response(1e4, 1e6), 1.0, 1e-3);
+  EXPECT_TRUE(std::isfinite(eed::scaled_delay_exact(100.0)));
+  EXPECT_NEAR(eed::scaled_delay_exact(100.0), 2.0 * 100.0 * std::log(2.0),
+              0.01 * 2.0 * 100.0 * std::log(2.0));
+  EXPECT_TRUE(std::isfinite(eed::scaled_rise_fitted(1e3)));
+}
+
+}  // namespace
+}  // namespace relmore

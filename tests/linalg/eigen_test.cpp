@@ -1,0 +1,146 @@
+#include "relmore/linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace relmore::linalg {
+namespace {
+
+std::vector<Complex> sorted(std::vector<Complex> v) {
+  std::sort(v.begin(), v.end(), [](const Complex& a, const Complex& b) {
+    if (a.real() != b.real()) return a.real() < b.real();
+    return a.imag() < b.imag();
+  });
+  return v;
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  const Matrix a = Matrix::from_rows({{3.0, 0.0}, {0.0, -1.0}});
+  const auto vals = sorted(eigenvalues(a));
+  EXPECT_NEAR(vals[0].real(), -1.0, 1e-10);
+  EXPECT_NEAR(vals[1].real(), 3.0, 1e-10);
+}
+
+TEST(Eigen, RotationGivesComplexPair) {
+  // [[0,-1],[1,0]] has eigenvalues +-i.
+  const Matrix a = Matrix::from_rows({{0.0, -1.0}, {1.0, 0.0}});
+  const auto vals = sorted(eigenvalues(a));
+  EXPECT_NEAR(vals[0].real(), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(vals[0].imag()), 1.0, 1e-10);
+  EXPECT_NEAR(vals[0].imag() + vals[1].imag(), 0.0, 1e-10);
+}
+
+TEST(Eigen, KnownNonsymmetric3x3) {
+  // Companion matrix of (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6.
+  const Matrix a = Matrix::from_rows({{0.0, 0.0, 6.0}, {1.0, 0.0, -11.0}, {0.0, 1.0, 6.0}});
+  auto vals = sorted(eigenvalues(a));
+  EXPECT_NEAR(vals[0].real(), 1.0, 1e-8);
+  EXPECT_NEAR(vals[1].real(), 2.0, 1e-8);
+  EXPECT_NEAR(vals[2].real(), 3.0, 1e-8);
+}
+
+TEST(Eigen, DampedOscillatorPoles) {
+  // x' = A x for v'' + 2*0.3 v' + v = 0: poles -0.3 +- i sqrt(1-0.09).
+  const Matrix a = Matrix::from_rows({{0.0, 1.0}, {-1.0, -0.6}});
+  const auto vals = eigenvalues(a);
+  for (const auto& v : vals) {
+    EXPECT_NEAR(v.real(), -0.3, 1e-10);
+    EXPECT_NEAR(std::abs(v.imag()), std::sqrt(1.0 - 0.09), 1e-10);
+  }
+}
+
+TEST(Eigen, EigenvectorResidual) {
+  const Matrix a =
+      Matrix::from_rows({{2.0, 1.0, 0.0}, {0.5, 2.0, 1.0}, {0.0, 0.5, 2.0}});
+  const EigenSystem es = eigen_decompose(a);
+  ASSERT_EQ(es.values.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    // ||A v - lambda v|| should be ~ machine epsilon * scale.
+    double residual = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      Complex acc{0.0, 0.0};
+      for (std::size_t j = 0; j < 3; ++j) acc += a(i, j) * es.vectors[k][j];
+      residual = std::max(residual, std::abs(acc - es.values[k] * es.vectors[k][i]));
+    }
+    EXPECT_LT(residual, 1e-9);
+  }
+}
+
+TEST(Eigen, HessenbergReductionPreservesSpectrumLarge) {
+  // Tridiagonal Toeplitz matrix: known eigenvalues 2 + 2cos(k pi/(n+1)).
+  const std::size_t n = 12;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = 2.0;
+    if (i + 1 < n) {
+      a(i, i + 1) = 1.0;
+      a(i + 1, i) = 1.0;
+    }
+  }
+  auto vals = sorted(eigenvalues(a));
+  std::vector<double> expected;
+  for (std::size_t k = 1; k <= n; ++k) {
+    expected.push_back(2.0 + 2.0 * std::cos(static_cast<double>(k) * M_PI /
+                                            static_cast<double>(n + 1)));
+  }
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(vals[k].real(), expected[k], 1e-8);
+    EXPECT_NEAR(vals[k].imag(), 0.0, 1e-8);
+  }
+}
+
+TEST(Eigen, RejectsNonSquare) {
+  EXPECT_THROW(eigenvalues(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(SolveComplex, KnownSystem) {
+  std::vector<std::vector<Complex>> m{{Complex{1.0, 0.0}, Complex{0.0, 1.0}},
+                                      {Complex{0.0, -1.0}, Complex{2.0, 0.0}}};
+  // Solution x = (1, i): b = (1 + i*i, -i*1 + 2i) = (0, i).
+  const auto x = solve_complex(m, {Complex{0.0, 0.0}, Complex{0.0, 1.0}});
+  EXPECT_NEAR(std::abs(x[0] - Complex{1.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - Complex{0.0, 1.0}), 0.0, 1e-12);
+}
+
+TEST(SolveComplex, ThrowsOnSingular) {
+  std::vector<std::vector<Complex>> m{{Complex{1.0, 0.0}, Complex{2.0, 0.0}},
+                                      {Complex{2.0, 0.0}, Complex{4.0, 0.0}}};
+  EXPECT_THROW(solve_complex(m, {Complex{1.0, 0.0}, Complex{1.0, 0.0}}), std::runtime_error);
+}
+
+// Property sweep: eigen-decomposition of scaled stable circuit-like
+// matrices reconstructs A v = lambda v across sizes.
+class EigenResidualSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenResidualSweep, DecompositionResidual) {
+  const std::size_t n = GetParam();
+  Matrix a(n, n);
+  // Nonsymmetric banded matrix with deterministic entries.
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = -2.0 - 0.1 * static_cast<double>(i);
+    if (i + 1 < n) {
+      a(i, i + 1) = 1.0 + 0.05 * static_cast<double>(i);
+      a(i + 1, i) = -0.7;
+    }
+  }
+  const EigenSystem es = eigen_decompose(a);
+  ASSERT_EQ(es.values.size(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    double residual = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Complex acc{0.0, 0.0};
+      for (std::size_t j = 0; j < n; ++j) acc += a(i, j) * es.vectors[k][j];
+      residual = std::max(residual, std::abs(acc - es.values[k] * es.vectors[k][i]));
+    }
+    EXPECT_LT(residual, 1e-8) << "eigenpair " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Linalg, EigenResidualSweep,
+                         ::testing::Values(2u, 3u, 6u, 10u, 20u, 40u));
+
+}  // namespace
+}  // namespace relmore::linalg

@@ -1,0 +1,132 @@
+#include "relmore/linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace relmore::linalg {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), -2.0);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyMatrix) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const Matrix b = Matrix::from_rows({{0.0, 1.0}, {1.0, 0.0}});
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, MultiplyVector) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const auto y = a * std::vector<double>{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, Transposed) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0, 3.0}});
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 1u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+}
+
+TEST(Matrix, AddSubtractScale) {
+  Matrix a = Matrix::from_rows({{1.0, 2.0}});
+  const Matrix b = Matrix::from_rows({{3.0, 4.0}});
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 1), 6.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(0, 1), 2.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  const Matrix b(3, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a * b, std::invalid_argument);
+  EXPECT_THROW(a * std::vector<double>{1.0}, std::invalid_argument);
+}
+
+TEST(LuFactor, SolvesKnownSystem) {
+  const Matrix a = Matrix::from_rows({{2.0, 1.0}, {1.0, 3.0}});
+  const LuFactor lu(a);
+  const auto x = lu.solve({5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuFactor, SolvesWithPivoting) {
+  // Leading zero forces a row swap.
+  const Matrix a = Matrix::from_rows({{0.0, 1.0}, {1.0, 0.0}});
+  const LuFactor lu(a);
+  const auto x = lu.solve({2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(LuFactor, Determinant) {
+  const Matrix a = Matrix::from_rows({{2.0, 0.0}, {0.0, 3.0}});
+  EXPECT_NEAR(LuFactor(a).determinant(), 6.0, 1e-12);
+  const Matrix swapped = Matrix::from_rows({{0.0, 3.0}, {2.0, 0.0}});
+  EXPECT_NEAR(LuFactor(swapped).determinant(), -6.0, 1e-12);
+}
+
+TEST(LuFactor, ThrowsOnSingular) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {2.0, 4.0}});
+  EXPECT_THROW(LuFactor{a}, std::runtime_error);
+}
+
+TEST(LuFactor, ThrowsOnNonSquare) {
+  EXPECT_THROW(LuFactor{Matrix(2, 3)}, std::invalid_argument);
+}
+
+// Property sweep: random-structured SPD-ish systems solve to residual ~ 0.
+class LuSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuSweep, ResidualSmall) {
+  const std::size_t n = GetParam();
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      a(r, c) = 1.0 / (1.0 + static_cast<double>(r + c));  // Hilbert-like
+    }
+    a(r, r) += 2.0;  // diagonally dominant -> well conditioned
+  }
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = std::sin(static_cast<double>(i));
+  const auto x = LuFactor(a).solve(b);
+  const auto r = a * x;
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(r[i], b[i], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Linalg, LuSweep, ::testing::Values(1u, 2u, 5u, 10u, 25u, 60u));
+
+}  // namespace
+}  // namespace relmore::linalg

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/circuit/random_tree.hpp"
+#include "relmore/moments/pole_residue.hpp"
+#include "relmore/moments/tree_moments.hpp"
+#include "relmore/sim/state_space.hpp"
+
+namespace relmore::moments {
+namespace {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+TEST(AweTree, BuildsModelForEveryNode) {
+  const RlcTree t = circuit::make_fig8_tree(nullptr);
+  const auto models = awe_models_for_tree(t, 3);
+  ASSERT_EQ(models.size(), t.size());
+  for (const auto& m : models) {
+    EXPECT_GE(m.poles.size(), 1u);
+    EXPECT_LE(m.poles.size(), 3u);
+    EXPECT_NEAR(m.dc_gain(), 1.0, 1e-6);
+  }
+}
+
+TEST(AweTree, HigherOrderMatchesExactPolesOnLine) {
+  // A 2-section strict-RLC line has 4 true poles; q=4 AWE recovers them.
+  const RlcTree t = circuit::make_line(2, {30.0, 2e-9, 0.3e-12});
+  const auto models = awe_models_for_tree(t, 4);
+  const sim::ModalSolver exact(t);
+  const auto& sink_model = models.back();
+  ASSERT_EQ(sink_model.poles.size(), 4u);
+  for (const auto& p : sink_model.poles) {
+    double best = 1e300;
+    for (const auto& q : exact.poles()) best = std::min(best, std::abs(p - q));
+    EXPECT_LT(best, 1e-4 * std::abs(p)) << "pole " << p.real() << "+" << p.imag() << "i";
+  }
+}
+
+TEST(AweTree, DegenerateNodeFallsBackToLowerOrder) {
+  // A single RLC section has exactly 2 poles: asking for q=4 must fall
+  // back rather than fail.
+  RlcTree t;
+  t.add_section(circuit::kInput, 40.0, 2e-9, 0.5e-12);
+  const auto models = awe_models_for_tree(t, 4);
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_LE(models[0].poles.size(), 4u);
+  EXPECT_NEAR(models[0].dc_gain(), 1.0, 1e-6);
+}
+
+TEST(AweTree, RejectsBadOrder) {
+  const RlcTree t = circuit::make_fig8_tree(nullptr);
+  EXPECT_THROW(awe_models_for_tree(t, 0), std::invalid_argument);
+}
+
+TEST(Stabilized, PassesThroughStableModel) {
+  PoleResidueModel m;
+  m.poles = {{-1.0, 0.0}, {-2.0, 0.0}};
+  m.residues = {{2.0, 0.0}, {-2.0, 0.0}};
+  const PoleResidueModel s = stabilized(m);
+  EXPECT_EQ(s.poles.size(), 2u);
+}
+
+TEST(Stabilized, DropsUnstablePolesAndRestoresGain) {
+  PoleResidueModel m;
+  m.poles = {{-1.0, 0.0}, {+3.0, 0.0}};
+  m.residues = {{0.5, 0.0}, {1.0, 0.0}};
+  ASSERT_FALSE(m.stable());
+  const PoleResidueModel s = stabilized(m);
+  ASSERT_EQ(s.poles.size(), 1u);
+  EXPECT_LT(s.poles[0].real(), 0.0);
+  EXPECT_NEAR(s.dc_gain(), 1.0, 1e-12);
+}
+
+TEST(Stabilized, ThrowsWhenNothingStable) {
+  PoleResidueModel m;
+  m.poles = {{1.0, 0.0}};
+  m.residues = {{1.0, 0.0}};
+  EXPECT_THROW(stabilized(m), std::invalid_argument);
+}
+
+/// Property sweep: for random strict-RLC trees, the stabilized q=4 AWE
+/// step response settles at the supply.
+class AweRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AweRandomSweep, StabilizedModelsSettle) {
+  circuit::RandomTreeSpec spec;
+  spec.min_sections = 4;
+  spec.max_sections = 12;
+  spec.inductance_lo = 0.2e-9;
+  const RlcTree t = circuit::make_random_tree(spec, GetParam());
+  const auto models = awe_models_for_tree(t, 4);
+  for (const auto& raw : models) {
+    const PoleResidueModel m = stabilized(raw);
+    EXPECT_TRUE(m.stable());
+    // Step response approaches V at 20x the slowest time constant.
+    double slowest = 0.0;
+    for (const auto& p : m.poles) slowest = std::max(slowest, -1.0 / p.real());
+    EXPECT_NEAR(m.step_response(20.0 * slowest, 1.0), 1.0, 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Moments, AweRandomSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace relmore::moments

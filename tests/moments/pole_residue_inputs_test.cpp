@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/moments/pole_residue.hpp"
+#include "relmore/moments/tree_moments.hpp"
+#include "relmore/sim/state_space.hpp"
+#include "relmore/sim/waveform.hpp"
+
+namespace relmore::moments {
+namespace {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+/// Order-2 AWE of a single RLC section is exact, so its input responses
+/// must match the exact modal solutions for every input shape.
+class SingleSectionInputs : public ::testing::Test {
+ protected:
+  SingleSectionInputs() {
+    tree_.add_section(circuit::kInput, 40.0, 2e-9, 0.5e-12);
+    const auto m = tree_moments(tree_, 3);
+    std::vector<double> node_m;
+    for (const auto& order : m) node_m.push_back(order[0]);
+    model_ = awe_model(node_m, 2);
+  }
+  RlcTree tree_;
+  PoleResidueModel model_;
+};
+
+TEST_F(SingleSectionInputs, ExponentialMatchesModal) {
+  const sim::ModalSolver exact(tree_);
+  const double tau = 0.4e-9;
+  const auto grid = sim::uniform_grid(6e-9, 61);
+  const auto ref = exact.response(0, sim::ExpSource{1.0, tau}, grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_NEAR(model_.exp_input_response(grid[i], 1.0, tau), ref[i], 1e-6)
+        << "t=" << grid[i];
+  }
+}
+
+TEST_F(SingleSectionInputs, RampMatchesModal) {
+  const sim::ModalSolver exact(tree_);
+  const double rise = 0.8e-9;
+  const auto grid = sim::uniform_grid(6e-9, 61);
+  const auto ref = exact.response(0, sim::RampSource{1.0, rise}, grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_NEAR(model_.ramp_input_response(grid[i], 1.0, rise), ref[i], 1e-6)
+        << "t=" << grid[i];
+  }
+}
+
+TEST_F(SingleSectionInputs, ZeroRiseRampIsStep) {
+  for (double t : {0.1e-9, 1e-9}) {
+    EXPECT_DOUBLE_EQ(model_.ramp_input_response(t, 1.5, 0.0), model_.step_response(t, 1.5));
+  }
+}
+
+TEST_F(SingleSectionInputs, CausalAndSettling) {
+  EXPECT_DOUBLE_EQ(model_.exp_input_response(-1e-9, 1.0, 1e-9), 0.0);
+  EXPECT_DOUBLE_EQ(model_.ramp_input_response(0.0, 1.0, 1e-9), 0.0);
+  EXPECT_NEAR(model_.exp_input_response(200e-9, 1.8, 1e-9), 1.8, 1e-6);
+  EXPECT_NEAR(model_.ramp_input_response(200e-9, 1.8, 1e-9), 1.8, 1e-6);
+}
+
+TEST_F(SingleSectionInputs, ExpTinyTauApproachesStep) {
+  for (double t : {0.3e-9, 1.5e-9}) {
+    EXPECT_NEAR(model_.exp_input_response(t, 1.0, 1e-15), model_.step_response(t, 1.0), 1e-4);
+  }
+}
+
+TEST_F(SingleSectionInputs, RejectsBadTau) {
+  EXPECT_THROW((void)model_.exp_input_response(1e-9, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(PoleResidueInputs, Q4ModelTracksModalOnFig8) {
+  SectionId out = circuit::kInput;
+  const RlcTree tree = circuit::make_fig8_tree(&out);
+  const auto models = awe_models_for_tree(tree, 4);
+  const PoleResidueModel m = stabilized(models[static_cast<std::size_t>(out)]);
+  const sim::ModalSolver exact(tree);
+  const double tau = 0.5e-9;
+  const auto grid = sim::uniform_grid(6e-9, 41);
+  const auto ref = exact.response(out, sim::ExpSource{1.0, tau}, grid);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    worst = std::max(worst, std::abs(m.exp_input_response(grid[i], 1.0, tau) - ref[i]));
+  }
+  EXPECT_LT(worst, 0.05);
+}
+
+}  // namespace
+}  // namespace relmore::moments

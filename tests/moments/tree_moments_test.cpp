@@ -1,0 +1,96 @@
+#include "relmore/moments/tree_moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/eed/model.hpp"
+
+namespace relmore::moments {
+namespace {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+TEST(TreeMoments, ZerothMomentIsOne) {
+  const RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  const auto m = tree_moments(t, 0);
+  ASSERT_EQ(m.size(), 1u);
+  for (double v : m[0]) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(TreeMoments, SingleSectionAnalytic) {
+  // H(s) = 1/(1 + sRC + s^2 LC): m1 = -RC, m2 = (RC)^2 - LC.
+  RlcTree t;
+  const double r = 50.0;
+  const double l = 3e-9;
+  const double c = 0.4e-12;
+  t.add_section(circuit::kInput, r, l, c);
+  const auto m = tree_moments(t, 3);
+  EXPECT_NEAR(m[1][0], -r * c, 1e-25);
+  EXPECT_NEAR(m[2][0], r * c * r * c - l * c, 1e-35);
+  // m3 = -(RC)^3 + 2 RC LC (from the series expansion).
+  EXPECT_NEAR(m[3][0], -std::pow(r * c, 3) + 2.0 * r * c * l * c, 1e-45);
+}
+
+TEST(TreeMoments, FirstMomentIsNegativeElmore) {
+  // m1_i = -sum_k C_k R_ki = -(Elmore time constant) for every node.
+  const RlcTree t = circuit::make_fig8_tree(nullptr);
+  const auto m = tree_moments(t, 1);
+  const auto model = eed::analyze(t);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(m[1][i], -model.nodes[i].sum_rc, 1e-22) << "node " << i;
+  }
+}
+
+TEST(TreeMoments, SecondMomentPaperApproximationStructure) {
+  // The paper's eq. 28: m2 ~ (sum RC)^2 - sum LC. Exact on a single
+  // section; an approximation (cross terms) on deeper trees.
+  RlcTree line = circuit::make_line(2, {30.0, 2e-9, 0.3e-12});
+  const auto m = tree_moments(line, 2);
+  const auto model = eed::analyze(line);
+  const double approx =
+      model.nodes[1].sum_rc * model.nodes[1].sum_rc - model.nodes[1].sum_lc;
+  // Same sign and magnitude ballpark (within 2x), not exact.
+  EXPECT_GT(m[2][1] / approx, 0.5);
+  EXPECT_LT(m[2][1] / approx, 2.0);
+}
+
+TEST(TreeMoments, RcLineMatchesClosedForm) {
+  // Uniform RC line, 2 sections: m1 at node 2 = -(R*(C1+C2) + R*C2).
+  RlcTree t = circuit::make_line(2, {100.0, 0.0, 1e-12});
+  const auto m = tree_moments(t, 1);
+  EXPECT_NEAR(m[1][1], -(100.0 * 2e-12 + 100.0 * 1e-12), 1e-22);
+}
+
+TEST(TreeMoments, HigherOrderMomentsAlternateForRc) {
+  // For an RC tree all transfer-function moments alternate in sign:
+  // m_q = (-1)^q |m_q| (all poles real negative).
+  const RlcTree t = circuit::make_balanced_tree(3, 2, {50.0, 0.0, 0.2e-12});
+  const auto m = tree_moments(t, 5);
+  for (int q = 1; q <= 5; ++q) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const double v = m[static_cast<std::size_t>(q)][i];
+      EXPECT_GT(v * (q % 2 == 0 ? 1.0 : -1.0), 0.0) << "q=" << q << " node=" << i;
+    }
+  }
+}
+
+TEST(TreeMoments, RejectsBadArguments) {
+  EXPECT_THROW(tree_moments(RlcTree{}, 2), std::invalid_argument);
+  const RlcTree t = circuit::make_line(1, {1.0, 0.0, 1e-12});
+  EXPECT_THROW(tree_moments(t, -1), std::invalid_argument);
+}
+
+TEST(TreeMoments, FirstTwoConvenienceMatchesFull) {
+  SectionId out = circuit::kInput;
+  const RlcTree t = circuit::make_fig8_tree(&out);
+  const auto full = tree_moments(t, 2);
+  const auto two = first_two_moments(t, out);
+  EXPECT_DOUBLE_EQ(two.m1, full[1][static_cast<std::size_t>(out)]);
+  EXPECT_DOUBLE_EQ(two.m2, full[2][static_cast<std::size_t>(out)]);
+}
+
+}  // namespace
+}  // namespace relmore::moments

@@ -1,0 +1,39 @@
+#include "relmore/opt/driver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace relmore::opt {
+namespace {
+
+TEST(Driver, SizingScalesRAndC) {
+  const Driver base{1000.0, 2e-15, 10e-12};
+  const Driver big = base.sized(4.0);
+  EXPECT_DOUBLE_EQ(big.output_resistance, 250.0);
+  EXPECT_DOUBLE_EQ(big.input_capacitance, 8e-15);
+  EXPECT_DOUBLE_EQ(big.intrinsic_delay, 10e-12);
+}
+
+TEST(Driver, SizingRejectsNonPositive) {
+  EXPECT_THROW((void)unit_inverter().sized(0.0), std::invalid_argument);
+  EXPECT_THROW((void)unit_inverter().sized(-2.0), std::invalid_argument);
+}
+
+TEST(Driver, RCProductInvariantUnderSizing) {
+  const Driver base = unit_inverter();
+  const Driver s = base.sized(8.0);
+  EXPECT_DOUBLE_EQ(base.output_resistance * base.input_capacitance,
+                   s.output_resistance * s.input_capacitance);
+}
+
+TEST(Driver, GeometricLibraryDoubles) {
+  const auto lib = geometric_library(unit_inverter(), 4);
+  ASSERT_EQ(lib.size(), 4u);
+  for (std::size_t i = 1; i < lib.size(); ++i) {
+    EXPECT_DOUBLE_EQ(lib[i].output_resistance, lib[i - 1].output_resistance / 2.0);
+    EXPECT_DOUBLE_EQ(lib[i].input_capacitance, lib[i - 1].input_capacitance * 2.0);
+  }
+  EXPECT_THROW(geometric_library(unit_inverter(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace relmore::opt

@@ -1,0 +1,120 @@
+#include "relmore/sim/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/sim/state_space.hpp"
+#include "relmore/sim/tree_stepper.hpp"
+#include "relmore/sim/tree_transient.hpp"
+
+namespace relmore::sim {
+namespace {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+TEST(Adaptive, MatchesModalReferenceWithinTolerance) {
+  const RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  AdaptiveOptions opts;
+  opts.t_stop = 5e-9;
+  opts.tol = 1e-4;
+  const TransientResult res = simulate_tree_adaptive(t, StepSource{1.0}, opts);
+  const ModalSolver exact(t);
+  const auto node7 = static_cast<SectionId>(6);
+  const Waveform w = res.waveform(node7);
+  const Waveform ref = exact.response_waveform(node7, StepSource{1.0}, w.times());
+  // Global error accumulates beyond the per-step tolerance; stays bounded.
+  EXPECT_LT(w.max_abs_difference(ref), 50.0 * opts.tol);
+}
+
+TEST(Adaptive, TighterToleranceIsMoreAccurate) {
+  const RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  const ModalSolver exact(t);
+  const auto node7 = static_cast<SectionId>(6);
+  double prev_err = 1e300;
+  for (double tol : {1e-2, 1e-4, 1e-6}) {
+    AdaptiveOptions opts;
+    opts.t_stop = 5e-9;
+    opts.tol = tol;
+    const TransientResult res = simulate_tree_adaptive(t, StepSource{1.0}, opts);
+    const Waveform w = res.waveform(node7);
+    const Waveform ref = exact.response_waveform(node7, StepSource{1.0}, w.times());
+    const double err = w.max_abs_difference(ref);
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+}
+
+TEST(Adaptive, UsesFewerStepsThanFixedForSameAccuracy) {
+  // After the transient dies out the controller should stretch the step.
+  const RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  AdaptiveOptions opts;
+  opts.t_stop = 50e-9;  // mostly settled tail
+  opts.tol = 1e-4;
+  const TransientResult res = simulate_tree_adaptive(t, StepSource{1.0}, opts);
+  // Fixed-step at the adaptive run's *smallest* step would need many more.
+  double min_h = 1e300;
+  double max_h = 0.0;
+  for (std::size_t i = 1; i < res.time.size(); ++i) {
+    min_h = std::min(min_h, res.time[i] - res.time[i - 1]);
+    max_h = std::max(max_h, res.time[i] - res.time[i - 1]);
+  }
+  EXPECT_GT(max_h / min_h, 5.0);  // the step really adapts
+  EXPECT_LT(res.time.size(), static_cast<std::size_t>(opts.t_stop / min_h));
+}
+
+TEST(Adaptive, TimeGridIsStrictlyIncreasingAndEndsAtStop) {
+  const RlcTree t = circuit::make_line(3, {20.0, 1e-9, 0.1e-12});
+  AdaptiveOptions opts;
+  opts.t_stop = 2e-9;
+  opts.tol = 1e-4;
+  const TransientResult res = simulate_tree_adaptive(t, StepSource{1.0}, opts);
+  for (std::size_t i = 1; i < res.time.size(); ++i) {
+    EXPECT_GT(res.time[i], res.time[i - 1]);
+  }
+  EXPECT_NEAR(res.time.back(), opts.t_stop, 1e-18);
+  EXPECT_DOUBLE_EQ(res.time.front(), 0.0);
+}
+
+TEST(Adaptive, HandlesRcTrees) {
+  const RlcTree t = circuit::make_balanced_tree(3, 2, {100.0, 0.0, 0.1e-12});
+  AdaptiveOptions opts;
+  opts.t_stop = 1.2e-9;  // ~11x the sink's Elmore constant
+  opts.tol = 1e-5;
+  const TransientResult res = simulate_tree_adaptive(t, StepSource{1.0}, opts);
+  EXPECT_NEAR(res.waveform(6).final_value(), 1.0, 5e-3);
+  EXPECT_LE(res.waveform(6).max_value(), 1.0 + 1e-6);
+}
+
+TEST(Adaptive, RejectsBadOptions) {
+  const RlcTree t = circuit::make_line(1, {10.0, 1e-9, 0.1e-12});
+  EXPECT_THROW(simulate_tree_adaptive(t, StepSource{1.0}, {}), std::invalid_argument);
+  AdaptiveOptions opts;
+  opts.t_stop = 1e-9;
+  opts.tol = -1.0;
+  EXPECT_THROW(simulate_tree_adaptive(t, StepSource{1.0}, opts), std::invalid_argument);
+  opts.tol = 1e-4;
+  opts.dt_min = 1.0;
+  opts.dt_max = 0.5;
+  EXPECT_THROW(simulate_tree_adaptive(t, StepSource{1.0}, opts), std::invalid_argument);
+  EXPECT_THROW(simulate_tree_adaptive(RlcTree{}, StepSource{1.0}, opts),
+               std::invalid_argument);
+}
+
+TEST(TreeStepper, StateRoundTrip) {
+  const RlcTree t = circuit::make_line(2, {20.0, 1e-9, 0.1e-12});
+  TreeStepper s(t);
+  s.step(1e-12, 1.0, TreeStepper::Method::kBackwardEuler);
+  const TreeStepper::State saved = s.state();
+  s.step(1e-12, 1.0, TreeStepper::Method::kTrapezoidal);
+  const double after_two = s.voltages()[1];
+  s.set_state(saved);
+  s.step(1e-12, 1.0, TreeStepper::Method::kTrapezoidal);
+  EXPECT_DOUBLE_EQ(s.voltages()[1], after_two);  // rollback is exact
+  EXPECT_THROW(s.step(0.0, 1.0, TreeStepper::Method::kTrapezoidal), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace relmore::sim

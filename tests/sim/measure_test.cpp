@@ -1,0 +1,85 @@
+#include "relmore/sim/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace relmore::sim {
+namespace {
+
+/// Exponential RC-like rise sampled densely.
+Waveform exp_rise(double tau, double t_stop, std::size_t n) {
+  auto t = uniform_grid(t_stop, n);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = 1.0 - std::exp(-t[i] / tau);
+  return Waveform(std::move(t), std::move(v));
+}
+
+/// Underdamped second-order step response (omega_n = 1).
+Waveform ringing(double zeta, double t_stop, std::size_t n) {
+  auto t = uniform_grid(t_stop, n);
+  std::vector<double> v(n);
+  const double wd = std::sqrt(1.0 - zeta * zeta);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = 1.0 - std::exp(-zeta * t[i]) *
+                     (std::cos(wd * t[i]) + zeta / wd * std::sin(wd * t[i]));
+  }
+  return Waveform(std::move(t), std::move(v));
+}
+
+TEST(Measure, ExponentialDelayAndRise) {
+  const Waveform w = exp_rise(1.0, 12.0, 4001);
+  const TimingMeasurement m = measure_rising(w, 1.0);
+  EXPECT_NEAR(m.delay_50, std::log(2.0), 1e-3);
+  EXPECT_NEAR(m.rise_10_90, std::log(9.0), 1e-3);
+  EXPECT_NEAR(m.overshoot_pct, 0.0, 1e-9);
+  EXPECT_GT(m.settling_time, 0.0);
+  EXPECT_NEAR(m.settling_time, std::log(10.0), 1e-2);  // enters +-10% band
+}
+
+TEST(Measure, UnderdampedOvershootMatchesTheory) {
+  const double zeta = 0.3;
+  const Waveform w = ringing(zeta, 40.0, 20001);
+  const TimingMeasurement m = measure_rising(w, 1.0);
+  const double expected_peak = 100.0 * std::exp(-M_PI * zeta / std::sqrt(1.0 - zeta * zeta));
+  EXPECT_NEAR(m.overshoot_pct, expected_peak, 0.05);
+  EXPECT_NEAR(m.peak_time, M_PI / std::sqrt(1.0 - zeta * zeta), 1e-2);
+  EXPECT_GT(m.settling_time, m.peak_time);
+}
+
+TEST(Measure, SettlingDetectsLastExcursion) {
+  // Waveform that leaves the band again late.
+  Waveform w({0.0, 1.0, 2.0, 3.0, 4.0}, {0.0, 1.0, 1.0, 1.3, 1.0});
+  const auto ts = settling_time(w, 1.0, 0.1);
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_GT(*ts, 3.0);
+}
+
+TEST(Measure, SettlingNulloptWhenEndsOutside) {
+  Waveform w({0.0, 1.0}, {0.0, 0.5});
+  EXPECT_FALSE(settling_time(w, 1.0, 0.1).has_value());
+}
+
+TEST(Measure, SettlingAtStartWhenAlwaysInBand) {
+  Waveform w({0.0, 1.0}, {0.95, 1.0});
+  const auto ts = settling_time(w, 1.0, 0.1);
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_DOUBLE_EQ(*ts, 0.0);
+}
+
+TEST(Measure, RejectsBadInputs) {
+  EXPECT_THROW(measure_rising(Waveform{}, 1.0), std::invalid_argument);
+  Waveform w({0.0, 1.0}, {0.0, 1.0});
+  EXPECT_THROW(measure_rising(w, 0.0), std::invalid_argument);
+  EXPECT_THROW(settling_time(Waveform{}, 1.0, 0.1), std::invalid_argument);
+}
+
+TEST(Measure, NeverCrossingReportsNegative) {
+  Waveform w({0.0, 1.0}, {0.0, 0.2});
+  const TimingMeasurement m = measure_rising(w, 1.0);
+  EXPECT_LT(m.delay_50, 0.0);
+  EXPECT_LT(m.rise_10_90, 0.0);
+}
+
+}  // namespace
+}  // namespace relmore::sim

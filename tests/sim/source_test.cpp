@@ -1,0 +1,52 @@
+#include "relmore/sim/source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace relmore::sim {
+namespace {
+
+TEST(Source, Step) {
+  const Source s = StepSource{2.5};
+  EXPECT_DOUBLE_EQ(source_value(s, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(source_value(s, 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(source_value(s, 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(source_final_value(s), 2.5);
+}
+
+TEST(Source, Ramp) {
+  const Source s = RampSource{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(source_value(s, -0.5), 0.0);
+  EXPECT_DOUBLE_EQ(source_value(s, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(source_value(s, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(source_value(s, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(source_final_value(s), 1.0);
+}
+
+TEST(Source, Exponential) {
+  const Source s = ExpSource{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(source_value(s, 0.0), 0.0);
+  EXPECT_NEAR(source_value(s, 1.0), 1.0 - std::exp(-1.0), 1e-15);
+  EXPECT_NEAR(source_value(s, 50.0), 1.0, 1e-12);
+  // The paper: 90% rise time of the exponential input is 2.3 tau.
+  EXPECT_NEAR(source_value(s, 2.302585), 0.9, 1e-6);
+}
+
+TEST(Source, PwlInterpolation) {
+  const Source s = PwlSource{{{0.0, 0.0}, {1.0, 1.0}, {3.0, 0.5}}};
+  EXPECT_DOUBLE_EQ(source_value(s, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(source_value(s, 2.0), 0.75);
+  EXPECT_DOUBLE_EQ(source_value(s, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(source_value(s, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(source_final_value(s), 0.5);
+}
+
+TEST(Source, PwlEmptyThrows) {
+  const Source s = PwlSource{};
+  EXPECT_THROW(source_value(s, 0.0), std::invalid_argument);
+  EXPECT_THROW(source_final_value(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace relmore::sim

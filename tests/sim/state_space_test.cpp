@@ -1,0 +1,149 @@
+#include "relmore/sim/state_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/sim/tree_transient.hpp"
+
+namespace relmore::sim {
+namespace {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+TEST(StateSpace, BuildsCorrectDimensions) {
+  const RlcTree t = circuit::make_line(3, {10.0, 1e-9, 0.1e-12});
+  const StateSpace ss = build_state_space(t);
+  EXPECT_EQ(ss.A.rows(), 6u);
+  EXPECT_EQ(ss.b.size(), 6u);
+  EXPECT_EQ(ss.sections, 3u);
+  EXPECT_DOUBLE_EQ(ss.b[ss.current_index(0)], 1.0 / 1e-9);
+  EXPECT_DOUBLE_EQ(ss.b[ss.voltage_index(0)], 0.0);
+}
+
+TEST(StateSpace, RejectsDegenerateSections) {
+  RlcTree rc;
+  rc.add_section(circuit::kInput, 1.0, 0.0, 1e-12);
+  EXPECT_THROW(build_state_space(rc), std::invalid_argument);
+  RlcTree no_cap;
+  no_cap.add_section(circuit::kInput, 1.0, 1e-9, 0.0);
+  EXPECT_THROW(build_state_space(no_cap), std::invalid_argument);
+}
+
+TEST(ModalSolver, SingleSectionPolesAnalytic) {
+  RlcTree t;
+  const double r = 50.0;
+  const double l = 2e-9;
+  const double c = 0.5e-12;
+  t.add_section(circuit::kInput, r, l, c);
+  const ModalSolver solver(t);
+  // Poles of s^2 LC + s RC + 1: s = (-R +- sqrt(R^2 - 4L/C)) / (2L).
+  const double disc = r * r - 4.0 * l / c;
+  ASSERT_LT(disc, 0.0);  // underdamped choice
+  const double re = -r / (2.0 * l);
+  const double im = std::sqrt(-disc) / (2.0 * l);
+  ASSERT_EQ(solver.poles().size(), 2u);
+  for (const auto& p : solver.poles()) {
+    EXPECT_NEAR(p.real(), re, std::abs(re) * 1e-9);
+    EXPECT_NEAR(std::abs(p.imag()), im, im * 1e-9);
+  }
+}
+
+TEST(ModalSolver, StepResponseMatchesAnalyticSingleSection) {
+  RlcTree t;
+  const double r = 20.0;
+  const double l = 5e-9;
+  const double c = 1e-12;
+  t.add_section(circuit::kInput, r, l, c);
+  const ModalSolver solver(t);
+  const double wn = 1.0 / std::sqrt(l * c);
+  const double zeta = r / 2.0 * std::sqrt(c / l);
+  const double wd = wn * std::sqrt(1.0 - zeta * zeta);
+  const auto grid = uniform_grid(10.0 / (zeta * wn), 200);
+  const auto v = solver.response(0, StepSource{1.0}, grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double tt = grid[i];
+    const double expected =
+        tt <= 0.0 ? 0.0
+                  : 1.0 - std::exp(-zeta * wn * tt) *
+                              (std::cos(wd * tt) + zeta * wn / wd * std::sin(wd * tt));
+    EXPECT_NEAR(v[i], expected, 1e-9) << "t=" << tt;
+  }
+}
+
+TEST(ModalSolver, AgreesWithTreeEngineOnFig5) {
+  const RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  const ModalSolver solver(t);
+  TransientOptions opts;
+  opts.t_stop = 5e-9;
+  opts.dt = 2.5e-13;
+  const auto res = simulate_tree(t, StepSource{1.0}, opts);
+  const auto node7 = static_cast<SectionId>(6);
+  const Waveform sim_w = res.waveform(node7);
+  const Waveform modal_w =
+      solver.response_waveform(node7, StepSource{1.0}, uniform_grid(opts.t_stop, 501));
+  EXPECT_LT(modal_w.max_abs_difference(sim_w), 2e-3);
+}
+
+TEST(ModalSolver, ExponentialInputMatchesTreeEngine) {
+  const RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  const ModalSolver solver(t);
+  const Source src = ExpSource{1.0, 0.5e-9};
+  TransientOptions opts;
+  opts.t_stop = 6e-9;
+  opts.dt = 2.5e-13;
+  const auto res = simulate_tree(t, src, opts);
+  const auto node7 = static_cast<SectionId>(6);
+  const Waveform modal_w =
+      solver.response_waveform(node7, src, uniform_grid(opts.t_stop, 401));
+  EXPECT_LT(modal_w.max_abs_difference(res.waveform(node7)), 2e-3);
+}
+
+TEST(ModalSolver, RampInputMatchesTreeEngine) {
+  const RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  const ModalSolver solver(t);
+  const Source src = RampSource{1.0, 1e-9};
+  TransientOptions opts;
+  opts.t_stop = 6e-9;
+  opts.dt = 2.5e-13;
+  const auto res = simulate_tree(t, src, opts);
+  const auto node7 = static_cast<SectionId>(6);
+  const Waveform modal_w =
+      solver.response_waveform(node7, src, uniform_grid(opts.t_stop, 401));
+  EXPECT_LT(modal_w.max_abs_difference(res.waveform(node7)), 2e-3);
+}
+
+TEST(ModalSolver, PwlInputMatchesTreeEngine) {
+  const RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  const ModalSolver solver(t);
+  const Source src = PwlSource{{{0.0, 0.0}, {0.5e-9, 0.8}, {1.0e-9, 0.4}, {2.0e-9, 1.0}}};
+  TransientOptions opts;
+  opts.t_stop = 7e-9;
+  opts.dt = 2.5e-13;
+  const auto res = simulate_tree(t, src, opts);
+  const auto node7 = static_cast<SectionId>(6);
+  const Waveform modal_w =
+      solver.response_waveform(node7, src, uniform_grid(opts.t_stop, 401));
+  EXPECT_LT(modal_w.max_abs_difference(res.waveform(node7)), 2e-3);
+}
+
+TEST(ModalSolver, AllPolesStable) {
+  const RlcTree t = circuit::make_balanced_tree(4, 2, {15.0, 1e-9, 0.15e-12});
+  const ModalSolver solver(t);
+  for (const auto& p : solver.poles()) {
+    EXPECT_LT(p.real(), 0.0);
+  }
+}
+
+TEST(ModalSolver, StepSettlesToSupply) {
+  const RlcTree t = circuit::make_balanced_tree(3, 2, {25.0, 1e-9, 0.2e-12});
+  const ModalSolver solver(t);
+  const std::vector<double> late{50e-9};
+  const auto v = solver.response(6, StepSource{1.8}, late);
+  EXPECT_NEAR(v[0], 1.8, 1e-6);
+}
+
+}  // namespace
+}  // namespace relmore::sim

@@ -1,0 +1,210 @@
+#include "relmore/sim/tree_transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/sim/mna.hpp"
+
+namespace relmore::sim {
+namespace {
+
+using circuit::RlcTree;
+using circuit::SectionId;
+
+/// Single RC section: analytic step response 1 - e^{-t/RC}.
+TEST(TreeTransient, SingleRcSectionMatchesAnalytic) {
+  RlcTree t;
+  const double r = 100.0;
+  const double c = 1e-12;
+  t.add_section(circuit::kInput, r, 0.0, c);
+  TransientOptions opts;
+  opts.t_stop = 10.0 * r * c;
+  opts.dt = r * c / 400.0;
+  const auto res = simulate_tree(t, StepSource{1.0}, opts);
+  const Waveform w = res.waveform(0);
+  for (double frac : {1.0, 2.0, 5.0}) {
+    const double tt = frac * r * c;
+    EXPECT_NEAR(w.value_at(tt), 1.0 - std::exp(-frac), 2e-4) << "at t=" << frac << " RC";
+  }
+}
+
+/// Single underdamped RLC section: analytic second-order response is exact
+/// for a one-section tree.
+TEST(TreeTransient, SingleRlcSectionMatchesAnalytic) {
+  RlcTree t;
+  const double r = 20.0;
+  const double l = 5e-9;
+  const double c = 1e-12;
+  t.add_section(circuit::kInput, r, l, c);
+  const double wn = 1.0 / std::sqrt(l * c);
+  const double zeta = r / 2.0 * std::sqrt(c / l);
+  ASSERT_LT(zeta, 1.0);
+  TransientOptions opts;
+  opts.t_stop = 12.0 / (zeta * wn);
+  opts.dt = 1.0 / (wn * 400.0);
+  const auto res = simulate_tree(t, StepSource{1.0}, opts);
+  const Waveform w = res.waveform(0);
+  const double wd = wn * std::sqrt(1.0 - zeta * zeta);
+  for (double tt = opts.t_stop / 50.0; tt < opts.t_stop; tt += opts.t_stop / 23.0) {
+    const double expected =
+        1.0 - std::exp(-zeta * wn * tt) *
+                  (std::cos(wd * tt) + zeta * wn / wd * std::sin(wd * tt));
+    EXPECT_NEAR(w.value_at(tt), expected, 3e-3) << "t=" << tt;
+  }
+}
+
+TEST(TreeTransient, FinalValueIsSupply) {
+  SectionId out = circuit::kInput;
+  const RlcTree t = circuit::make_fig8_tree(&out);
+  TransientOptions opts;
+  opts.t_stop = 5e-9;
+  opts.dt = 1e-13;
+  const auto res = simulate_tree(t, StepSource{1.8}, opts);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(res.waveform(static_cast<SectionId>(i)).final_value(), 1.8, 1e-3)
+        << "node " << i;
+  }
+}
+
+TEST(TreeTransient, ZeroInputStaysZero) {
+  const RlcTree t = circuit::make_line(3, {10.0, 1e-9, 0.1e-12});
+  TransientOptions opts;
+  opts.t_stop = 1e-9;
+  opts.dt = 1e-12;
+  const auto res = simulate_tree(t, PwlSource{{{0.0, 0.0}, {1.0, 0.0}}}, opts);
+  EXPECT_DOUBLE_EQ(res.waveform(2).max_value(), 0.0);
+}
+
+TEST(TreeTransient, OvershootBoundedAndSettles) {
+  // Passivity sanity: a single second-order system at most doubles, but
+  // ladder/tree networks superpose reflections, so interior overshoots can
+  // exceed 2x slightly. Bound loosely, and require settling to the supply.
+  const RlcTree t = circuit::make_balanced_tree(3, 2, {1.0, 2e-9, 0.2e-12});
+  TransientOptions opts;
+  opts.t_stop = 200e-9;
+  opts.dt = 2e-13;
+  const auto res = simulate_tree(t, StepSource{1.0}, opts);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(res.waveform(static_cast<SectionId>(i)).max_value(), 2.5);
+    EXPECT_GE(res.waveform(static_cast<SectionId>(i)).min_value(), -1.0);
+    EXPECT_NEAR(res.waveform(static_cast<SectionId>(i)).final_value(), 1.0, 0.02);
+  }
+}
+
+TEST(TreeTransient, RejectsBadOptions) {
+  const RlcTree t = circuit::make_line(1, {1.0, 0.0, 1e-12});
+  EXPECT_THROW(simulate_tree(t, StepSource{1.0}, {}), std::invalid_argument);
+  TransientOptions opts;
+  opts.t_stop = -1.0;
+  opts.dt = 1.0;
+  EXPECT_THROW(simulate_tree(t, StepSource{1.0}, opts), std::invalid_argument);
+  EXPECT_THROW(simulate_tree(RlcTree{}, StepSource{1.0}, opts), std::invalid_argument);
+}
+
+TEST(SuggestTimestep, ScalesWithFastestSection) {
+  const RlcTree t = circuit::make_line(2, {10.0, 1e-9, 0.1e-12});
+  const double dt = suggest_timestep(t, 0.02);
+  EXPECT_GT(dt, 0.0);
+  EXPECT_LT(dt, std::sqrt(1e-9 * 0.1e-12));
+  RlcTree degenerate;
+  degenerate.add_section(circuit::kInput, 1.0, 0.0, 0.0);
+  EXPECT_THROW(suggest_timestep(degenerate, 0.02), std::invalid_argument);
+}
+
+/// MNA engine agrees with the specialized tree engine on a branchy tree.
+TEST(MnaTransient, AgreesWithTreeEngine) {
+  SectionId out = circuit::kInput;
+  const RlcTree t = circuit::make_fig8_tree(&out);
+  TransientOptions opts;
+  opts.t_stop = 3e-9;
+  opts.dt = 5e-13;
+  const auto res_tree = simulate_tree(t, StepSource{1.0}, opts);
+  const auto res_mna = simulate_mna(t, StepSource{1.0}, opts);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const auto id = static_cast<SectionId>(i);
+    const double err = res_tree.waveform(id).max_abs_difference(res_mna.waveform(id));
+    EXPECT_LT(err, 1e-8) << "node " << i;
+  }
+}
+
+TEST(MnaTransient, HandlesZeroInductanceSections) {
+  // RC tree (L = 0 rows make E singular; descriptor form must still solve).
+  const RlcTree t = circuit::make_balanced_tree(3, 2, {100.0, 0.0, 0.1e-12});
+  TransientOptions opts;
+  opts.t_stop = 1e-9;
+  opts.dt = 1e-12;
+  const auto res = simulate_mna(t, StepSource{1.0}, opts);
+  EXPECT_NEAR(res.waveform(6).final_value(), 1.0, 1e-3);
+  // RC responses are monotone in [0, 1].
+  EXPECT_LE(res.waveform(6).max_value(), 1.0 + 1e-6);
+}
+
+TEST(MnaTransient, BuildsExpectedDimensions) {
+  const RlcTree t = circuit::make_line(3, {1.0, 1e-9, 1e-12});
+  const MnaSystem sys = build_mna(t);
+  EXPECT_EQ(sys.E.rows(), 6u);
+  EXPECT_EQ(sys.F.cols(), 6u);
+  EXPECT_EQ(sys.g.size(), 6u);
+  EXPECT_DOUBLE_EQ(sys.g[3], 1.0);  // root branch equation driven by input
+}
+
+TEST(MnaTransient, StampsMatchCircuitLaw) {
+  // Verify individual stamps on a two-section branchy tree:
+  //   node rows:   C_i v_i' = j_i - sum(children j)
+  //   branch rows: L_i j_i' = v_parent - v_i - R_i j_i
+  RlcTree t;
+  const SectionId a = t.add_section(circuit::kInput, 7.0, 3e-9, 2e-12);
+  const SectionId b = t.add_section(a, 11.0, 5e-9, 4e-12);
+  const MnaSystem sys = build_mna(t);
+  const std::size_t n = 2;
+  // Node row of a: E(a,a)=C_a, F(a, n+a)=+1, F(a, n+b)=-1.
+  EXPECT_DOUBLE_EQ(sys.E(0, 0), 2e-12);
+  EXPECT_DOUBLE_EQ(sys.F(0, n + 0), 1.0);
+  EXPECT_DOUBLE_EQ(sys.F(0, n + 1), -1.0);
+  // Branch row of b: E(n+b,n+b)=L_b, F(n+b, a)=+1, F(n+b, b)=-1,
+  // F(n+b, n+b) = -R_b.
+  EXPECT_DOUBLE_EQ(sys.E(n + 1, n + 1), 5e-9);
+  EXPECT_DOUBLE_EQ(sys.F(n + 1, static_cast<std::size_t>(a)), 1.0);
+  EXPECT_DOUBLE_EQ(sys.F(n + 1, static_cast<std::size_t>(b)), -1.0);
+  EXPECT_DOUBLE_EQ(sys.F(n + 1, n + 1), -11.0);
+  // Root branch of a is driven by the source.
+  EXPECT_DOUBLE_EQ(sys.g[n + 0], 1.0);
+  EXPECT_DOUBLE_EQ(sys.g[0], 0.0);
+}
+
+TEST(MnaTransient, SteadyStateSatisfiesDc) {
+  // At steady state F x + g u = 0 must hold with x = [u..u, 0..0].
+  const RlcTree t = circuit::make_fig5_tree({25.0, 2e-9, 0.2e-12}, nullptr);
+  const MnaSystem sys = build_mna(t);
+  const std::size_t n = t.size();
+  std::vector<double> x(2 * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) x[i] = 1.0;  // all nodes at the supply
+  const auto fx = sys.F * x;
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    EXPECT_NEAR(fx[i] + sys.g[i] * 1.0, 0.0, 1e-12) << "row " << i;
+  }
+}
+
+/// Property sweep: both engines agree across damping regimes.
+class EngineAgreementSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EngineAgreementSweep, TreeVsMna) {
+  const double l_scale = GetParam();
+  RlcTree t = circuit::make_fig5_tree({25.0, 1e-9, 0.2e-12}, nullptr);
+  circuit::scale_inductances(t, l_scale);
+  TransientOptions opts;
+  opts.t_stop = 6e-9 * std::sqrt(std::max(1.0, l_scale));
+  opts.dt = opts.t_stop / 8000.0;
+  const auto a = simulate_tree(t, StepSource{1.0}, opts);
+  const auto b = simulate_mna(t, StepSource{1.0}, opts);
+  const auto node7 = static_cast<SectionId>(6);
+  EXPECT_LT(a.waveform(node7).max_abs_difference(b.waveform(node7)), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sim, EngineAgreementSweep,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace relmore::sim

@@ -1,0 +1,76 @@
+#include "relmore/sim/waveform_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace relmore::sim {
+namespace {
+
+TEST(WaveformIo, RoundTrip) {
+  const Waveform w({0.0, 1e-12, 2e-12}, {0.0, 0.5, 1.0});
+  std::stringstream ss;
+  write_waveform_csv(w, ss, "vout");
+  const Waveform back = read_waveform_csv(ss);
+  ASSERT_EQ(back.size(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.times()[i], w.times()[i]);
+    EXPECT_DOUBLE_EQ(back.values()[i], w.values()[i]);
+  }
+}
+
+TEST(WaveformIo, HeaderIncludesLabel) {
+  const Waveform w({0.0, 1.0}, {0.0, 1.0});
+  std::ostringstream os;
+  write_waveform_csv(w, os, "sink7");
+  EXPECT_EQ(os.str().substr(0, 11), "time,sink7\n");
+}
+
+TEST(WaveformIo, ReadsWithoutHeader) {
+  std::istringstream is("0,0.1\n1e-12,0.5\n");
+  const Waveform w = read_waveform_csv(is);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.values()[0], 0.1);
+}
+
+TEST(WaveformIo, IgnoresExtraColumns) {
+  std::istringstream is("time,v,extra\n0,0.1,9\n1e-12,0.5,9\n");
+  const Waveform w = read_waveform_csv(is);
+  ASSERT_EQ(w.size(), 2u);
+}
+
+TEST(WaveformIo, RejectsMalformedRows) {
+  std::istringstream one_col("0\n1\n");
+  EXPECT_THROW(read_waveform_csv(one_col), std::invalid_argument);
+  std::istringstream bad_num("time,v\n0,0.1\nx,y\n");
+  EXPECT_THROW(read_waveform_csv(bad_num), std::invalid_argument);
+  std::istringstream empty("");
+  EXPECT_THROW(read_waveform_csv(empty), std::invalid_argument);
+  std::istringstream non_monotone("0,0\n0,1\n");
+  EXPECT_THROW(read_waveform_csv(non_monotone), std::invalid_argument);
+}
+
+TEST(WaveformIo, TransientCsvHasAllNodes) {
+  TransientResult res;
+  res.time = {0.0, 1e-12};
+  res.node_voltage = {{0.0, 0.5}, {0.0, 0.2}};
+  std::ostringstream os;
+  write_transient_csv(res, os, {"a", "b"});
+  const std::string s = os.str();
+  EXPECT_EQ(s.substr(0, 9), "time,a,b\n");
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+  EXPECT_NE(s.find("0.2"), std::string::npos);
+}
+
+TEST(WaveformIo, TransientCsvDefaultLabels) {
+  TransientResult res;
+  res.time = {0.0, 1e-12};
+  res.node_voltage = {{0.0, 0.5}};
+  std::ostringstream os;
+  write_transient_csv(res, os);
+  EXPECT_EQ(os.str().substr(0, 8), "time,n0\n");
+  EXPECT_THROW(write_transient_csv(res, os, {"a", "b"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace relmore::sim

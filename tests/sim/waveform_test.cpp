@@ -1,0 +1,79 @@
+#include "relmore/sim/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace relmore::sim {
+namespace {
+
+Waveform ramp01() {
+  return Waveform({0.0, 1.0, 2.0, 3.0}, {0.0, 0.5, 1.0, 1.0});
+}
+
+TEST(Waveform, ConstructionValidation) {
+  EXPECT_THROW(Waveform({0.0, 1.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(Waveform({1.0, 1.0}, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Waveform({2.0, 1.0}, {0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Waveform, InterpolatesLinearly) {
+  const Waveform w = ramp01();
+  EXPECT_DOUBLE_EQ(w.value_at(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(w.value_at(1.5), 0.75);
+}
+
+TEST(Waveform, ClampsOutsideRange) {
+  const Waveform w = ramp01();
+  EXPECT_DOUBLE_EQ(w.value_at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value_at(10.0), 1.0);
+}
+
+TEST(Waveform, FirstRiseCrossing) {
+  const Waveform w = ramp01();
+  EXPECT_DOUBLE_EQ(w.first_rise_crossing(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.first_rise_crossing(0.25), 0.5);
+  EXPECT_LT(w.first_rise_crossing(2.0), 0.0);  // never crossed
+}
+
+TEST(Waveform, FirstRiseCrossingAtStart) {
+  const Waveform w({0.0, 1.0}, {0.7, 0.9});
+  EXPECT_DOUBLE_EQ(w.first_rise_crossing(0.5), 0.0);
+}
+
+TEST(Waveform, ExtremaAndFinal) {
+  const Waveform w({0.0, 1.0, 2.0}, {0.0, 1.4, 1.0});
+  EXPECT_DOUBLE_EQ(w.max_value(), 1.4);
+  EXPECT_DOUBLE_EQ(w.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(w.final_value(), 1.0);
+  EXPECT_DOUBLE_EQ(w.t_begin(), 0.0);
+  EXPECT_DOUBLE_EQ(w.t_end(), 2.0);
+}
+
+TEST(Waveform, MaxAbsDifference) {
+  const Waveform a({0.0, 1.0, 2.0}, {0.0, 1.0, 2.0});
+  const Waveform b({0.0, 1.0, 2.0}, {0.0, 1.5, 2.0});
+  EXPECT_DOUBLE_EQ(a.max_abs_difference(b), 0.5);
+  EXPECT_DOUBLE_EQ(a.max_abs_difference(a), 0.0);
+}
+
+TEST(Waveform, EmptyThrowsOnQueries) {
+  const Waveform w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_THROW((void)w.value_at(0.0), std::logic_error);
+  EXPECT_THROW((void)w.max_value(), std::logic_error);
+}
+
+TEST(UniformGrid, SpansZeroToStop) {
+  const auto g = uniform_grid(2.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.front(), 0.0);
+  EXPECT_DOUBLE_EQ(g.back(), 2.0);
+  EXPECT_DOUBLE_EQ(g[1], 0.5);
+}
+
+TEST(UniformGrid, RejectsBadArgs) {
+  EXPECT_THROW(uniform_grid(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(uniform_grid(1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace relmore::sim

@@ -1,0 +1,15 @@
+* A small SPICE-subset deck exercising the reader: series R-L chains with
+* grounded caps, mixed with an RC-only stub, driven by a PWL source.
+Vin in 0 PWL(0 0 1p 1)
+R1 in m1 20
+L1 m1 n1 1.5n
+C1 n1 0 0.1p
+R2 n1 m2 15
+L2 m2 n2 2n
+C2 n2 0 0.12p
+R3 n2 n3 25
+C3 n3 0 0.2p
+R4 n1 m4 12
+L4 m4 n4 2.5n
+C4 n4 0 0.3p
+.end

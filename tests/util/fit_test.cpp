@@ -1,0 +1,80 @@
+#include "relmore/util/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace relmore::util {
+namespace {
+
+TEST(LinearLeastSquares, ExactLineFit) {
+  // y = 3 + 2x sampled exactly.
+  std::vector<std::vector<double>> A;
+  std::vector<double> y;
+  for (int i = 0; i < 10; ++i) {
+    const double x = i;
+    A.push_back({1.0, x});
+    y.push_back(3.0 + 2.0 * x);
+  }
+  const auto p = linear_least_squares(A, y);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0], 3.0, 1e-10);
+  EXPECT_NEAR(p[1], 2.0, 1e-10);
+}
+
+TEST(LinearLeastSquares, OverdeterminedAveragesNoise) {
+  // y = 1 with symmetric +-0.5 perturbations; LS should recover 1.
+  std::vector<std::vector<double>> A;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    A.push_back({1.0});
+    y.push_back(1.0 + ((i % 2 == 0) ? 0.5 : -0.5));
+  }
+  const auto p = linear_least_squares(A, y);
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+}
+
+TEST(LinearLeastSquares, RejectsShapeMismatch) {
+  EXPECT_THROW(linear_least_squares({{1.0}}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(linear_least_squares({}, {}), std::invalid_argument);
+}
+
+TEST(FitNonlinear, RecoversExponentialDecay) {
+  // y = 2 e^{-x/0.7} + 0.3 x, the exact functional form used by the paper
+  // refits (eed::fit).
+  const auto model = [](double x, const std::vector<double>& p) {
+    return p[0] * std::exp(-x / p[1]) + p[2] * x;
+  };
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 60; ++i) {
+    const double x = 0.05 * i;
+    xs.push_back(x);
+    ys.push_back(model(x, {2.0, 0.7, 0.3}));
+  }
+  const FitResult r = fit_nonlinear(model, xs, ys, {1.0, 1.0, 1.0});
+  ASSERT_EQ(r.params.size(), 3u);
+  EXPECT_NEAR(r.params[0], 2.0, 1e-6);
+  EXPECT_NEAR(r.params[1], 0.7, 1e-6);
+  EXPECT_NEAR(r.params[2], 0.3, 1e-6);
+  EXPECT_LT(r.rms_residual, 1e-8);
+}
+
+TEST(FitNonlinear, ReportsResiduals) {
+  const auto model = [](double x, const std::vector<double>& p) { return p[0] * x; };
+  // y = x + bounded disturbance: best fit slope stays near 1.
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys{1.1, 1.9, 3.1, 3.9};
+  const FitResult r = fit_nonlinear(model, xs, ys, {0.5});
+  EXPECT_NEAR(r.params[0], 1.0, 0.05);
+  EXPECT_GT(r.max_abs_residual, 0.0);
+  EXPECT_GE(r.max_abs_residual, r.rms_residual);
+}
+
+TEST(FitNonlinear, RejectsEmptyData) {
+  const auto model = [](double, const std::vector<double>& p) { return p[0]; };
+  EXPECT_THROW(fit_nonlinear(model, {}, {}, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace relmore::util

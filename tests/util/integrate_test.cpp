@@ -1,0 +1,89 @@
+#include "relmore/util/integrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace relmore::util {
+namespace {
+
+TEST(IntegrateOde, ExponentialDecay) {
+  const OdeRhs rhs = [](double, const std::vector<double>& y, std::vector<double>& dy) {
+    dy[0] = -y[0];
+  };
+  const auto y = integrate_ode(rhs, 0.0, {1.0}, 3.0);
+  EXPECT_NEAR(y[0], std::exp(-3.0), 1e-8);
+}
+
+TEST(IntegrateOde, HarmonicOscillatorEnergyConserved) {
+  const OdeRhs rhs = [](double, const std::vector<double>& y, std::vector<double>& dy) {
+    dy[0] = y[1];
+    dy[1] = -y[0];
+  };
+  const auto y = integrate_ode(rhs, 0.0, {1.0, 0.0}, 10.0 * M_PI);
+  EXPECT_NEAR(y[0], 1.0, 1e-6);
+  EXPECT_NEAR(y[1], 0.0, 1e-6);
+}
+
+TEST(IntegrateOde, DampedSecondOrderMatchesAnalytic) {
+  // v'' + 2 zeta v' + v = 1 (omega_n = 1), zeta = 0.5, from rest.
+  const double zeta = 0.5;
+  const OdeRhs rhs = [&](double, const std::vector<double>& y, std::vector<double>& dy) {
+    dy[0] = y[1];
+    dy[1] = 1.0 - y[0] - 2.0 * zeta * y[1];
+  };
+  const double t = 4.0;
+  const auto y = integrate_ode(rhs, 0.0, {0.0, 0.0}, t);
+  const double wd = std::sqrt(1.0 - zeta * zeta);
+  const double expected =
+      1.0 - std::exp(-zeta * t) * (std::cos(wd * t) + zeta / wd * std::sin(wd * t));
+  EXPECT_NEAR(y[0], expected, 1e-8);
+}
+
+TEST(IntegrateOde, ObserverSeesMonotoneTime) {
+  const OdeRhs rhs = [](double, const std::vector<double>& y, std::vector<double>& dy) {
+    dy[0] = -y[0];
+  };
+  double last_t = -1.0;
+  int calls = 0;
+  integrate_ode(rhs, 0.0, {1.0}, 1.0, {},
+                [&](double t, const std::vector<double>&) {
+                  EXPECT_GT(t, last_t - 1e-15);
+                  last_t = t;
+                  ++calls;
+                });
+  EXPECT_GT(calls, 2);
+  EXPECT_DOUBLE_EQ(last_t, 1.0);
+}
+
+TEST(IntegrateOde, ZeroSpanReturnsInitialState) {
+  const OdeRhs rhs = [](double, const std::vector<double>&, std::vector<double>& dy) {
+    dy[0] = 1.0;
+  };
+  const auto y = integrate_ode(rhs, 2.0, {7.0}, 2.0);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+}
+
+TEST(IntegrateOde, RejectsBackwardSpan) {
+  const OdeRhs rhs = [](double, const std::vector<double>&, std::vector<double>& dy) {
+    dy[0] = 0.0;
+  };
+  EXPECT_THROW(integrate_ode(rhs, 1.0, {0.0}, 0.0), std::invalid_argument);
+}
+
+TEST(IntegrateQuad, PolynomialExact) {
+  const double v = integrate_quad([](double x) { return 3.0 * x * x; }, 0.0, 2.0);
+  EXPECT_NEAR(v, 8.0, 1e-10);
+}
+
+TEST(IntegrateQuad, OscillatoryIntegrand) {
+  const double v = integrate_quad([](double x) { return std::sin(x); }, 0.0, M_PI);
+  EXPECT_NEAR(v, 2.0, 1e-9);
+}
+
+TEST(IntegrateQuad, EmptyInterval) {
+  EXPECT_DOUBLE_EQ(integrate_quad([](double x) { return x; }, 1.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace relmore::util

@@ -1,0 +1,67 @@
+#include "relmore/util/laplace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace relmore::util {
+namespace {
+
+using C = std::complex<double>;
+
+TEST(Laplace, InvertsSimpleExponential) {
+  // 1/(s+a) <-> e^{-a t}.
+  const double a = 3.0;
+  const auto F = [a](C s) { return 1.0 / (s + a); };
+  for (double t : {0.1, 0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(invert_laplace_talbot(F, t), std::exp(-a * t), 1e-8) << "t=" << t;
+  }
+}
+
+TEST(Laplace, InvertsStepThroughPole) {
+  // 1/(s(s+a)) <-> (1 - e^{-a t})/a.
+  const double a = 2.0;
+  const auto F = [a](C s) { return 1.0 / (s * (s + a)); };
+  for (double t : {0.2, 1.0, 3.0}) {
+    EXPECT_NEAR(invert_laplace_talbot(F, t), (1.0 - std::exp(-a * t)) / a, 1e-8);
+  }
+}
+
+TEST(Laplace, InvertsUnderdampedSecondOrderStep) {
+  // Step response of 1/(1 + 2 z s + s^2), z = 0.4 (omega_n = 1).
+  const double z = 0.4;
+  const auto F = [z](C s) { return 1.0 / (s * (1.0 + 2.0 * z * s + s * s)); };
+  const double wd = std::sqrt(1.0 - z * z);
+  for (double t : {0.5, 2.0, 5.0, 10.0}) {
+    const double expected =
+        1.0 - std::exp(-z * t) * (std::cos(wd * t) + z / wd * std::sin(wd * t));
+    EXPECT_NEAR(invert_laplace_talbot(F, t), expected, 1e-7) << "t=" << t;
+  }
+}
+
+TEST(Laplace, InvertsRampKernel) {
+  // 1/s^2 <-> t.
+  const auto F = [](C s) { return 1.0 / (s * s); };
+  for (double t : {0.3, 1.7}) {
+    EXPECT_NEAR(invert_laplace_talbot(F, t), t, 1e-8 * (1.0 + t));
+  }
+}
+
+TEST(Laplace, MoreTermsMoreAccuracy) {
+  const double a = 1.0;
+  const auto F = [a](C s) { return 1.0 / (s + a); };
+  const double exact = std::exp(-2.0);
+  const double coarse = std::abs(invert_laplace_talbot(F, 2.0, 8) - exact);
+  const double fine = std::abs(invert_laplace_talbot(F, 2.0, 48) - exact);
+  EXPECT_LT(fine, coarse + 1e-15);
+}
+
+TEST(Laplace, RejectsBadArguments) {
+  const auto F = [](C s) { return 1.0 / s; };
+  EXPECT_THROW(invert_laplace_talbot(F, 0.0), std::invalid_argument);
+  EXPECT_THROW(invert_laplace_talbot(F, -1.0), std::invalid_argument);
+  EXPECT_THROW(invert_laplace_talbot(F, 1.0, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace relmore::util

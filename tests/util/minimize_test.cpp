@@ -1,0 +1,73 @@
+#include "relmore/util/minimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace relmore::util {
+namespace {
+
+TEST(MinimizeGolden, Parabola) {
+  const auto r = minimize_golden([](double x) { return (x - 2.0) * (x - 2.0) + 1.0; }, -10.0,
+                                 10.0);
+  EXPECT_NEAR(r.x, 2.0, 1e-7);
+  EXPECT_NEAR(r.f, 1.0, 1e-12);
+  EXPECT_GT(r.evaluations, 2);
+}
+
+TEST(MinimizeGolden, MinimumAtBoundary) {
+  const auto r = minimize_golden([](double x) { return x; }, 0.0, 5.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-6);
+}
+
+TEST(MinimizeGolden, NonPolynomialObjective) {
+  // min of x + 1/x on (0, inf) is at x = 1.
+  const auto r = minimize_golden([](double x) { return x + 1.0 / x; }, 0.1, 10.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-6);
+  EXPECT_NEAR(r.f, 2.0, 1e-10);
+}
+
+TEST(MinimizeGolden, RejectsInvertedInterval) {
+  EXPECT_THROW(minimize_golden([](double x) { return x; }, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(CoordinateDescent, SeparableQuadratic) {
+  const auto f = [](const std::vector<double>& x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + 2.0 * (x[1] + 0.5) * (x[1] + 0.5);
+  };
+  const auto r = minimize_coordinate_descent(f, {0.0, 0.0}, {-5.0, -5.0}, {5.0, 5.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -0.5, 1e-4);
+  EXPECT_NEAR(r.f, 0.0, 1e-7);
+}
+
+TEST(CoordinateDescent, CoupledQuadratic) {
+  // Rotated bowl: cross terms require multiple sweeps.
+  const auto f = [](const std::vector<double>& x) {
+    return x[0] * x[0] + x[1] * x[1] + 0.8 * x[0] * x[1] - x[0] - x[1];
+  };
+  const auto r = minimize_coordinate_descent(f, {2.0, -2.0}, {-5.0, -5.0}, {5.0, 5.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.sweeps, 1);
+  // Analytic optimum: gradient zero => (2 + 0.8) x* = 1 with symmetry.
+  EXPECT_NEAR(r.x[0], 1.0 / 2.8, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0 / 2.8, 1e-3);
+}
+
+TEST(CoordinateDescent, RespectsBounds) {
+  const auto f = [](const std::vector<double>& x) { return -x[0]; };  // pushes to hi
+  const auto r = minimize_coordinate_descent(f, {0.0}, {-1.0}, {3.0});
+  EXPECT_NEAR(r.x[0], 3.0, 1e-5);
+}
+
+TEST(CoordinateDescent, ValidatesInputs) {
+  const auto f = [](const std::vector<double>& x) { return x[0]; };
+  EXPECT_THROW(minimize_coordinate_descent(f, {0.0}, {1.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(minimize_coordinate_descent(f, {5.0}, {0.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(minimize_coordinate_descent(f, {0.0}, {0.0, 1.0}, {1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace relmore::util

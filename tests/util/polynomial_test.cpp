@@ -1,0 +1,116 @@
+#include "relmore/util/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace relmore::util {
+namespace {
+
+TEST(Polynomial, EvaluatesHorner) {
+  const Polynomial p{{1.0, -2.0, 3.0}};  // 1 - 2x + 3x^2
+  EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(p(2.0), 9.0);
+}
+
+TEST(Polynomial, TrimsTrailingZeros) {
+  const Polynomial p{{1.0, 2.0, 0.0, 0.0}};
+  EXPECT_EQ(p.degree(), 1);
+}
+
+TEST(Polynomial, DegreeOfConstant) {
+  EXPECT_EQ(Polynomial{{5.0}}.degree(), 0);
+  EXPECT_EQ(Polynomial{}.degree(), 0);
+}
+
+TEST(Polynomial, Derivative) {
+  const Polynomial p{{1.0, -2.0, 3.0, 4.0}};
+  const Polynomial d = p.derivative();
+  ASSERT_EQ(d.degree(), 2);
+  EXPECT_DOUBLE_EQ(d(0.0), -2.0);
+  EXPECT_DOUBLE_EQ(d(1.0), -2.0 + 6.0 + 12.0);
+}
+
+TEST(Polynomial, ComplexEvaluation) {
+  const Polynomial p{{1.0, 0.0, 1.0}};  // 1 + x^2
+  const auto v = p(std::complex<double>{0.0, 1.0});
+  EXPECT_NEAR(std::abs(v), 0.0, 1e-14);
+}
+
+TEST(PolynomialRoots, Quadratic) {
+  const Polynomial p{{6.0, -5.0, 1.0}};  // (x-2)(x-3)
+  const auto r = p.roots();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_NEAR(r[0].real(), 2.0, 1e-9);
+  EXPECT_NEAR(r[1].real(), 3.0, 1e-9);
+  EXPECT_NEAR(r[0].imag(), 0.0, 1e-9);
+}
+
+TEST(PolynomialRoots, ComplexPair) {
+  const Polynomial p{{1.0, 0.0, 1.0}};  // roots +-i
+  const auto r = p.roots();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_NEAR(r[0].imag(), -1.0, 1e-9);
+  EXPECT_NEAR(r[1].imag(), 1.0, 1e-9);
+  EXPECT_NEAR(r[0].real(), 0.0, 1e-9);
+}
+
+TEST(PolynomialRoots, StableSecondOrderCircuitPoles) {
+  // 1 + b1 s + b2 s^2 with b1 = RC-like, b2 = LC-like values (tiny scales).
+  const double b1 = 1e-10;
+  const double b2 = 2e-21;
+  const Polynomial p{{1.0, b1, b2}};
+  const auto r = p.roots();
+  ASSERT_EQ(r.size(), 2u);
+  for (const auto& root : r) {
+    EXPECT_LT(root.real(), 0.0);
+    // Residual check: |p(root)| small relative to coefficient scale.
+    EXPECT_LT(std::abs(p(root)), 1e-6);
+  }
+}
+
+TEST(PolynomialRoots, QuinticKnownRoots) {
+  // (x-1)(x-2)(x-3)(x-4)(x-5)
+  const Polynomial p{{-120.0, 274.0, -225.0, 85.0, -15.0, 1.0}};
+  auto r = p.roots();
+  ASSERT_EQ(r.size(), 5u);
+  std::sort(r.begin(), r.end(),
+            [](const auto& a, const auto& b) { return a.real() < b.real(); });
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(r[static_cast<std::size_t>(i)].real(), i + 1.0, 1e-7);
+    EXPECT_NEAR(r[static_cast<std::size_t>(i)].imag(), 0.0, 1e-7);
+  }
+}
+
+TEST(PolynomialRoots, ThrowsOnZeroPolynomial) {
+  EXPECT_THROW((void)Polynomial{{0.0}}.roots(), std::invalid_argument);
+}
+
+TEST(PolynomialRoots, ConstantHasNoRoots) {
+  EXPECT_TRUE(Polynomial{{3.0}}.roots().empty());
+}
+
+// Property: roots of random-ish monic cubics satisfy |p(root)| ~ 0 and come
+// in conjugate pairs.
+class CubicRootSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CubicRootSweep, ResidualAndConjugacy) {
+  const double a = GetParam();
+  const Polynomial p{{a, -2.0 * a, 3.0, 1.0}};
+  const auto roots = p.roots();
+  ASSERT_EQ(roots.size(), 3u);
+  double imag_sum = 0.0;
+  for (const auto& r : roots) {
+    EXPECT_LT(std::abs(p(r)), 1e-7 * (1.0 + std::abs(a)));
+    imag_sum += r.imag();
+  }
+  EXPECT_NEAR(imag_sum, 0.0, 1e-8);  // conjugate symmetry
+}
+
+INSTANTIATE_TEST_SUITE_P(Polynomial, CubicRootSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 10.0, 50.0));
+
+}  // namespace
+}  // namespace relmore::util

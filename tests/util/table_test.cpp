@@ -1,0 +1,55 @@
+#include "relmore/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace relmore::util {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"zeta", "delay"});
+  t.add_row({"0.5", "1.2"});
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("zeta"), std::string::npos);
+  EXPECT_NE(s.find("1.2"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t({"x"});
+  t.add_row_numeric({0.123456789}, 4);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("0.1235"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace relmore::util

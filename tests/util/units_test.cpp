@@ -1,0 +1,50 @@
+#include "relmore/util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace relmore::util {
+namespace {
+
+TEST(Units, ResistanceSuffixes) {
+  EXPECT_DOUBLE_EQ(25.0_ohm, 25.0);
+  EXPECT_DOUBLE_EQ(2.0_kohm, 2000.0);
+}
+
+TEST(Units, InductanceSuffixes) {
+  EXPECT_DOUBLE_EQ(2.0_nH, 2.0e-9);
+  EXPECT_DOUBLE_EQ(1.0_uH, 1.0e-6);
+  EXPECT_DOUBLE_EQ(3.0_pH, 3.0e-12);
+  EXPECT_DOUBLE_EQ(1.0_mH, 1.0e-3);
+  EXPECT_DOUBLE_EQ(1.0_H, 1.0);
+}
+
+TEST(Units, CapacitanceSuffixes) {
+  EXPECT_DOUBLE_EQ(0.2_pF, 0.2e-12);
+  EXPECT_DOUBLE_EQ(5.0_fF, 5.0e-15);
+  EXPECT_DOUBLE_EQ(1.0_nF, 1.0e-9);
+  EXPECT_DOUBLE_EQ(1.0_uF, 1.0e-6);
+  EXPECT_DOUBLE_EQ(1.0_F, 1.0);
+}
+
+TEST(Units, TimeSuffixes) {
+  EXPECT_DOUBLE_EQ(1.0_ns, 1.0e-9);
+  EXPECT_DOUBLE_EQ(2.5_ps, 2.5e-12);
+  EXPECT_DOUBLE_EQ(1.0_us, 1.0e-6);
+  EXPECT_DOUBLE_EQ(1.0_ms, 1.0e-3);
+  EXPECT_DOUBLE_EQ(1.0_s, 1.0);
+}
+
+TEST(Units, VoltageSuffixes) {
+  EXPECT_DOUBLE_EQ(1.8_V, 1.8);
+  EXPECT_DOUBLE_EQ(250.0_mV, 0.25);
+}
+
+TEST(Units, ComposeIntoTimeConstants) {
+  // tau = RC: 25 ohm * 0.2 pF = 5 ps.
+  EXPECT_DOUBLE_EQ(25.0_ohm * 0.2_pF, 5.0_ps);
+  // sqrt(LC) has time units: 2 nH * 0.2 pF = (20 ps)^2 * ... check product.
+  EXPECT_DOUBLE_EQ(2.0_nH * 0.2_pF, 4.0e-22);
+}
+
+}  // namespace
+}  // namespace relmore::util
