@@ -9,12 +9,7 @@
 #include <iostream>
 #include <vector>
 
-#include "relmore/analysis/compare.hpp"
-#include "relmore/circuit/builders.hpp"
-#include "relmore/circuit/random_tree.hpp"
-#include "relmore/eed/eed.hpp"
-#include "relmore/moments/pole_residue.hpp"
-#include "relmore/util/table.hpp"
+#include "relmore/relmore.hpp"
 
 int main() {
   using namespace relmore;

@@ -8,8 +8,7 @@
 
 #include <iostream>
 
-#include "relmore/opt/buffer_insertion.hpp"
-#include "relmore/util/table.hpp"
+#include "relmore/relmore.hpp"
 
 int main() {
   using namespace relmore;

@@ -8,12 +8,7 @@
 
 #include <iostream>
 
-#include "relmore/analysis/compare.hpp"
-#include "relmore/circuit/builders.hpp"
-#include "relmore/opt/van_ginneken.hpp"
-#include "relmore/sim/measure.hpp"
-#include "relmore/sim/tree_transient.hpp"
-#include "relmore/util/table.hpp"
+#include "relmore/relmore.hpp"
 
 namespace {
 

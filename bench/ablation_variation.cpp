@@ -8,11 +8,7 @@
 
 #include <iostream>
 
-#include "relmore/analysis/report.hpp"
-#include "relmore/analysis/variation.hpp"
-#include "relmore/circuit/builders.hpp"
-#include "relmore/circuit/random_tree.hpp"
-#include "relmore/util/table.hpp"
+#include "relmore/relmore.hpp"
 
 int main() {
   using namespace relmore;

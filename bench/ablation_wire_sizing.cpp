@@ -13,9 +13,7 @@
 #include <iostream>
 #include <sstream>
 
-#include "relmore/analysis/compare.hpp"
-#include "relmore/opt/wire_sizing.hpp"
-#include "relmore/util/table.hpp"
+#include "relmore/relmore.hpp"
 
 namespace {
 

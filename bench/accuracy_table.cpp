@@ -8,13 +8,7 @@
 #include <iostream>
 #include <vector>
 
-#include "relmore/analysis/compare.hpp"
-#include "relmore/circuit/builders.hpp"
-#include "relmore/eed/eed.hpp"
-#include "relmore/moments/pole_residue.hpp"
-#include "relmore/moments/tree_moments.hpp"
-#include "relmore/sim/measure.hpp"
-#include "relmore/util/table.hpp"
+#include "relmore/relmore.hpp"
 
 namespace {
 

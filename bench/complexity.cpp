@@ -7,12 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "relmore/circuit/builders.hpp"
-#include "relmore/eed/eed.hpp"
-#include "relmore/moments/tree_moments.hpp"
-#include "relmore/analysis/variation.hpp"
-#include "relmore/eed/sensitivity.hpp"
-#include "relmore/sim/tree_transient.hpp"
+#include "relmore/relmore.hpp"
 
 namespace {
 
@@ -31,6 +26,42 @@ void BM_EedAnalyze(benchmark::State& state) {
   state.counters["sections"] = static_cast<double>(tree.size());
 }
 BENCHMARK(BM_EedAnalyze)->DenseRange(4, 14, 2)->Complexity(benchmark::oN);
+
+void BM_EedAnalyzeCounted(benchmark::State& state) {
+  const circuit::RlcTree tree = tree_of(static_cast<int>(state.range(0)));
+  eed::AnalyzeStats stats;
+  for (auto _ : state) {
+    const eed::CountedAnalysis counted = eed::analyze_counting(tree);
+    stats = counted.stats;
+    benchmark::DoNotOptimize(counted.model);
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(stats.nodes));
+  state.counters["sections"] = static_cast<double>(stats.nodes);
+  state.counters["muls"] = static_cast<double>(stats.multiplications);
+  state.counters["muls_per_section"] =
+      static_cast<double>(stats.multiplications) / static_cast<double>(stats.nodes);
+}
+BENCHMARK(BM_EedAnalyzeCounted)->DenseRange(4, 14, 2)->Complexity(benchmark::oN);
+
+void BM_EngineSingleEdit(benchmark::State& state) {
+  engine::TimingEngine eng(tree_of(static_cast<int>(state.range(0))));
+  eng.reset_counters();
+  const auto sink = eng.tree().leaves().front();
+  circuit::SectionValues v = eng.tree().section(sink).v;
+  for (auto _ : state) {
+    v.capacitance *= 1.0000001;
+    eng.set_section_values(sink, v);
+    benchmark::DoNotOptimize(eng.delay_50(sink));
+  }
+  const engine::EngineCounters& c = eng.counters();
+  state.counters["sections"] = static_cast<double>(eng.size());
+  state.counters["edit_nodes_touched_per_edit"] =
+      c.incremental_edits == 0
+          ? 0.0
+          : static_cast<double>(c.edit_nodes_touched) / static_cast<double>(c.incremental_edits);
+  state.counters["full_recomputes"] = static_cast<double>(c.full_recomputes);
+}
+BENCHMARK(BM_EngineSingleEdit)->DenseRange(4, 14, 2);
 
 void BM_EedClosedFormDelayAllSinks(benchmark::State& state) {
   const circuit::RlcTree tree = tree_of(static_cast<int>(state.range(0)));

@@ -6,8 +6,7 @@
 
 #include <iostream>
 
-#include "relmore/eed/eed.hpp"
-#include "relmore/util/table.hpp"
+#include "relmore/relmore.hpp"
 
 int main() {
   using namespace relmore;

@@ -6,9 +6,7 @@
 
 #include <iostream>
 
-#include "relmore/analysis/compare.hpp"
-#include "relmore/circuit/builders.hpp"
-#include "relmore/util/table.hpp"
+#include "relmore/relmore.hpp"
 
 namespace {
 

@@ -8,12 +8,7 @@
 #include <cmath>
 #include <iostream>
 
-#include "relmore/analysis/compare.hpp"
-#include "relmore/circuit/builders.hpp"
-#include "relmore/eed/eed.hpp"
-#include "relmore/sim/measure.hpp"
-#include "relmore/sim/tree_transient.hpp"
-#include "relmore/util/table.hpp"
+#include "relmore/relmore.hpp"
 
 int main() {
   using namespace relmore;

@@ -1,0 +1,77 @@
+/// \file incremental.cpp
+/// Measures the incremental TimingEngine against whole-tree re-analysis.
+/// For balanced binary trees of n = ~1e2 .. ~1e5 sections we time (a) a
+/// fresh eed::analyze of the whole tree and (b) a single-section edit
+/// followed by a sink delay query through the engine. The engine's
+/// counters give the exact number of nodes touched per edit and walked
+/// per query, making the O(n) vs O(depth) gap visible directly: the
+/// speedup grows roughly as n / log2(n).
+
+#include <chrono>
+#include <iostream>
+
+#include "relmore/relmore.hpp"
+
+namespace {
+
+using namespace relmore;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  util::Table table({"sections", "depth", "full analyze [us]", "incr edit+query [us]",
+                     "speedup", "edit nodes/edit", "query nodes/query"});
+
+  double checksum = 0.0;
+  for (const int levels : {7, 10, 14, 17}) {
+    const circuit::RlcTree tree = circuit::make_balanced_tree(levels, 2, {10.0, 1e-9, 0.1e-12});
+    const auto n = tree.size();
+    const circuit::SectionId sink = tree.leaves().front();
+
+    // (a) Whole-tree re-analysis, the pre-engine cost of any edit.
+    const std::size_t full_reps = std::max<std::size_t>(5, 2'000'000 / n);
+    const auto t_full = Clock::now();
+    for (std::size_t r = 0; r < full_reps; ++r) {
+      const eed::TreeModel model = eed::analyze(tree);
+      checksum += model.at(sink).sum_rc;
+    }
+    const double full_us = seconds_since(t_full) / static_cast<double>(full_reps) * 1e6;
+
+    // (b) The same logical operation through the engine: perturb one
+    // section, read the sink delay.
+    engine::TimingEngine eng(tree);
+    eng.reset_counters();
+    circuit::SectionValues v = tree.section(sink).v;
+    const std::size_t incr_reps = 20000;
+    const auto t_incr = Clock::now();
+    for (std::size_t r = 0; r < incr_reps; ++r) {
+      v.capacitance *= 1.0000001;
+      eng.set_section_values(sink, v);
+      checksum += eng.delay_50(sink);
+    }
+    const double incr_us = seconds_since(t_incr) / static_cast<double>(incr_reps) * 1e6;
+
+    const engine::EngineCounters& c = eng.counters();
+    const double edit_nodes =
+        static_cast<double>(c.edit_nodes_touched) / static_cast<double>(c.incremental_edits);
+    const double query_nodes =
+        static_cast<double>(c.query_nodes_walked) / static_cast<double>(c.queries);
+    table.add_row_numeric({static_cast<double>(n), static_cast<double>(levels), full_us, incr_us,
+                           full_us / incr_us, edit_nodes, query_nodes},
+                          4);
+  }
+
+  table.print(std::cout, "Incremental engine vs whole-tree re-analysis (balanced binary trees)");
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  std::cout << "\nShape check: a single-section edit touches only the root path\n"
+               "(~depth nodes) instead of all n sections, so the speedup over a\n"
+               "fresh analyze grows like n / log2(n) — two orders of magnitude\n"
+               "by n ~ 1e4. (checksum " << (checksum == checksum ? "ok" : "NAN") << ")\n";
+  return 0;
+}

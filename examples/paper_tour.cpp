@@ -37,10 +37,10 @@ int main() {
             << " — the case RC Elmore cannot represent.\n\n";
 
   // Appendix: the cost of knowing this for every node.
-  std::uint64_t muls = 0;
-  eed::analyze_counting(tree, &muls);
-  std::cout << "Appendix complexity: analyzing ALL " << tree.size()
-            << " nodes used exactly " << muls << " multiplications (2 per section).\n\n";
+  const eed::AnalyzeStats stats = eed::analyze_counting(tree).stats;
+  std::cout << "Appendix complexity: analyzing ALL " << stats.nodes
+            << " nodes used exactly " << stats.multiplications
+            << " multiplications (2 per section).\n\n";
 
   // Section IV: closed-form signal characterization.
   Table iv({"quantity", "equation", "value"});

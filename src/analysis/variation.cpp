@@ -7,6 +7,8 @@
 #include "relmore/circuit/random_tree.hpp"
 #include "relmore/eed/eed.hpp"
 #include "relmore/eed/sensitivity.hpp"
+#include "relmore/engine/batch.hpp"
+#include "relmore/engine/timing_engine.hpp"
 
 namespace relmore::analysis {
 
@@ -47,6 +49,13 @@ double perturb(double nominal, double sigma, GaussianSource& gauss) {
   return std::max(0.01 * nominal, nominal * (1.0 + sigma * gauss.next()));
 }
 
+/// Per-sample RNG seed: deterministic in (seed, sample) so the sampled
+/// distribution is independent of the number of worker threads and of the
+/// order chunks are executed in.
+std::uint64_t sample_seed(std::uint64_t seed, std::size_t sample) {
+  return seed + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(sample) + 1);
+}
+
 }  // namespace
 
 DelayDistribution monte_carlo_delay(const RlcTree& tree, SectionId node,
@@ -58,22 +67,30 @@ DelayDistribution monte_carlo_delay(const RlcTree& tree, SectionId node,
   out.nominal = eed::delay_50(nominal_model.at(node));
   out.samples = samples;
 
-  GaussianSource gauss(seed);
-  std::vector<double> delays;
-  delays.reserve(samples);
-  RlcTree perturbed = tree;  // reuse the topology, rewrite values per sample
-  for (std::size_t s = 0; s < samples; ++s) {
-    for (std::size_t k = 0; k < tree.size(); ++k) {
-      const auto id = static_cast<SectionId>(k);
-      const auto& v = tree.section(id).v;
-      auto& pv = perturbed.values(id);
-      pv.resistance = perturb(v.resistance, spec.sigma_resistance, gauss);
-      pv.inductance = perturb(v.inductance, spec.sigma_inductance, gauss);
-      pv.capacitance = perturb(v.capacitance, spec.sigma_capacitance, gauss);
+  // Samples are independent trees: fan contiguous chunks across the pool,
+  // one TimingEngine per chunk. Re-perturbing every section is a dense
+  // edit batch, so the engine takes its full-sweep fallback — still
+  // cheaper than a fresh analyze per sample (no allocations, and only the
+  // queried node's second-order model is evaluated).
+  std::vector<double> delays(samples);
+  engine::BatchAnalyzer pool;
+  pool.parallel_chunks(samples, [&](std::size_t begin, std::size_t end) {
+    engine::TimingEngine eng(tree);
+    std::vector<engine::Edit> edits(tree.size());
+    for (std::size_t s = begin; s < end; ++s) {
+      GaussianSource gauss(sample_seed(seed, s));
+      for (std::size_t k = 0; k < tree.size(); ++k) {
+        const auto id = static_cast<SectionId>(k);
+        const auto& v = tree.section(id).v;
+        edits[k].id = id;
+        edits[k].v.resistance = perturb(v.resistance, spec.sigma_resistance, gauss);
+        edits[k].v.inductance = perturb(v.inductance, spec.sigma_inductance, gauss);
+        edits[k].v.capacitance = perturb(v.capacitance, spec.sigma_capacitance, gauss);
+      }
+      eng.apply_edits(edits);
+      delays[s] = eng.delay_50(node);
     }
-    const eed::TreeModel m = eed::analyze(perturbed);
-    delays.push_back(eed::delay_50(m.at(node)));
-  }
+  });
 
   double sum = 0.0;
   out.min = delays.front();

@@ -52,8 +52,21 @@ struct TreeModel {
 /// Analyzes every node of the tree in O(n) (two traversals).
 TreeModel analyze(const circuit::RlcTree& tree);
 
-/// Instrumented variant counting the floating-point multiplications spent,
-/// to verify the Appendix claim that the count is exactly 2·(sections).
-TreeModel analyze_counting(const circuit::RlcTree& tree, std::uint64_t* multiplications);
+/// Cost accounting of one whole-tree analysis.
+struct AnalyzeStats {
+  std::uint64_t multiplications = 0;  ///< FP multiplies in the two passes
+  std::size_t nodes = 0;              ///< sections analyzed
+};
+
+/// Model plus its cost accounting, for the instrumented entry point.
+struct CountedAnalysis {
+  TreeModel model;
+  AnalyzeStats stats;
+};
+
+/// Instrumented variant returning the multiplication count alongside the
+/// model, to verify the Appendix claim that the count is exactly
+/// 2·(sections).
+CountedAnalysis analyze_counting(const circuit::RlcTree& tree);
 
 }  // namespace relmore::eed

@@ -68,8 +68,11 @@ TreeModel analyze_impl(const RlcTree& tree, std::uint64_t* mul_count) {
 
 TreeModel analyze(const RlcTree& tree) { return analyze_impl(tree, nullptr); }
 
-TreeModel analyze_counting(const RlcTree& tree, std::uint64_t* multiplications) {
-  return analyze_impl(tree, multiplications);
+CountedAnalysis analyze_counting(const RlcTree& tree) {
+  CountedAnalysis out;
+  out.model = analyze_impl(tree, &out.stats.multiplications);
+  out.stats.nodes = tree.size();
+  return out;
 }
 
 }  // namespace relmore::eed

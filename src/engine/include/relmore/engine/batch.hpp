@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file batch.hpp
+/// Small persistent thread pool that fans *independent* trees across
+/// cores: Monte-Carlo variation samples, buffer-insertion stage
+/// candidates, per-corner re-analyses. One whole-tree analysis is O(n)
+/// with two multiplications per section (paper Appendix), so single
+/// analyses never need threads — the win is in the embarrassingly
+/// parallel batches the optimization and statistical workloads generate.
+///
+/// A TimingEngine is not thread-safe (its prefix caches mutate on query);
+/// the intended pattern is one engine per worker, which `parallel_chunks`
+/// makes natural: each chunk builds its own engine and loops its range.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "relmore/circuit/rlc_tree.hpp"
+#include "relmore/eed/model.hpp"
+
+namespace relmore::engine {
+
+/// Fixed-size worker pool. Destruction joins the workers; the calling
+/// thread always participates in the work, so `BatchAnalyzer(1)` (or any
+/// single-core machine) degrades to plain sequential execution with no
+/// thread traffic.
+class BatchAnalyzer {
+ public:
+  /// `threads` = total workers including the caller; 0 picks
+  /// min(hardware_concurrency, 8). Clamped to at least 1.
+  explicit BatchAnalyzer(unsigned threads = 0);
+  ~BatchAnalyzer();
+
+  BatchAnalyzer(const BatchAnalyzer&) = delete;
+  BatchAnalyzer& operator=(const BatchAnalyzer&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const { return threads_; }
+
+  /// Runs fn(i) for every i in [0, count) across the pool (atomic
+  /// work-stealing; order unspecified). Rethrows the first exception any
+  /// task threw, after all tasks finish or are abandoned.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Runs fn(begin, end) on contiguous chunks covering [0, count), at
+  /// most one chunk per worker — the one-engine-per-worker pattern.
+  void parallel_chunks(std::size_t count,
+                       const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Analyzes each tree (eed::analyze semantics), fanned across the pool.
+  [[nodiscard]] std::vector<eed::TreeModel> analyze_all(
+      const std::vector<circuit::RlcTree>& trees);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  unsigned threads_ = 1;
+};
+
+}  // namespace relmore::engine

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "relmore/eed/eed.hpp"
+#include "relmore/engine/batch.hpp"
 #include "relmore/sim/measure.hpp"
 #include "relmore/sim/tree_transient.hpp"
 
@@ -37,6 +38,7 @@ struct Stage {
   int spans = 0;
   double load_capacitance = 0.0;
   bool ends_in_buffer = false;
+  bool buffer_driven = false;  ///< driven by an inserted buffer, not the source
 };
 
 std::vector<Stage> decompose(const BufferInsertionProblem& p,
@@ -58,6 +60,7 @@ std::vector<Stage> decompose(const BufferInsertionProblem& p,
       stages.push_back(cur);
       cur = Stage{};
       cur.driver_resistance = p.buffer.output_resistance;
+      cur.buffer_driven = true;
     }
   }
   ++cur.spans;  // final span to the sink
@@ -107,6 +110,62 @@ double stage_delay_simulated(const BufferInsertionProblem& p, const Stage& st) {
   return d + (st.ends_in_buffer ? p.buffer.intrinsic_delay : 0.0);
 }
 
+// A stage circuit is fully described by (driver kind, span count,
+// terminating load), so all 2^slots candidates draw their stage delays
+// from at most 4·(slots+1) distinct circuits. The search loops below
+// evaluate that table once — fanned across the BatchAnalyzer pool — and
+// then score candidates with pure lookups.
+
+std::size_t stage_key(const Stage& st) {
+  return (static_cast<std::size_t>(st.spans) - 1) * 4 +
+         (st.buffer_driven ? 2u : 0u) + (st.ends_in_buffer ? 1u : 0u);
+}
+
+std::vector<Stage> distinct_stages(const BufferInsertionProblem& p) {
+  std::vector<Stage> stages(4 * static_cast<std::size_t>(p.slots + 1));
+  for (int spans = 1; spans <= p.slots + 1; ++spans) {
+    for (int drv = 0; drv < 2; ++drv) {
+      for (int ends = 0; ends < 2; ++ends) {
+        Stage st;
+        st.spans = spans;
+        st.buffer_driven = drv == 1;
+        st.driver_resistance =
+            st.buffer_driven ? p.buffer.output_resistance : p.source_resistance;
+        st.ends_in_buffer = ends == 1;
+        st.load_capacitance =
+            st.ends_in_buffer ? p.buffer.input_capacitance : p.sink_capacitance;
+        stages[stage_key(st)] = st;
+      }
+    }
+  }
+  return stages;
+}
+
+std::vector<double> model_delay_table(const BufferInsertionProblem& p, DelayModel model) {
+  const std::vector<Stage> stages = distinct_stages(p);
+  std::vector<double> table(stages.size());
+  engine::BatchAnalyzer pool;
+  pool.parallel_for(stages.size(),
+                    [&](std::size_t i) { table[i] = stage_delay_model(p, stages[i], model); });
+  return table;
+}
+
+std::vector<double> sim_delay_table(const BufferInsertionProblem& p) {
+  const std::vector<Stage> stages = distinct_stages(p);
+  std::vector<double> table(stages.size());
+  engine::BatchAnalyzer pool;
+  pool.parallel_for(stages.size(),
+                    [&](std::size_t i) { table[i] = stage_delay_simulated(p, stages[i]); });
+  return table;
+}
+
+double candidate_delay(const BufferInsertionProblem& p, const std::vector<bool>& cand,
+                       const std::vector<double>& table) {
+  double total = 0.0;
+  for (const Stage& st : decompose(p, cand)) total += table[stage_key(st)];
+  return total;
+}
+
 }  // namespace
 
 double evaluate_solution(const BufferInsertionProblem& problem,
@@ -133,12 +192,13 @@ BufferSolution optimize_buffers_exhaustive(const BufferInsertionProblem& problem
                                            DelayModel model) {
   check_problem(problem);
   const auto n = static_cast<std::uint32_t>(problem.slots);
+  const std::vector<double> table = model_delay_table(problem, model);
   BufferSolution best;
   best.delay = std::numeric_limits<double>::infinity();
   for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
     std::vector<bool> cand(n);
     for (std::uint32_t i = 0; i < n; ++i) cand[i] = (mask >> i) & 1u;
-    const double d = evaluate_solution(problem, cand, model);
+    const double d = candidate_delay(problem, cand, table);
     if (d < best.delay) {
       best.delay = d;
       best.buffered = std::move(cand);
@@ -154,13 +214,15 @@ double ranking_fidelity(const BufferInsertionProblem& problem, DelayModel model,
   const std::uint32_t total = 1u << n;
   // Deterministically subsample the candidate space when it is large.
   const std::uint32_t stride = std::max(1u, total / static_cast<std::uint32_t>(max_candidates));
+  const std::vector<double> closed_form = model_delay_table(problem, model);
+  const std::vector<double> simulated = sim_delay_table(problem);
   std::vector<double> model_delay;
   std::vector<double> sim_delay;
   for (std::uint32_t mask = 0; mask < total; mask += stride) {
     std::vector<bool> cand(n);
     for (std::uint32_t i = 0; i < n; ++i) cand[i] = (mask >> i) & 1u;
-    model_delay.push_back(evaluate_solution(problem, cand, model));
-    sim_delay.push_back(evaluate_solution_simulated(problem, cand));
+    model_delay.push_back(candidate_delay(problem, cand, closed_form));
+    sim_delay.push_back(candidate_delay(problem, cand, simulated));
   }
   // Spearman rank correlation.
   const auto ranks = [](const std::vector<double>& v) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "relmore/eed/eed.hpp"
+#include "relmore/engine/timing_engine.hpp"
 #include "relmore/util/roots.hpp"
 
 namespace relmore::opt {
@@ -52,8 +53,10 @@ PathTiming time_path(const std::vector<PathStage>& stages, double first_input_ri
   double rise = first_input_rise;
   for (const PathStage& st : stages) {
     if (st.tree.empty()) throw std::invalid_argument("time_path: stage with empty tree");
-    const eed::TreeModel model = eed::analyze(st.tree);
-    StageTiming timing = time_stage(model.at(st.sink), rise);
+    // Engine session per stage: only the stage's sink node is needed, so
+    // the downward pass is a single O(depth) prefix walk.
+    const engine::TimingEngine eng(st.tree);
+    StageTiming timing = time_stage(eng.node(st.sink), rise);
     timing.delay += st.intrinsic_delay;
     out.total_delay += timing.delay;
     rise = timing.output_rise;

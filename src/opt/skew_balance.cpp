@@ -6,6 +6,7 @@
 
 #include "relmore/analysis/report.hpp"
 #include "relmore/eed/eed.hpp"
+#include "relmore/engine/timing_engine.hpp"
 #include "relmore/util/roots.hpp"
 
 namespace relmore::opt {
@@ -38,6 +39,16 @@ SkewBalanceResult balance_skew(RlcTree& tree, const SkewBalanceOptions& opts) {
   result.skew_before = before.skew();
   result.sink_widths.assign(sinks.size(), 1.0);
 
+  // Engine session: each width probe edits one sink section (R/L only, an
+  // O(1) delta) and queries that sink (O(depth)), instead of re-analyzing
+  // the whole clock tree per probe. The caller's tree is kept in lock-step
+  // so it carries the final widths out.
+  engine::TimingEngine eng(tree);
+  const auto set_width = [&](SectionId s, const circuit::SectionValues& nominal, double w) {
+    apply_width(tree, s, nominal, w, opts.inductance_width_slope);
+    eng.set_section_values(s, tree.section(s).v);
+  };
+
   const double target = before.max_delay;
   for (std::size_t si = 0; si < sinks.size(); ++si) {
     const SectionId s = sinks[si];
@@ -45,13 +56,12 @@ SkewBalanceResult balance_skew(RlcTree& tree, const SkewBalanceOptions& opts) {
     if (nominal.resistance <= 0.0) continue;  // nothing to size
 
     const auto delay_at = [&](double w) {
-      apply_width(tree, s, nominal, w, opts.inductance_width_slope);
-      const auto model = eed::analyze(tree);
-      return eed::delay_50(model.at(s));
+      set_width(s, nominal, w);
+      return eng.delay_50(s);
     };
     const double d1 = delay_at(1.0);
     if (d1 >= target * (1.0 - opts.tolerance)) {
-      apply_width(tree, s, nominal, 1.0, opts.inductance_width_slope);
+      set_width(s, nominal, 1.0);
       continue;  // already the slowest (or close enough)
     }
     // Narrowing raises R hence the delay; find w in [width_min, 1] with
@@ -64,7 +74,7 @@ SkewBalanceResult balance_skew(RlcTree& tree, const SkewBalanceOptions& opts) {
     const auto f = [&](double w) { return delay_at(w) - target; };
     const auto root = util::brent(f, opts.width_min, 1.0);
     const double w = root.value_or(opts.width_min);
-    apply_width(tree, s, nominal, w, opts.inductance_width_slope);
+    set_width(s, nominal, w);
     result.sink_widths[si] = w;
   }
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "relmore/eed/eed.hpp"
+#include "relmore/engine/timing_engine.hpp"
 
 namespace relmore::opt {
 
@@ -198,10 +199,10 @@ Stage build_stage(const RlcTree& tree, const std::vector<bool>& buffered,
   return st;
 }
 
-double stage_delay_at(const Stage& st, SectionId orig, DelayModel model) {
-  const eed::TreeModel m = eed::analyze(st.tree);
+double stage_delay_at(const engine::TimingEngine& eng, const Stage& st, SectionId orig,
+                      DelayModel model) {
   const SectionId sid = st.stage_id[static_cast<std::size_t>(orig)];
-  const eed::NodeModel& nm = m.at(sid);
+  const eed::NodeModel nm = eng.node(sid);
   return model == DelayModel::kWyattRc ? eed::wyatt_delay_50(nm.sum_rc) : eed::delay_50(nm);
 }
 
@@ -231,6 +232,10 @@ double evaluate_buffered_tree(const RlcTree& tree, const std::vector<bool>& buff
     const Work w = queue.back();
     queue.pop_back();
     const Stage st = build_stage(tree, buffered, buffer, w.driver_r, w.children);
+    // One engine session per stage: the stage is analyzed once and every
+    // sink/buffer query below is an O(depth) prefix walk, instead of one
+    // whole-stage re-analysis per queried node.
+    const engine::TimingEngine eng(st.tree);
     // Real sinks inside this stage: leaves of the original tree reached
     // without crossing a buffer.
     for (std::size_t k = 0; k < tree.size(); ++k) {
@@ -238,12 +243,12 @@ double evaluate_buffered_tree(const RlcTree& tree, const std::vector<bool>& buff
       if (st.stage_id[k] == circuit::kInput) continue;
       if (buffered[k]) continue;
       if (!tree.children(id).empty()) continue;
-      worst_sink = std::max(worst_sink, w.arrival + stage_delay_at(st, id, model));
+      worst_sink = std::max(worst_sink, w.arrival + stage_delay_at(eng, st, id, model));
     }
     // Next stages start below each buffer.
     for (SectionId b : st.buffer_roots) {
       const double arrive =
-          w.arrival + stage_delay_at(st, b, model) + buffer.intrinsic_delay;
+          w.arrival + stage_delay_at(eng, st, b, model) + buffer.intrinsic_delay;
       queue.push_back({tree.children(b), buffer.output_resistance, arrive});
     }
   }

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "relmore/eed/eed.hpp"
+#include "relmore/engine/timing_engine.hpp"
 #include "relmore/util/minimize.hpp"
 
 namespace relmore::opt {
@@ -21,6 +22,25 @@ void check_problem(const WireSizingProblem& p) {
   }
 }
 
+circuit::SectionValues segment_values(const WireSizingProblem& p, double width) {
+  if (width <= 0.0) throw std::invalid_argument("wire sizing: non-positive width");
+  const double r = p.unit_resistance / width;
+  const double l =
+      p.unit_inductance * std::max(0.1, 1.0 - p.inductance_width_slope * std::log(width));
+  const double c = p.unit_area_cap * width + p.unit_fringe_cap;
+  return {r, l, c};
+}
+
+double delay_from_node(const eed::NodeModel& nm, DelayModel model) {
+  switch (model) {
+    case DelayModel::kWyattRc:
+      return eed::wyatt_delay_50(nm.sum_rc);
+    case DelayModel::kEquivalentElmore:
+      return eed::delay_50(nm);
+  }
+  throw std::logic_error("wire sizing: unknown delay model");
+}
+
 }  // namespace
 
 RlcTree build_sized_line(const WireSizingProblem& problem, const std::vector<double>& widths) {
@@ -33,13 +53,7 @@ RlcTree build_sized_line(const WireSizingProblem& problem, const std::vector<dou
                                     {problem.driver_resistance, 0.0, 0.0}, "driver");
   for (int i = 0; i < problem.segments; ++i) {
     const double w = widths[static_cast<std::size_t>(i)];
-    if (w <= 0.0) throw std::invalid_argument("build_sized_line: non-positive width");
-    const double r = problem.unit_resistance / w;
-    const double l =
-        problem.unit_inductance * std::max(0.1, 1.0 - problem.inductance_width_slope *
-                                                          std::log(w));
-    const double c = problem.unit_area_cap * w + problem.unit_fringe_cap;
-    prev = tree.add_section(prev, {r, l, c}, "seg" + std::to_string(i));
+    prev = tree.add_section(prev, segment_values(problem, w), "seg" + std::to_string(i));
   }
   tree.add_section(prev, {1.0, 1e-14, problem.load_capacitance}, "load");
   return tree;
@@ -50,14 +64,7 @@ double sized_line_delay(const WireSizingProblem& problem, const std::vector<doub
   const RlcTree tree = build_sized_line(problem, widths);
   const auto sink = static_cast<SectionId>(tree.size() - 1);
   const eed::TreeModel tm = eed::analyze(tree);
-  const eed::NodeModel& nm = tm.at(sink);
-  switch (model) {
-    case DelayModel::kWyattRc:
-      return eed::wyatt_delay_50(nm.sum_rc);
-    case DelayModel::kEquivalentElmore:
-      return eed::delay_50(nm);
-  }
-  throw std::logic_error("sized_line_delay: unknown model");
+  return delay_from_node(tm.at(sink), model);
 }
 
 WireSizingResult optimize_wire_sizing(const WireSizingProblem& problem, DelayModel model) {
@@ -68,8 +75,23 @@ WireSizingResult optimize_wire_sizing(const WireSizingProblem& problem, DelayMod
   std::vector<double> x0(n, 1.0);
   for (double& w : x0) w = std::clamp(w, problem.width_min, problem.width_max);
 
+  // Engine session over one tree for the whole search. Coordinate descent
+  // probes one width at a time, so each objective evaluation edits only
+  // the segments that moved since the previous probe — an O(path) delta
+  // update instead of a per-probe tree rebuild and whole-line re-analysis.
+  // Section ids: 0 = driver, 1..segments = wire, last = load (the sink).
+  engine::TimingEngine eng(build_sized_line(problem, x0));
+  const auto sink = static_cast<SectionId>(eng.size() - 1);
+  std::vector<double> current = x0;
   const auto objective = [&](const std::vector<double>& widths) {
-    return sized_line_delay(problem, widths, model);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (widths[i] != current[i]) {
+        eng.set_section_values(static_cast<SectionId>(i) + 1,
+                               segment_values(problem, widths[i]));
+        current[i] = widths[i];
+      }
+    }
+    return delay_from_node(eng.node(sink), model);
   };
   util::CoordinateDescentOptions opts;
   opts.max_sweeps = 40;

@@ -94,9 +94,9 @@ TEST(Model, MultiplicationCountIsTwoPerSection) {
   // The Appendix claims 2N multiplications for the summations.
   for (int levels : {2, 3, 4, 5}) {
     const RlcTree t = circuit::make_balanced_tree(levels, 2, {10.0, 1e-9, 0.1e-12});
-    std::uint64_t muls = 0;
-    analyze_counting(t, &muls);
-    EXPECT_EQ(muls, 2u * t.size()) << "levels=" << levels;
+    const AnalyzeStats stats = analyze_counting(t).stats;
+    EXPECT_EQ(stats.multiplications, 2u * t.size()) << "levels=" << levels;
+    EXPECT_EQ(stats.nodes, t.size()) << "levels=" << levels;
   }
 }
 

@@ -1,0 +1,129 @@
+/// \file property_test.cpp
+/// Property test for the incremental engine: over 100 seeded random trees,
+/// apply a random sequence of edits (value changes, batches, grafts,
+/// prunes) with interleaved point queries, and check that the engine's
+/// cached (SR, SL, zeta, omega_n) stay within 1 ulp of a fresh
+/// `eed::analyze` of the edited tree. (By construction the engine re-sums
+/// in the fresh pass's association order, so the match is in fact bitwise;
+/// the 1-ulp bound is the contract we promise.)
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "relmore/circuit/random_tree.hpp"
+#include "relmore/eed/model.hpp"
+#include "relmore/engine/timing_engine.hpp"
+
+namespace {
+
+using namespace relmore;
+using circuit::SectionId;
+using circuit::SectionValues;
+
+bool ulp_close(double a, double b) {
+  if (a == b) return true;  // exact match, including matching infinities
+  if (std::isnan(a) || std::isnan(b)) return false;
+  return std::nextafter(a, b) == b;  // within one ulp
+}
+
+void check_against_fresh(const engine::TimingEngine& eng, std::uint64_t seed, int op) {
+  const eed::TreeModel fresh = eed::analyze(eng.tree());
+  const eed::TreeModel cached = eng.model();
+  ASSERT_EQ(cached.nodes.size(), fresh.nodes.size());
+  for (std::size_t i = 0; i < fresh.nodes.size(); ++i) {
+    if (!eng.alive(static_cast<SectionId>(i))) continue;
+    const eed::NodeModel& c = cached.nodes[i];
+    const eed::NodeModel& f = fresh.nodes[i];
+    EXPECT_TRUE(ulp_close(c.sum_rc, f.sum_rc))
+        << "SR node " << i << " seed " << seed << " op " << op << ": " << c.sum_rc
+        << " vs " << f.sum_rc;
+    EXPECT_TRUE(ulp_close(c.sum_lc, f.sum_lc))
+        << "SL node " << i << " seed " << seed << " op " << op;
+    EXPECT_TRUE(ulp_close(c.zeta, f.zeta)) << "zeta node " << i << " seed " << seed;
+    EXPECT_TRUE(ulp_close(c.omega_n, f.omega_n)) << "omega_n node " << i << " seed " << seed;
+    EXPECT_TRUE(ulp_close(cached.load_capacitance[i], fresh.load_capacitance[i]))
+        << "Ctot node " << i << " seed " << seed;
+  }
+}
+
+std::vector<SectionId> alive_ids(const engine::TimingEngine& eng) {
+  std::vector<SectionId> ids;
+  for (std::size_t i = 0; i < eng.size(); ++i) {
+    if (eng.alive(static_cast<SectionId>(i))) ids.push_back(static_cast<SectionId>(i));
+  }
+  return ids;
+}
+
+SectionValues perturbed(const SectionValues& v, circuit::Rng& rng) {
+  SectionValues out;
+  out.resistance = v.resistance * rng.log_uniform(0.25, 4.0);
+  out.inductance = v.inductance * rng.log_uniform(0.25, 4.0);
+  out.capacitance = v.capacitance * rng.log_uniform(0.25, 4.0);
+  return out;
+}
+
+TEST(EngineProperty, RandomEditSequencesMatchFreshAnalyzeTo1Ulp) {
+  circuit::RandomTreeSpec tree_spec;
+  circuit::RandomTreeSpec graft_spec;
+  graft_spec.min_sections = 3;
+  graft_spec.max_sections = 8;
+
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    engine::TimingEngine eng(circuit::make_random_tree(tree_spec, seed));
+    circuit::Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+    int grafts_left = 3;
+
+    const int ops = 30;
+    for (int op = 0; op < ops; ++op) {
+      const std::vector<SectionId> ids = alive_ids(eng);
+      ASSERT_FALSE(ids.empty());
+      const int kind = rng.uniform_int(0, 9);
+      if (kind <= 4) {
+        // Point edit of one alive section.
+        const SectionId id = ids[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(ids.size()) - 1))];
+        eng.set_section_values(id, perturbed(eng.tree().section(id).v, rng));
+      } else if (kind <= 6) {
+        // Batch of random size — small batches propagate, big ones take the
+        // dense fallback; both must land on the same state.
+        const int count = rng.uniform_int(1, static_cast<int>(ids.size()));
+        std::vector<engine::Edit> edits(static_cast<std::size_t>(count));
+        for (auto& e : edits) {
+          e.id = ids[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(ids.size()) - 1))];
+          e.v = perturbed(eng.tree().section(e.id).v, rng);
+        }
+        eng.apply_edits(edits);
+      } else if (kind == 7) {
+        // Interleaved point query: must agree with a fresh analysis even
+        // when the rest of the tree is stale.
+        const SectionId id = ids[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(ids.size()) - 1))];
+        const eed::NodeModel fresh_node = eed::analyze(eng.tree()).at(id);
+        const eed::NodeModel got = eng.node(id);
+        EXPECT_TRUE(ulp_close(got.sum_rc, fresh_node.sum_rc)) << "seed " << seed;
+        EXPECT_TRUE(ulp_close(got.sum_lc, fresh_node.sum_lc)) << "seed " << seed;
+      } else if (kind == 8 && grafts_left > 0) {
+        --grafts_left;
+        const SectionId parent =
+            rng.uniform() < 0.2 ? circuit::kInput
+                                : ids[static_cast<std::size_t>(
+                                      rng.uniform_int(0, static_cast<int>(ids.size()) - 1))];
+        eng.graft(parent, circuit::make_random_tree(graft_spec, seed * 1000 + static_cast<std::uint64_t>(op)));
+      } else if (kind == 9 && ids.size() > 1) {
+        // Prune any alive section except id 0, so the tree never goes fully
+        // dead mid-sequence.
+        const SectionId victim = ids[static_cast<std::size_t>(
+            rng.uniform_int(1, static_cast<int>(ids.size()) - 1))];
+        eng.prune(victim);
+      }
+      if (op % 10 == 9) check_against_fresh(eng, seed, op);
+    }
+    check_against_fresh(eng, seed, ops);
+  }
+}
+
+}  // namespace

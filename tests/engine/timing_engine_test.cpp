@@ -1,0 +1,214 @@
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/eed/model.hpp"
+#include "relmore/eed/second_order.hpp"
+#include "relmore/engine/timing_engine.hpp"
+
+namespace {
+
+using namespace relmore;
+using circuit::SectionId;
+using circuit::SectionValues;
+
+void expect_node_eq(const eed::NodeModel& a, const eed::NodeModel& b) {
+  EXPECT_EQ(a.sum_rc, b.sum_rc);
+  EXPECT_EQ(a.sum_lc, b.sum_lc);
+  EXPECT_EQ(a.zeta, b.zeta);
+  EXPECT_EQ(a.omega_n, b.omega_n);
+}
+
+void expect_matches_fresh_analysis(const engine::TimingEngine& eng) {
+  const eed::TreeModel fresh = eed::analyze(eng.tree());
+  const eed::TreeModel cached = eng.model();
+  ASSERT_EQ(fresh.nodes.size(), cached.nodes.size());
+  for (std::size_t i = 0; i < fresh.nodes.size(); ++i) {
+    expect_node_eq(cached.nodes[i], fresh.nodes[i]);
+    EXPECT_EQ(cached.load_capacitance[i], fresh.load_capacitance[i]);
+  }
+}
+
+TEST(TimingEngine, FreshEngineMatchesAnalyzeBitwise) {
+  const engine::TimingEngine eng(circuit::make_fig8_tree());
+  expect_matches_fresh_analysis(eng);
+}
+
+TEST(TimingEngine, EmptyTreeThrows) {
+  EXPECT_THROW(engine::TimingEngine{circuit::RlcTree{}}, std::invalid_argument);
+}
+
+TEST(TimingEngine, SingleEditMatchesFreshAnalyze) {
+  SectionId out = circuit::kInput;
+  engine::TimingEngine eng(circuit::make_fig8_tree(&out));
+  SectionValues v = eng.tree().section(out).v;
+  v.capacitance *= 3.0;
+  v.resistance *= 0.5;
+  eng.set_section_values(out, v);
+  expect_matches_fresh_analysis(eng);
+  const eed::TreeModel fresh = eed::analyze(eng.tree());
+  EXPECT_EQ(eng.delay_50(out), eed::delay_50(fresh.at(out)));
+}
+
+TEST(TimingEngine, PointQueryMatchesWholeTreeModel) {
+  engine::TimingEngine eng(circuit::make_balanced_tree(5, 2, {25.0, 2e-9, 0.2e-12}));
+  const SectionId sink = eng.tree().leaves().back();
+  SectionValues v = eng.tree().section(0).v;
+  v.inductance *= 2.0;
+  eng.set_section_values(0, v);
+  const eed::NodeModel via_query = eng.node(sink);
+  const eed::NodeModel via_model = eng.model().at(sink);
+  expect_node_eq(via_query, via_model);
+}
+
+TEST(TimingEngine, EditCostIsPathNotTree) {
+  const int n = 64;
+  engine::TimingEngine eng(circuit::make_line(n, {10.0, 1e-9, 0.1e-12}));
+  eng.reset_counters();
+
+  // A capacitance edit at depth d touches exactly the d-section root path.
+  const SectionId mid = 9;  // depth 10 in a line
+  SectionValues v = eng.tree().section(mid).v;
+  v.capacitance *= 1.5;
+  eng.set_section_values(mid, v);
+  EXPECT_EQ(eng.counters().incremental_edits, 1u);
+  EXPECT_EQ(eng.counters().edit_nodes_touched, 10u);
+  EXPECT_EQ(eng.counters().full_recomputes, 0u);
+
+  // An R/L-only edit leaves every subtree capacitance alone: O(1).
+  v.capacitance = eng.tree().section(mid).v.capacitance;
+  v.resistance *= 2.0;
+  eng.set_section_values(mid, v);
+  EXPECT_EQ(eng.counters().incremental_edits, 2u);
+  EXPECT_EQ(eng.counters().edit_nodes_touched, 11u);
+  expect_matches_fresh_analysis(eng);
+}
+
+TEST(TimingEngine, QueryWalksOnlyStalePrefixes) {
+  const int n = 32;
+  engine::TimingEngine eng(circuit::make_line(n, {10.0, 1e-9, 0.1e-12}));
+  const SectionId sink = static_cast<SectionId>(n - 1);
+  SectionValues v = eng.tree().section(sink).v;
+  v.capacitance *= 2.0;
+  eng.set_section_values(sink, v);
+  eng.reset_counters();
+
+  (void)eng.node(sink);  // refreshes the whole root path
+  EXPECT_EQ(eng.counters().query_nodes_walked, static_cast<std::uint64_t>(n));
+  (void)eng.node(sink);  // now fresh: no walking
+  EXPECT_EQ(eng.counters().query_nodes_walked, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(eng.counters().queries, 2u);
+}
+
+TEST(TimingEngine, DenseBatchFallsBackToFullRecompute) {
+  engine::TimingEngine eng(circuit::make_balanced_tree(4, 2, {25.0, 2e-9, 0.2e-12}));
+  eng.reset_counters();
+  std::vector<engine::Edit> edits(eng.size());
+  for (std::size_t i = 0; i < eng.size(); ++i) {
+    edits[i].id = static_cast<SectionId>(i);
+    edits[i].v = eng.tree().section(edits[i].id).v;
+    edits[i].v.capacitance *= 1.1;
+  }
+  eng.apply_edits(edits);
+  EXPECT_EQ(eng.counters().full_recomputes, 1u);
+  EXPECT_EQ(eng.counters().incremental_edits, 0u);
+  expect_matches_fresh_analysis(eng);
+}
+
+TEST(TimingEngine, SparseBatchStaysIncremental) {
+  engine::TimingEngine eng(circuit::make_balanced_tree(5, 2, {25.0, 2e-9, 0.2e-12}));
+  eng.reset_counters();
+  std::vector<engine::Edit> edits(2);
+  edits[0].id = 0;
+  edits[0].v = eng.tree().section(0).v;
+  edits[0].v.resistance *= 2.0;
+  edits[1].id = 1;
+  edits[1].v = eng.tree().section(1).v;
+  edits[1].v.capacitance *= 2.0;
+  eng.apply_edits(edits);
+  EXPECT_EQ(eng.counters().full_recomputes, 0u);
+  EXPECT_EQ(eng.counters().incremental_edits, 2u);
+  expect_matches_fresh_analysis(eng);
+}
+
+TEST(TimingEngine, GraftAppendsSubtreeAndMatches) {
+  engine::TimingEngine eng(circuit::make_line(4, {10.0, 1e-9, 0.1e-12}));
+  const std::size_t before = eng.size();
+  const circuit::RlcTree sub = circuit::make_balanced_tree(3, 2, {5.0, 0.5e-9, 0.05e-12});
+  const std::vector<SectionId> ids = eng.graft(2, sub);
+  ASSERT_EQ(ids.size(), sub.size());
+  EXPECT_EQ(eng.size(), before + sub.size());
+  for (std::size_t s = 0; s < sub.size(); ++s) {
+    EXPECT_EQ(eng.tree().section(ids[s]).v.capacitance,
+              sub.section(static_cast<SectionId>(s)).v.capacitance);
+  }
+  // The grafted root's parent is the attachment point.
+  EXPECT_EQ(eng.tree().section(ids[0]).parent, 2);
+  expect_matches_fresh_analysis(eng);
+}
+
+TEST(TimingEngine, GraftAtInputAddsNewRoot) {
+  engine::TimingEngine eng(circuit::make_line(3, {10.0, 1e-9, 0.1e-12}));
+  const std::vector<SectionId> ids =
+      eng.graft(circuit::kInput, circuit::make_line(2, {5.0, 0.5e-9, 0.05e-12}));
+  EXPECT_EQ(eng.tree().section(ids[0]).parent, circuit::kInput);
+  expect_matches_fresh_analysis(eng);
+}
+
+TEST(TimingEngine, PruneDetachesSubtreeElectrically) {
+  // Balanced binary tree: prune one level-2 child; the survivors must match
+  // a fresh analysis of the tombstoned tree, and the pruned node's load no
+  // longer reaches the root.
+  engine::TimingEngine eng(circuit::make_balanced_tree(4, 2, {25.0, 2e-9, 0.2e-12}));
+  const double load_before = eng.load_capacitance(0);
+  const SectionId victim = eng.tree().children(0).front();
+  eng.prune(victim);
+  EXPECT_FALSE(eng.alive(victim));
+  EXPECT_TRUE(eng.alive(0));
+  for (const SectionId c : eng.tree().children(victim)) EXPECT_FALSE(eng.alive(c));
+  EXPECT_LT(eng.load_capacitance(0), load_before);
+  EXPECT_THROW((void)eng.node(victim), std::invalid_argument);
+  EXPECT_THROW(eng.set_section_values(victim, SectionValues{}), std::invalid_argument);
+  expect_matches_fresh_analysis(eng);
+}
+
+TEST(TimingEngine, OutOfRangeIdsThrow) {
+  engine::TimingEngine eng(circuit::make_line(3, {10.0, 1e-9, 0.1e-12}));
+  EXPECT_THROW((void)eng.node(-1), std::out_of_range);
+  EXPECT_THROW((void)eng.node(3), std::out_of_range);
+  EXPECT_THROW((void)eng.alive(99), std::out_of_range);
+  EXPECT_THROW(eng.set_section_values(7, SectionValues{}), std::out_of_range);
+}
+
+TEST(TimingEngine, NegativeValuesThrow) {
+  engine::TimingEngine eng(circuit::make_line(3, {10.0, 1e-9, 0.1e-12}));
+  EXPECT_THROW(eng.set_section_values(0, SectionValues{-1.0, 0.0, 0.0}),
+               std::invalid_argument);
+  std::vector<engine::Edit> edits(1);
+  edits[0].id = 0;
+  edits[0].v = SectionValues{1.0, 0.0, -1e-15};
+  EXPECT_THROW(eng.apply_edits(edits), std::invalid_argument);
+}
+
+TEST(TimingEngine, LoadCapacitanceMatchesAnalyze) {
+  const circuit::RlcTree tree = circuit::make_balanced_tree(4, 3, {25.0, 2e-9, 0.2e-12});
+  const engine::TimingEngine eng(tree);
+  const eed::TreeModel fresh = eed::analyze(tree);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    EXPECT_EQ(eng.load_capacitance(static_cast<SectionId>(i)), fresh.load_capacitance[i]);
+  }
+}
+
+TEST(TimingEngine, RcTreeQueriesStayPureRc) {
+  engine::TimingEngine eng(circuit::make_line(5, {10.0, 0.0, 0.1e-12}));
+  const eed::NodeModel nm = eng.node(4);
+  EXPECT_TRUE(std::isinf(nm.zeta));
+  EXPECT_TRUE(std::isinf(nm.omega_n));
+  EXPECT_GT(nm.sum_rc, 0.0);
+  EXPECT_EQ(nm.sum_lc, 0.0);
+}
+
+}  // namespace

@@ -174,9 +174,9 @@ TEST(PaperClaims, SinksMoreAccurateThanUpstreamNodes) {
 /// Appendix: the whole-tree analysis costs exactly 2N multiplications.
 TEST(PaperClaims, ComplexityTwoMultiplicationsPerSection) {
   const RlcTree t = circuit::make_balanced_tree(7, 2, {10.0, 1e-9, 0.1e-12});
-  std::uint64_t muls = 0;
-  eed::analyze_counting(t, &muls);
-  EXPECT_EQ(muls, 2u * t.size());
+  const eed::AnalyzeStats stats = eed::analyze_counting(t).stats;
+  EXPECT_EQ(stats.multiplications, 2u * t.size());
+  EXPECT_EQ(stats.nodes, t.size());
   EXPECT_EQ(t.size(), 127u);
 }
 
