@@ -50,6 +50,13 @@ void run_regime(const char* label, const opt::WireSizingProblem& p) {
                    util::Table::fmt(simulate(r.widths) / 1e-12, 5),
                    widths_to_string(r.widths)});
   }
+  // Same objective through the batched candidate-sweep path (one kernel
+  // call per grid refinement, lane-per-candidate): must land on the same
+  // optimum as the sequential golden-section probes above.
+  const opt::WireSizingResult rb =
+      opt::optimize_wire_sizing_batched(p, DelayModel::kEquivalentElmore);
+  table.add_row({"EED batched (grid sweep)", util::Table::fmt(rb.delay / 1e-12, 5),
+                 util::Table::fmt(simulate(rb.widths) / 1e-12, 5), widths_to_string(rb.widths)});
   table.print(std::cout, label);
   std::cout << "\n";
 }

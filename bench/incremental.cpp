@@ -9,8 +9,11 @@
 
 #include <chrono>
 #include <iostream>
+#include <string>
 
 #include "relmore/relmore.hpp"
+
+#include "json_out.hpp"
 
 namespace {
 
@@ -23,7 +26,9 @@ double seconds_since(Clock::time_point t0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = relmore::benchio::json_path_from_args(argc, argv);
+  std::vector<relmore::benchio::BenchRow> rows;
   util::Table table({"sections", "depth", "full analyze [us]", "incr edit+query [us]",
                      "speedup", "edit nodes/edit", "query nodes/query"});
 
@@ -64,6 +69,8 @@ int main() {
     table.add_row_numeric({static_cast<double>(n), static_cast<double>(levels), full_us, incr_us,
                            full_us / incr_us, edit_nodes, query_nodes},
                           4);
+    rows.push_back({"incremental_edit_query", n, 1, incr_us * 1e3 / static_cast<double>(n),
+                    full_us / incr_us});
   }
 
   table.print(std::cout, "Incremental engine vs whole-tree re-analysis (balanced binary trees)");
@@ -73,5 +80,12 @@ int main() {
                "(~depth nodes) instead of all n sections, so the speedup over a\n"
                "fresh analyze grows like n / log2(n) — two orders of magnitude\n"
                "by n ~ 1e4. (checksum " << (checksum == checksum ? "ok" : "NAN") << ")\n";
+  if (!json_path.empty()) {
+    if (!relmore::benchio::write_bench_json(json_path, rows)) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << rows.size() << " rows to " << json_path << "\n";
+  }
   return 0;
 }

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file json_out.hpp
+/// Machine-readable bench output. Perf benches accept `--json <path>` and
+/// write an array of rows {bench, n, samples, ns_per_section, speedup} so
+/// the repo's perf trajectory can be recorded (BENCH_*.json files at the
+/// repo root) and diffed across commits.
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace relmore::benchio {
+
+struct BenchRow {
+  std::string bench;            ///< series label, e.g. "batched_kernel_w8"
+  std::size_t n = 0;            ///< sections per tree
+  std::size_t samples = 0;      ///< value samples per topology (1 = scalar)
+  double ns_per_section = 0.0;  ///< ns per section·sample processed
+  double speedup = 0.0;         ///< vs the row's scalar baseline
+};
+
+/// Returns the path following `--json`, or "" when absent.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
+
+/// Writes `rows` as a JSON array; returns false when the file can't be
+/// opened.
+inline bool write_bench_json(const std::string& path, const std::vector<BenchRow>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(6);
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    out << "  {\"bench\": \"" << r.bench << "\", \"n\": " << r.n
+        << ", \"samples\": " << r.samples << ", \"ns_per_section\": " << r.ns_per_section
+        << ", \"speedup\": " << r.speedup << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace relmore::benchio

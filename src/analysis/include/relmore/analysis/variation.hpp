@@ -34,11 +34,22 @@ struct DelayDistribution {
   std::size_t samples = 0;
 };
 
+/// Execution-plan knobs for the Monte-Carlo sampler. Samples share one
+/// topology, so they run through the batched same-topology kernel
+/// (engine::BatchedAnalyzer) with lane-groups fanned across an
+/// engine::BatchAnalyzer pool. Per-sample RNG seeding and per-lane
+/// scalar-identical arithmetic make the sampled distribution *bitwise*
+/// independent of both knobs — they change only the schedule.
+struct MonteCarloPlan {
+  unsigned threads = 0;        ///< BatchAnalyzer worker count (0 = default)
+  std::size_t lane_width = 0;  ///< kernel lane width 1/2/4/8 (0 = default)
+};
+
 /// Monte-Carlo delay distribution at `node` under `spec`, using the
 /// closed-form EED delay per sample. Deterministic in (seed).
 DelayDistribution monte_carlo_delay(const circuit::RlcTree& tree, circuit::SectionId node,
                                     const VariationSpec& spec, std::size_t samples,
-                                    std::uint64_t seed);
+                                    std::uint64_t seed, const MonteCarloPlan& plan = {});
 
 /// First-order standard deviation from the closed-form gradient:
 /// sigma_D^2 = sum_k (dD/dX_k * sigma_X * X_k)^2 over X in {R, L, C}.

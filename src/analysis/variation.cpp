@@ -4,11 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "relmore/circuit/flat_tree.hpp"
 #include "relmore/circuit/random_tree.hpp"
 #include "relmore/eed/eed.hpp"
 #include "relmore/eed/sensitivity.hpp"
 #include "relmore/engine/batch.hpp"
-#include "relmore/engine/timing_engine.hpp"
+#include "relmore/engine/batched.hpp"
 
 namespace relmore::analysis {
 
@@ -60,37 +61,36 @@ std::uint64_t sample_seed(std::uint64_t seed, std::size_t sample) {
 
 DelayDistribution monte_carlo_delay(const RlcTree& tree, SectionId node,
                                     const VariationSpec& spec, std::size_t samples,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed, const MonteCarloPlan& plan) {
   if (samples < 2) throw std::invalid_argument("monte_carlo_delay: need >= 2 samples");
   const eed::TreeModel nominal_model = eed::analyze(tree);
   DelayDistribution out;
   out.nominal = eed::delay_50(nominal_model.at(node));
   out.samples = samples;
 
-  // Samples are independent trees: fan contiguous chunks across the pool,
-  // one TimingEngine per chunk. Re-perturbing every section is a dense
-  // edit batch, so the engine takes its full-sweep fallback — still
-  // cheaper than a fresh analyze per sample (no allocations, and only the
-  // queried node's second-order model is evaluated).
+  // All samples share the tree's topology — the batched same-topology
+  // kernel's shape, consumed through the streaming path: each sample's
+  // values are drawn inside the kernel's per-group fill (seeded from the
+  // sample index, so neither the lane width nor the pool's chunking can
+  // change a single drawn value) and analyzed while still cache-hot;
+  // only the queried node's models are stored.
+  const circuit::FlatTree flat(tree);
+  const std::size_t n = flat.size();
+  engine::BatchedAnalyzer batch(flat, plan.lane_width);
+  engine::BatchAnalyzer pool(plan.threads);
+  const engine::BatchedModels models = batch.analyze_stream(
+      samples,
+      [&](std::size_t s, double* r, double* l, double* c) {
+        GaussianSource gauss(sample_seed(seed, s));
+        for (std::size_t k = 0; k < n; ++k) {
+          r[k] = perturb(flat.resistance()[k], spec.sigma_resistance, gauss);
+          l[k] = perturb(flat.inductance()[k], spec.sigma_inductance, gauss);
+          c[k] = perturb(flat.capacitance()[k], spec.sigma_capacitance, gauss);
+        }
+      },
+      {node}, &pool);
   std::vector<double> delays(samples);
-  engine::BatchAnalyzer pool;
-  pool.parallel_chunks(samples, [&](std::size_t begin, std::size_t end) {
-    engine::TimingEngine eng(tree);
-    std::vector<engine::Edit> edits(tree.size());
-    for (std::size_t s = begin; s < end; ++s) {
-      GaussianSource gauss(sample_seed(seed, s));
-      for (std::size_t k = 0; k < tree.size(); ++k) {
-        const auto id = static_cast<SectionId>(k);
-        const auto& v = tree.section(id).v;
-        edits[k].id = id;
-        edits[k].v.resistance = perturb(v.resistance, spec.sigma_resistance, gauss);
-        edits[k].v.inductance = perturb(v.inductance, spec.sigma_inductance, gauss);
-        edits[k].v.capacitance = perturb(v.capacitance, spec.sigma_capacitance, gauss);
-      }
-      eng.apply_edits(edits);
-      delays[s] = eng.delay_50(node);
-    }
-  });
+  for (std::size_t s = 0; s < samples; ++s) delays[s] = models.delay_50(s, node);
 
   double sum = 0.0;
   out.min = delays.front();

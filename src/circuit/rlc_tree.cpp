@@ -74,9 +74,15 @@ int RlcTree::level(SectionId i) const {
 }
 
 int RlcTree::depth() const {
+  // Single forward scan: ids are parent-before-child, so each section's
+  // level is its parent's plus one. (A per-leaf level() walk would be
+  // O(n·depth) — quadratic on a line tree.)
   int d = 0;
+  std::vector<int> lvl(sections_.size());
   for (std::size_t i = 0; i < sections_.size(); ++i) {
-    if (children_[i].empty()) d = std::max(d, level(static_cast<SectionId>(i)));
+    const SectionId p = sections_[i].parent;
+    lvl[i] = p == kInput ? 1 : lvl[static_cast<std::size_t>(p)] + 1;
+    d = std::max(d, lvl[i]);
   }
   return d;
 }

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "relmore/circuit/flat_tree.hpp"
 #include "relmore/circuit/rlc_tree.hpp"
 
 namespace relmore::eed {
@@ -51,6 +52,13 @@ struct TreeModel {
 
 /// Analyzes every node of the tree in O(n) (two traversals).
 TreeModel analyze(const circuit::RlcTree& tree);
+
+/// Same analysis over a FlatTree snapshot — identical arithmetic in
+/// identical order (bitwise-equal results), but the sweeps read the
+/// contiguous SoA value arrays instead of the AoS section structs with
+/// their embedded name strings. This is the scalar fast path the batched
+/// kernels (engine::BatchedAnalyzer) generalize to many samples.
+TreeModel analyze(const circuit::FlatTree& tree);
 
 /// Cost accounting of one whole-tree analysis.
 struct AnalyzeStats {

@@ -68,6 +68,42 @@ TreeModel analyze_impl(const RlcTree& tree, std::uint64_t* mul_count) {
 
 TreeModel analyze(const RlcTree& tree) { return analyze_impl(tree, nullptr); }
 
+TreeModel analyze(const circuit::FlatTree& tree) {
+  if (tree.empty()) throw std::invalid_argument("eed::analyze: empty tree");
+  const std::size_t n = tree.size();
+  const SectionId* parent = tree.parent().data();
+  const double* r = tree.resistance().data();
+  const double* l = tree.inductance().data();
+  const double* c = tree.capacitance().data();
+  TreeModel model;
+  model.nodes.resize(n);
+  model.load_capacitance.assign(c, c + n);
+
+  for (std::size_t i = n; i-- > 0;) {
+    if (parent[i] != circuit::kInput) {
+      model.load_capacitance[static_cast<std::size_t>(parent[i])] += model.load_capacitance[i];
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const SectionId p = parent[i];
+    const double sr_up = p == circuit::kInput ? 0.0 : model.nodes[static_cast<std::size_t>(p)].sum_rc;
+    const double sl_up = p == circuit::kInput ? 0.0 : model.nodes[static_cast<std::size_t>(p)].sum_lc;
+    NodeModel& nm = model.nodes[i];
+    nm.sum_rc = sr_up + r[i] * model.load_capacitance[i];
+    nm.sum_lc = sl_up + l[i] * model.load_capacitance[i];
+    if (nm.sum_lc > 0.0) {
+      const double root = std::sqrt(nm.sum_lc);
+      nm.omega_n = 1.0 / root;
+      nm.zeta = nm.sum_rc / (2.0 * root);
+    } else {
+      nm.omega_n = std::numeric_limits<double>::infinity();
+      nm.zeta = std::numeric_limits<double>::infinity();
+    }
+  }
+  return model;
+}
+
 CountedAnalysis analyze_counting(const RlcTree& tree) {
   CountedAnalysis out;
   out.model = analyze_impl(tree, &out.stats.multiplications);

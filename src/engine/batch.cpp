@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -69,6 +70,18 @@ struct BatchAnalyzer::Impl {
 };
 
 BatchAnalyzer::BatchAnalyzer(unsigned threads) : impl_(new Impl) {
+  if (threads == 0) {
+    // RELMORE_THREADS pins the default worker count (CI, benchmarks);
+    // clamped to [1, 64]. An unset/unparsable value falls through to the
+    // hardware default.
+    if (const char* env = std::getenv("RELMORE_THREADS")) {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0' && parsed > 0) {
+        threads = static_cast<unsigned>(std::min<unsigned long>(parsed, 64u));
+      }
+    }
+  }
   if (threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     threads = std::min(hw == 0 ? 1u : hw, 8u);

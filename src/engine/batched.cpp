@@ -1,0 +1,406 @@
+#include "relmore/engine/batched.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "relmore/eed/second_order.hpp"
+#include "relmore/engine/batch.hpp"
+
+namespace relmore::engine {
+
+using circuit::SectionId;
+
+/// SIMD-only OpenMP pragma on the fixed-width lane loops (defined from
+/// CMake when -fopenmp-simd is available). Without it GCC if-converts the
+/// parent-row reads into masked loads and then fails to vectorize the
+/// loop; the pragma asserts lane independence (true: lanes are distinct
+/// samples) and restores clean vector codegen. Semantics are unchanged —
+/// each lane still runs its operations in the scalar association order.
+#if defined(RELMORE_HAVE_OPENMP_SIMD)
+#define RELMORE_SIMD _Pragma("omp simd")
+#else
+#define RELMORE_SIMD
+#endif
+
+namespace {
+
+/// Upstream prefix of a root section: all lanes zero. Sized for the
+/// widest supported lane group.
+constexpr double kZeroPrefix[8] = {};
+
+/// min(0, min(buf[0..count))) with eight explicit accumulators. A serial
+/// `lowest = std::min(lowest, ...)` scan chains at the min instruction's
+/// latency and dominates the whole batched pipeline; eight independent
+/// chains keep the FP pipe saturated whether or not the loop vectorizes
+/// (measured ~3x over the serial form even in scalar codegen).
+double lowest_of(const double* buf, std::size_t count) {
+  double m[8] = {};
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    RELMORE_SIMD
+    for (std::size_t j = 0; j < 8; ++j) m[j] = std::min(m[j], buf[i + j]);
+  }
+  double lowest = 0.0;
+  for (; i < count; ++i) lowest = std::min(lowest, buf[i]);
+  for (double v : m) lowest = std::min(lowest, v);
+  return lowest;
+}
+
+/// The two-pass kernel over one lane-group. `r`/`l`/`c` point at the
+/// group's AoSoA values, `ctot`/`sr`/`sl` at n*W scratch (or output)
+/// doubles. Lane t runs exactly the scalar analysis of sample
+/// group*W + t: same operations, same association order, so the lanes are
+/// bitwise-equal to S independent scalar passes. W is a compile-time
+/// constant so the inner lane loops have a fixed trip count and
+/// autovectorize at -O3.
+/// The two passes over one lane-group, parameterized over how sample
+/// values are addressed: `*_at(i, t)` yields lane t's value of section i.
+/// The stored path reads the AoSoA arrays (i*W + t); the streaming path
+/// reads sample-major staging rows (t*n + i) directly, skipping a
+/// transpose. Both run the identical operations in identical order, so
+/// every lane is bitwise-equal to a scalar analysis of its sample.
+///
+/// The lane loops stage their cross-row reads through W-wide locals:
+/// `up`/`mine` (and `sr + at`/`up_sr`) point into the same array, and
+/// without the copy the compiler must assume they overlap and serialize
+/// the loop. Rows never overlap (parent id != own id), so the staging is
+/// free of semantics — it exists purely to unblock vectorization.
+template <std::size_t W, typename ValueAt>
+void run_group_passes(std::size_t n, const SectionId* parent, const ValueAt& r_at,
+                      const ValueAt& l_at, const ValueAt& c_at, double* ctot, double* sr,
+                      double* sl) {
+  // Upward pass (Fig. 17): subtree capacitance, one reverse id scan.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t at = i * W;
+    RELMORE_SIMD
+    for (std::size_t t = 0; t < W; ++t) ctot[at + t] = c_at(i, t);
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    const SectionId p = parent[i];
+    if (p != circuit::kInput) {
+      double* up = ctot + static_cast<std::size_t>(p) * W;
+      const double* mine = ctot + i * W;
+      RELMORE_SIMD
+      for (std::size_t t = 0; t < W; ++t) up[t] += mine[t];
+    }
+  }
+  // Downward pass (Fig. 18): prefix sums along each root path.
+  for (std::size_t i = 0; i < n; ++i) {
+    const SectionId p = parent[i];
+    const double* up_sr = p == circuit::kInput ? kZeroPrefix : sr + static_cast<std::size_t>(p) * W;
+    const double* up_sl = p == circuit::kInput ? kZeroPrefix : sl + static_cast<std::size_t>(p) * W;
+    const std::size_t at = i * W;
+    RELMORE_SIMD
+    for (std::size_t t = 0; t < W; ++t) sr[at + t] = up_sr[t] + r_at(i, t) * ctot[at + t];
+    RELMORE_SIMD
+    for (std::size_t t = 0; t < W; ++t) sl[at + t] = up_sl[t] + l_at(i, t) * ctot[at + t];
+  }
+}
+
+/// Stored-path kernel: values in AoSoA order.
+template <std::size_t W>
+void run_group_kernel(std::size_t n, const SectionId* parent, const double* r, const double* l,
+                      const double* c, double* ctot, double* sr, double* sl) {
+  const auto at = [](const double* v) {
+    return [v](std::size_t i, std::size_t t) { return v[i * W + t]; };
+  };
+  run_group_passes<W>(n, parent, at(r), at(l), at(c), ctot, sr, sl);
+}
+
+/// Streaming-path kernel: values in W sample-major rows of length n.
+template <std::size_t W>
+void run_group_rows(std::size_t n, const SectionId* parent, const double* rows_r,
+                    const double* rows_l, const double* rows_c, double* ctot, double* sr,
+                    double* sl) {
+  const auto at = [n](const double* v) {
+    return [v, n](std::size_t i, std::size_t t) { return v[t * n + i]; };
+  };
+  run_group_passes<W>(n, parent, at(rows_r), at(rows_l), at(rows_c), ctot, sr, sl);
+}
+
+void check_values(double resistance, double inductance, double capacitance) {
+  if (resistance < 0.0 || inductance < 0.0 || capacitance < 0.0) {
+    throw std::invalid_argument("BatchedAnalyzer: negative element value");
+  }
+}
+
+}  // namespace
+
+// --- BatchedModels ----------------------------------------------------------
+
+std::size_t BatchedModels::slot(std::size_t sample, SectionId id) const {
+  if (sample >= samples_) throw std::out_of_range("BatchedModels: sample out of range");
+  if (id < 0 || static_cast<std::size_t>(id) >= row_of_.size() ||
+      row_of_[static_cast<std::size_t>(id)] < 0) {
+    throw std::out_of_range("BatchedModels: node not covered by this analysis");
+  }
+  return static_cast<std::size_t>(row_of_[static_cast<std::size_t>(id)]) * padded_samples_ +
+         sample;
+}
+
+double BatchedModels::sum_rc(std::size_t sample, SectionId id) const {
+  return sr_[slot(sample, id)];
+}
+
+double BatchedModels::sum_lc(std::size_t sample, SectionId id) const {
+  return sl_[slot(sample, id)];
+}
+
+double BatchedModels::load_capacitance(std::size_t sample, SectionId id) const {
+  return ctot_[slot(sample, id)];
+}
+
+eed::NodeModel BatchedModels::node(std::size_t sample, SectionId id) const {
+  const std::size_t at = slot(sample, id);
+  eed::NodeModel nm;
+  nm.sum_rc = sr_[at];
+  nm.sum_lc = sl_[at];
+  if (nm.sum_lc > 0.0) {
+    const double root = std::sqrt(nm.sum_lc);
+    nm.omega_n = 1.0 / root;
+    nm.zeta = nm.sum_rc / (2.0 * root);
+  } else {
+    nm.omega_n = std::numeric_limits<double>::infinity();
+    nm.zeta = std::numeric_limits<double>::infinity();
+  }
+  return nm;
+}
+
+double BatchedModels::delay_50(std::size_t sample, SectionId id) const {
+  return eed::delay_50(node(sample, id));
+}
+
+// --- BatchedAnalyzer --------------------------------------------------------
+
+BatchedAnalyzer::BatchedAnalyzer(circuit::FlatTree topology, std::size_t lane_width)
+    : topo_(std::move(topology)) {
+  if (topo_.empty()) throw std::invalid_argument("BatchedAnalyzer: empty topology");
+  if (lane_width == 0) lane_width = kDefaultLaneWidth;
+  if (lane_width != 1 && lane_width != 2 && lane_width != 4 && lane_width != 8) {
+    throw std::invalid_argument("BatchedAnalyzer: lane width must be 1, 2, 4, or 8");
+  }
+  lane_width_ = lane_width;
+}
+
+std::size_t BatchedAnalyzer::value_slot(std::size_t s, std::size_t section) const {
+  const std::size_t group = s / lane_width_;
+  const std::size_t lane = s % lane_width_;
+  return (group * topo_.size() + section) * lane_width_ + lane;
+}
+
+void BatchedAnalyzer::resize(std::size_t samples) {
+  samples_ = samples;
+  groups_ = (samples + lane_width_ - 1) / lane_width_;
+  const std::size_t n = topo_.size();
+  const std::size_t total = groups_ * n * lane_width_;
+  r_.resize(total);
+  l_.resize(total);
+  c_.resize(total);
+  // Nominal values everywhere, padding lanes included — padding computes
+  // harmless real numbers and is never read back.
+  for (std::size_t g = 0; g < groups_; ++g) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t at = (g * n + i) * lane_width_;
+      for (std::size_t t = 0; t < lane_width_; ++t) {
+        r_[at + t] = topo_.resistance()[i];
+        l_[at + t] = topo_.inductance()[i];
+        c_[at + t] = topo_.capacitance()[i];
+      }
+    }
+  }
+}
+
+void BatchedAnalyzer::set_sample(std::size_t s, const double* resistance,
+                                 const double* inductance, const double* capacitance) {
+  if (s >= samples_) throw std::out_of_range("BatchedAnalyzer::set_sample: sample out of range");
+  const std::size_t n = topo_.size();
+  // Validate first with a branch-free min-reduction (a throw-per-element
+  // form defeats vectorization of both this scan and the copy loops), then
+  // copy with the slot arithmetic hoisted out of the loop: slots of one
+  // sample differ only by a fixed stride of lane_width_.
+  const double lowest = std::min(lowest_of(resistance, n),
+                                 std::min(lowest_of(inductance, n), lowest_of(capacitance, n)));
+  if (lowest < 0.0) throw std::invalid_argument("BatchedAnalyzer: negative element value");
+  const std::size_t w = lane_width_;
+  const std::size_t base = value_slot(s, 0);
+  for (std::size_t i = 0; i < n; ++i) r_[base + i * w] = resistance[i];
+  for (std::size_t i = 0; i < n; ++i) l_[base + i * w] = inductance[i];
+  for (std::size_t i = 0; i < n; ++i) c_[base + i * w] = capacitance[i];
+}
+
+void BatchedAnalyzer::set_section(std::size_t s, SectionId id, const circuit::SectionValues& v) {
+  if (s >= samples_) throw std::out_of_range("BatchedAnalyzer::set_section: sample out of range");
+  if (id < 0 || static_cast<std::size_t>(id) >= topo_.size()) {
+    throw std::out_of_range("BatchedAnalyzer::set_section: section id out of range");
+  }
+  check_values(v.resistance, v.inductance, v.capacitance);
+  const std::size_t at = value_slot(s, static_cast<std::size_t>(id));
+  r_[at] = v.resistance;
+  l_[at] = v.inductance;
+  c_[at] = v.capacitance;
+}
+
+void BatchedAnalyzer::run_group(std::size_t group, double* ctot, double* sr, double* sl) const {
+  const std::size_t n = topo_.size();
+  const SectionId* parent = topo_.parent().data();
+  const std::size_t base = group * n * lane_width_;
+  const double* r = r_.data() + base;
+  const double* l = l_.data() + base;
+  const double* c = c_.data() + base;
+  switch (lane_width_) {
+    case 1: run_group_kernel<1>(n, parent, r, l, c, ctot, sr, sl); return;
+    case 2: run_group_kernel<2>(n, parent, r, l, c, ctot, sr, sl); return;
+    case 4: run_group_kernel<4>(n, parent, r, l, c, ctot, sr, sl); return;
+    case 8: run_group_kernel<8>(n, parent, r, l, c, ctot, sr, sl); return;
+    default: throw std::logic_error("BatchedAnalyzer: unsupported lane width");
+  }
+}
+
+BatchedModels BatchedAnalyzer::make_output(const std::vector<SectionId>& ids, bool all_nodes,
+                                           std::size_t samples, std::size_t groups) const {
+  const std::size_t n = topo_.size();
+  BatchedModels out;
+  out.samples_ = samples;
+  out.padded_samples_ = groups * lane_width_;
+  out.row_of_.assign(n, -1);
+  if (all_nodes) {
+    out.ids_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.ids_[i] = static_cast<SectionId>(i);
+      out.row_of_[i] = static_cast<int>(i);
+    }
+  } else {
+    out.ids_ = ids;
+    for (std::size_t row = 0; row < ids.size(); ++row) {
+      const SectionId id = ids[row];
+      if (id < 0 || static_cast<std::size_t>(id) >= n) {
+        throw std::out_of_range("BatchedAnalyzer::analyze_nodes: section id out of range");
+      }
+      out.row_of_[static_cast<std::size_t>(id)] = static_cast<int>(row);
+    }
+  }
+  const std::size_t rows = out.ids_.size();
+  out.sr_.resize(rows * out.padded_samples_);
+  out.sl_.resize(rows * out.padded_samples_);
+  out.ctot_.resize(rows * out.padded_samples_);
+  return out;
+}
+
+BatchedModels BatchedAnalyzer::analyze_impl(const std::vector<SectionId>& ids, bool all_nodes,
+                                            BatchAnalyzer* pool) const {
+  if (samples_ == 0) throw std::invalid_argument("BatchedAnalyzer: no samples (call resize)");
+  const std::size_t n = topo_.size();
+  const std::size_t w = lane_width_;
+  BatchedModels out = make_output(ids, all_nodes, samples_, groups_);
+  const std::size_t rows = out.ids_.size();
+
+  // One lane-group per task; each task writes a disjoint sample range of
+  // every output row, so scheduling order cannot affect the results.
+  // Scratch lives in the caller's frame (serial) or one allocation per
+  // task invocation (pooled) — never one allocation per group per pass.
+  const auto run_into = [&](std::size_t g, double* ctot, double* sr, double* sl) {
+    run_group(g, ctot, sr, sl);
+    for (std::size_t row = 0; row < rows; ++row) {
+      const auto i = static_cast<std::size_t>(out.ids_[row]);
+      const std::size_t dst = row * out.padded_samples_ + g * w;
+      std::memcpy(out.sr_.data() + dst, sr + i * w, w * sizeof(double));
+      std::memcpy(out.sl_.data() + dst, sl + i * w, w * sizeof(double));
+      std::memcpy(out.ctot_.data() + dst, ctot + i * w, w * sizeof(double));
+    }
+  };
+  if (pool != nullptr && groups_ > 1) {
+    pool->parallel_for(groups_, [&](std::size_t g) {
+      std::vector<double> scratch(3 * n * w);
+      run_into(g, scratch.data(), scratch.data() + n * w, scratch.data() + 2 * n * w);
+    });
+  } else {
+    std::vector<double> scratch(3 * n * w);
+    for (std::size_t g = 0; g < groups_; ++g) {
+      run_into(g, scratch.data(), scratch.data() + n * w, scratch.data() + 2 * n * w);
+    }
+  }
+  return out;
+}
+
+BatchedModels BatchedAnalyzer::analyze_stream(std::size_t samples, const SampleFill& fill,
+                                              const std::vector<SectionId>& ids,
+                                              BatchAnalyzer* pool) const {
+  if (samples == 0) throw std::invalid_argument("BatchedAnalyzer: no samples");
+  const std::size_t n = topo_.size();
+  const std::size_t w = lane_width_;
+  const std::size_t groups = (samples + w - 1) / w;
+  BatchedModels out = make_output(ids, /*all_nodes=*/ids.empty(), samples, groups);
+  const std::size_t rows = out.ids_.size();
+  const SectionId* parent = topo_.parent().data();
+
+  // Per-group working set: w sample-major staging rows (what the fill
+  // callback writes) plus the kernel scratch. All of it lives and dies
+  // inside one group, so for cache-sized n the values never round-trip
+  // through memory — unlike the set_sample path, where the whole S·n
+  // fill completes (and is evicted) before the first kernel sweep starts.
+  // The kernel reads the staging rows in place (run_group_rows); no
+  // transposed copy is materialized.
+  const auto task = [&](std::size_t g, std::vector<double>& buf) {
+    double* rows_r = buf.data();              // w rows of n: staging
+    double* rows_l = rows_r + w * n;
+    double* rows_c = rows_l + w * n;
+    double* scratch = rows_c + w * n;         // ctot/sr/sl, n*w each
+    for (std::size_t t = 0; t < w; ++t) {
+      const std::size_t s = g * w + t;
+      if (s < samples) {
+        fill(s, rows_r + t * n, rows_l + t * n, rows_c + t * n);
+      } else {
+        // Padding lanes replicate the group's first sample: valid values,
+        // never read back.
+        std::memcpy(rows_r + t * n, rows_r, n * sizeof(double));
+        std::memcpy(rows_l + t * n, rows_l, n * sizeof(double));
+        std::memcpy(rows_c + t * n, rows_c, n * sizeof(double));
+      }
+    }
+    if (lowest_of(buf.data(), 3 * w * n) < 0.0) {
+      throw std::invalid_argument("BatchedAnalyzer: negative element value from fill");
+    }
+    double* ctot = scratch;
+    double* sr = scratch + n * w;
+    double* sl = scratch + 2 * n * w;
+    switch (w) {
+      case 1: run_group_rows<1>(n, parent, rows_r, rows_l, rows_c, ctot, sr, sl); break;
+      case 2: run_group_rows<2>(n, parent, rows_r, rows_l, rows_c, ctot, sr, sl); break;
+      case 4: run_group_rows<4>(n, parent, rows_r, rows_l, rows_c, ctot, sr, sl); break;
+      case 8: run_group_rows<8>(n, parent, rows_r, rows_l, rows_c, ctot, sr, sl); break;
+      default: throw std::logic_error("BatchedAnalyzer: unsupported lane width");
+    }
+    for (std::size_t row = 0; row < rows; ++row) {
+      const auto i = static_cast<std::size_t>(out.ids_[row]);
+      const std::size_t dst = row * out.padded_samples_ + g * w;
+      std::memcpy(out.sr_.data() + dst, sr + i * w, w * sizeof(double));
+      std::memcpy(out.sl_.data() + dst, sl + i * w, w * sizeof(double));
+      std::memcpy(out.ctot_.data() + dst, ctot + i * w, w * sizeof(double));
+    }
+  };
+  const std::size_t buf_size = 6 * n * w;  // 3 staging + 3 scratch
+  if (pool != nullptr && groups > 1) {
+    pool->parallel_chunks(groups, [&](std::size_t begin, std::size_t end) {
+      std::vector<double> buf(buf_size);
+      for (std::size_t g = begin; g < end; ++g) task(g, buf);
+    });
+  } else {
+    std::vector<double> buf(buf_size);
+    for (std::size_t g = 0; g < groups; ++g) task(g, buf);
+  }
+  return out;
+}
+
+BatchedModels BatchedAnalyzer::analyze(BatchAnalyzer* pool) const {
+  return analyze_impl({}, /*all_nodes=*/true, pool);
+}
+
+BatchedModels BatchedAnalyzer::analyze_nodes(const std::vector<SectionId>& ids,
+                                             BatchAnalyzer* pool) const {
+  return analyze_impl(ids, /*all_nodes=*/false, pool);
+}
+
+}  // namespace relmore::engine

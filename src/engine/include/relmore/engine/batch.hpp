@@ -27,8 +27,9 @@ namespace relmore::engine {
 /// thread traffic.
 class BatchAnalyzer {
  public:
-  /// `threads` = total workers including the caller; 0 picks
-  /// min(hardware_concurrency, 8). Clamped to at least 1.
+  /// `threads` = total workers including the caller; 0 consults the
+  /// RELMORE_THREADS environment variable (clamped to [1, 64]) and falls
+  /// back to min(hardware_concurrency, 8). Clamped to at least 1.
   explicit BatchAnalyzer(unsigned threads = 0);
   ~BatchAnalyzer();
 

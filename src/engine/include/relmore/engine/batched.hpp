@@ -1,0 +1,164 @@
+#pragma once
+
+/// \file batched.hpp
+/// Batched same-topology analysis kernels: one tree, S value samples,
+/// AoSoA layout, lane-per-sample.
+///
+/// The hot statistical and synthesis workloads (Monte-Carlo variation,
+/// buffer-stage tables, wire-sizing candidate sweeps) re-run the *same
+/// topology* with different R/L/C values thousands of times. Running S
+/// independent `eed::analyze` calls repeats the topology walk, the
+/// per-call result allocations, and the AoS cache misses S times over.
+/// `BatchedAnalyzer` instead fixes the topology once (a
+/// `circuit::FlatTree` snapshot) and lays the S value sets out AoSoA:
+/// samples are grouped into lane-groups of width W (1, 2, 4, or 8
+/// doubles), and within a group the values of section i are stored as W
+/// adjacent doubles — one lane per sample:
+///
+///   values[group][section i][lane t]  =  sample (group·W + t)'s value of i
+///
+/// The upward/downward passes then run once per lane-group with a
+/// fixed-width inner loop over the lanes, which `-O3` autovectorizes (no
+/// intrinsics; see the RELMORE_ENABLE_NATIVE_ARCH CMake option for wider
+/// codegen). Each lane executes exactly the scalar pass's operations in
+/// exactly its association order, so every sample's results are *bitwise*
+/// identical to a scalar `eed::analyze` of that sample's tree — and hence
+/// independent of the lane width and of how lane-groups are scheduled
+/// across threads.
+///
+/// Lane-groups are independent, so a `BatchAnalyzer` pool can fan them
+/// across cores (`analyze(&pool)`); outputs are written to disjoint
+/// ranges, keeping results thread-count-independent. See docs/kernels.md
+/// for the layout diagrams and measured throughput.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "relmore/circuit/flat_tree.hpp"
+#include "relmore/circuit/rlc_tree.hpp"
+#include "relmore/eed/model.hpp"
+
+namespace relmore::engine {
+
+class BatchAnalyzer;
+
+/// Default lane width: 8 doubles (one AVX-512 vector, two AVX2 vectors —
+/// wide enough to keep any current x86-64 FP pipe fed).
+inline constexpr std::size_t kDefaultLaneWidth = 8;
+
+/// Result of one batched analysis: (SR, SL, Ctot) for every requested
+/// (sample, node) pair, plus the derived second-order model on demand.
+class BatchedModels {
+ public:
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+  /// Section ids covered: every id for `analyze()`, the requested subset
+  /// for `analyze_nodes()`.
+  [[nodiscard]] const std::vector<circuit::SectionId>& node_ids() const { return ids_; }
+
+  /// SR_i / SL_i / Ctot_i of section `id` in sample `s`. Throws
+  /// std::out_of_range on an uncovered id or sample.
+  [[nodiscard]] double sum_rc(std::size_t sample, circuit::SectionId id) const;
+  [[nodiscard]] double sum_lc(std::size_t sample, circuit::SectionId id) const;
+  [[nodiscard]] double load_capacitance(std::size_t sample, circuit::SectionId id) const;
+
+  /// Full second-order model of (sample, id) — same formulas (and bits)
+  /// as `eed::analyze(...).at(id)` on that sample's tree.
+  [[nodiscard]] eed::NodeModel node(std::size_t sample, circuit::SectionId id) const;
+
+  /// 50% delay at (sample, id), paper eq. 35.
+  [[nodiscard]] double delay_50(std::size_t sample, circuit::SectionId id) const;
+
+ private:
+  friend class BatchedAnalyzer;
+  [[nodiscard]] std::size_t slot(std::size_t sample, circuit::SectionId id) const;
+
+  std::size_t samples_ = 0;
+  std::size_t padded_samples_ = 0;        ///< lane_groups * lane_width
+  std::vector<circuit::SectionId> ids_;   ///< covered ids, row order
+  std::vector<int> row_of_;               ///< id -> row, -1 when uncovered
+  /// Row-major [row * padded_samples_ + sample].
+  std::vector<double> sr_, sl_, ctot_;
+};
+
+/// Same-topology batched analyzer: topology fixed at construction, value
+/// samples filled in (concurrently, for distinct samples), then analyzed
+/// in one or more kernel sweeps.
+class BatchedAnalyzer {
+ public:
+  /// `lane_width` must be 1, 2, 4, or 8; 0 picks kDefaultLaneWidth.
+  /// Throws std::invalid_argument on other widths or an empty topology.
+  explicit BatchedAnalyzer(circuit::FlatTree topology, std::size_t lane_width = 0);
+
+  [[nodiscard]] const circuit::FlatTree& topology() const { return topo_; }
+  [[nodiscard]] std::size_t sections() const { return topo_.size(); }
+  [[nodiscard]] std::size_t lane_width() const { return lane_width_; }
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+  [[nodiscard]] std::size_t lane_groups() const { return groups_; }
+
+  /// Sets the sample count and (re)initializes every sample — including
+  /// the padding lanes of the last group — to the snapshot's nominal
+  /// values.
+  void resize(std::size_t samples);
+
+  /// Overwrites sample `s` from arrays of length sections(). Safe to call
+  /// concurrently for distinct `s`. Throws on negative values (same
+  /// contract as RlcTree::add_section) and out-of-range `s`.
+  void set_sample(std::size_t s, const double* resistance, const double* inductance,
+                  const double* capacitance);
+
+  /// Overwrites one section of one sample.
+  void set_section(std::size_t s, circuit::SectionId id, const circuit::SectionValues& v);
+
+  /// Runs the kernel and returns models for every (sample, section).
+  /// Output storage is S x n; prefer `analyze_nodes` for large trees when
+  /// only a few nodes are queried. `pool` (optional) distributes
+  /// lane-groups across its workers.
+  [[nodiscard]] BatchedModels analyze(BatchAnalyzer* pool = nullptr) const;
+
+  /// Runs the kernel but stores only the requested nodes (S x ids.size()
+  /// outputs; the sweep itself is still O(n) per lane-group).
+  [[nodiscard]] BatchedModels analyze_nodes(const std::vector<circuit::SectionId>& ids,
+                                            BatchAnalyzer* pool = nullptr) const;
+
+  /// Writes sample `s`'s values into three caller-provided arrays of
+  /// length sections(). Must be safe to call concurrently for distinct
+  /// `s` when a pool is passed to `analyze_stream`.
+  using SampleFill =
+      std::function<void(std::size_t s, double* resistance, double* inductance,
+                         double* capacitance)>;
+
+  /// Fused fill + analyze: generates and consumes one lane-group at a
+  /// time, so a group's values go straight from the fill callback through
+  /// the kernel while still cache-resident — they are never streamed to
+  /// memory and read back, which is what limits the set_sample/analyze
+  /// pair once S·n values outgrow the cache. Ignores (and does not
+  /// disturb) any values stored via resize/set_sample; `samples` is
+  /// independent of samples(). Results are bitwise identical to
+  /// resize + set_sample(s, ...) + analyze_nodes(ids): the same AoSoA
+  /// block is built per group and the same kernel consumes it. An empty
+  /// `ids` stores every node (analyze() semantics). Padding lanes
+  /// replicate the group's first sample. Throws std::invalid_argument on
+  /// samples == 0 or negative filled values.
+  [[nodiscard]] BatchedModels analyze_stream(std::size_t samples, const SampleFill& fill,
+                                             const std::vector<circuit::SectionId>& ids,
+                                             BatchAnalyzer* pool = nullptr) const;
+
+ private:
+  void run_group(std::size_t group, double* ctot, double* sr, double* sl) const;
+  [[nodiscard]] BatchedModels analyze_impl(const std::vector<circuit::SectionId>& ids,
+                                           bool all_nodes, BatchAnalyzer* pool) const;
+  [[nodiscard]] BatchedModels make_output(const std::vector<circuit::SectionId>& ids,
+                                          bool all_nodes, std::size_t samples,
+                                          std::size_t groups) const;
+  [[nodiscard]] std::size_t value_slot(std::size_t s, std::size_t section) const;
+
+  circuit::FlatTree topo_;
+  std::size_t lane_width_ = kDefaultLaneWidth;
+  std::size_t samples_ = 0;
+  std::size_t groups_ = 0;
+  /// AoSoA values, indexed [(group * sections + section) * lane_width + lane].
+  std::vector<double> r_, l_, c_;
+};
+
+}  // namespace relmore::engine

@@ -9,6 +9,7 @@
 #include "relmore/analysis/report.hpp"       // IWYU pragma: export
 #include "relmore/analysis/variation.hpp"    // IWYU pragma: export
 #include "relmore/circuit/builders.hpp"      // IWYU pragma: export
+#include "relmore/circuit/flat_tree.hpp"     // IWYU pragma: export
 #include "relmore/circuit/netlist.hpp"       // IWYU pragma: export
 #include "relmore/circuit/random_tree.hpp"   // IWYU pragma: export
 #include "relmore/circuit/rlc_tree.hpp"      // IWYU pragma: export
@@ -18,6 +19,7 @@
 #include "relmore/eed/frequency.hpp"         // IWYU pragma: export
 #include "relmore/eed/sensitivity.hpp"       // IWYU pragma: export
 #include "relmore/engine/batch.hpp"          // IWYU pragma: export
+#include "relmore/engine/batched.hpp"        // IWYU pragma: export
 #include "relmore/engine/timing_engine.hpp"  // IWYU pragma: export
 #include "relmore/moments/pole_residue.hpp"  // IWYU pragma: export
 #include "relmore/moments/tree_moments.hpp"  // IWYU pragma: export

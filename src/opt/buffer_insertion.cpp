@@ -6,8 +6,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "relmore/circuit/flat_tree.hpp"
 #include "relmore/eed/eed.hpp"
 #include "relmore/engine/batch.hpp"
+#include "relmore/engine/batched.hpp"
 #include "relmore/sim/measure.hpp"
 #include "relmore/sim/tree_transient.hpp"
 
@@ -144,9 +146,34 @@ std::vector<Stage> distinct_stages(const BufferInsertionProblem& p) {
 std::vector<double> model_delay_table(const BufferInsertionProblem& p, DelayModel model) {
   const std::vector<Stage> stages = distinct_stages(p);
   std::vector<double> table(stages.size());
+  // The four stage variants that share a span count also share the wire's
+  // topology *and* values — only the driver resistance and terminating
+  // load capacitance differ. One 4-lane batched kernel call per span
+  // count therefore replaces four scalar tree builds + analyses; the pool
+  // fans the span counts (independent topologies) across cores.
   engine::BatchAnalyzer pool;
-  pool.parallel_for(stages.size(),
-                    [&](std::size_t i) { table[i] = stage_delay_model(p, stages[i], model); });
+  pool.parallel_for(static_cast<std::size_t>(p.slots) + 1, [&](std::size_t span_idx) {
+    SectionId sink = circuit::kInput;
+    const std::size_t key0 = span_idx * 4;  // stage_key with drv = ends = 0
+    const RlcTree base = stage_tree(p, stages[key0], &sink);
+    engine::BatchedAnalyzer batch(circuit::FlatTree(base), 4);
+    batch.resize(4);
+    for (std::size_t variant = 1; variant < 4; ++variant) {
+      const Stage& st = stages[key0 + variant];
+      batch.set_section(variant, 0, {st.driver_resistance, 0.0, 0.0});
+      batch.set_section(variant, sink, {1.0, 1e-14, st.load_capacitance});
+    }
+    // Lane-groups: a single 4-lane group — run inline (the outer
+    // parallel_for already owns the pool; nested jobs are unsupported).
+    const engine::BatchedModels models = batch.analyze_nodes({sink});
+    for (std::size_t variant = 0; variant < 4; ++variant) {
+      const Stage& st = stages[key0 + variant];
+      const eed::NodeModel nm = models.node(variant, sink);
+      const double wire_delay = model == DelayModel::kWyattRc ? eed::wyatt_delay_50(nm.sum_rc)
+                                                              : eed::delay_50(nm);
+      table[key0 + variant] = wire_delay + (st.ends_in_buffer ? p.buffer.intrinsic_delay : 0.0);
+    }
+  });
   return table;
 }
 

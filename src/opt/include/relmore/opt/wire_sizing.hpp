@@ -18,6 +18,10 @@
 
 #include "relmore/circuit/rlc_tree.hpp"
 
+namespace relmore::engine {
+class BatchAnalyzer;
+}
+
 namespace relmore::opt {
 
 /// Which closed-form delay drives the optimizer.
@@ -50,6 +54,18 @@ circuit::RlcTree build_sized_line(const WireSizingProblem& problem,
 double sized_line_delay(const WireSizingProblem& problem, const std::vector<double>& widths,
                         DelayModel model);
 
+/// Sink delays of many width assignments at once. Every candidate shares
+/// the driver/segments/load line topology and differs only in the segment
+/// values, so the whole sweep is one batched same-topology kernel call
+/// (engine::BatchedAnalyzer, lane-per-candidate) instead of
+/// candidates.size() tree builds + scalar analyses. `pool` (optional)
+/// fans lane-groups across its workers. Each result is bitwise equal to
+/// `sized_line_delay` of that candidate.
+std::vector<double> sized_line_delays(const WireSizingProblem& problem,
+                                      const std::vector<std::vector<double>>& candidates,
+                                      DelayModel model,
+                                      engine::BatchAnalyzer* pool = nullptr);
+
 /// Result of a sizing run.
 struct WireSizingResult {
   std::vector<double> widths;
@@ -61,5 +77,23 @@ struct WireSizingResult {
 /// Minimizes the sink delay over per-segment widths with coordinate
 /// descent from the all-ones start.
 WireSizingResult optimize_wire_sizing(const WireSizingProblem& problem, DelayModel model);
+
+/// Options for the batched-sweep optimizer.
+struct BatchedSizingOptions {
+  int max_sweeps = 40;
+  int grid = 8;         ///< candidate widths evaluated per refinement round
+  int refinements = 4;  ///< bracket-shrink rounds per coordinate
+  double x_tol = 1e-4;  ///< stop refining a coordinate below this bracket size
+  double f_tol = 1e-12; ///< stop sweeping when a full sweep improves less
+};
+
+/// Coordinate descent whose per-coordinate line search is a shrinking
+/// *grid* evaluated through `sized_line_delays`: each refinement round
+/// scores `grid` candidate widths in one batched kernel call instead of a
+/// chain of sequential golden-section probes. Same minima as
+/// `optimize_wire_sizing` on the smooth sizing objectives, but the probe
+/// evaluations vectorize lane-per-candidate.
+WireSizingResult optimize_wire_sizing_batched(const WireSizingProblem& problem, DelayModel model,
+                                              const BatchedSizingOptions& opts = {});
 
 }  // namespace relmore::opt

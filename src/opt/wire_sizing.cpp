@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "relmore/circuit/flat_tree.hpp"
 #include "relmore/eed/eed.hpp"
+#include "relmore/engine/batched.hpp"
 #include "relmore/engine/timing_engine.hpp"
 #include "relmore/util/minimize.hpp"
 
@@ -67,6 +69,34 @@ double sized_line_delay(const WireSizingProblem& problem, const std::vector<doub
   return delay_from_node(tm.at(sink), model);
 }
 
+std::vector<double> sized_line_delays(const WireSizingProblem& problem,
+                                      const std::vector<std::vector<double>>& candidates,
+                                      DelayModel model, engine::BatchAnalyzer* pool) {
+  check_problem(problem);
+  if (candidates.empty()) return {};
+  const auto n = static_cast<std::size_t>(problem.segments);
+  for (const auto& w : candidates) {
+    if (w.size() != n) throw std::invalid_argument("sized_line_delays: width count mismatch");
+  }
+  // Driver (id 0) and load (last id) are width-independent; only the
+  // segment sections 1..n vary per candidate.
+  engine::BatchedAnalyzer batch(circuit::FlatTree(build_sized_line(problem, candidates[0])));
+  const auto sink = static_cast<SectionId>(batch.sections() - 1);
+  batch.resize(candidates.size());
+  for (std::size_t s = 1; s < candidates.size(); ++s) {
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.set_section(s, static_cast<SectionId>(i) + 1,
+                        segment_values(problem, candidates[s][i]));
+    }
+  }
+  const engine::BatchedModels models = batch.analyze_nodes({sink}, pool);
+  std::vector<double> delays(candidates.size());
+  for (std::size_t s = 0; s < candidates.size(); ++s) {
+    delays[s] = delay_from_node(models.node(s, sink), model);
+  }
+  return delays;
+}
+
 WireSizingResult optimize_wire_sizing(const WireSizingProblem& problem, DelayModel model) {
   check_problem(problem);
   const auto n = static_cast<std::size_t>(problem.segments);
@@ -104,6 +134,56 @@ WireSizingResult optimize_wire_sizing(const WireSizingProblem& problem, DelayMod
   out.delay = r.f;
   out.sweeps = r.sweeps;
   out.converged = r.converged;
+  return out;
+}
+
+WireSizingResult optimize_wire_sizing_batched(const WireSizingProblem& problem, DelayModel model,
+                                              const BatchedSizingOptions& opts) {
+  check_problem(problem);
+  if (opts.grid < 2 || opts.refinements < 1 || opts.max_sweeps < 1) {
+    throw std::invalid_argument("optimize_wire_sizing_batched: bad options");
+  }
+  const auto n = static_cast<std::size_t>(problem.segments);
+  const auto grid = static_cast<std::size_t>(opts.grid);
+  std::vector<double> x(n, std::clamp(1.0, problem.width_min, problem.width_max));
+  double f = sized_line_delays(problem, {x}, model)[0];
+
+  WireSizingResult out;
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    const double f_before = f;
+    for (std::size_t j = 0; j < n; ++j) {
+      double lo = problem.width_min;
+      double hi = problem.width_max;
+      double best_w = x[j];
+      std::vector<std::vector<double>> candidates(grid, x);
+      for (int round = 0; round < opts.refinements && hi - lo > opts.x_tol; ++round) {
+        const double step = (hi - lo) / static_cast<double>(grid - 1);
+        for (std::size_t k = 0; k < grid; ++k) {
+          candidates[k][j] = lo + step * static_cast<double>(k);
+        }
+        const std::vector<double> delays = sized_line_delays(problem, candidates, model);
+        std::size_t k_best = 0;
+        for (std::size_t k = 1; k < grid; ++k) {
+          if (delays[k] < delays[k_best]) k_best = k;
+        }
+        const double w_best = candidates[k_best][j];
+        if (delays[k_best] < f) {
+          f = delays[k_best];
+          best_w = w_best;
+        }
+        lo = std::max(problem.width_min, w_best - step);
+        hi = std::min(problem.width_max, w_best + step);
+      }
+      x[j] = best_w;
+    }
+    out.sweeps = sweep + 1;
+    if (f_before - f < opts.f_tol) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.widths = std::move(x);
+  out.delay = f;
   return out;
 }
 

@@ -78,6 +78,30 @@ TEST(Variation, LinearEstimateTracksMonteCarloForSmallSigma) {
   EXPECT_NEAR(linear, mc.stddev, 0.2 * mc.stddev);
 }
 
+TEST(Variation, BitwiseIdenticalAcrossThreadsAndLaneWidths) {
+  // The contract the batched rewire must keep: per-sample RNG seeding plus
+  // lane-faithful kernels make the statistics a pure function of (tree,
+  // spec, samples, seed) — not of the execution plan. 97 samples is not
+  // divisible by any lane width, so ragged tail groups are exercised.
+  SectionId out = circuit::kInput;
+  const RlcTree t = test_tree(&out);
+  VariationSpec spec;
+  spec.sigma_resistance = 0.08;
+  spec.sigma_inductance = 0.05;
+  spec.sigma_capacitance = 0.08;
+  const auto base = monte_carlo_delay(t, out, spec, 97, 11, {1, 1});
+  for (const unsigned threads : {1u, 4u}) {
+    for (const std::size_t lanes : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+      const auto got = monte_carlo_delay(t, out, spec, 97, 11, {threads, lanes});
+      EXPECT_EQ(got.mean, base.mean) << "threads " << threads << " lanes " << lanes;
+      EXPECT_EQ(got.stddev, base.stddev) << "threads " << threads << " lanes " << lanes;
+      EXPECT_EQ(got.q95, base.q95) << "threads " << threads << " lanes " << lanes;
+      EXPECT_EQ(got.min, base.min) << "threads " << threads << " lanes " << lanes;
+      EXPECT_EQ(got.max, base.max) << "threads " << threads << " lanes " << lanes;
+    }
+  }
+}
+
 TEST(Variation, RejectsTooFewSamples) {
   SectionId out = circuit::kInput;
   const RlcTree t = test_tree(&out);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "relmore/circuit/builders.hpp"
+
 namespace relmore::circuit {
 namespace {
 
@@ -109,6 +111,17 @@ TEST(RlcTree, OutOfRangeThrows) {
   EXPECT_THROW((void)t.section(3), std::out_of_range);
   EXPECT_THROW((void)t.children(-1), std::out_of_range);
   EXPECT_THROW((void)t.level(99), std::out_of_range);
+}
+
+TEST(RlcTree, DepthOfDeepLineIsLinearTime) {
+  // depth() is a single forward scan over the id order. The previous
+  // implementation walked root-ward from every leaf (O(n·depth)), which on
+  // this 200k-section line would be ~4e10 parent hops — minutes, not the
+  // milliseconds this test budget allows.
+  const int n = 200000;
+  const RlcTree line = make_line(n, {1.0, 1e-12, 1e-15});
+  EXPECT_EQ(line.depth(), n);
+  EXPECT_EQ(line.level(static_cast<SectionId>(n - 1)), n);
 }
 
 TEST(RlcTree, TopologicalOrderIsParentFirst) {

@@ -4,6 +4,7 @@
 
 #include "relmore/analysis/compare.hpp"
 #include "relmore/eed/eed.hpp"
+#include "relmore/engine/batch.hpp"
 #include "relmore/sim/measure.hpp"
 
 namespace relmore::opt {
@@ -89,6 +90,69 @@ TEST(WireSizing, EedOptimumBeatsRcOptimumUnderSimulation) {
   const double sim_rc = simulate(rc.widths);
   const double sim_ed = simulate(ed.widths);
   EXPECT_LE(sim_ed, sim_rc * 1.02);  // within noise or better
+}
+
+TEST(WireSizing, BatchedCandidateSweepMatchesScalarBitwise) {
+  // sized_line_delays puts one candidate per kernel lane; every lane runs
+  // the scalar pass's operations in the scalar order, so each delay must
+  // be bitwise equal to the one-at-a-time sized_line_delay path.
+  const WireSizingProblem p = small_problem();
+  std::vector<std::vector<double>> candidates;
+  for (int i = 0; i < 11; ++i) {  // 11 candidates: ragged lane-group tail
+    std::vector<double> w(4, 1.0);
+    w[static_cast<std::size_t>(i) % 4] = 0.5 + 0.3 * static_cast<double>(i);
+    candidates.push_back(w);
+  }
+  for (DelayModel model : {DelayModel::kWyattRc, DelayModel::kEquivalentElmore}) {
+    const std::vector<double> batched = sized_line_delays(p, candidates, model);
+    ASSERT_EQ(batched.size(), candidates.size());
+    for (std::size_t s = 0; s < candidates.size(); ++s) {
+      EXPECT_EQ(batched[s], sized_line_delay(p, candidates[s], model))
+          << "candidate " << s << " model " << static_cast<int>(model);
+    }
+  }
+}
+
+TEST(WireSizing, BatchedSweepComposesWithPool) {
+  const WireSizingProblem p = small_problem();
+  std::vector<std::vector<double>> candidates(9, std::vector<double>(4, 1.0));
+  for (std::size_t s = 0; s < candidates.size(); ++s) {
+    candidates[s][0] = 0.6 + 0.2 * static_cast<double>(s);
+  }
+  const std::vector<double> serial =
+      sized_line_delays(p, candidates, DelayModel::kEquivalentElmore);
+  engine::BatchAnalyzer pool(4);
+  const std::vector<double> pooled =
+      sized_line_delays(p, candidates, DelayModel::kEquivalentElmore, &pool);
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(WireSizing, BatchedOptimizerMatchesScalarOptimizer) {
+  const WireSizingProblem p = small_problem();
+  const WireSizingResult scalar = optimize_wire_sizing(p, DelayModel::kEquivalentElmore);
+  const WireSizingResult batched = optimize_wire_sizing_batched(p, DelayModel::kEquivalentElmore);
+  ASSERT_EQ(batched.widths.size(), scalar.widths.size());
+  for (const double w : batched.widths) {
+    EXPECT_GE(w, p.width_min);
+    EXPECT_LE(w, p.width_max);
+  }
+  // Different search strategies, same objective: the batched grid sweep
+  // must land within a percent of the golden-section optimum.
+  EXPECT_NEAR(batched.delay, scalar.delay, 0.01 * scalar.delay);
+  EXPECT_LE(batched.delay,
+            sized_line_delay(p, std::vector<double>(4, 1.0), DelayModel::kEquivalentElmore));
+}
+
+TEST(WireSizing, BatchedSweepRejectsBadInput) {
+  const WireSizingProblem p = small_problem();
+  EXPECT_TRUE(sized_line_delays(p, {}, DelayModel::kEquivalentElmore).empty());
+  EXPECT_THROW(
+      (void)sized_line_delays(p, {{1.0, 1.0}}, DelayModel::kEquivalentElmore),
+      std::invalid_argument);  // wrong width count
+  BatchedSizingOptions bad;
+  bad.grid = 1;
+  EXPECT_THROW((void)optimize_wire_sizing_batched(p, DelayModel::kEquivalentElmore, bad),
+               std::invalid_argument);
 }
 
 TEST(WireSizing, ModelEnumIsExhaustive) {
