@@ -18,18 +18,32 @@
 #include <string>
 
 #include "relmore/circuit/rlc_tree.hpp"
+#include "relmore/util/diagnostics.hpp"
 
 namespace relmore::circuit {
 
-/// Parses "12.5", "2n", "0.2p", "1meg" etc. Throws std::invalid_argument on
-/// malformed input.
+/// Parses "12.5", "2n", "0.2p", "1meg" etc. into a finite double. Rejects
+/// trailing garbage ("2nq", "1e"), non-finite literals ("nan", "inf"), and
+/// magnitudes outside double range ("1e999", "1e308k") with a structured
+/// status (kParseError / kValueOutOfRange).
+[[nodiscard]] util::Result<double> parse_spice_value_checked(const std::string& text);
+
+/// Exception-compatible shim over parse_spice_value_checked: throws
+/// util::FaultError (a std::invalid_argument) on any rejected input.
 double parse_spice_value(const std::string& text);
 
 /// Writes the tree netlist format.
 void write_tree_netlist(const RlcTree& tree, std::ostream& os);
 
-/// Parses the tree netlist format. Throws std::invalid_argument with a
-/// line-numbered message on any syntax or topology error.
+/// Parses the tree netlist format and validates the result
+/// (circuit::validate: finite non-negative values, sound structure,
+/// resource limits). Returns a Status with a line number (syntax errors)
+/// or node path (validation errors) on failure; never throws.
+[[nodiscard]] util::Result<RlcTree> read_tree_netlist_checked(std::istream& is);
+
+/// Exception-compatible shim over read_tree_netlist_checked. Throws
+/// util::FaultError (a std::invalid_argument) with a line-numbered message
+/// on any syntax, topology, or validation error.
 RlcTree read_tree_netlist(std::istream& is);
 
 /// Options for SPICE export.
@@ -44,10 +58,15 @@ struct SpiceWriteOptions {
 /// per section, one C per loaded node.
 void write_spice(const RlcTree& tree, std::ostream& os, const SpiceWriteOptions& opts = {});
 
-/// Parses a SPICE-subset deck back into an RlcTree. The input node is taken
-/// from the V card when present, else a node literally named "in".
-/// Throws std::invalid_argument when the deck is not a tree of series R/L
-/// sections with grounded capacitors.
+/// Parses a SPICE-subset deck back into an RlcTree and validates the
+/// result. The input node is taken from the V card when present, else a
+/// node literally named "in". Returns a Status when the deck is not a
+/// valid tree of series R/L sections with grounded capacitors; never
+/// throws.
+[[nodiscard]] util::Result<RlcTree> read_spice_checked(std::istream& is);
+
+/// Exception-compatible shim over read_spice_checked. Throws
+/// util::FaultError (a std::invalid_argument) on any rejected deck.
 RlcTree read_spice(std::istream& is);
 
 }  // namespace relmore::circuit

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file validate.hpp
+/// Structural and value validation of RLC trees before they enter the
+/// analysis pipeline.
+///
+/// `RlcTree`'s append-only construction makes cycles impossible *through
+/// the public API*, but the pipeline also ingests trees whose values were
+/// mutated in place (`values()`), snapshots (`FlatTree`), and netlists
+/// from untrusted sources. `validate` re-checks every invariant the
+/// analysis kernels rely on and reports *all* findings with node paths,
+/// instead of stopping at the first, so a service can return one
+/// actionable report per malformed deck:
+///
+///   - parent-before-child ids, no self-parenting, parents in range
+///   - no duplicate non-empty section names
+///   - every R/L/C finite and non-negative
+///   - total capacitance nonzero (warning: the tree drives no load)
+///   - section count and depth within configurable limits
+///
+/// The readers (`read_tree_netlist`, `read_spice`) and the engine
+/// constructors (`TimingEngine`, `BatchedAnalyzer`) run this before
+/// trusting a tree; `eed::analyze`'s per-node guardrails handle the
+/// residual runtime faults (overflow to Inf inside the moment sums).
+
+#include <string>
+
+#include "relmore/circuit/flat_tree.hpp"
+#include "relmore/circuit/rlc_tree.hpp"
+#include "relmore/util/diagnostics.hpp"
+
+namespace relmore::circuit {
+
+/// Resource ceilings for validation. Defaults are far above any tree the
+/// benches build but low enough to reject decks that would exhaust memory
+/// long before analysis could finish.
+struct ValidateLimits {
+  std::size_t max_sections = 1u << 24;  ///< 16M sections
+  int max_depth = 1 << 20;              ///< 1M levels
+};
+
+/// Input->node section path by name ("s0/s3/O"; unnamed sections appear as
+/// their id). Used for diagnostics context; O(depth).
+[[nodiscard]] std::string node_path(const RlcTree& tree, SectionId id);
+
+/// Validates structure, values, and limits. Never throws; collects every
+/// finding (errors and warnings) into the report.
+[[nodiscard]] util::DiagnosticsReport validate(const RlcTree& tree,
+                                               const ValidateLimits& limits = {});
+
+/// Same checks over a SoA snapshot (the batched kernels' input).
+[[nodiscard]] util::DiagnosticsReport validate(const FlatTree& tree,
+                                               const ValidateLimits& limits = {});
+
+}  // namespace relmore::circuit

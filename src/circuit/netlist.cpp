@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <istream>
 #include <map>
 #include <ostream>
@@ -10,7 +12,14 @@
 #include <stdexcept>
 #include <vector>
 
+#include "relmore/circuit/validate.hpp"
+
 namespace relmore::circuit {
+
+using util::ErrorCode;
+using util::FaultError;
+using util::Result;
+using util::Status;
 
 namespace {
 
@@ -28,44 +37,86 @@ std::vector<std::string> tokenize(const std::string& line) {
   return out;
 }
 
-[[noreturn]] void fail(int line_no, const std::string& msg) {
-  throw std::invalid_argument("netlist line " + std::to_string(line_no) + ": " + msg);
+Status parse_fail(int line_no, const std::string& msg) {
+  return Status(ErrorCode::kParseError, "netlist line " + std::to_string(line_no) + ": " + msg,
+                /*node=*/-1, line_no);
+}
+
+/// Post-parse validation shared by both readers: the parsers enforce their
+/// own syntax, this re-checks the semantic invariants (values finite and
+/// non-negative, structure sound, resource limits) so a deck that slipped
+/// a degenerate value through arithmetic (e.g. capacitor cards summing to
+/// Inf) is still rejected with a node-path diagnostic.
+Status validate_parsed(const RlcTree& tree) {
+  const util::DiagnosticsReport report = validate(tree);
+  return report.to_status();
 }
 
 }  // namespace
 
-double parse_spice_value(const std::string& text) {
-  if (text.empty()) throw std::invalid_argument("parse_spice_value: empty value");
-  std::size_t pos = 0;
-  double base = 0.0;
-  try {
-    base = std::stod(text, &pos);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("parse_spice_value: malformed number '" + text + "'");
+Result<double> parse_spice_value_checked(const std::string& text) {
+  if (text.empty()) {
+    return Status(ErrorCode::kParseError, "parse_spice_value: empty value");
   }
-  std::string suffix = lower(text.substr(pos));
-  // Strip trailing unit letters SPICE allows ("2nH", "0.2pF", "5kohm").
+  errno = 0;
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  const double base = std::strtod(begin, &end);
+  if (end == begin) {
+    return Status(ErrorCode::kParseError,
+                  "parse_spice_value: malformed number '" + text + "'");
+  }
+  if (errno == ERANGE && (base == HUGE_VAL || base == -HUGE_VAL)) {
+    return Status(ErrorCode::kValueOutOfRange,
+                  "parse_spice_value: magnitude of '" + text + "' exceeds double range");
+  }
+  // Rejects strtod's "nan"/"inf"(/"infinity") spellings: a netlist value
+  // must be a finite literal. (ERANGE underflow to a subnormal is fine.)
+  if (!std::isfinite(base)) {
+    return Status(ErrorCode::kParseError,
+                  "parse_spice_value: non-finite value '" + text + "'");
+  }
+  const std::string suffix = lower(text.substr(static_cast<std::size_t>(end - begin)));
   static const std::map<std::string, double> kScale = {
       {"", 1.0},     {"f", 1e-15}, {"p", 1e-12}, {"n", 1e-9}, {"u", 1e-6},
       {"m", 1e-3},   {"k", 1e3},   {"meg", 1e6}, {"g", 1e9},  {"t", 1e12},
   };
+  const auto is_unit = [](const std::string& rest) {
+    return rest.empty() || rest == "h" || rest == "f" || rest == "ohm" || rest == "s" ||
+           rest == "v";
+  };
+  double scale = 1.0;
+  bool matched = false;
   // Longest-prefix match on the suffix; remaining letters must be unit text.
   for (const auto& prefix : {std::string("meg"), std::string("f"), std::string("p"),
                              std::string("n"), std::string("u"), std::string("m"),
                              std::string("k"), std::string("g"), std::string("t")}) {
-    if (suffix.rfind(prefix, 0) == 0) {
-      const std::string rest = suffix.substr(prefix.size());
-      if (rest.empty() || rest == "h" || rest == "f" || rest == "ohm" || rest == "s" ||
-          rest == "v") {
-        return base * kScale.at(prefix);
-      }
+    if (suffix.rfind(prefix, 0) == 0 && is_unit(suffix.substr(prefix.size()))) {
+      scale = kScale.at(prefix);
+      matched = true;
+      break;
     }
   }
-  if (suffix.empty() || suffix == "h" || suffix == "f" || suffix == "ohm" || suffix == "s" ||
-      suffix == "v") {
-    return base;
+  if (!matched) {
+    if (!is_unit(suffix)) {
+      // Full-token consumption or nothing: "2nq", "1e", "3..5" all land
+      // here instead of silently keeping the partially parsed prefix.
+      return Status(ErrorCode::kParseError,
+                    "parse_spice_value: trailing garbage '" + suffix + "' in '" + text + "'");
+    }
   }
-  throw std::invalid_argument("parse_spice_value: unknown suffix '" + suffix + "'");
+  const double value = base * scale;
+  if (!std::isfinite(value)) {
+    return Status(ErrorCode::kValueOutOfRange,
+                  "parse_spice_value: scaled magnitude of '" + text + "' exceeds double range");
+  }
+  return value;
+}
+
+double parse_spice_value(const std::string& text) {
+  Result<double> res = parse_spice_value_checked(text);
+  if (!res.is_ok()) throw FaultError(res.status());
+  return res.value();
 }
 
 void write_tree_netlist(const RlcTree& tree, std::ostream& os) {
@@ -83,7 +134,7 @@ void write_tree_netlist(const RlcTree& tree, std::ostream& os) {
   }
 }
 
-RlcTree read_tree_netlist(std::istream& is) {
+Result<RlcTree> read_tree_netlist_checked(std::istream& is) {
   RlcTree tree;
   std::map<std::string, SectionId> by_name;
   std::string line;
@@ -94,45 +145,58 @@ RlcTree read_tree_netlist(std::istream& is) {
     if (hash != std::string::npos) line.erase(hash);
     const auto toks = tokenize(line);
     if (toks.empty()) continue;
-    if (lower(toks[0]) != "section") fail(line_no, "expected 'section', got '" + toks[0] + "'");
-    if (toks.size() != 6) fail(line_no, "expected: section <name> <parent|-> R= L= C=");
+    if (lower(toks[0]) != "section") {
+      return parse_fail(line_no, "expected 'section', got '" + toks[0] + "'");
+    }
+    if (toks.size() != 6) {
+      return parse_fail(line_no, "expected: section <name> <parent|-> R= L= C=");
+    }
     const std::string& name = toks[1];
     const std::string& parent_name = toks[2];
-    if (by_name.count(name) != 0) fail(line_no, "duplicate section name '" + name + "'");
+    if (by_name.count(name) != 0) {
+      return parse_fail(line_no, "duplicate section name '" + name + "'");
+    }
     SectionId parent = kInput;
     if (parent_name != "-") {
       const auto it = by_name.find(parent_name);
-      if (it == by_name.end()) fail(line_no, "unknown parent '" + parent_name + "'");
+      if (it == by_name.end()) {
+        return parse_fail(line_no, "unknown parent '" + parent_name + "'");
+      }
       parent = it->second;
     }
     SectionValues v;
     for (std::size_t t = 3; t < 6; ++t) {
       const auto eq = toks[t].find('=');
-      if (eq == std::string::npos) fail(line_no, "expected key=value, got '" + toks[t] + "'");
-      const std::string key = lower(toks[t].substr(0, eq));
-      double val = 0.0;
-      try {
-        val = parse_spice_value(toks[t].substr(eq + 1));
-      } catch (const std::invalid_argument& e) {
-        fail(line_no, e.what());
+      if (eq == std::string::npos) {
+        return parse_fail(line_no, "expected key=value, got '" + toks[t] + "'");
       }
+      const std::string key = lower(toks[t].substr(0, eq));
+      const Result<double> val = parse_spice_value_checked(toks[t].substr(eq + 1));
+      if (!val.is_ok()) return parse_fail(line_no, val.status().message());
       if (key == "r") {
-        v.resistance = val;
+        v.resistance = val.value();
       } else if (key == "l") {
-        v.inductance = val;
+        v.inductance = val.value();
       } else if (key == "c") {
-        v.capacitance = val;
+        v.capacitance = val.value();
       } else {
-        fail(line_no, "unknown key '" + key + "'");
+        return parse_fail(line_no, "unknown key '" + key + "'");
       }
     }
     try {
       by_name[name] = tree.add_section(parent, v, name);
     } catch (const std::invalid_argument& e) {
-      fail(line_no, e.what());
+      return parse_fail(line_no, e.what());
     }
   }
+  if (Status s = validate_parsed(tree); !s.is_ok()) return s;
   return tree;
+}
+
+RlcTree read_tree_netlist(std::istream& is) {
+  Result<RlcTree> res = read_tree_netlist_checked(is);
+  if (!res.is_ok()) throw FaultError(res.status());
+  return std::move(res).value();
 }
 
 void write_spice(const RlcTree& tree, std::ostream& os, const SpiceWriteOptions& opts) {
@@ -178,7 +242,7 @@ struct SeriesEdge {
 
 }  // namespace
 
-RlcTree read_spice(std::istream& is) {
+Result<RlcTree> read_spice_checked(std::istream& is) {
   std::map<std::string, std::vector<SeriesEdge>> adj;  // node -> series neighbors
   std::map<std::string, double> cap;                   // node -> grounded C
   std::string input_node;
@@ -192,27 +256,32 @@ RlcTree read_spice(std::istream& is) {
     const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(toks[0][0])));
     if (toks[0][0] == '*' || toks[0][0] == '.') continue;
     if (kind == 'v') {
-      if (toks.size() < 3) fail(line_no, "malformed V card");
+      if (toks.size() < 3) return parse_fail(line_no, "malformed V card");
       input_node = toks[1] == "0" ? toks[2] : toks[1];
       continue;
     }
     if (kind != 'r' && kind != 'l' && kind != 'c') {
-      fail(line_no, std::string("unsupported element '") + toks[0] + "'");
+      return parse_fail(line_no, std::string("unsupported element '") + toks[0] + "'");
     }
-    if (toks.size() < 4) fail(line_no, "element card needs: name n1 n2 value");
+    if (toks.size() < 4) return parse_fail(line_no, "element card needs: name n1 n2 value");
     const std::string n1 = toks[1];
     const std::string n2 = toks[2];
-    double value = 0.0;
-    try {
-      value = parse_spice_value(toks[3]);
-    } catch (const std::invalid_argument& e) {
-      fail(line_no, e.what());
+    const Result<double> parsed = parse_spice_value_checked(toks[3]);
+    if (!parsed.is_ok()) return parse_fail(line_no, parsed.status().message());
+    const double value = parsed.value();
+    if (value < 0.0) {
+      return parse_fail(line_no, "negative element value " + toks[3]);
     }
     if (kind == 'c') {
       const std::string node = n1 == "0" ? n2 : n1;
-      if (n1 != "0" && n2 != "0") fail(line_no, "capacitors must be grounded in an RLC tree");
+      if (n1 != "0" && n2 != "0") {
+        return parse_fail(line_no, "capacitors must be grounded in an RLC tree");
+      }
       cap[node] += value;
       continue;
+    }
+    if (n1 == n2) {
+      return parse_fail(line_no, "element shorts node '" + n1 + "' to itself");
     }
     SeriesEdge e1{n2, 0.0, 0.0};
     SeriesEdge e2{n1, 0.0, 0.0};
@@ -229,11 +298,11 @@ RlcTree read_spice(std::istream& is) {
     if (adj.count("in") != 0) {
       input_node = "in";
     } else {
-      throw std::invalid_argument("read_spice: no V card and no node named 'in'");
+      return Status(ErrorCode::kParseError, "read_spice: no V card and no node named 'in'");
     }
   }
   if (adj.count(input_node) == 0) {
-    throw std::invalid_argument("read_spice: input node has no series elements");
+    return Status(ErrorCode::kParseError, "read_spice: input node has no series elements");
   }
 
   RlcTree tree;
@@ -255,8 +324,8 @@ RlcTree read_spice(std::istream& is) {
       if (visited.count(first.other) != 0) {
         // In a tree the only edge to a visited node is the one we arrived
         // on (came_from); any other such edge closes a cycle.
-        throw std::invalid_argument("read_spice: circuit graph contains a loop at node " +
-                                    first.other);
+        return Status(ErrorCode::kCycle,
+                      "read_spice: circuit graph contains a loop at node " + first.other);
       }
       // Walk the chain until a node that carries a C, branches, or is a leaf.
       double r_acc = first.resistance;
@@ -273,21 +342,38 @@ RlcTree read_spice(std::istream& is) {
         prev = cur;
         cur = next.other;
         if (visited.count(cur) != 0) {
-          throw std::invalid_argument("read_spice: circuit graph contains a loop at node " +
-                                      cur);
+          return Status(ErrorCode::kCycle,
+                        "read_spice: circuit graph contains a loop at node " + cur);
         }
       }
       if (visited.count(cur) != 0) {
-        throw std::invalid_argument("read_spice: circuit graph contains a loop at node " + cur);
+        return Status(ErrorCode::kCycle,
+                      "read_spice: circuit graph contains a loop at node " + cur);
       }
       visited[cur] = true;
       const double c = cap.count(cur) != 0 ? cap.at(cur) : 0.0;
-      const SectionId sec = tree.add_section(w.section, {r_acc, l_acc, c}, cur);
-      stack.push_back({cur, sec, prev});
+      try {
+        const SectionId sec = tree.add_section(w.section, {r_acc, l_acc, c}, cur);
+        stack.push_back({cur, sec, prev});
+      } catch (const std::invalid_argument& e) {
+        // Accumulated series values can only misbehave numerically
+        // (negative cards were rejected per line); report with node context.
+        return Status(ErrorCode::kInvalidArgument,
+                      std::string("read_spice: node '") + cur + "': " + e.what());
+      }
     }
   }
-  if (tree.empty()) throw std::invalid_argument("read_spice: no tree sections found");
+  if (tree.empty()) {
+    return Status(ErrorCode::kEmptyTree, "read_spice: no tree sections found");
+  }
+  if (Status s = validate_parsed(tree); !s.is_ok()) return s;
   return tree;
+}
+
+RlcTree read_spice(std::istream& is) {
+  Result<RlcTree> res = read_spice_checked(is);
+  if (!res.is_ok()) throw FaultError(res.status());
+  return std::move(res).value();
 }
 
 }  // namespace relmore::circuit

@@ -23,8 +23,32 @@
 
 #include "relmore/circuit/flat_tree.hpp"
 #include "relmore/circuit/rlc_tree.hpp"
+#include "relmore/util/diagnostics.hpp"
 
 namespace relmore::eed {
+
+/// Per-node / per-sample fault flag bits surfaced by the numerical
+/// guardrails (TreeModel::fault_flags, engine::BatchedModels sample
+/// flags). A flag marks a node whose *own* moments are degenerate; with a
+/// poisoned value mid-tree the whole affected root path and subtree carry
+/// flags, because the moment prefix sums propagate the poison.
+enum AnalysisFault : std::uint8_t {
+  kFaultNone = 0,
+  kFaultBadInput = 1,          ///< input R/L/C was NaN, Inf, or negative
+  kFaultNonFiniteMoment = 2,   ///< SR/SL/Ctot became NaN or Inf
+  kFaultNegativeMoment = 4,    ///< SR/SL/Ctot went negative
+};
+
+/// Guardrail configuration for analyze(): what to do when a node's moment
+/// sums come out non-finite or negative (a NaN/Inf/negative element value
+/// slipped into the tree, or the sums overflowed). See
+/// util::FaultPolicy: kThrow raises util::FaultError at the first faulted
+/// node; kClampAndFlag clamps the degenerate moments to 0 (the RC/Elmore
+/// limit) and records flags; kSkipAndFlag records flags and leaves the
+/// poisoned values for the caller to inspect.
+struct AnalyzeOptions {
+  util::FaultPolicy fault_policy = util::FaultPolicy::kThrow;
+};
 
 /// Second-order characterization of one tree node.
 struct NodeModel {
@@ -44,13 +68,26 @@ struct TreeModel {
   /// pass of the Appendix algorithm, exposed because wire sizing and buffer
   /// insertion reuse it.
   std::vector<double> load_capacitance;
+  /// AnalysisFault bits per node. Empty (the common case) when the whole
+  /// tree analyzed fault-free; sized like `nodes` otherwise.
+  std::vector<std::uint8_t> fault_flags;
+  std::size_t fault_count = 0;  ///< nodes with any fault bit set
 
   [[nodiscard]] const NodeModel& at(circuit::SectionId i) const {
     return nodes.at(static_cast<std::size_t>(i));
   }
+  [[nodiscard]] bool fault_free() const { return fault_count == 0; }
+  [[nodiscard]] bool faulted(circuit::SectionId i) const {
+    return !fault_flags.empty() && fault_flags.at(static_cast<std::size_t>(i)) != kFaultNone;
+  }
 };
 
-/// Analyzes every node of the tree in O(n) (two traversals).
+/// Analyzes every node of the tree in O(n) (two traversals). The passes
+/// run unguarded (results on a healthy tree are bitwise-unchanged); one
+/// trailing guard sweep detects non-finite or negative moments and applies
+/// `options.fault_policy` (default: throw util::FaultError with node
+/// context — no silent NaN propagation).
+TreeModel analyze(const circuit::RlcTree& tree, const AnalyzeOptions& options);
 TreeModel analyze(const circuit::RlcTree& tree);
 
 /// Same analysis over a FlatTree snapshot — identical arithmetic in
@@ -58,12 +95,14 @@ TreeModel analyze(const circuit::RlcTree& tree);
 /// contiguous SoA value arrays instead of the AoS section structs with
 /// their embedded name strings. This is the scalar fast path the batched
 /// kernels (engine::BatchedAnalyzer) generalize to many samples.
+TreeModel analyze(const circuit::FlatTree& tree, const AnalyzeOptions& options);
 TreeModel analyze(const circuit::FlatTree& tree);
 
 /// Cost accounting of one whole-tree analysis.
 struct AnalyzeStats {
   std::uint64_t multiplications = 0;  ///< FP multiplies in the two passes
   std::size_t nodes = 0;              ///< sections analyzed
+  std::size_t faulted_nodes = 0;      ///< nodes the guard sweep flagged
 };
 
 /// Model plus its cost accounting, for the instrumented entry point.
@@ -75,6 +114,7 @@ struct CountedAnalysis {
 /// Instrumented variant returning the multiplication count alongside the
 /// model, to verify the Appendix claim that the count is exactly
 /// 2·(sections).
-CountedAnalysis analyze_counting(const circuit::RlcTree& tree);
+CountedAnalysis analyze_counting(const circuit::RlcTree& tree,
+                                 const AnalyzeOptions& options = {});
 
 }  // namespace relmore::eed

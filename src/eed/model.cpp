@@ -8,10 +8,78 @@ namespace relmore::eed {
 
 using circuit::RlcTree;
 using circuit::SectionId;
+using util::ErrorCode;
+using util::FaultPolicy;
 
 namespace {
 
-TreeModel analyze_impl(const RlcTree& tree, std::uint64_t* mul_count) {
+/// Fault classification of one node's computed moments. Uses the single
+/// composite predicate `valid_element_value` so NaN (all comparisons
+/// false) registers as non-finite.
+std::uint8_t classify(const NodeModel& nm, double ctot) {
+  std::uint8_t flags = kFaultNone;
+  for (const double v : {nm.sum_rc, nm.sum_lc, ctot}) {
+    if (util::valid_element_value(v)) continue;
+    flags |= std::isnan(v) || std::isinf(v) ? kFaultNonFiniteMoment : kFaultNegativeMoment;
+  }
+  return flags;
+}
+
+/// Applies the fault policy given the detection verdict the analysis loops
+/// accumulated in-flight: `lowest` is the running min over every SR/SL/Ctot
+/// (catches negatives), `poison` is Σ SR·0 + SL·0 (0.0 on an all-finite
+/// model, NaN otherwise — a min alone would let NaN slide through, since
+/// every comparison against NaN is false; and a non-finite Ctot always
+/// poisons that node's SR, so the two moment terms suffice). Accumulating
+/// inside the existing downward pass costs nothing measurable — the
+/// detection ops are independent of the per-node sqrt/divide latency chain
+/// — and never touches the model arithmetic, keeping healthy results
+/// bitwise-unchanged.
+void apply_guards(TreeModel& model, FaultPolicy policy, const char* entry, double lowest,
+                  double poison) {
+  if (lowest >= 0.0 && !std::isnan(poison)) return;
+  const std::size_t n = model.nodes.size();
+
+  // Slow path: something is degenerate — classify per node.
+  model.fault_flags.assign(n, kFaultNone);
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeModel& nm = model.nodes[i];
+    const std::uint8_t flags = classify(nm, model.load_capacitance[i]);
+    if (flags == kFaultNone) continue;
+    if (policy == FaultPolicy::kThrow) {
+      throw util::FaultError(util::Status(
+          (flags & kFaultNonFiniteMoment) != 0 ? ErrorCode::kNonFiniteMoment
+                                               : ErrorCode::kNegativeMoment,
+          std::string(entry) + ": degenerate moments at node " + std::to_string(i) +
+              " (SR=" + std::to_string(nm.sum_rc) + ", SL=" + std::to_string(nm.sum_lc) +
+              ", Ctot=" + std::to_string(model.load_capacitance[i]) + ")",
+          static_cast<int>(i)));
+    }
+    model.fault_flags[i] = flags;
+    ++model.fault_count;
+    if (policy == FaultPolicy::kClampAndFlag) {
+      // Nearest valid limit: a degenerate moment collapses to the
+      // RC/Elmore degenerate case (SL = 0 -> zeta, omega_n -> inf).
+      if (!util::valid_element_value(nm.sum_rc)) nm.sum_rc = 0.0;
+      if (!util::valid_element_value(nm.sum_lc)) nm.sum_lc = 0.0;
+      if (!util::valid_element_value(model.load_capacitance[i])) {
+        model.load_capacitance[i] = 0.0;
+      }
+      if (nm.sum_lc > 0.0) {
+        const double root = std::sqrt(nm.sum_lc);
+        nm.omega_n = 1.0 / root;
+        nm.zeta = nm.sum_rc / (2.0 * root);
+      } else {
+        nm.omega_n = std::numeric_limits<double>::infinity();
+        nm.zeta = std::numeric_limits<double>::infinity();
+      }
+    }
+    // kSkipAndFlag: leave the poisoned values; the flag is the signal.
+  }
+}
+
+TreeModel analyze_impl(const RlcTree& tree, std::uint64_t* mul_count, FaultPolicy policy,
+                       const char* entry) {
   if (tree.empty()) throw std::invalid_argument("eed::analyze: empty tree");
   const std::size_t n = tree.size();
   TreeModel model;
@@ -33,6 +101,10 @@ TreeModel analyze_impl(const RlcTree& tree, std::uint64_t* mul_count) {
 
   // Downward pass (paper Fig. 18): accumulate SR and SL along each path.
   // SR_i = SR_parent + R_i * Ctot_i ; SL_i = SL_parent + L_i * Ctot_i.
+  // `lowest`/`poison` piggy-back the guard detection (see apply_guards);
+  // they read the freshly computed values and write nothing back.
+  double lowest = 0.0;
+  double poison = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const auto id = static_cast<SectionId>(i);
     const auto& v = tree.section(id).v;
@@ -47,6 +119,8 @@ TreeModel analyze_impl(const RlcTree& tree, std::uint64_t* mul_count) {
     nm.sum_rc = sr_up + v.resistance * model.load_capacitance[i];
     nm.sum_lc = sl_up + v.inductance * model.load_capacitance[i];
     muls += 2;
+    lowest = std::min(lowest, std::min(nm.sum_rc, std::min(nm.sum_lc, model.load_capacitance[i])));
+    poison += nm.sum_rc * 0.0 + nm.sum_lc * 0.0;
 
     if (nm.sum_lc > 0.0) {
       const double root = std::sqrt(nm.sum_lc);
@@ -61,14 +135,19 @@ TreeModel analyze_impl(const RlcTree& tree, std::uint64_t* mul_count) {
   }
 
   if (mul_count != nullptr) *mul_count = muls;
+  apply_guards(model, policy, entry, lowest, poison);
   return model;
 }
 
 }  // namespace
 
-TreeModel analyze(const RlcTree& tree) { return analyze_impl(tree, nullptr); }
+TreeModel analyze(const RlcTree& tree, const AnalyzeOptions& options) {
+  return analyze_impl(tree, nullptr, options.fault_policy, "eed::analyze");
+}
 
-TreeModel analyze(const circuit::FlatTree& tree) {
+TreeModel analyze(const RlcTree& tree) { return analyze(tree, AnalyzeOptions{}); }
+
+TreeModel analyze(const circuit::FlatTree& tree, const AnalyzeOptions& options) {
   if (tree.empty()) throw std::invalid_argument("eed::analyze: empty tree");
   const std::size_t n = tree.size();
   const SectionId* parent = tree.parent().data();
@@ -85,6 +164,8 @@ TreeModel analyze(const circuit::FlatTree& tree) {
     }
   }
 
+  double lowest = 0.0;
+  double poison = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const SectionId p = parent[i];
     const double sr_up = p == circuit::kInput ? 0.0 : model.nodes[static_cast<std::size_t>(p)].sum_rc;
@@ -92,6 +173,8 @@ TreeModel analyze(const circuit::FlatTree& tree) {
     NodeModel& nm = model.nodes[i];
     nm.sum_rc = sr_up + r[i] * model.load_capacitance[i];
     nm.sum_lc = sl_up + l[i] * model.load_capacitance[i];
+    lowest = std::min(lowest, std::min(nm.sum_rc, std::min(nm.sum_lc, model.load_capacitance[i])));
+    poison += nm.sum_rc * 0.0 + nm.sum_lc * 0.0;
     if (nm.sum_lc > 0.0) {
       const double root = std::sqrt(nm.sum_lc);
       nm.omega_n = 1.0 / root;
@@ -101,13 +184,18 @@ TreeModel analyze(const circuit::FlatTree& tree) {
       nm.zeta = std::numeric_limits<double>::infinity();
     }
   }
+  apply_guards(model, options.fault_policy, "eed::analyze(FlatTree)", lowest, poison);
   return model;
 }
 
-CountedAnalysis analyze_counting(const RlcTree& tree) {
+TreeModel analyze(const circuit::FlatTree& tree) { return analyze(tree, AnalyzeOptions{}); }
+
+CountedAnalysis analyze_counting(const RlcTree& tree, const AnalyzeOptions& options) {
   CountedAnalysis out;
-  out.model = analyze_impl(tree, &out.stats.multiplications);
+  out.model =
+      analyze_impl(tree, &out.stats.multiplications, options.fault_policy, "eed::analyze_counting");
   out.stats.nodes = tree.size();
+  out.stats.faulted_nodes = out.model.fault_count;
   return out;
 }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -71,14 +73,24 @@ struct BatchAnalyzer::Impl {
 
 BatchAnalyzer::BatchAnalyzer(unsigned threads) : impl_(new Impl) {
   if (threads == 0) {
-    // RELMORE_THREADS pins the default worker count (CI, benchmarks);
-    // clamped to [1, 64]. An unset/unparsable value falls through to the
-    // hardware default.
+    // RELMORE_THREADS pins the default worker count (CI, benchmarks),
+    // accepted range [1, 64]. A value that is empty, non-numeric, only
+    // partially numeric ("8x"), negative, zero, or out of range is NOT
+    // silently honored or truncated: it falls back to the hardware
+    // default with one warning on stderr, so a typo in a CI matrix shows
+    // up in the log instead of as a mysterious thread count.
     if (const char* env = std::getenv("RELMORE_THREADS")) {
+      errno = 0;
       char* end = nullptr;
-      const unsigned long parsed = std::strtoul(env, &end, 10);
-      if (end != env && *end == '\0' && parsed > 0) {
-        threads = static_cast<unsigned>(std::min<unsigned long>(parsed, 64u));
+      const long parsed = std::strtol(env, &end, 10);
+      if (*env != '\0' && end != env && *end == '\0' && errno == 0 && parsed >= 1 &&
+          parsed <= 64) {
+        threads = static_cast<unsigned>(parsed);
+      } else {
+        std::fprintf(stderr,
+                     "relmore: ignoring RELMORE_THREADS=\"%s\" (want an integer in "
+                     "[1, 64]); using the hardware default\n",
+                     env);
       }
     }
   }

@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "relmore/circuit/validate.hpp"
 #include "relmore/eed/second_order.hpp"
 #include "relmore/engine/batch.hpp"
 
@@ -31,22 +32,54 @@ namespace {
 /// widest supported lane group.
 constexpr double kZeroPrefix[8] = {};
 
-/// min(0, min(buf[0..count))) with eight explicit accumulators. A serial
+/// Verdict of one branch-free validity scan over a value buffer.
+struct ValueScan {
+  double lowest = 0.0;  ///< min(0, values) — negative iff any value is
+  double poison = 0.0;  ///< NaN iff any value is NaN or ±Inf, else 0
+  [[nodiscard]] bool non_finite() const { return !(poison == 0.0); }
+  [[nodiscard]] bool bad() const { return lowest < 0.0 || non_finite(); }
+  void merge(const ValueScan& o) {
+    lowest = std::min(lowest, o.lowest);
+    poison += o.poison;
+  }
+};
+
+/// Validity scan with eight explicit accumulator pairs. A serial
 /// `lowest = std::min(lowest, ...)` scan chains at the min instruction's
 /// latency and dominates the whole batched pipeline; eight independent
 /// chains keep the FP pipe saturated whether or not the loop vectorizes
-/// (measured ~3x over the serial form even in scalar codegen).
-double lowest_of(const double* buf, std::size_t count) {
+/// (measured ~3x over the serial form even in scalar codegen). The min
+/// alone has a NaN hole — min(x, NaN) is x — so a poison accumulator
+/// rides along: v * 0.0 is 0 for every finite v and NaN for NaN/±Inf,
+/// turning "any non-finite value?" into one comparison at the end.
+ValueScan scan_values(const double* buf, std::size_t count) {
   double m[8] = {};
+  double p[8] = {};
   std::size_t i = 0;
   for (; i + 8 <= count; i += 8) {
     RELMORE_SIMD
-    for (std::size_t j = 0; j < 8; ++j) m[j] = std::min(m[j], buf[i + j]);
+    for (std::size_t j = 0; j < 8; ++j) {
+      m[j] = std::min(m[j], buf[i + j]);
+      p[j] += buf[i + j] * 0.0;
+    }
   }
-  double lowest = 0.0;
-  for (; i < count; ++i) lowest = std::min(lowest, buf[i]);
-  for (double v : m) lowest = std::min(lowest, v);
-  return lowest;
+  ValueScan out;
+  for (; i < count; ++i) {
+    out.lowest = std::min(out.lowest, buf[i]);
+    out.poison += buf[i] * 0.0;
+  }
+  for (const double v : m) out.lowest = std::min(out.lowest, v);
+  for (const double v : p) out.poison += v;
+  return out;
+}
+
+/// Status for a rejected sample fill, preserving the historical
+/// "negative element value" wording the original contract used.
+util::Status bad_sample_status(const char* entry, std::size_t sample, bool non_finite) {
+  return util::Status(
+      non_finite ? util::ErrorCode::kNonFiniteValue : util::ErrorCode::kNegativeValue,
+      std::string(entry) + (non_finite ? ": non-finite" : ": negative") +
+          " element value in sample " + std::to_string(sample));
 }
 
 /// The two-pass kernel over one lane-group. `r`/`l`/`c` point at the
@@ -121,12 +154,6 @@ void run_group_rows(std::size_t n, const SectionId* parent, const double* rows_r
   run_group_passes<W>(n, parent, at(rows_r), at(rows_l), at(rows_c), ctot, sr, sl);
 }
 
-void check_values(double resistance, double inductance, double capacitance) {
-  if (resistance < 0.0 || inductance < 0.0 || capacitance < 0.0) {
-    throw std::invalid_argument("BatchedAnalyzer: negative element value");
-  }
-}
-
 }  // namespace
 
 // --- BatchedModels ----------------------------------------------------------
@@ -173,11 +200,28 @@ double BatchedModels::delay_50(std::size_t sample, SectionId id) const {
   return eed::delay_50(node(sample, id));
 }
 
+std::uint8_t BatchedModels::fault_flags(std::size_t sample) const {
+  if (sample >= samples_) throw std::out_of_range("BatchedModels: sample out of range");
+  return fault_flags_.empty() ? std::uint8_t{eed::kFaultNone} : fault_flags_[sample];
+}
+
+std::vector<std::size_t> BatchedModels::faulted_samples() const {
+  std::vector<std::size_t> out;
+  out.reserve(fault_count_);
+  for (std::size_t s = 0; s < fault_flags_.size(); ++s) {
+    if (fault_flags_[s] != 0) out.push_back(s);
+  }
+  return out;
+}
+
 // --- BatchedAnalyzer --------------------------------------------------------
 
 BatchedAnalyzer::BatchedAnalyzer(circuit::FlatTree topology, std::size_t lane_width)
     : topo_(std::move(topology)) {
   if (topo_.empty()) throw std::invalid_argument("BatchedAnalyzer: empty topology");
+  if (const util::DiagnosticsReport report = circuit::validate(topo_); !report.is_ok()) {
+    throw util::FaultError(report.to_status());
+  }
   if (lane_width == 0) lane_width = kDefaultLaneWidth;
   if (lane_width != 1 && lane_width != 2 && lane_width != 4 && lane_width != 8) {
     throw std::invalid_argument("BatchedAnalyzer: lane width must be 1, 2, 4, or 8");
@@ -199,6 +243,7 @@ void BatchedAnalyzer::resize(std::size_t samples) {
   r_.resize(total);
   l_.resize(total);
   c_.resize(total);
+  input_fault_.assign(samples, 0);
   // Nominal values everywhere, padding lanes included — padding computes
   // harmless real numbers and is never read back.
   for (std::size_t g = 0; g < groups_; ++g) {
@@ -217,18 +262,34 @@ void BatchedAnalyzer::set_sample(std::size_t s, const double* resistance,
                                  const double* inductance, const double* capacitance) {
   if (s >= samples_) throw std::out_of_range("BatchedAnalyzer::set_sample: sample out of range");
   const std::size_t n = topo_.size();
-  // Validate first with a branch-free min-reduction (a throw-per-element
-  // form defeats vectorization of both this scan and the copy loops), then
+  // Validate first with a branch-free scan (a throw-per-element form
+  // defeats vectorization of both this scan and the copy loops), then
   // copy with the slot arithmetic hoisted out of the loop: slots of one
   // sample differ only by a fixed stride of lane_width_.
-  const double lowest = std::min(lowest_of(resistance, n),
-                                 std::min(lowest_of(inductance, n), lowest_of(capacitance, n)));
-  if (lowest < 0.0) throw std::invalid_argument("BatchedAnalyzer: negative element value");
+  ValueScan scan = scan_values(resistance, n);
+  scan.merge(scan_values(inductance, n));
+  scan.merge(scan_values(capacitance, n));
+  if (scan.bad() && policy_ == util::FaultPolicy::kThrow) {
+    throw util::FaultError(bad_sample_status("BatchedAnalyzer", s, scan.non_finite()));
+  }
   const std::size_t w = lane_width_;
   const std::size_t base = value_slot(s, 0);
   for (std::size_t i = 0; i < n; ++i) r_[base + i * w] = resistance[i];
   for (std::size_t i = 0; i < n; ++i) l_[base + i * w] = inductance[i];
   for (std::size_t i = 0; i < n; ++i) c_[base + i * w] = capacitance[i];
+  input_fault_[s] = 0;
+  if (scan.bad()) {
+    // Flag-policy slow path: mark the sample; under kClampAndFlag rewrite
+    // just-stored invalid entries to 0 so the kernel sees usable numbers.
+    input_fault_[s] = eed::kFaultBadInput;
+    if (policy_ == util::FaultPolicy::kClampAndFlag) {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (double* slot : {&r_[base + i * w], &l_[base + i * w], &c_[base + i * w]}) {
+          if (!util::valid_element_value(*slot)) *slot = 0.0;
+        }
+      }
+    }
+  }
 }
 
 void BatchedAnalyzer::set_section(std::size_t s, SectionId id, const circuit::SectionValues& v) {
@@ -236,11 +297,27 @@ void BatchedAnalyzer::set_section(std::size_t s, SectionId id, const circuit::Se
   if (id < 0 || static_cast<std::size_t>(id) >= topo_.size()) {
     throw std::out_of_range("BatchedAnalyzer::set_section: section id out of range");
   }
-  check_values(v.resistance, v.inductance, v.capacitance);
+  circuit::SectionValues stored = v;
+  const bool ok = util::valid_element_value(v.resistance) &&
+                  util::valid_element_value(v.inductance) &&
+                  util::valid_element_value(v.capacitance);
+  if (!ok) {
+    const bool non_finite = !std::isfinite(v.resistance) || !std::isfinite(v.inductance) ||
+                            !std::isfinite(v.capacitance);
+    if (policy_ == util::FaultPolicy::kThrow) {
+      throw util::FaultError(bad_sample_status("BatchedAnalyzer", s, non_finite));
+    }
+    input_fault_[s] = eed::kFaultBadInput;
+    if (policy_ == util::FaultPolicy::kClampAndFlag) {
+      for (double* m : {&stored.resistance, &stored.inductance, &stored.capacitance}) {
+        if (!util::valid_element_value(*m)) *m = 0.0;
+      }
+    }
+  }
   const std::size_t at = value_slot(s, static_cast<std::size_t>(id));
-  r_[at] = v.resistance;
-  l_[at] = v.inductance;
-  c_[at] = v.capacitance;
+  r_[at] = stored.resistance;
+  l_[at] = stored.inductance;
+  c_[at] = stored.capacitance;
 }
 
 void BatchedAnalyzer::run_group(std::size_t group, double* ctot, double* sr, double* sl) const {
@@ -286,7 +363,85 @@ BatchedModels BatchedAnalyzer::make_output(const std::vector<SectionId>& ids, bo
   out.sr_.resize(rows * out.padded_samples_);
   out.sl_.resize(rows * out.padded_samples_);
   out.ctot_.resize(rows * out.padded_samples_);
+  // Zeroed per-sample flag bytes; tasks write disjoint samples, and
+  // finalize_faults drops the storage again when nothing faulted.
+  out.fault_flags_.assign(samples, 0);
   return out;
+}
+
+void BatchedAnalyzer::copy_group(BatchedModels& out, std::size_t g, const double* ctot,
+                                 const double* sr, const double* sl, double* poison) const {
+  const std::size_t w = lane_width_;
+  const std::size_t rows = out.ids_.size();
+  for (std::size_t row = 0; row < rows; ++row) {
+    const auto i = static_cast<std::size_t>(out.ids_[row]);
+    const std::size_t dst = row * out.padded_samples_ + g * w;
+    std::memcpy(out.sr_.data() + dst, sr + i * w, w * sizeof(double));
+    std::memcpy(out.sl_.data() + dst, sl + i * w, w * sizeof(double));
+    std::memcpy(out.ctot_.data() + dst, ctot + i * w, w * sizeof(double));
+    // Rescan the freshly copied (cache-hot) values with the poison trick:
+    // each term is 0 for a finite value and NaN otherwise, so after the
+    // sweep poison[t] answers "did lane t report any non-finite moment?"
+    // without branching. Per-term multiplies — summing first could
+    // overflow to Inf on legitimately huge finite moments.
+    const double* a = sr + i * w;
+    const double* b = sl + i * w;
+    const double* d = ctot + i * w;
+    RELMORE_SIMD
+    for (std::size_t t = 0; t < w; ++t) {
+      poison[t] += a[t] * 0.0 + b[t] * 0.0 + d[t] * 0.0;
+    }
+  }
+}
+
+void BatchedAnalyzer::flag_group(BatchedModels& out, std::size_t g, const double* poison,
+                                 const std::uint8_t* lane_input) const {
+  const std::size_t w = lane_width_;
+  for (std::size_t t = 0; t < w; ++t) {
+    const std::size_t s = g * w + t;
+    if (s >= out.samples_) break;  // padding lanes carry no verdict
+    std::uint8_t flags = lane_input != nullptr
+                             ? lane_input[t]
+                             : (s < input_fault_.size() ? input_fault_[s] : std::uint8_t{0});
+    if (!(poison[t] == 0.0)) flags |= eed::kFaultNonFiniteMoment;
+    if (flags != 0) out.fault_flags_[s] = flags;
+  }
+}
+
+void BatchedAnalyzer::finalize_faults(BatchedModels& out, const char* entry) const {
+  std::size_t count = 0;
+  for (const std::uint8_t f : out.fault_flags_) count += f != 0 ? 1u : 0u;
+  if (count == 0) {
+    out.fault_flags_ = {};
+    out.fault_count_ = 0;
+    return;
+  }
+  if (policy_ == util::FaultPolicy::kThrow) {
+    std::size_t first = 0;
+    while (out.fault_flags_[first] == 0) ++first;
+    const bool input = (out.fault_flags_[first] & eed::kFaultBadInput) != 0;
+    throw util::FaultError(util::Status(
+        input ? util::ErrorCode::kInvalidArgument : util::ErrorCode::kNonFiniteMoment,
+        std::string(entry) + ": " +
+            (input ? "invalid element values" : "non-finite moments") + " in sample " +
+            std::to_string(first) + " (" + std::to_string(count) + " faulted of " +
+            std::to_string(out.samples_) + " samples)"));
+  }
+  if (policy_ == util::FaultPolicy::kClampAndFlag) {
+    // Rare slow path: clamp the faulted samples' reported moments to the
+    // RC-degenerate limit (0). Healthy lanes are never touched.
+    const std::size_t rows = out.ids_.size();
+    for (std::size_t s = 0; s < out.fault_flags_.size(); ++s) {
+      if (out.fault_flags_[s] == 0) continue;
+      for (std::size_t row = 0; row < rows; ++row) {
+        const std::size_t at = row * out.padded_samples_ + s;
+        if (!util::valid_element_value(out.sr_[at])) out.sr_[at] = 0.0;
+        if (!util::valid_element_value(out.sl_[at])) out.sl_[at] = 0.0;
+        if (!util::valid_element_value(out.ctot_[at])) out.ctot_[at] = 0.0;
+      }
+    }
+  }
+  out.fault_count_ = count;
 }
 
 BatchedModels BatchedAnalyzer::analyze_impl(const std::vector<SectionId>& ids, bool all_nodes,
@@ -295,21 +450,19 @@ BatchedModels BatchedAnalyzer::analyze_impl(const std::vector<SectionId>& ids, b
   const std::size_t n = topo_.size();
   const std::size_t w = lane_width_;
   BatchedModels out = make_output(ids, all_nodes, samples_, groups_);
-  const std::size_t rows = out.ids_.size();
 
   // One lane-group per task; each task writes a disjoint sample range of
-  // every output row, so scheduling order cannot affect the results.
-  // Scratch lives in the caller's frame (serial) or one allocation per
-  // task invocation (pooled) — never one allocation per group per pass.
+  // every output row (and disjoint flag bytes), so scheduling order cannot
+  // affect the results. Scratch lives in the caller's frame (serial) or one
+  // allocation per task invocation (pooled) — never one allocation per
+  // group per pass. Fault policies never throw inside a task: verdicts are
+  // recorded per sample and resolved after the join (finalize_faults), so
+  // a faulted lane cannot abandon other groups' results mid-flight.
   const auto run_into = [&](std::size_t g, double* ctot, double* sr, double* sl) {
     run_group(g, ctot, sr, sl);
-    for (std::size_t row = 0; row < rows; ++row) {
-      const auto i = static_cast<std::size_t>(out.ids_[row]);
-      const std::size_t dst = row * out.padded_samples_ + g * w;
-      std::memcpy(out.sr_.data() + dst, sr + i * w, w * sizeof(double));
-      std::memcpy(out.sl_.data() + dst, sl + i * w, w * sizeof(double));
-      std::memcpy(out.ctot_.data() + dst, ctot + i * w, w * sizeof(double));
-    }
+    double poison[8] = {};
+    copy_group(out, g, ctot, sr, sl, poison);
+    flag_group(out, g, poison, nullptr);
   };
   if (pool != nullptr && groups_ > 1) {
     pool->parallel_for(groups_, [&](std::size_t g) {
@@ -322,6 +475,7 @@ BatchedModels BatchedAnalyzer::analyze_impl(const std::vector<SectionId>& ids, b
       run_into(g, scratch.data(), scratch.data() + n * w, scratch.data() + 2 * n * w);
     }
   }
+  finalize_faults(out, "BatchedAnalyzer::analyze");
   return out;
 }
 
@@ -333,7 +487,6 @@ BatchedModels BatchedAnalyzer::analyze_stream(std::size_t samples, const SampleF
   const std::size_t w = lane_width_;
   const std::size_t groups = (samples + w - 1) / w;
   BatchedModels out = make_output(ids, /*all_nodes=*/ids.empty(), samples, groups);
-  const std::size_t rows = out.ids_.size();
   const SectionId* parent = topo_.parent().data();
 
   // Per-group working set: w sample-major staging rows (what the fill
@@ -360,8 +513,22 @@ BatchedModels BatchedAnalyzer::analyze_stream(std::size_t samples, const SampleF
         std::memcpy(rows_c + t * n, rows_c, n * sizeof(double));
       }
     }
-    if (lowest_of(buf.data(), 3 * w * n) < 0.0) {
-      throw std::invalid_argument("BatchedAnalyzer: negative element value from fill");
+    std::uint8_t lane_input[8] = {};
+    if (scan_values(buf.data(), 3 * w * n).bad()) {
+      // Rare slow path: attribute the fault to specific lanes so healthy
+      // samples in the same group stay unflagged; under kClampAndFlag the
+      // staging values are repaired before the kernel consumes them.
+      for (std::size_t t = 0; t < w; ++t) {
+        ValueScan lane = scan_values(rows_r + t * n, n);
+        lane.merge(scan_values(rows_l + t * n, n));
+        lane.merge(scan_values(rows_c + t * n, n));
+        if (lane.bad()) lane_input[t] = eed::kFaultBadInput;
+      }
+      if (policy_ == util::FaultPolicy::kClampAndFlag) {
+        for (std::size_t i = 0; i < 3 * w * n; ++i) {
+          if (!util::valid_element_value(buf[i])) buf[i] = 0.0;
+        }
+      }
     }
     double* ctot = scratch;
     double* sr = scratch + n * w;
@@ -373,13 +540,9 @@ BatchedModels BatchedAnalyzer::analyze_stream(std::size_t samples, const SampleF
       case 8: run_group_rows<8>(n, parent, rows_r, rows_l, rows_c, ctot, sr, sl); break;
       default: throw std::logic_error("BatchedAnalyzer: unsupported lane width");
     }
-    for (std::size_t row = 0; row < rows; ++row) {
-      const auto i = static_cast<std::size_t>(out.ids_[row]);
-      const std::size_t dst = row * out.padded_samples_ + g * w;
-      std::memcpy(out.sr_.data() + dst, sr + i * w, w * sizeof(double));
-      std::memcpy(out.sl_.data() + dst, sl + i * w, w * sizeof(double));
-      std::memcpy(out.ctot_.data() + dst, ctot + i * w, w * sizeof(double));
-    }
+    double poison[8] = {};
+    copy_group(out, g, ctot, sr, sl, poison);
+    flag_group(out, g, poison, lane_input);
   };
   const std::size_t buf_size = 6 * n * w;  // 3 staging + 3 scratch
   if (pool != nullptr && groups > 1) {
@@ -391,6 +554,7 @@ BatchedModels BatchedAnalyzer::analyze_stream(std::size_t samples, const SampleF
     std::vector<double> buf(buf_size);
     for (std::size_t g = 0; g < groups; ++g) task(g, buf);
   }
+  finalize_faults(out, "BatchedAnalyzer::analyze_stream");
   return out;
 }
 

@@ -28,8 +28,10 @@ namespace relmore::engine {
 class BatchAnalyzer {
  public:
   /// `threads` = total workers including the caller; 0 consults the
-  /// RELMORE_THREADS environment variable (clamped to [1, 64]) and falls
-  /// back to min(hardware_concurrency, 8). Clamped to at least 1.
+  /// RELMORE_THREADS environment variable (an integer in [1, 64]; any
+  /// other value — empty, non-numeric, trailing garbage, out of range —
+  /// is rejected with one stderr warning) and falls back to
+  /// min(hardware_concurrency, 8). Clamped to at least 1.
   explicit BatchAnalyzer(unsigned threads = 0);
   ~BatchAnalyzer();
 

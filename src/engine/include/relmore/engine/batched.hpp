@@ -30,14 +30,33 @@
 /// across cores (`analyze(&pool)`); outputs are written to disjoint
 /// ranges, keeping results thread-count-independent. See docs/kernels.md
 /// for the layout diagrams and measured throughput.
+///
+/// Robustness contract (docs/robustness.md): the constructor validates the
+/// topology (`circuit::validate`) and throws util::FaultError on structural
+/// or value errors. Sample values are validated on entry (NaN/Inf as well
+/// as negatives — a plain min-scan misses NaN) and *reported* results are
+/// scanned for non-finite moments after each kernel sweep; what happens on
+/// a fault is selected by `set_fault_policy`:
+///   kThrow (default)  — analyze/analyze_stream throw util::FaultError
+///                       naming the first faulted sample,
+///   kClampAndFlag     — bad inputs are clamped to 0, non-finite reported
+///                       moments are clamped to 0, the sample is flagged,
+///   kSkipAndFlag      — poisoned values are kept, the sample is flagged.
+/// Faults are per-*sample* (per lane): one poisoned sample is flagged while
+/// every healthy lane of the batch stays bitwise-identical to a scalar
+/// `eed::analyze` of that sample's tree — the guards never touch the
+/// kernel's arithmetic, only its inputs (at fill time) and the copied-out
+/// results.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "relmore/circuit/flat_tree.hpp"
 #include "relmore/circuit/rlc_tree.hpp"
 #include "relmore/eed/model.hpp"
+#include "relmore/util/diagnostics.hpp"
 
 namespace relmore::engine {
 
@@ -69,6 +88,19 @@ class BatchedModels {
   /// 50% delay at (sample, id), paper eq. 35.
   [[nodiscard]] double delay_50(std::size_t sample, circuit::SectionId id) const;
 
+  // --- fault surface (see the robustness contract in the file header) ----
+
+  /// True when no sample faulted — the common case; the flag storage is
+  /// released so a fault-free batch costs nothing to carry around.
+  [[nodiscard]] bool fault_free() const { return fault_count_ == 0; }
+  /// Number of faulted samples (not nodes).
+  [[nodiscard]] std::size_t fault_count() const { return fault_count_; }
+  /// eed::AnalysisFault bits of one sample (kFaultNone when healthy).
+  [[nodiscard]] std::uint8_t fault_flags(std::size_t sample) const;
+  [[nodiscard]] bool faulted(std::size_t sample) const { return fault_flags(sample) != 0; }
+  /// Indices of every faulted sample, ascending.
+  [[nodiscard]] std::vector<std::size_t> faulted_samples() const;
+
  private:
   friend class BatchedAnalyzer;
   [[nodiscard]] std::size_t slot(std::size_t sample, circuit::SectionId id) const;
@@ -79,6 +111,9 @@ class BatchedModels {
   std::vector<int> row_of_;               ///< id -> row, -1 when uncovered
   /// Row-major [row * padded_samples_ + sample].
   std::vector<double> sr_, sl_, ctot_;
+  /// Per-sample eed::AnalysisFault bits; empty when every sample is healthy.
+  std::vector<std::uint8_t> fault_flags_;
+  std::size_t fault_count_ = 0;
 };
 
 /// Same-topology batched analyzer: topology fixed at construction, value
@@ -87,8 +122,16 @@ class BatchedModels {
 class BatchedAnalyzer {
  public:
   /// `lane_width` must be 1, 2, 4, or 8; 0 picks kDefaultLaneWidth.
-  /// Throws std::invalid_argument on other widths or an empty topology.
+  /// Throws std::invalid_argument on other widths or an empty topology, and
+  /// util::FaultError when `circuit::validate` rejects the topology.
   explicit BatchedAnalyzer(circuit::FlatTree topology, std::size_t lane_width = 0);
+
+  /// Selects what happens when a sample's values or computed moments are
+  /// degenerate (see the file header). Applies to subsequent calls only;
+  /// input faults recorded under a flag policy still surface (or throw)
+  /// at the next analyze.
+  void set_fault_policy(util::FaultPolicy policy) { policy_ = policy; }
+  [[nodiscard]] util::FaultPolicy fault_policy() const { return policy_; }
 
   [[nodiscard]] const circuit::FlatTree& topology() const { return topo_; }
   [[nodiscard]] std::size_t sections() const { return topo_.size(); }
@@ -102,8 +145,10 @@ class BatchedAnalyzer {
   void resize(std::size_t samples);
 
   /// Overwrites sample `s` from arrays of length sections(). Safe to call
-  /// concurrently for distinct `s`. Throws on negative values (same
-  /// contract as RlcTree::add_section) and out-of-range `s`.
+  /// concurrently for distinct `s`. Under kThrow, throws util::FaultError
+  /// (a std::invalid_argument) on negative or non-finite values and
+  /// std::out_of_range on a bad `s`; under the flag policies bad values
+  /// mark the sample instead (clamped to 0 under kClampAndFlag).
   void set_sample(std::size_t s, const double* resistance, const double* inductance,
                   const double* capacitance);
 
@@ -139,7 +184,9 @@ class BatchedAnalyzer {
   /// block is built per group and the same kernel consumes it. An empty
   /// `ids` stores every node (analyze() semantics). Padding lanes
   /// replicate the group's first sample. Throws std::invalid_argument on
-  /// samples == 0 or negative filled values.
+  /// samples == 0; bad filled values follow the fault policy (kThrow
+  /// raises util::FaultError after the sweep, naming the first faulted
+  /// sample).
   [[nodiscard]] BatchedModels analyze_stream(std::size_t samples, const SampleFill& fill,
                                              const std::vector<circuit::SectionId>& ids,
                                              BatchAnalyzer* pool = nullptr) const;
@@ -152,13 +199,29 @@ class BatchedAnalyzer {
                                           bool all_nodes, std::size_t samples,
                                           std::size_t groups) const;
   [[nodiscard]] std::size_t value_slot(std::size_t s, std::size_t section) const;
+  /// Copies group `g`'s reported rows into `out` and accumulates each
+  /// lane's output poison term (NaN iff any copied value is non-finite)
+  /// into `poison[0..lane_width_)`.
+  void copy_group(BatchedModels& out, std::size_t g, const double* ctot, const double* sr,
+                  const double* sl, double* poison) const;
+  /// Merges group `g`'s input flags (`lane_input[t]`, or input_fault_ when
+  /// null) with the output `poison` verdicts into `out`'s per-sample flags.
+  void flag_group(BatchedModels& out, std::size_t g, const double* poison,
+                  const std::uint8_t* lane_input) const;
+  /// Post-join fault resolution: counts flagged samples, applies the
+  /// policy (throw / clamp reported rows), and drops the flag storage
+  /// when every sample is healthy.
+  void finalize_faults(BatchedModels& out, const char* entry) const;
 
   circuit::FlatTree topo_;
   std::size_t lane_width_ = kDefaultLaneWidth;
   std::size_t samples_ = 0;
   std::size_t groups_ = 0;
+  util::FaultPolicy policy_ = util::FaultPolicy::kThrow;
   /// AoSoA values, indexed [(group * sections + section) * lane_width + lane].
   std::vector<double> r_, l_, c_;
+  /// Per-sample eed::kFaultBadInput marks recorded by the flag policies.
+  std::vector<std::uint8_t> input_fault_;
 };
 
 }  // namespace relmore::engine

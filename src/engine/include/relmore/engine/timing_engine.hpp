@@ -37,6 +37,17 @@
 /// keeping ids stable. `tree()` always reflects the edited state, so
 /// `eed::analyze(engine.tree())` is the ground truth the engine must (and
 /// does) match.
+///
+/// Robustness contract: the constructor validates the tree
+/// (circuit::validate — finite non-negative values, sound structure) and
+/// throws util::FaultError on errors; every edit validates its inputs
+/// (NaN/Inf/negative rejected) *before* mutating any state, so a throwing
+/// edit leaves the engine exactly as it was (strong exception guarantee).
+/// `begin_transaction`/`commit`/`rollback` group edits: while a
+/// transaction is open every mutation is journaled (value snapshots plus
+/// graft extents), and `rollback` restores the pre-transaction tree
+/// exactly — post-rollback analysis results are bitwise-identical to
+/// pre-transaction ones.
 
 #include <cstdint>
 #include <vector>
@@ -96,6 +107,25 @@ class TimingEngine {
   /// on pruned sections throw. O(subtree + path).
   void prune(circuit::SectionId id);
 
+  // --- transactions -------------------------------------------------------
+
+  /// Opens a transaction: subsequent edits are journaled until commit() or
+  /// rollback(). Transactions do not nest; a second begin throws
+  /// util::FaultError (kTransactionState).
+  void begin_transaction();
+
+  /// Closes the open transaction, keeping every edit. O(1).
+  void commit();
+
+  /// Closes the open transaction and restores the engine to its exact
+  /// pre-transaction state: journaled values/tombstones are replayed in
+  /// reverse, grafted sections are truncated away, and the caches are
+  /// rebuilt from the restored values — so subsequent queries are
+  /// bitwise-identical to pre-transaction ones. O(n + journal).
+  void rollback();
+
+  [[nodiscard]] bool in_transaction() const { return in_tx_; }
+
   // --- queries ------------------------------------------------------------
 
   /// Second-order model of one node. Worst case O(depth); O(1) when the
@@ -117,7 +147,19 @@ class TimingEngine {
   void reset_counters() { counters_ = EngineCounters{}; }
 
  private:
+  /// One journaled mutation. `id == kInput` marks a graft boundary: replay
+  /// truncates the tree back to `truncate_to` sections. Otherwise the
+  /// entry restores section `id`'s pre-mutation values and liveness.
+  struct UndoEntry {
+    circuit::SectionId id = circuit::kInput;
+    circuit::SectionValues v;
+    char alive = 1;
+    std::size_t truncate_to = 0;
+  };
+
   void check_alive(circuit::SectionId id) const;
+  /// Journals section `id`'s current state when a transaction is open.
+  void record_undo(circuit::SectionId id);
   /// Full O(n) sweep: recomputes ctot/tr/tl exactly as eed::analyze's
   /// upward pass and invalidates all prefixes.
   void rebuild_all();
@@ -139,6 +181,8 @@ class TimingEngine {
   std::uint64_t epoch_ = 1;                    ///< bumped by every edit
   mutable std::uint64_t all_fresh_epoch_ = 0;  ///< epoch of last whole-tree refresh
   mutable EngineCounters counters_;
+  bool in_tx_ = false;
+  std::vector<UndoEntry> undo_;  ///< journal of the open transaction
 };
 
 }  // namespace relmore::engine

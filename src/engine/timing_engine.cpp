@@ -4,15 +4,40 @@
 #include <limits>
 #include <stdexcept>
 
+#include "relmore/circuit/validate.hpp"
 #include "relmore/eed/second_order.hpp"
 
 namespace relmore::engine {
 
 using circuit::RlcTree;
 using circuit::SectionId;
+using util::ErrorCode;
+using util::FaultError;
+using util::Status;
+
+namespace {
+
+/// Edit-input guard: rejects NaN/Inf/negative R/L/C before any state is
+/// touched (the strong exception guarantee hinges on validate-then-mutate).
+void check_edit_values(const circuit::SectionValues& v, SectionId id) {
+  for (const double x : {v.resistance, v.inductance, v.capacitance}) {
+    if (util::valid_element_value(x)) continue;
+    const bool non_finite = std::isnan(x) || std::isinf(x);
+    throw FaultError(Status(
+        non_finite ? ErrorCode::kNonFiniteValue : ErrorCode::kNegativeValue,
+        std::string("TimingEngine: ") + (non_finite ? "non-finite" : "negative") +
+            " element value in edit of section " + std::to_string(id),
+        id));
+  }
+}
+
+}  // namespace
 
 TimingEngine::TimingEngine(RlcTree tree) : tree_(std::move(tree)) {
   if (tree_.empty()) throw std::invalid_argument("TimingEngine: empty tree");
+  if (const util::DiagnosticsReport report = circuit::validate(tree_); !report.is_ok()) {
+    throw FaultError(report.to_status());
+  }
   const std::size_t n = tree_.size();
   alive_.assign(n, 1);
   level_.resize(n);
@@ -92,11 +117,10 @@ std::uint64_t TimingEngine::resum_path(SectionId id) {
 
 void TimingEngine::set_section_values(SectionId id, const circuit::SectionValues& v) {
   check_alive(id);
-  if (v.resistance < 0.0 || v.inductance < 0.0 || v.capacitance < 0.0) {
-    throw std::invalid_argument("TimingEngine: negative element value");
-  }
+  check_edit_values(v, id);
   const auto i = static_cast<std::size_t>(id);
   const bool cap_changed = tree_.section(id).v.capacitance != v.capacitance;
+  record_undo(id);
   tree_.values(id) = v;
   if (cap_changed) {
     counters_.edit_nodes_touched += resum_path(id);
@@ -118,13 +142,14 @@ void TimingEngine::apply_edits(const std::vector<Edit>& edits) {
   std::uint64_t path_cost = 0;
   for (const Edit& e : edits) {
     check_alive(e.id);
-    if (e.v.resistance < 0.0 || e.v.inductance < 0.0 || e.v.capacitance < 0.0) {
-      throw std::invalid_argument("TimingEngine: negative element value");
-    }
+    check_edit_values(e.v, e.id);
     path_cost += static_cast<std::uint64_t>(level_[static_cast<std::size_t>(e.id)]);
   }
   if (path_cost >= tree_.size()) {
-    for (const Edit& e : edits) tree_.values(e.id) = e.v;
+    for (const Edit& e : edits) {
+      record_undo(e.id);
+      tree_.values(e.id) = e.v;
+    }
     rebuild_all();
     return;
   }
@@ -136,6 +161,18 @@ std::vector<SectionId> TimingEngine::graft(SectionId parent, const RlcTree& subt
   if (subtree.empty()) throw std::invalid_argument("TimingEngine::graft: empty subtree");
   const std::size_t base = tree_.size();
   const std::size_t m = subtree.size();
+  // Validate every incoming value before the first append so a poisoned
+  // subtree leaves the engine untouched (strong exception guarantee).
+  for (std::size_t s = 0; s < m; ++s) {
+    check_edit_values(subtree.section(static_cast<SectionId>(s)).v,
+                      static_cast<SectionId>(s));
+  }
+  if (in_tx_) {
+    UndoEntry marker;
+    marker.id = circuit::kInput;
+    marker.truncate_to = base;
+    undo_.push_back(marker);
+  }
   std::vector<SectionId> id_map(m, circuit::kInput);
   for (std::size_t s = 0; s < m; ++s) {
     const auto& sec = subtree.section(static_cast<SectionId>(s));
@@ -191,6 +228,7 @@ void TimingEngine::prune(SectionId id) {
     const SectionId cur = stack.back();
     stack.pop_back();
     const auto ci = static_cast<std::size_t>(cur);
+    record_undo(cur);
     alive_[ci] = 0;
     tree_.values(cur) = circuit::SectionValues{0.0, 0.0, 0.0};
     ctot_[ci] = 0.0;
@@ -206,6 +244,69 @@ void TimingEngine::prune(SectionId id) {
   counters_.edit_nodes_touched += touched;
   ++counters_.incremental_edits;
   ++epoch_;
+}
+
+void TimingEngine::record_undo(SectionId id) {
+  if (!in_tx_) return;
+  UndoEntry e;
+  e.id = id;
+  e.v = tree_.section(id).v;
+  e.alive = alive_[static_cast<std::size_t>(id)];
+  undo_.push_back(e);
+}
+
+void TimingEngine::begin_transaction() {
+  if (in_tx_) {
+    throw FaultError(Status(ErrorCode::kTransactionState,
+                            "TimingEngine: transaction already open (no nesting)"));
+  }
+  in_tx_ = true;
+  undo_.clear();
+}
+
+void TimingEngine::commit() {
+  if (!in_tx_) {
+    throw FaultError(
+        Status(ErrorCode::kTransactionState, "TimingEngine: commit without transaction"));
+  }
+  in_tx_ = false;
+  undo_.clear();
+}
+
+void TimingEngine::rollback() {
+  if (!in_tx_) {
+    throw FaultError(
+        Status(ErrorCode::kTransactionState, "TimingEngine: rollback without transaction"));
+  }
+  // Replay the journal newest-first. Value entries for sections a later
+  // (in journal order, i.e. earlier here) graft appended are replayed
+  // before their truncate marker drops those sections, so every restore
+  // targets an id that still exists.
+  for (std::size_t k = undo_.size(); k-- > 0;) {
+    const UndoEntry& e = undo_[k];
+    if (e.id == circuit::kInput) {
+      tree_.truncate(e.truncate_to);
+      const std::size_t n = e.truncate_to;
+      alive_.resize(n);
+      level_.resize(n);
+      ctot_.resize(n);
+      tr_.resize(n);
+      tl_.resize(n);
+      sr_.resize(n);
+      sl_.resize(n);
+      stamp_.resize(n);
+    } else {
+      tree_.values(e.id) = e.v;
+      alive_[static_cast<std::size_t>(e.id)] = e.alive;
+    }
+  }
+  undo_.clear();
+  in_tx_ = false;
+  // Values and liveness are now exactly the pre-transaction ones; one full
+  // sweep rebuilds ctot/tr/tl bitwise-identical to that state (it is the
+  // same association order the original construction used), and the epoch
+  // bump forces every lazy prefix to re-derive from them.
+  rebuild_all();
 }
 
 void TimingEngine::refresh_prefix(SectionId id) const {

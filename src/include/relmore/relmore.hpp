@@ -14,6 +14,7 @@
 #include "relmore/circuit/random_tree.hpp"   // IWYU pragma: export
 #include "relmore/circuit/rlc_tree.hpp"      // IWYU pragma: export
 #include "relmore/circuit/segmentation.hpp"  // IWYU pragma: export
+#include "relmore/circuit/validate.hpp"      // IWYU pragma: export
 #include "relmore/eed/eed.hpp"               // IWYU pragma: export
 #include "relmore/eed/figures_of_merit.hpp"  // IWYU pragma: export
 #include "relmore/eed/frequency.hpp"         // IWYU pragma: export
@@ -35,5 +36,6 @@
 #include "relmore/sim/state_space.hpp"       // IWYU pragma: export
 #include "relmore/sim/tree_transient.hpp"    // IWYU pragma: export
 #include "relmore/sim/waveform_io.hpp"       // IWYU pragma: export
+#include "relmore/util/diagnostics.hpp"      // IWYU pragma: export
 #include "relmore/util/table.hpp"            // IWYU pragma: export
 #include "relmore/util/units.hpp"            // IWYU pragma: export

@@ -1,0 +1,54 @@
+// Standalone corpus-replay driver, used when the toolchain has no
+// libFuzzer (-fsanitize=fuzzer is clang-only; see RELMORE_ENABLE_FUZZERS in
+// tests/fuzz/CMakeLists.txt). Each argument is a corpus file or a directory
+// of corpus files; every file is fed once through LLVMFuzzerTestOneInput,
+// turning the checked-in seed corpus into a plain regression test.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+int replay_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz replay: cannot open %s\n", path.string().c_str());
+    return 1;
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  (void)LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                               bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry : std::filesystem::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 1;
+  }
+  int failures = 0;
+  for (const auto& f : files) failures += replay_file(f);
+  std::printf("fuzz replay: %zu inputs, %d unreadable\n", files.size(), failures);
+  return failures == 0 ? 0 : 1;
+}

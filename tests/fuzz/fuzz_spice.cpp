@@ -1,0 +1,61 @@
+// libFuzzer harness for circuit::read_spice(_checked).
+//
+// Invariants checked (abort on violation):
+//  - the checked reader never throws — every malformed deck must come back
+//    as a structured Status;
+//  - an accepted tree passes circuit::validate and analyzes without an
+//    exception under kSkipAndFlag.
+//
+// The write_spice round trip is exercised but not asserted: a deck may
+// legally use node names ("0", "in", ...) that collide with the writer's
+// conventions, so re-reading an exported deck can fail with a structured
+// Status — what must never happen is a crash or an unstructured exception.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "relmore/circuit/netlist.hpp"
+#include "relmore/circuit/rlc_tree.hpp"
+#include "relmore/circuit/validate.hpp"
+#include "relmore/eed/model.hpp"
+#include "relmore/util/diagnostics.hpp"
+
+namespace rc = relmore::circuit;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size > 65536) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  relmore::util::Result<rc::RlcTree> parsed(rc::RlcTree{});
+  try {
+    std::istringstream is(text);
+    parsed = rc::read_spice_checked(is);
+  } catch (...) {
+    std::abort();  // the checked API promises "never throws"
+  }
+  if (!parsed.is_ok()) return 0;
+
+  const rc::RlcTree& tree = parsed.value();
+  if (!rc::validate(tree).is_ok()) std::abort();  // reader postcondition
+
+  try {
+    relmore::eed::AnalyzeOptions opts;
+    opts.fault_policy = relmore::util::FaultPolicy::kSkipAndFlag;
+    (void)relmore::eed::analyze(tree, opts);
+  } catch (...) {
+    std::abort();
+  }
+
+  try {
+    std::ostringstream out;
+    rc::write_spice(tree, out);
+    std::istringstream back(out.str());
+    (void)rc::read_spice_checked(back);  // structured failure allowed
+  } catch (...) {
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// libFuzzer harness for circuit::read_tree_netlist(_checked).
+//
+// Invariants checked (abort on violation):
+//  - the checked reader never throws;
+//  - an accepted tree passes circuit::validate (the reader's postcondition);
+//  - an accepted tree analyzes without an exception under kSkipAndFlag and
+//    constructs a TimingEngine (the reader feeds the engines directly);
+//  - write -> read is a fixed point after one cycle: the first round trip
+//    may quantize values (the writer prints 6 significant digits), but the
+//    second must reproduce the first bitwise.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "relmore/circuit/netlist.hpp"
+#include "relmore/circuit/rlc_tree.hpp"
+#include "relmore/circuit/validate.hpp"
+#include "relmore/eed/model.hpp"
+#include "relmore/engine/timing_engine.hpp"
+#include "relmore/util/diagnostics.hpp"
+
+namespace rc = relmore::circuit;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size > 65536) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  relmore::util::Result<rc::RlcTree> parsed(rc::RlcTree{});
+  try {
+    std::istringstream is(text);
+    parsed = rc::read_tree_netlist_checked(is);
+  } catch (...) {
+    std::abort();  // the checked API promises "never throws"
+  }
+  if (!parsed.is_ok()) return 0;
+
+  const rc::RlcTree& tree = parsed.value();
+  if (!rc::validate(tree).is_ok()) std::abort();  // reader postcondition
+
+  try {
+    relmore::eed::AnalyzeOptions opts;
+    opts.fault_policy = relmore::util::FaultPolicy::kSkipAndFlag;
+    (void)relmore::eed::analyze(tree, opts);
+    const relmore::engine::TimingEngine engine(tree);
+    (void)engine.model();
+  } catch (...) {
+    std::abort();  // a validated tree must analyze without throwing
+  }
+
+  // Round trip: parse(write(tree)) must succeed, and a second cycle must be
+  // an exact fixed point of the first.
+  std::ostringstream out1;
+  rc::write_tree_netlist(tree, out1);
+  std::istringstream in1(out1.str());
+  const relmore::util::Result<rc::RlcTree> second = rc::read_tree_netlist_checked(in1);
+  if (!second.is_ok()) std::abort();
+
+  std::ostringstream out2;
+  rc::write_tree_netlist(second.value(), out2);
+  if (out2.str() != out1.str()) std::abort();
+  return 0;
+}

@@ -1,0 +1,141 @@
+// circuit::validate — structural and value validation over both storage
+// layouts, with node paths in the findings.
+
+#include "relmore/circuit/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "relmore/circuit/builders.hpp"
+#include "relmore/circuit/flat_tree.hpp"
+#include "relmore/circuit/rlc_tree.hpp"
+
+namespace rc = relmore::circuit;
+namespace ru = relmore::util;
+
+namespace {
+
+rc::RlcTree small_tree() {
+  rc::RlcTree t;
+  const rc::SectionId a = t.add_section(rc::kInput, {10.0, 1e-9, 1e-13}, "a");
+  const rc::SectionId b = t.add_section(a, {20.0, 2e-9, 2e-13}, "b");
+  t.add_section(b, {30.0, 3e-9, 3e-13}, "sink");
+  return t;
+}
+
+bool has_code(const ru::DiagnosticsReport& report, ru::ErrorCode code) {
+  for (const ru::Diagnostic& d : report.entries()) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(Validate, CleanTreePasses) {
+  const ru::DiagnosticsReport report = rc::validate(small_tree());
+  EXPECT_TRUE(report.is_ok());
+  EXPECT_EQ(report.error_count(), 0u);
+  EXPECT_EQ(report.warning_count(), 0u);
+}
+
+TEST(Validate, PaperTreesPass) {
+  const rc::RlcTree fig8 = rc::make_fig8_tree();
+  EXPECT_TRUE(rc::validate(fig8).is_ok());
+  EXPECT_TRUE(rc::validate(rc::FlatTree(fig8)).is_ok());
+}
+
+TEST(Validate, EmptyTree) {
+  const ru::DiagnosticsReport report = rc::validate(rc::RlcTree{});
+  EXPECT_FALSE(report.is_ok());
+  EXPECT_EQ(report.to_status().code(), ru::ErrorCode::kEmptyTree);
+}
+
+TEST(Validate, NonFiniteValueReportsNodeAndPath) {
+  rc::RlcTree t = small_tree();
+  t.values(1).inductance = std::nan("");  // mutable access bypasses add_section
+  const ru::DiagnosticsReport report = rc::validate(t);
+  ASSERT_FALSE(report.is_ok());
+  const ru::Status s = report.to_status();
+  EXPECT_EQ(s.code(), ru::ErrorCode::kNonFiniteValue);
+  EXPECT_EQ(s.node(), 1);
+  EXPECT_NE(s.message().find("a/b"), std::string::npos);  // input->node path
+}
+
+TEST(Validate, NegativeAndInfiniteValues) {
+  rc::RlcTree t = small_tree();
+  t.values(0).resistance = -5.0;
+  t.values(2).capacitance = std::numeric_limits<double>::infinity();
+  const ru::DiagnosticsReport report = rc::validate(t);
+  EXPECT_EQ(report.error_count(), 2u);
+  EXPECT_TRUE(has_code(report, ru::ErrorCode::kNegativeValue));
+  EXPECT_TRUE(has_code(report, ru::ErrorCode::kNonFiniteValue));
+}
+
+TEST(Validate, DuplicateNames) {
+  rc::RlcTree t;
+  const rc::SectionId a = t.add_section(rc::kInput, {1.0, 0.0, 1e-13}, "n");
+  t.add_section(a, {1.0, 0.0, 1e-13}, "n");
+  const ru::DiagnosticsReport report = rc::validate(t);
+  EXPECT_FALSE(report.is_ok());
+  EXPECT_EQ(report.to_status().code(), ru::ErrorCode::kDuplicateName);
+}
+
+TEST(Validate, EmptyNamesAreNotDuplicates) {
+  rc::RlcTree t;
+  const rc::SectionId a = t.add_section(rc::kInput, {1.0, 0.0, 1e-13});
+  t.add_section(a, {1.0, 0.0, 1e-13});
+  EXPECT_TRUE(rc::validate(t).is_ok());
+}
+
+TEST(Validate, ZeroTotalCapacitanceIsAWarning) {
+  rc::RlcTree t;
+  t.add_section(rc::kInput, {1.0, 1e-9, 0.0}, "stub");
+  const ru::DiagnosticsReport report = rc::validate(t);
+  EXPECT_TRUE(report.is_ok());  // warning only
+  EXPECT_EQ(report.warning_count(), 1u);
+  EXPECT_TRUE(has_code(report, ru::ErrorCode::kZeroTotalCapacitance));
+}
+
+TEST(Validate, DepthLimit) {
+  rc::RlcTree t;
+  rc::SectionId cur = rc::kInput;
+  for (int i = 0; i < 10; ++i) cur = t.add_section(cur, {1.0, 0.0, 1e-13});
+  rc::ValidateLimits limits;
+  limits.max_depth = 5;
+  const ru::DiagnosticsReport report = rc::validate(t, limits);
+  EXPECT_FALSE(report.is_ok());
+  EXPECT_EQ(report.to_status().code(), ru::ErrorCode::kDepthLimit);
+  EXPECT_TRUE(rc::validate(t).is_ok());  // default limits are generous
+}
+
+TEST(Validate, SizeLimit) {
+  rc::ValidateLimits limits;
+  limits.max_sections = 2;
+  const ru::DiagnosticsReport report = rc::validate(small_tree(), limits);
+  EXPECT_FALSE(report.is_ok());
+  EXPECT_EQ(report.to_status().code(), ru::ErrorCode::kSizeLimit);
+}
+
+TEST(Validate, FlatTreeSeesTheSameFaults) {
+  rc::RlcTree t = small_tree();
+  t.values(2).resistance = std::nan("");
+  const rc::FlatTree flat(t);
+  const ru::DiagnosticsReport report = rc::validate(flat);
+  ASSERT_FALSE(report.is_ok());
+  const ru::Status s = report.to_status();
+  EXPECT_EQ(s.code(), ru::ErrorCode::kNonFiniteValue);
+  EXPECT_EQ(s.node(), 2);
+  EXPECT_NE(s.message().find("a/b/sink"), std::string::npos);
+}
+
+TEST(NodePath, UsesNamesWithIdFallback) {
+  rc::RlcTree t;
+  const rc::SectionId a = t.add_section(rc::kInput, {1.0, 0.0, 1e-13}, "root");
+  const rc::SectionId b = t.add_section(a, {1.0, 0.0, 1e-13});  // unnamed -> id
+  const rc::SectionId c = t.add_section(b, {1.0, 0.0, 1e-13}, "sink");
+  EXPECT_EQ(rc::node_path(t, c), "root/1/sink");
+  EXPECT_EQ(rc::node_path(t, a), "root");
+}
