@@ -51,7 +51,9 @@ double simulate_buffered(const circuit::RlcTree& tree, const std::vector<bool>& 
       if (tree.children(orig).empty()) sinks.push_back(orig);
       for (auto c : tree.children(orig)) stack.push_back({c, sid});
     }
-    // One transient run covers all stage sinks.
+    // One streaming transient run covers all stage sinks and buffer roots:
+    // only those probes are measured (first 50% crossings, no waveform
+    // storage), with the stage's Elmore horizon as the explicit t_stop.
     const auto model = eed::analyze(stage);
     double horizon = 0.0;
     for (std::size_t k = 0; k < stage.size(); ++k) {
@@ -60,15 +62,18 @@ double simulate_buffered(const circuit::RlcTree& tree, const std::vector<bool>& 
     sim::TransientOptions opts;
     opts.t_stop = horizon;
     opts.dt = horizon / 20000.0;
-    const auto res = sim::simulate_tree(stage, sim::StepSource{1.0}, opts);
-    for (auto s : sinks) {
-      const double d =
-          res.waveform(stage_id[static_cast<std::size_t>(s)]).first_rise_crossing(0.5);
-      worst = std::max(worst, w.arrival + d);
+    std::vector<circuit::SectionId> probes;
+    probes.reserve(sinks.size() + buffer_roots.size());
+    for (auto s : sinks) probes.push_back(stage_id[static_cast<std::size_t>(s)]);
+    for (auto b : buffer_roots) probes.push_back(stage_id[static_cast<std::size_t>(b)]);
+    const std::vector<double> cross = sim::simulate_first_crossings(
+        circuit::FlatTree(stage), sim::StepSource{1.0}, opts, probes, 0.5);
+    for (std::size_t k = 0; k < sinks.size(); ++k) {
+      worst = std::max(worst, w.arrival + cross[k]);
     }
-    for (auto b : buffer_roots) {
-      const double d =
-          res.waveform(stage_id[static_cast<std::size_t>(b)]).first_rise_crossing(0.5);
+    for (std::size_t k = 0; k < buffer_roots.size(); ++k) {
+      const auto b = buffer_roots[k];
+      const double d = cross[sinks.size() + k];
       queue.push_back(
           {tree.children(b), buffer.output_resistance, w.arrival + d + buffer.intrinsic_delay});
     }

@@ -7,7 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "relmore/relmore.hpp"
+
+#include "json_out.hpp"
 
 namespace {
 
@@ -119,6 +125,56 @@ void BM_SimulatorReference(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorReference)->DenseRange(4, 10, 2);
 
+/// Console reporter that additionally collects per-run rows for the
+/// `--json <path>` machine-readable output (see json_out.hpp). Aggregate
+/// rows (BigO / RMS fits) and benchmarks without a `sections` counter are
+/// skipped — the JSON records raw per-size timings only.
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      const auto it = run.counters.find("sections");
+      if (it == run.counters.end()) continue;
+      const double sections = it->second.value;
+      if (sections <= 0.0) continue;
+      benchio::BenchRow row;
+      row.bench = run.benchmark_name();
+      row.n = static_cast<std::size_t>(sections);
+      row.samples = 1;
+      // GetAdjustedRealTime is in the run's time unit (ns by default here).
+      row.ns_per_section = run.GetAdjustedRealTime() / sections;
+      rows.push_back(row);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<benchio::BenchRow> rows;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip `--json <path>` before google-benchmark parses the remainder.
+  const std::string json_path = relmore::benchio::json_path_from_args(argc, argv);
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      ++i;  // also skip the path operand
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+  JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() &&
+      !relmore::benchio::write_bench_json(json_path, reporter.rows)) {
+    std::cerr << "failed to write " << json_path << "\n";
+    return 1;
+  }
+  return 0;
+}

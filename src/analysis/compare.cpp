@@ -36,9 +36,12 @@ sim::Waveform reference_waveform(const RlcTree& tree, SectionId node, const sim:
     return solver.response_waveform(node, source, grid);
   }
   // Large or degenerate trees: trapezoidal tree engine with a fine step.
+  // Only the compared node is recorded — at 4000+ steps the full-tree
+  // recording used to dominate this path's memory traffic.
   sim::TransientOptions opts;
   opts.t_stop = t_stop;
   opts.dt = std::min(sim::suggest_timestep(tree, 0.05), t_stop / 4000.0);
+  opts.probes = {node};
   const sim::TransientResult res = sim::simulate_tree(tree, source, opts);
   const sim::Waveform full = res.waveform(node);
   std::vector<double> v(grid.size());

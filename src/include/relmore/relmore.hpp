@@ -31,6 +31,8 @@
 #include "relmore/opt/van_ginneken.hpp"      // IWYU pragma: export
 #include "relmore/opt/wire_sizing.hpp"       // IWYU pragma: export
 #include "relmore/sim/adaptive.hpp"          // IWYU pragma: export
+#include "relmore/sim/batch_sim.hpp"         // IWYU pragma: export
+#include "relmore/sim/flat_stepper.hpp"      // IWYU pragma: export
 #include "relmore/sim/measure.hpp"           // IWYU pragma: export
 #include "relmore/sim/mna.hpp"               // IWYU pragma: export
 #include "relmore/sim/state_space.hpp"       // IWYU pragma: export

@@ -10,7 +10,7 @@
 #include "relmore/eed/eed.hpp"
 #include "relmore/engine/batch.hpp"
 #include "relmore/engine/batched.hpp"
-#include "relmore/sim/measure.hpp"
+#include "relmore/sim/flat_stepper.hpp"
 #include "relmore/sim/tree_transient.hpp"
 
 namespace relmore::opt {
@@ -102,12 +102,17 @@ double stage_delay_simulated(const BufferInsertionProblem& p, const Stage& st) {
   SectionId sink = circuit::kInput;
   const RlcTree tree = stage_tree(p, st, &sink);
   const eed::TreeModel tm = eed::analyze(tree);
+  // Explicit horizon from the stage's Elmore-based delay estimate; the
+  // streaming crossing probe replaces full n x steps recording (the delay
+  // value is bit-identical to the old measure_rising(waveform).delay_50).
   const double horizon = 20.0 * std::max(eed::delay_50(tm.at(sink)), 1e-12);
   sim::TransientOptions opts;
   opts.t_stop = horizon;
   opts.dt = horizon / 20000.0;
-  const auto res = sim::simulate_tree(tree, sim::StepSource{1.0}, opts);
-  const double d = sim::measure_rising(res.waveform(sink), 1.0).delay_50;
+  const double d =
+      sim::simulate_first_crossings(circuit::FlatTree(tree), sim::StepSource{1.0}, opts, {sink},
+                                    0.5)
+          .front();
   if (d < 0.0) throw std::runtime_error("stage_delay_simulated: no 50% crossing in horizon");
   return d + (st.ends_in_buffer ? p.buffer.intrinsic_delay : 0.0);
 }

@@ -4,13 +4,21 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "relmore/sim/tree_stepper.hpp"
+#include "relmore/sim/flat_stepper.hpp"
 
 namespace relmore::sim {
 
+using circuit::FlatTree;
 using circuit::RlcTree;
+using circuit::SectionId;
 
 TransientResult simulate_tree_adaptive(const RlcTree& tree, const Source& source,
+                                       const AdaptiveOptions& opts) {
+  if (tree.empty()) throw std::invalid_argument("simulate_tree_adaptive: empty tree");
+  return simulate_tree_adaptive(FlatTree(tree), source, opts);
+}
+
+TransientResult simulate_tree_adaptive(const FlatTree& tree, const Source& source,
                                        const AdaptiveOptions& opts) {
   if (tree.empty()) throw std::invalid_argument("simulate_tree_adaptive: empty tree");
   if (opts.t_stop <= 0.0 || opts.tol <= 0.0) {
@@ -22,54 +30,77 @@ TransientResult simulate_tree_adaptive(const RlcTree& tree, const Source& source
     throw std::invalid_argument("simulate_tree_adaptive: dt_max < dt_min");
   }
   const std::size_t n = tree.size();
+  for (const SectionId id : opts.probes) {
+    if (id < 0 || static_cast<std::size_t>(id) >= n) {
+      throw std::out_of_range("simulate_tree_adaptive: probe id out of range");
+    }
+  }
+  const bool all = opts.probes.empty();
+  const std::size_t rows = all ? n : opts.probes.size();
 
   TransientResult out;
-  out.node_voltage.assign(n, {});
+  out.probe_ids = opts.probes;
+  out.node_voltage.assign(rows, {});
   out.time.push_back(0.0);
-  for (std::size_t i = 0; i < n; ++i) out.node_voltage[i].push_back(0.0);
+  for (auto& v : out.node_voltage) v.push_back(0.0);
 
-  TreeStepper full(tree);
-  TreeStepper halves(tree);
+  // `accepted` holds the authoritative state; `full` and `halves` are trial
+  // evolutions branched off it with step_from, so no attempt ever copies a
+  // checkpoint. Each stepper keeps its own factorization cache, which means
+  // the h set (in `full`) and the h/2 set (in `halves`) survive retries and
+  // step-size revisits without a rebuild.
+  FlatStepper accepted(tree);
+  FlatStepper full(tree);
+  FlatStepper halves(tree);
   double h = std::clamp(dt_min * 16.0, dt_min, dt_max);
   double t = 0.0;
   // Startup damping for step discontinuities, as in the fixed-step engine.
   int be_remaining = 2;
+  // Standard step-doubling controller bounds: one factor, one clamp, for
+  // accepts and rejects alike (err ~ h^3 for the halved TR pair).
+  constexpr double kSafety = 0.9;
+  constexpr double kShrinkMin = 0.2;
+  constexpr double kGrowMax = 2.0;
 
   for (std::size_t step = 0; step < opts.max_steps; ++step) {
     if (t >= opts.t_stop) return out;
     h = std::min(h, opts.t_stop - t);
-    const auto method = be_remaining > 0 ? TreeStepper::Method::kBackwardEuler
-                                         : TreeStepper::Method::kTrapezoidal;
+    const auto method = be_remaining > 0 ? FlatStepper::Method::kBackwardEuler
+                                         : FlatStepper::Method::kTrapezoidal;
 
-    // One full step vs two half steps from the same checkpoint.
-    const TreeStepper::State checkpoint = full.state();
-    full.step(h, source_value(source, t + h), method);
-    halves.set_state(checkpoint);
-    halves.step(0.5 * h, source_value(source, t + 0.5 * h), method);
+    // One full step vs two half steps from the same (uncopied) state.
+    full.step_from(accepted.state(), h, source_value(source, t + h), method);
+    halves.step_from(accepted.state(), 0.5 * h, source_value(source, t + 0.5 * h), method);
     halves.step(0.5 * h, source_value(source, t + h), method);
 
     double err = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       err = std::max(err, std::abs(full.voltages()[i] - halves.voltages()[i]));
     }
+    const double factor =
+        err > 0.0 ? std::clamp(kSafety * std::cbrt(opts.tol / err), kShrinkMin, kGrowMax)
+                  : kGrowMax;
 
     if (err <= opts.tol || h <= dt_min * (1.0 + 1e-12)) {
-      // Accept; keep the (more accurate) half-step solution.
+      // Accept: adopt the (more accurate) half-step solution in O(1); the
+      // accepted state seeds the next attempt directly.
       t += h;
-      full.set_state(halves.state());
+      accepted.swap_state(halves);
+      const std::vector<double>& v = accepted.voltages();
       out.time.push_back(t);
-      for (std::size_t i = 0; i < n; ++i) {
-        out.node_voltage[i].push_back(halves.voltages()[i]);
+      if (all) {
+        for (std::size_t i = 0; i < n; ++i) out.node_voltage[i].push_back(v[i]);
+      } else {
+        for (std::size_t r = 0; r < rows; ++r) {
+          out.node_voltage[r].push_back(v[static_cast<std::size_t>(opts.probes[r])]);
+        }
       }
       if (be_remaining > 0) --be_remaining;
-      // Grow cautiously (2nd-order method: err ~ h^3 for TR halving).
-      const double grow = err > 0.0 ? std::cbrt(opts.tol / err) : 2.0;
-      h = std::clamp(h * std::clamp(0.9 * grow, 0.3, 2.0), dt_min, dt_max);
+      h = std::clamp(h * factor, dt_min, dt_max);
     } else {
-      // Reject; shrink and retry from the checkpoint.
-      full.set_state(checkpoint);
-      const double shrink = std::cbrt(opts.tol / err);
-      h = std::clamp(h * std::clamp(0.9 * shrink, 0.1, 0.7), dt_min, dt_max);
+      // Reject: `accepted` was never touched, so shrinking h is the whole
+      // rollback.
+      h = std::clamp(h * factor, dt_min, dt_max);
       if (h <= dt_min && err > 100.0 * opts.tol) {
         throw std::runtime_error(
             "simulate_tree_adaptive: cannot meet tolerance above dt_min");

@@ -1,0 +1,311 @@
+#include "relmore/sim/flat_stepper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace relmore::sim {
+
+using circuit::FlatTree;
+using circuit::SectionId;
+
+FlatStepper::FlatStepper(const FlatTree& tree) : tree_(&tree) {
+  if (tree.empty()) throw std::invalid_argument("FlatStepper: empty tree");
+  const std::size_t n = tree.size();
+  state_.i_l.assign(n, 0.0);
+  state_.v_l.assign(n, 0.0);
+  state_.i_c.assign(n, 0.0);
+  state_.v_node.assign(n, 0.0);
+  state_.time = 0.0;
+  v_prev_.resize(n);
+  e_b_.resize(n);
+  j_.resize(n);
+  j_eq_.resize(n);
+  i_b_.resize(n);
+}
+
+void FlatStepper::set_state(State s) {
+  const std::size_t n = tree_->size();
+  if (s.i_l.size() != n || s.v_l.size() != n || s.i_c.size() != n || s.v_node.size() != n) {
+    throw std::invalid_argument("FlatStepper::set_state: state size mismatch");
+  }
+  state_ = std::move(s);
+}
+
+void FlatStepper::swap_state(FlatStepper& other) {
+  if (other.tree_->size() != tree_->size()) {
+    throw std::invalid_argument("FlatStepper::swap_state: topology size mismatch");
+  }
+  std::swap(state_.i_l, other.state_.i_l);
+  std::swap(state_.v_l, other.state_.v_l);
+  std::swap(state_.i_c, other.state_.i_c);
+  std::swap(state_.v_node, other.state_.v_node);
+  std::swap(state_.time, other.state_.time);
+}
+
+const FlatStepper::Factors& FlatStepper::factors(double h, Method method) {
+  for (const Factors& f : cache_) {
+    if (f.h == h && f.method == method) return f;
+  }
+  Factors& f = cache_[next_slot_];
+  next_slot_ = (next_slot_ + 1) % 2;
+  ++factorizations_built_;
+
+  const std::size_t n = tree_->size();
+  const double* res = tree_->resistance().data();
+  const double* ind = tree_->inductance().data();
+  const double* cap = tree_->capacitance().data();
+  const SectionId* parent = tree_->parent().data();
+  const bool trapezoidal = method == Method::kTrapezoidal;
+
+  f.h = h;
+  f.method = method;
+  f.rl.resize(n);
+  f.gc.resize(n);
+  f.r_b.resize(n);
+  f.g_node.resize(n);
+  f.g_eq.resize(n);
+
+  // Same expressions and association order as TreeStepper's companion loop,
+  // minus the state-dependent terms.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rl = trapezoidal ? 2.0 * ind[i] / h : ind[i] / h;
+    const double gc = trapezoidal ? 2.0 * cap[i] / h : cap[i] / h;
+    f.rl[i] = rl;
+    f.gc[i] = gc;
+    f.r_b[i] = res[i] + rl;
+    f.g_node[i] = gc;
+  }
+  // Upward conductance collapse — the accumulation order matches the
+  // oracle's reverse-id sweep (children carry larger ids than parents).
+  for (std::size_t ii = n; ii-- > 0;) {
+    if (f.g_node[ii] > 0.0) {
+      const double denom = 1.0 + f.r_b[ii] * f.g_node[ii];
+      f.g_eq[ii] = f.g_node[ii] / denom;
+    } else {
+      f.g_eq[ii] = 0.0;
+    }
+    const SectionId p = parent[ii];
+    if (p != circuit::kInput) f.g_node[static_cast<std::size_t>(p)] += f.g_eq[ii];
+  }
+  return f;
+}
+
+void FlatStepper::step(double h, double v_in_next, Method method) {
+  if (h <= 0.0) throw std::invalid_argument("FlatStepper::step: h must be positive");
+  const Factors& f = factors(h, method);
+  // The history sweep writes v_node in place; the capacitor history needs
+  // the pre-step voltages, so stage them in the preallocated scratch.
+  std::copy(state_.v_node.begin(), state_.v_node.end(), v_prev_.begin());
+  advance(state_.i_l.data(), state_.v_l.data(), state_.i_c.data(), v_prev_.data(), state_.time,
+          h, v_in_next, f);
+}
+
+void FlatStepper::step_from(const State& src, double h, double v_in_next, Method method) {
+  if (&src == &state_) {
+    step(h, v_in_next, method);
+    return;
+  }
+  if (h <= 0.0) throw std::invalid_argument("FlatStepper::step_from: h must be positive");
+  const std::size_t n = tree_->size();
+  if (src.i_l.size() != n || src.v_l.size() != n || src.i_c.size() != n ||
+      src.v_node.size() != n) {
+    throw std::invalid_argument("FlatStepper::step_from: state size mismatch");
+  }
+  const Factors& f = factors(h, method);
+  // `src` is external: its arrays are stable while we overwrite our own
+  // state, so no staging copy is needed — a zero-copy trial step.
+  advance(src.i_l.data(), src.v_l.data(), src.i_c.data(), src.v_node.data(), src.time, h,
+          v_in_next, f);
+}
+
+void FlatStepper::advance(const double* i_l_old, const double* v_l_old, const double* i_c_old,
+                          const double* v_old, double src_time, double h, double v_in_next,
+                          const Factors& f) {
+  const std::size_t n = tree_->size();
+  const SectionId* parent = tree_->parent().data();
+  const double* rl = f.rl.data();
+  const double* gc = f.gc.data();
+  const double* r_b = f.r_b.data();
+  const double* g_node = f.g_node.data();
+  const double* g_eq = f.g_eq.data();
+  const bool trapezoidal = f.method == Method::kTrapezoidal;
+  double* e_b = e_b_.data();
+  double* j = j_.data();
+  double* j_eq = j_eq_.data();
+  double* i_b = i_b_.data();
+  double* v_new = state_.v_node.data();
+
+  // State-dependent companion sources (the conductances live in `f`).
+  if (trapezoidal) {
+    for (std::size_t i = 0; i < n; ++i) {
+      e_b[i] = -(rl[i] * i_l_old[i] + v_l_old[i]);
+      j[i] = gc[i] * v_old[i] + i_c_old[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      e_b[i] = -(rl[i] * i_l_old[i]);
+      j[i] = gc[i] * v_old[i];
+    }
+  }
+
+  // Upward sweep: only the Norton source currents accumulate now; the one
+  // remaining division is the state-dependent j/g_node. ge·(e_b + j/g)
+  // reproduces the oracle's ge·v_off bit for bit.
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double je =
+        g_node[ii] > 0.0 ? g_eq[ii] * (e_b[ii] + j[ii] / g_node[ii]) : j[ii];
+    j_eq[ii] = je;
+    const SectionId p = parent[ii];
+    if (p != circuit::kInput) j[static_cast<std::size_t>(p)] += je;
+  }
+
+  // Downward sweep: branch currents and node voltages in id order (parents
+  // are finalized before their children read them).
+  for (std::size_t ii = 0; ii < n; ++ii) {
+    const SectionId p = parent[ii];
+    const double v_p = p == circuit::kInput ? v_in_next : v_new[static_cast<std::size_t>(p)];
+    const double cur = g_node[ii] > 0.0 ? g_eq[ii] * v_p - j_eq[ii] : -j[ii];
+    i_b[ii] = cur;
+    v_new[ii] = v_p - r_b[ii] * cur - e_b[ii];
+  }
+
+  // Companion history update. `gc·v_old + i_c_old` recomputes the oracle's
+  // j_node expression exactly (j[] was consumed by the accumulation).
+  const double* ind = tree_->inductance().data();
+  const double* cap = tree_->capacitance().data();
+  double* i_l = state_.i_l.data();
+  double* v_l = state_.v_l.data();
+  double* i_c = state_.i_c.data();
+  if (trapezoidal) {
+    for (std::size_t ii = 0; ii < n; ++ii) {
+      const double i_c_new = gc[ii] * v_new[ii] - (gc[ii] * v_old[ii] + i_c_old[ii]);
+      v_l[ii] = ind[ii] > 0.0 ? rl[ii] * i_b[ii] + e_b[ii] : 0.0;
+      i_l[ii] = i_b[ii];
+      i_c[ii] = cap[ii] > 0.0 ? i_c_new : 0.0;
+    }
+  } else {
+    for (std::size_t ii = 0; ii < n; ++ii) {
+      const double i_c_new = gc[ii] * (v_new[ii] - v_old[ii]);
+      v_l[ii] = ind[ii] > 0.0 ? rl[ii] * i_b[ii] + e_b[ii] : 0.0;
+      i_l[ii] = i_b[ii];
+      i_c[ii] = cap[ii] > 0.0 ? i_c_new : 0.0;
+    }
+  }
+  state_.time = src_time + h;
+}
+
+namespace {
+
+void validate_transient(const FlatTree& tree, const TransientOptions& opts, const char* who) {
+  if (tree.empty()) throw std::invalid_argument(std::string(who) + ": empty tree");
+  if (opts.t_stop <= 0.0 || opts.dt <= 0.0) {
+    throw std::invalid_argument(std::string(who) + ": t_stop and dt must be positive");
+  }
+}
+
+void validate_probes(const std::vector<SectionId>& probes, std::size_t n, const char* who) {
+  for (const SectionId id : probes) {
+    if (id < 0 || static_cast<std::size_t>(id) >= n) {
+      throw std::out_of_range(std::string(who) + ": probe id out of range");
+    }
+  }
+}
+
+}  // namespace
+
+TransientResult simulate_tree(const FlatTree& tree, const Source& source,
+                              const TransientOptions& opts) {
+  validate_transient(tree, opts, "simulate_tree");
+  const std::size_t n = tree.size();
+  validate_probes(opts.probes, n, "simulate_tree");
+  const auto steps = static_cast<std::size_t>(std::ceil(opts.t_stop / opts.dt));
+  const bool all = opts.probes.empty();
+  const std::size_t rows = all ? n : opts.probes.size();
+
+  TransientResult out;
+  out.probe_ids = opts.probes;
+  out.time.reserve(steps + 1);
+  out.node_voltage.assign(rows, {});
+  for (auto& v : out.node_voltage) v.reserve(steps + 1);
+  out.time.push_back(0.0);
+  for (auto& v : out.node_voltage) v.push_back(0.0);
+
+  FlatStepper stepper(tree);
+  const double h = opts.dt;
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const double t = static_cast<double>(step) * h;
+    const auto method = static_cast<int>(step) > opts.be_startup_steps
+                            ? FlatStepper::Method::kTrapezoidal
+                            : FlatStepper::Method::kBackwardEuler;
+    stepper.step(h, source_value(source, t), method);
+    out.time.push_back(t);
+    const std::vector<double>& v = stepper.voltages();
+    if (all) {
+      for (std::size_t ii = 0; ii < n; ++ii) out.node_voltage[ii].push_back(v[ii]);
+    } else {
+      for (std::size_t r = 0; r < rows; ++r) {
+        out.node_voltage[r].push_back(v[static_cast<std::size_t>(opts.probes[r])]);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> simulate_first_crossings(const FlatTree& tree, const Source& source,
+                                             const TransientOptions& opts,
+                                             const std::vector<SectionId>& probes,
+                                             double threshold) {
+  validate_transient(tree, opts, "simulate_first_crossings");
+  validate_probes(probes, tree.size(), "simulate_first_crossings");
+  const std::size_t m = probes.size();
+  std::vector<double> cross(m, -1.0);
+  if (m == 0) return cross;
+  const auto steps = static_cast<std::size_t>(std::ceil(opts.t_stop / opts.dt));
+
+  // Ring of the last sample per probe — all the state the interpolated
+  // crossing needs. Initial condition is 0 V everywhere at t = 0.
+  std::vector<double> prev_v(m, 0.0);
+  std::vector<char> crossed(m, 0);
+  std::size_t remaining = m;
+
+  FlatStepper stepper(tree);
+  const double h = opts.dt;
+  double t_prev = 0.0;
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const double t = static_cast<double>(step) * h;
+    const auto method = static_cast<int>(step) > opts.be_startup_steps
+                            ? FlatStepper::Method::kTrapezoidal
+                            : FlatStepper::Method::kBackwardEuler;
+    stepper.step(h, source_value(source, t), method);
+    const std::vector<double>& volt = stepper.voltages();
+    for (std::size_t r = 0; r < m; ++r) {
+      const double v = volt[static_cast<std::size_t>(probes[r])];
+      if (!crossed[r] && prev_v[r] < threshold && v >= threshold) {
+        // Waveform::first_rise_crossing's interpolation, verbatim.
+        const double w = (threshold - prev_v[r]) / (v - prev_v[r]);
+        cross[r] = t_prev + w * (t - t_prev);
+        crossed[r] = 1;
+        --remaining;
+      }
+      prev_v[r] = v;
+    }
+    // Early exit is only sound when the interior-crossing rule can still
+    // fire for an uncrossed probe; with threshold <= 0 the front-sample
+    // fallback below governs uncrossed probes, and it needs the full run.
+    if (remaining == 0 && threshold > 0.0) return cross;
+    t_prev = t;
+  }
+  // Front-sample fallback, matching Waveform::first_rise_crossing: with no
+  // interior crossing and v(0) = 0 >= threshold, the crossing is t = 0.
+  if (0.0 >= threshold) {
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!crossed[r]) cross[r] = 0.0;
+    }
+  }
+  return cross;
+}
+
+}  // namespace relmore::sim

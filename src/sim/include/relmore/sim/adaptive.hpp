@@ -6,7 +6,17 @@
 /// instead of a timestep. Each accepted interval is computed twice — once
 /// with step h and once with two h/2 steps — and the difference drives the
 /// local-error estimate, with the h/2 result kept (local extrapolation).
+///
+/// The driver runs on sim::FlatStepper and is zero-copy per attempt: the
+/// two trial evolutions branch off the accepted state via step_from (no
+/// checkpoint State copy), an accepted trial is adopted with an O(1)
+/// swap_state, and a rejected attempt simply re-reads the untouched
+/// accepted state. The h and h/2 companion factorizations live in the
+/// steppers' caches, so retries and step-size reuse rebuild nothing.
 
+#include <vector>
+
+#include "relmore/circuit/flat_tree.hpp"
 #include "relmore/circuit/rlc_tree.hpp"
 #include "relmore/sim/source.hpp"
 #include "relmore/sim/tree_transient.hpp"
@@ -19,12 +29,20 @@ struct AdaptiveOptions {
   double dt_min = 0.0;       ///< 0 = t_stop * 1e-9
   double dt_max = 0.0;       ///< 0 = t_stop / 50
   std::size_t max_steps = 2'000'000;
+  /// Sections to record (empty = all), as in TransientOptions. The error
+  /// controller always watches every node; probes only limit recording.
+  std::vector<circuit::SectionId> probes;
 };
 
 /// Adaptive transient from zero state; the returned time grid is
 /// non-uniform. Throws std::runtime_error when the step controller cannot
 /// meet the tolerance above dt_min.
 TransientResult simulate_tree_adaptive(const circuit::RlcTree& tree, const Source& source,
+                                       const AdaptiveOptions& opts);
+
+/// Same, over a prebuilt snapshot (amortizes the SoA conversion across
+/// repeated runs).
+TransientResult simulate_tree_adaptive(const circuit::FlatTree& tree, const Source& source,
                                        const AdaptiveOptions& opts);
 
 }  // namespace relmore::sim

@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file flat_stepper.hpp
+/// SoA transient stepper over a circuit::FlatTree with per-(h, method)
+/// companion factorization — the fast path of the reference simulator.
+///
+/// One Norton-collapse timestep splits into a state-independent half and a
+/// state-dependent half. The branch impedance `r_b = R + k·L/h`, the shunt
+/// conductance `gc = k·C/h`, the *accumulated* upward conductances
+/// `g_node`, and the collapse divisors `g_eq = g_node/(1 + r_b·g_node)`
+/// depend only on (R, L, C, h, method) — never on the waveform — so
+/// `FlatStepper` factors them once per step size and keeps a two-entry
+/// cache (fixed-step runs build exactly two factorizations: backward-Euler
+/// startup + trapezoidal; the adaptive driver reuses the cached h and h/2
+/// sets across attempts). The per-step work that remains is a pure history
+/// sweep over contiguous arrays: one division per section (the
+/// state-dependent `j/g_node` Norton source) instead of `TreeStepper`'s
+/// six, no AoS `tree.section()` loads, and no per-step allocation.
+///
+/// Equivalence contract: a `FlatStepper` step executes exactly the scalar
+/// operations of `TreeStepper::step` in exactly its association order, so
+/// the advanced state is *bitwise identical* to the AoS oracle's — the
+/// ≤1-ulp-per-step bound the property suite asserts holds with zero ulps.
+/// `TreeStepper` stays as the oracle; everything else routes through here.
+
+#include <cstddef>
+#include <vector>
+
+#include "relmore/circuit/flat_tree.hpp"
+#include "relmore/sim/tree_transient.hpp"
+
+namespace relmore::sim {
+
+/// Advances companion-model state of one FlatTree a timestep at a time.
+/// The referenced topology must outlive the stepper.
+class FlatStepper {
+ public:
+  enum class Method { kBackwardEuler, kTrapezoidal };
+
+  /// Full integration state; value type so drivers can checkpoint. The
+  /// adaptive driver avoids state copies entirely via step_from/swap_state.
+  struct State {
+    std::vector<double> i_l;     ///< inductor currents
+    std::vector<double> v_l;     ///< inductor voltages
+    std::vector<double> i_c;     ///< capacitor currents
+    std::vector<double> v_node;  ///< node voltages
+    double time = 0.0;
+  };
+
+  explicit FlatStepper(const circuit::FlatTree& tree);
+
+  /// Advances by h with the input node held at `v_in_next` (the source
+  /// value at the *end* of the step). Throws std::invalid_argument on
+  /// h <= 0.
+  void step(double h, double v_in_next, Method method);
+
+  /// Advances from `src` instead of the own state; the result lands in
+  /// this stepper (own state is fully overwritten, `src` is untouched).
+  /// Lets a driver branch two trial evolutions off one checkpoint without
+  /// copying it. Passing this stepper's own state() degrades to step().
+  void step_from(const State& src, double h, double v_in_next, Method method);
+
+  [[nodiscard]] const std::vector<double>& voltages() const { return state_.v_node; }
+  [[nodiscard]] double time() const { return state_.time; }
+  [[nodiscard]] const State& state() const { return state_; }
+  /// Throws std::invalid_argument when the state arrays don't match the
+  /// topology size.
+  void set_state(State s);
+  /// O(1) state exchange between two steppers of the same topology size —
+  /// how the adaptive driver adopts an accepted trial without a copy.
+  void swap_state(FlatStepper& other);
+
+  /// Number of companion factorizations built so far (cache misses); a
+  /// fixed-step run with backward-Euler startup builds exactly two.
+  [[nodiscard]] std::size_t factorizations_built() const { return factorizations_built_; }
+
+ private:
+  /// Per-(h, method) state-independent factors. `g_node` is the fully
+  /// accumulated upward conductance (own companion + collapsed children).
+  struct Factors {
+    double h = -1.0;
+    Method method = Method::kBackwardEuler;
+    std::vector<double> rl;      ///< k·L/h companion inductor impedance
+    std::vector<double> gc;      ///< k·C/h companion capacitor conductance
+    std::vector<double> r_b;     ///< R + rl branch impedance
+    std::vector<double> g_node;  ///< accumulated shunt conductance
+    std::vector<double> g_eq;    ///< g_node / (1 + r_b·g_node)
+  };
+
+  const Factors& factors(double h, Method method);
+  /// The history sweep: reads old state from the four arrays (which may
+  /// alias this stepper's own state except v_old, a stable copy), writes
+  /// the advanced state into state_.
+  void advance(const double* i_l_old, const double* v_l_old, const double* i_c_old,
+               const double* v_old, double src_time, double h, double v_in_next,
+               const Factors& f);
+
+  const circuit::FlatTree* tree_;
+  State state_;
+  // Per-step scratch (members to avoid reallocation).
+  std::vector<double> v_prev_;
+  std::vector<double> e_b_;
+  std::vector<double> j_;
+  std::vector<double> j_eq_;
+  std::vector<double> i_b_;
+  Factors cache_[2];
+  std::size_t next_slot_ = 0;
+  std::size_t factorizations_built_ = 0;
+};
+
+/// Fixed-step transient over a prebuilt FlatTree snapshot — the engine
+/// under simulate_tree(RlcTree); use this overload to amortize the
+/// snapshot across repeated runs. Honors `opts.probes` (empty = record
+/// every node).
+TransientResult simulate_tree(const circuit::FlatTree& tree, const Source& source,
+                              const TransientOptions& opts);
+
+/// Streaming measurement path: first upward crossing of `threshold` at
+/// each probe, computed on the fly from a ring of the last sample per
+/// probe — O(probes) memory instead of O(n·steps) — with early exit once
+/// every probe (threshold > 0) has crossed. Returns one time per probe,
+/// bitwise equal to recording the probe's waveform and calling
+/// Waveform::first_rise_crossing(threshold); negative when the probe
+/// never crosses within t_stop. `opts.probes` is ignored (the explicit
+/// list rules).
+std::vector<double> simulate_first_crossings(const circuit::FlatTree& tree,
+                                             const Source& source, const TransientOptions& opts,
+                                             const std::vector<circuit::SectionId>& probes,
+                                             double threshold);
+
+}  // namespace relmore::sim

@@ -30,6 +30,8 @@ TimingMeasurement measure_rising(const Waveform& w, double v_final, double settl
 
 /// First time after which the waveform stays within ±band·v_final of
 /// v_final; std::nullopt when it never settles inside the sampled window.
+/// The band is relative, so `v_final == 0` (or a non-finite v_final) has no
+/// meaningful band — the contract is std::nullopt, never a fabricated time.
 std::optional<double> settling_time(const Waveform& w, double v_final, double band);
 
 }  // namespace relmore::sim

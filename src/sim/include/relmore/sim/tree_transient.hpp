@@ -23,14 +23,27 @@ struct TransientOptions {
   double t_stop = 0.0;        ///< required: simulation end time
   double dt = 0.0;            ///< required: fixed timestep
   int be_startup_steps = 2;   ///< backward-Euler steps before switching to trapezoidal
+  /// Sections to record. Empty (the default) records every section, one
+  /// row per id, as always. Non-empty switches to probe-selective
+  /// recording: one row per listed probe, in list order, so result memory
+  /// and store traffic scale with the probe count rather than the tree
+  /// size. The simulated voltages are identical either way.
+  std::vector<circuit::SectionId> probes;
 };
 
-/// Node voltages sampled at every timestep for every section.
+/// Node voltages sampled at every timestep for the recorded sections.
 struct TransientResult {
   std::vector<double> time;
-  std::vector<std::vector<double>> node_voltage;  ///< [section][step]
+  std::vector<std::vector<double>> node_voltage;  ///< [row][step]
+  /// Section recorded by each row. Empty means full recording (row == id),
+  /// preserving the historical layout; otherwise echoes the probe list.
+  std::vector<circuit::SectionId> probe_ids;
 
+  /// Waveform of one section. Throws std::out_of_range when the section
+  /// was not recorded (probe-selective run without it).
   [[nodiscard]] Waveform waveform(circuit::SectionId node) const;
+  /// Whether `node` has a recorded row.
+  [[nodiscard]] bool records(circuit::SectionId node) const;
 };
 
 /// Simulates the tree from zero initial conditions with an ideal voltage

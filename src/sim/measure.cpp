@@ -8,8 +8,14 @@ namespace relmore::sim {
 
 std::optional<double> settling_time(const Waveform& w, double v_final, double band) {
   if (w.empty()) throw std::invalid_argument("settling_time: empty waveform");
-  const double lo = v_final * (1.0 - band);
-  const double hi = v_final * (1.0 + band);
+  // The band is relative (±band·v_final), so v_final == 0 collapses it to a
+  // single point and any nonzero sample would "never settle" while an
+  // all-zero waveform would "settle at t=0" — neither is meaningful.
+  // Contract: no finite nonzero reference, no settling time.
+  if (!std::isfinite(v_final) || v_final == 0.0) return std::nullopt;
+  // min/max keeps the band ordered for negative finals (falling waveforms).
+  const double lo = std::min(v_final * (1.0 - band), v_final * (1.0 + band));
+  const double hi = std::max(v_final * (1.0 - band), v_final * (1.0 + band));
   const auto& t = w.times();
   const auto& v = w.values();
   // Walk backwards to the last sample outside the band.

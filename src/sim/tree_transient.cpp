@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "relmore/circuit/flat_tree.hpp"
+#include "relmore/sim/flat_stepper.hpp"
 #include "relmore/sim/tree_stepper.hpp"
 
 namespace relmore::sim {
@@ -13,7 +15,20 @@ using circuit::RlcTree;
 using circuit::SectionId;
 
 Waveform TransientResult::waveform(SectionId node) const {
-  return Waveform(time, node_voltage.at(static_cast<std::size_t>(node)));
+  if (probe_ids.empty()) {
+    return Waveform(time, node_voltage.at(static_cast<std::size_t>(node)));
+  }
+  for (std::size_t row = 0; row < probe_ids.size(); ++row) {
+    if (probe_ids[row] == node) return Waveform(time, node_voltage[row]);
+  }
+  throw std::out_of_range("TransientResult::waveform: section was not recorded");
+}
+
+bool TransientResult::records(SectionId node) const {
+  if (probe_ids.empty()) {
+    return node >= 0 && static_cast<std::size_t>(node) < node_voltage.size();
+  }
+  return std::find(probe_ids.begin(), probe_ids.end(), node) != probe_ids.end();
 }
 
 TreeStepper::TreeStepper(const RlcTree& tree) : tree_(&tree) {
@@ -119,34 +134,10 @@ void TreeStepper::step(double h, double v_in_next, Method method) {
 TransientResult simulate_tree(const RlcTree& tree, const Source& source,
                               const TransientOptions& opts) {
   if (tree.empty()) throw std::invalid_argument("simulate_tree: empty tree");
-  if (opts.t_stop <= 0.0 || opts.dt <= 0.0) {
-    throw std::invalid_argument("simulate_tree: t_stop and dt must be positive");
-  }
-  const std::size_t n = tree.size();
-  const auto steps = static_cast<std::size_t>(std::ceil(opts.t_stop / opts.dt));
-
-  TransientResult out;
-  out.time.reserve(steps + 1);
-  out.node_voltage.assign(n, {});
-  for (auto& v : out.node_voltage) v.reserve(steps + 1);
-
-  TreeStepper stepper(tree);
-  out.time.push_back(0.0);
-  for (std::size_t i = 0; i < n; ++i) out.node_voltage[i].push_back(0.0);
-
-  const double h = opts.dt;
-  for (std::size_t step = 1; step <= steps; ++step) {
-    const double t = static_cast<double>(step) * h;
-    const auto method = static_cast<int>(step) > opts.be_startup_steps
-                            ? TreeStepper::Method::kTrapezoidal
-                            : TreeStepper::Method::kBackwardEuler;
-    stepper.step(h, source_value(source, t), method);
-    out.time.push_back(t);
-    for (std::size_t ii = 0; ii < n; ++ii) {
-      out.node_voltage[ii].push_back(stepper.voltages()[ii]);
-    }
-  }
-  return out;
+  // The flat SoA engine is bitwise-identical to the historical TreeStepper
+  // loop, so every caller transparently gets the fast path; TreeStepper
+  // remains available as the equivalence oracle.
+  return simulate_tree(circuit::FlatTree(tree), source, opts);
 }
 
 double suggest_timestep(const RlcTree& tree, double fraction) {

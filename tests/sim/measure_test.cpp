@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace relmore::sim {
 namespace {
@@ -65,6 +66,19 @@ TEST(Measure, SettlingAtStartWhenAlwaysInBand) {
   const auto ts = settling_time(w, 1.0, 0.1);
   ASSERT_TRUE(ts.has_value());
   EXPECT_DOUBLE_EQ(*ts, 0.0);
+}
+
+TEST(Measure, SettlingNulloptWhenFinalValueDegenerate) {
+  // v_final == 0 collapses the +-band to a point; the contract is nullopt,
+  // not a spurious "settled at t=0" from the zero-width band.
+  Waveform w({0.0, 1.0, 2.0}, {0.0, 0.0, 0.0});
+  EXPECT_FALSE(settling_time(w, 0.0, 0.1).has_value());
+  const double nan = std::nan("");
+  EXPECT_FALSE(settling_time(w, nan, 0.1).has_value());
+  EXPECT_FALSE(settling_time(w, std::numeric_limits<double>::infinity(), 0.1).has_value());
+  // Negative finals still work (falling waveforms measured externally).
+  Waveform down({0.0, 1.0}, {-0.95, -1.0});
+  EXPECT_TRUE(settling_time(down, -1.0, 0.1).has_value());
 }
 
 TEST(Measure, RejectsBadInputs) {
