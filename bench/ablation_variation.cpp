@@ -23,7 +23,8 @@ int main() {
     spec.sigma_resistance = sigma;
     spec.sigma_capacitance = sigma;
     spec.sigma_inductance = 0.5 * sigma;
-    const auto mc = analysis::monte_carlo_delay(tree, out, spec, 5000, 42);
+    const auto mc =
+        analysis::monte_carlo_delay(tree, out, analysis::MonteCarloOptions{spec, 5000, 42, {}});
     const double lin = analysis::delay_stddev_linear(tree, out, spec);
     table.add_row_numeric({100.0 * sigma, mc.mean / 1e-12, mc.stddev / 1e-12, lin / 1e-12,
                            mc.q95 / 1e-12, lin / mc.stddev},

@@ -107,7 +107,8 @@ void BM_MonteCarloThousandSamples(benchmark::State& state) {
   const auto sink = tree.leaves().front();
   const analysis::VariationSpec spec;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(analysis::monte_carlo_delay(tree, sink, spec, 1000, 1));
+    benchmark::DoNotOptimize(
+        analysis::monte_carlo_delay(tree, sink, analysis::MonteCarloOptions{spec, 1000, 1, {}}));
   }
   state.counters["sections"] = static_cast<double>(tree.size());
 }

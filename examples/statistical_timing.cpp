@@ -45,7 +45,8 @@ int main() {
 
   // 2-4. Variation analysis.
   analysis::VariationSpec spec;  // 10% R/C, 5% L, 1-sigma
-  const auto mc = analysis::monte_carlo_delay(tree, sink, spec, 10000, 2026);
+  const auto mc =
+      analysis::monte_carlo_delay(tree, sink, analysis::MonteCarloOptions{spec, 10000, 2026, {}});
   const double lin_sigma = analysis::delay_stddev_linear(tree, sink, spec);
 
   util::Table dist({"quantity", "value [ps]"});

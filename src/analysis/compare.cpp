@@ -62,8 +62,10 @@ double suggest_horizon(const eed::NodeModel& node, double safety) {
   return safety * horizon;
 }
 
-StepComparison compare_step_response(const RlcTree& tree, SectionId node, double v_supply,
-                                     std::size_t samples) {
+namespace {
+
+StepComparison compare_step_response_impl(const RlcTree& tree, SectionId node, double v_supply,
+                                          std::size_t samples) {
   const eed::TreeModel model = eed::analyze(tree);
   const eed::NodeModel& nm = model.at(node);
 
@@ -97,6 +99,41 @@ StepComparison compare_step_response(const RlcTree& tree, SectionId node, double
   out.rise_err_pct = pct(out.eed_rise, out.ref_rise);
   out.wyatt_err_pct = pct(out.wyatt_delay_50, out.ref_delay_50);
   return out;
+}
+
+}  // namespace
+
+util::Result<StepComparison> compare_step_response_checked(const RlcTree& tree, SectionId node,
+                                                           const CompareOptions& options) {
+  if (tree.empty()) {
+    return util::Status(util::ErrorCode::kEmptyTree, "compare_step_response: empty tree");
+  }
+  if (node < 0 || static_cast<std::size_t>(node) >= tree.size()) {
+    return util::Status(util::ErrorCode::kInvalidArgument,
+                        "compare_step_response: node id out of range",
+                        static_cast<int>(node));
+  }
+  if (options.v_supply <= 0.0 || options.samples < 2) {
+    return util::Status(util::ErrorCode::kInvalidArgument,
+                        "compare_step_response: v_supply must be positive and samples >= 2");
+  }
+  try {
+    return compare_step_response_impl(tree, node, options.v_supply, options.samples);
+  } catch (const util::FaultError& e) {
+    return e.status();
+  } catch (const std::invalid_argument& e) {
+    return util::Status(util::ErrorCode::kInvalidArgument, e.what());
+  }
+}
+
+StepComparison compare_step_response(const RlcTree& tree, SectionId node,
+                                     const CompareOptions& options) {
+  return compare_step_response_checked(tree, node, options).value();
+}
+
+StepComparison compare_step_response(const RlcTree& tree, SectionId node, double v_supply,
+                                     std::size_t samples) {
+  return compare_step_response_impl(tree, node, v_supply, samples);
 }
 
 double scale_inductance_for_zeta(RlcTree& tree, SectionId node, double target_zeta) {

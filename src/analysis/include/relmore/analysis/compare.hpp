@@ -9,6 +9,7 @@
 #include "relmore/eed/model.hpp"
 #include "relmore/sim/source.hpp"
 #include "relmore/sim/waveform.hpp"
+#include "relmore/util/diagnostics.hpp"
 
 namespace relmore::analysis {
 
@@ -46,9 +47,31 @@ struct StepComparison {
   double waveform_max_err = 0.0;   ///< max |eed(t) − ref(t)| / v_supply
 };
 
+/// Knobs for compare_step_response. Replaces the old positional
+/// (v_supply, samples) tail — an options struct reads at the call site and
+/// leaves room for later knobs without another signature change.
+struct CompareOptions {
+  double v_supply = 1.0;       ///< step amplitude [V]
+  std::size_t samples = 2001;  ///< reference-waveform sample count
+};
+
 /// Runs reference simulation + closed forms at one node for a step input.
+/// Returns a structured Status (empty tree, bad node id, degenerate
+/// moments) instead of throwing; never unwinds.
+[[nodiscard]] util::Result<StepComparison> compare_step_response_checked(
+    const circuit::RlcTree& tree, circuit::SectionId node, const CompareOptions& options = {});
+
+/// Exception-compatible shim over compare_step_response_checked: throws
+/// util::FaultError on any rejected input.
 StepComparison compare_step_response(const circuit::RlcTree& tree, circuit::SectionId node,
-                                     double v_supply = 1.0, std::size_t samples = 2001);
+                                     const CompareOptions& options = {});
+
+/// Old positional form.
+[[deprecated(
+    "use compare_step_response(tree, node, CompareOptions{...}) or "
+    "compare_step_response_checked")]]
+StepComparison compare_step_response(const circuit::RlcTree& tree, circuit::SectionId node,
+                                     double v_supply, std::size_t samples = 2001);
 
 /// Rescales every inductance by a single factor so that `node` hits
 /// `target_zeta` exactly (zeta scales as 1/sqrt(L)); returns the factor.

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "relmore/circuit/rlc_tree.hpp"
+#include "relmore/util/diagnostics.hpp"
 
 namespace relmore::analysis {
 
@@ -45,8 +46,31 @@ struct MonteCarloPlan {
   std::size_t lane_width = 0;  ///< kernel lane width 1/2/4/8 (0 = default)
 };
 
-/// Monte-Carlo delay distribution at `node` under `spec`, using the
-/// closed-form EED delay per sample. Deterministic in (seed).
+/// All Monte-Carlo knobs in one place. Replaces the old positional
+/// (spec, samples, seed, plan) tail.
+struct MonteCarloOptions {
+  VariationSpec spec;          ///< per-element-class 1-sigma variation
+  std::size_t samples = 1000;  ///< sample count (>= 2)
+  std::uint64_t seed = 1;      ///< RNG seed; the distribution is deterministic in it
+  MonteCarloPlan plan;         ///< execution schedule (never changes results)
+};
+
+/// Monte-Carlo delay distribution at `node`, using the closed-form EED
+/// delay per sample. Deterministic in options.seed, bitwise-independent of
+/// options.plan. Returns a structured Status (empty tree, bad node id,
+/// samples < 2, degenerate moments under kThrow) instead of throwing.
+[[nodiscard]] util::Result<DelayDistribution> monte_carlo_delay_checked(
+    const circuit::RlcTree& tree, circuit::SectionId node, const MonteCarloOptions& options = {});
+
+/// Exception-compatible shim over monte_carlo_delay_checked: throws
+/// util::FaultError on any rejected input.
+DelayDistribution monte_carlo_delay(const circuit::RlcTree& tree, circuit::SectionId node,
+                                    const MonteCarloOptions& options = {});
+
+/// Old positional form.
+[[deprecated(
+    "use monte_carlo_delay(tree, node, MonteCarloOptions{...}) or "
+    "monte_carlo_delay_checked")]]
 DelayDistribution monte_carlo_delay(const circuit::RlcTree& tree, circuit::SectionId node,
                                     const VariationSpec& spec, std::size_t samples,
                                     std::uint64_t seed, const MonteCarloPlan& plan = {});

@@ -59,9 +59,11 @@ std::uint64_t sample_seed(std::uint64_t seed, std::size_t sample) {
 
 }  // namespace
 
-DelayDistribution monte_carlo_delay(const RlcTree& tree, SectionId node,
-                                    const VariationSpec& spec, std::size_t samples,
-                                    std::uint64_t seed, const MonteCarloPlan& plan) {
+namespace {
+
+DelayDistribution monte_carlo_delay_impl(const RlcTree& tree, SectionId node,
+                                         const VariationSpec& spec, std::size_t samples,
+                                         std::uint64_t seed, const MonteCarloPlan& plan) {
   if (samples < 2) throw std::invalid_argument("monte_carlo_delay: need >= 2 samples");
   const eed::TreeModel nominal_model = eed::analyze(tree);
   DelayDistribution out;
@@ -108,6 +110,42 @@ DelayDistribution monte_carlo_delay(const RlcTree& tree, SectionId node,
   const auto idx = static_cast<std::size_t>(0.95 * static_cast<double>(samples - 1));
   out.q95 = delays[idx];
   return out;
+}
+
+}  // namespace
+
+util::Result<DelayDistribution> monte_carlo_delay_checked(const RlcTree& tree, SectionId node,
+                                                          const MonteCarloOptions& options) {
+  if (tree.empty()) {
+    return util::Status(util::ErrorCode::kEmptyTree, "monte_carlo_delay: empty tree");
+  }
+  if (node < 0 || static_cast<std::size_t>(node) >= tree.size()) {
+    return util::Status(util::ErrorCode::kInvalidArgument,
+                        "monte_carlo_delay: node id out of range", static_cast<int>(node));
+  }
+  if (options.samples < 2) {
+    return util::Status(util::ErrorCode::kInvalidArgument,
+                        "monte_carlo_delay: need >= 2 samples");
+  }
+  try {
+    return monte_carlo_delay_impl(tree, node, options.spec, options.samples, options.seed,
+                                  options.plan);
+  } catch (const util::FaultError& e) {
+    return e.status();
+  } catch (const std::invalid_argument& e) {
+    return util::Status(util::ErrorCode::kInvalidArgument, e.what());
+  }
+}
+
+DelayDistribution monte_carlo_delay(const RlcTree& tree, SectionId node,
+                                    const MonteCarloOptions& options) {
+  return monte_carlo_delay_checked(tree, node, options).value();
+}
+
+DelayDistribution monte_carlo_delay(const RlcTree& tree, SectionId node,
+                                    const VariationSpec& spec, std::size_t samples,
+                                    std::uint64_t seed, const MonteCarloPlan& plan) {
+  return monte_carlo_delay_impl(tree, node, spec, samples, seed, plan);
 }
 
 double delay_stddev_linear(const RlcTree& tree, SectionId node, const VariationSpec& spec) {

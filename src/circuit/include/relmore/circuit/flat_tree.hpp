@@ -35,6 +35,11 @@ namespace relmore::circuit {
 /// work; safe to share read-only across worker threads.
 class FlatTree {
  public:
+  /// Empty snapshot (size() == 0). Exists so containers of FlatTree-valued
+  /// records (sta::Net and friends) can default-construct before the
+  /// source tree is parsed; every analysis entry rejects an empty tree.
+  FlatTree() = default;
+
   /// Snapshots `tree` (values as of the call; later edits to the source
   /// tree are not reflected).
   explicit FlatTree(const RlcTree& tree);

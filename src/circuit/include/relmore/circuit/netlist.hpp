@@ -35,11 +35,27 @@ double parse_spice_value(const std::string& text);
 /// Writes the tree netlist format.
 void write_tree_netlist(const RlcTree& tree, std::ostream& os);
 
+/// Context for design-level reads, where one parse covers many embedded
+/// nets: every finding is tagged with the enclosing net/instance name
+/// (Diagnostic::net / Status::net — a bare "node 3" is useless across a
+/// 10^5-net corpus), local line numbers are offset into the enclosing
+/// file, and `report` (optional) collects *all* validation findings
+/// instead of only the first error the Status carries.
+struct ReadContext {
+  std::string net;      ///< enclosing net/instance name ("" = standalone)
+  int line_offset = 0;  ///< added to this block's 1-based line numbers
+  util::DiagnosticsReport* report = nullptr;  ///< optional sink for findings
+};
+
 /// Parses the tree netlist format and validates the result
 /// (circuit::validate: finite non-negative values, sound structure,
 /// resource limits). Returns a Status with a line number (syntax errors)
 /// or node path (validation errors) on failure; never throws.
 [[nodiscard]] util::Result<RlcTree> read_tree_netlist_checked(std::istream& is);
+
+/// Same, with design-level context: findings name the enclosing net.
+[[nodiscard]] util::Result<RlcTree> read_tree_netlist_checked(std::istream& is,
+                                                              const ReadContext& ctx);
 
 /// Exception-compatible shim over read_tree_netlist_checked. Throws
 /// util::FaultError (a std::invalid_argument) with a line-numbered message
@@ -64,6 +80,10 @@ void write_spice(const RlcTree& tree, std::ostream& os, const SpiceWriteOptions&
 /// valid tree of series R/L sections with grounded capacitors; never
 /// throws.
 [[nodiscard]] util::Result<RlcTree> read_spice_checked(std::istream& is);
+
+/// Same, with design-level context: findings name the enclosing net.
+[[nodiscard]] util::Result<RlcTree> read_spice_checked(std::istream& is,
+                                                       const ReadContext& ctx);
 
 /// Exception-compatible shim over read_spice_checked. Throws
 /// util::FaultError (a std::invalid_argument) on any rejected deck.

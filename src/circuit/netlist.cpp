@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <functional>
 #include <istream>
 #include <map>
 #include <ostream>
@@ -46,10 +47,18 @@ Status parse_fail(int line_no, const std::string& msg) {
 /// own syntax, this re-checks the semantic invariants (values finite and
 /// non-negative, structure sound, resource limits) so a deck that slipped
 /// a degenerate value through arithmetic (e.g. capacitor cards summing to
-/// Inf) is still rejected with a node-path diagnostic.
-Status validate_parsed(const RlcTree& tree) {
+/// Inf) is still rejected with a node-path diagnostic. Findings are tagged
+/// with the context's net name and mirrored into its report sink, so a
+/// design-level caller gets per-net attribution for every finding.
+Status validate_parsed(const RlcTree& tree, const ReadContext& ctx) {
   const util::DiagnosticsReport report = validate(tree);
-  return report.to_status();
+  if (ctx.report != nullptr) {
+    for (util::Diagnostic d : report.entries()) {
+      if (d.net.empty()) d.net = ctx.net;
+      ctx.report->add(std::move(d));
+    }
+  }
+  return report.to_status().with_net(ctx.net);
 }
 
 }  // namespace
@@ -134,11 +143,34 @@ void write_tree_netlist(const RlcTree& tree, std::ostream& os) {
   }
 }
 
-Result<RlcTree> read_tree_netlist_checked(std::istream& is) {
+namespace {
+
+/// Wraps a reader body: tags the failure Status with the context's net
+/// name and mirrors syntax errors (which bypass circuit::validate and so
+/// never reached the report via validate_parsed) into the report sink.
+Result<RlcTree> with_context(const ReadContext& ctx,
+                             const std::function<Result<RlcTree>()>& body) {
+  const std::size_t errors_before = ctx.report != nullptr ? ctx.report->error_count() : 0;
+  Result<RlcTree> res = body();
+  if (res.is_ok()) return res;
+  const Status tagged = res.status().with_net(ctx.net);
+  if (ctx.report != nullptr && ctx.report->error_count() == errors_before) {
+    util::Diagnostic d;
+    d.code = tagged.code();
+    d.message = tagged.message();
+    d.node = tagged.node();
+    d.line = tagged.line();
+    d.net = ctx.net;
+    ctx.report->add(std::move(d));
+  }
+  return tagged;
+}
+
+Result<RlcTree> read_tree_netlist_impl(std::istream& is, const ReadContext& ctx) {
   RlcTree tree;
   std::map<std::string, SectionId> by_name;
   std::string line;
-  int line_no = 0;
+  int line_no = ctx.line_offset;
   while (std::getline(is, line)) {
     ++line_no;
     const auto hash = line.find('#');
@@ -189,8 +221,18 @@ Result<RlcTree> read_tree_netlist_checked(std::istream& is) {
       return parse_fail(line_no, e.what());
     }
   }
-  if (Status s = validate_parsed(tree); !s.is_ok()) return s;
+  if (Status s = validate_parsed(tree, ctx); !s.is_ok()) return s;
   return tree;
+}
+
+}  // namespace
+
+Result<RlcTree> read_tree_netlist_checked(std::istream& is) {
+  return read_tree_netlist_checked(is, ReadContext{});
+}
+
+Result<RlcTree> read_tree_netlist_checked(std::istream& is, const ReadContext& ctx) {
+  return with_context(ctx, [&] { return read_tree_netlist_impl(is, ctx); });
 }
 
 RlcTree read_tree_netlist(std::istream& is) {
@@ -240,15 +282,13 @@ struct SeriesEdge {
   double inductance = 0.0;
 };
 
-}  // namespace
-
-Result<RlcTree> read_spice_checked(std::istream& is) {
+Result<RlcTree> read_spice_impl(std::istream& is, const ReadContext& ctx) {
   std::map<std::string, std::vector<SeriesEdge>> adj;  // node -> series neighbors
   std::map<std::string, double> cap;                   // node -> grounded C
   std::string input_node;
 
   std::string line;
-  int line_no = 0;
+  int line_no = ctx.line_offset;
   while (std::getline(is, line)) {
     ++line_no;
     const auto toks = tokenize(line);
@@ -366,8 +406,18 @@ Result<RlcTree> read_spice_checked(std::istream& is) {
   if (tree.empty()) {
     return Status(ErrorCode::kEmptyTree, "read_spice: no tree sections found");
   }
-  if (Status s = validate_parsed(tree); !s.is_ok()) return s;
+  if (Status s = validate_parsed(tree, ctx); !s.is_ok()) return s;
   return tree;
+}
+
+}  // namespace
+
+Result<RlcTree> read_spice_checked(std::istream& is) {
+  return read_spice_checked(is, ReadContext{});
+}
+
+Result<RlcTree> read_spice_checked(std::istream& is, const ReadContext& ctx) {
+  return with_context(ctx, [&] { return read_spice_impl(is, ctx); });
 }
 
 RlcTree read_spice(std::istream& is) {

@@ -98,6 +98,17 @@ TreeModel analyze(const circuit::RlcTree& tree);
 TreeModel analyze(const circuit::FlatTree& tree, const AnalyzeOptions& options);
 TreeModel analyze(const circuit::FlatTree& tree);
 
+/// Result-returning forms of analyze() — same arithmetic, same fault
+/// policies, but an empty tree or a kThrow-policy fault comes back as a
+/// structured Status instead of an exception. These are the entry points
+/// the corpus layer (sta::analyze_corpus_checked) and other callers that
+/// must not unwind across worker threads use; the throwing overloads above
+/// remain the exception-compatible shims.
+[[nodiscard]] util::Result<TreeModel> analyze_checked(const circuit::RlcTree& tree,
+                                                      const AnalyzeOptions& options = {});
+[[nodiscard]] util::Result<TreeModel> analyze_checked(const circuit::FlatTree& tree,
+                                                      const AnalyzeOptions& options = {});
+
 /// Cost accounting of one whole-tree analysis.
 struct AnalyzeStats {
   std::uint64_t multiplications = 0;  ///< FP multiplies in the two passes

@@ -190,6 +190,36 @@ TreeModel analyze(const circuit::FlatTree& tree, const AnalyzeOptions& options) 
 
 TreeModel analyze(const circuit::FlatTree& tree) { return analyze(tree, AnalyzeOptions{}); }
 
+namespace {
+
+/// Shared catch logic for the _checked entries: FaultError already carries
+/// a structured Status; the legacy empty-tree invalid_argument maps to
+/// kInvalidArgument (the tree never reached the moment passes).
+template <typename Tree>
+util::Result<TreeModel> analyze_checked_impl(const Tree& tree, const AnalyzeOptions& options) {
+  if (tree.empty()) {
+    return util::Status(ErrorCode::kEmptyTree, "eed::analyze_checked: empty tree");
+  }
+  try {
+    return analyze(tree, options);
+  } catch (const util::FaultError& e) {
+    return e.status();
+  } catch (const std::invalid_argument& e) {
+    return util::Status(ErrorCode::kInvalidArgument, e.what());
+  }
+}
+
+}  // namespace
+
+util::Result<TreeModel> analyze_checked(const RlcTree& tree, const AnalyzeOptions& options) {
+  return analyze_checked_impl(tree, options);
+}
+
+util::Result<TreeModel> analyze_checked(const circuit::FlatTree& tree,
+                                        const AnalyzeOptions& options) {
+  return analyze_checked_impl(tree, options);
+}
+
 CountedAnalysis analyze_counting(const RlcTree& tree, const AnalyzeOptions& options) {
   CountedAnalysis out;
   out.model =

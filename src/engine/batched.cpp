@@ -229,6 +229,23 @@ BatchedAnalyzer::BatchedAnalyzer(circuit::FlatTree topology, std::size_t lane_wi
   lane_width_ = lane_width;
 }
 
+util::Result<BatchedAnalyzer> BatchedAnalyzer::create_checked(circuit::FlatTree topology,
+                                                              std::size_t lane_width) {
+  if (topology.empty()) {
+    return util::Status(util::ErrorCode::kEmptyTree, "BatchedAnalyzer: empty topology");
+  }
+  if (lane_width != 0 && lane_width != 1 && lane_width != 2 && lane_width != 4 &&
+      lane_width != 8) {
+    return util::Status(util::ErrorCode::kInvalidArgument,
+                        "BatchedAnalyzer: lane width must be 1, 2, 4, or 8");
+  }
+  try {
+    return BatchedAnalyzer(std::move(topology), lane_width);
+  } catch (const util::FaultError& e) {
+    return e.status();
+  }
+}
+
 std::size_t BatchedAnalyzer::value_slot(std::size_t s, std::size_t section) const {
   const std::size_t group = s / lane_width_;
   const std::size_t lane = s % lane_width_;

@@ -126,6 +126,13 @@ class BatchedAnalyzer {
   /// util::FaultError when `circuit::validate` rejects the topology.
   explicit BatchedAnalyzer(circuit::FlatTree topology, std::size_t lane_width = 0);
 
+  /// Result-returning construction: an invalid lane width, empty topology,
+  /// or validate-rejected topology comes back as a structured Status
+  /// instead of an exception. Part of the repo-wide `_checked` convention;
+  /// the throwing constructor remains the shim.
+  [[nodiscard]] static util::Result<BatchedAnalyzer> create_checked(circuit::FlatTree topology,
+                                                                    std::size_t lane_width = 0);
+
   /// Selects what happens when a sample's values or computed moments are
   /// degenerate (see the file header). Applies to subsequent calls only;
   /// input faults recorded under a flag policy still surface (or throw)

@@ -78,6 +78,12 @@ class TimingEngine {
  public:
   explicit TimingEngine(circuit::RlcTree tree);
 
+  /// Result-returning construction: a tree that `circuit::validate`
+  /// rejects comes back as a structured Status (code + node path) instead
+  /// of a thrown util::FaultError. Part of the repo-wide `_checked`
+  /// convention; the throwing constructor remains the shim.
+  [[nodiscard]] static util::Result<TimingEngine> create_checked(circuit::RlcTree tree);
+
   /// The tree in its current edited state (pruned sections appear as
   /// zero-value stubs). `eed::analyze(tree())` equals `model()` exactly.
   [[nodiscard]] const circuit::RlcTree& tree() const { return tree_; }

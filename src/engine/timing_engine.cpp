@@ -51,6 +51,16 @@ TimingEngine::TimingEngine(RlcTree tree) : tree_(std::move(tree)) {
   rebuild_all();
 }
 
+util::Result<TimingEngine> TimingEngine::create_checked(RlcTree tree) {
+  try {
+    return TimingEngine(std::move(tree));
+  } catch (const FaultError& e) {
+    return e.status();
+  } catch (const std::invalid_argument& e) {
+    return Status(ErrorCode::kEmptyTree, e.what());
+  }
+}
+
 void TimingEngine::check_alive(SectionId id) const {
   if (id < 0 || static_cast<std::size_t>(id) >= tree_.size()) {
     throw std::out_of_range("TimingEngine: section id out of range");

@@ -38,6 +38,8 @@
 #include "relmore/sim/state_space.hpp"       // IWYU pragma: export
 #include "relmore/sim/tree_transient.hpp"    // IWYU pragma: export
 #include "relmore/sim/waveform_io.hpp"       // IWYU pragma: export
+#include "relmore/sta/sta.hpp"               // IWYU pragma: export
+#include "relmore/timer.hpp"                 // IWYU pragma: export
 #include "relmore/util/diagnostics.hpp"      // IWYU pragma: export
 #include "relmore/util/table.hpp"            // IWYU pragma: export
 #include "relmore/util/units.hpp"            // IWYU pragma: export

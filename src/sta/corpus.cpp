@@ -1,0 +1,170 @@
+#include "relmore/sta/corpus.hpp"
+
+#include <map>
+#include <utility>
+
+#include "relmore/engine/batch.hpp"
+#include "relmore/engine/batched.hpp"
+
+namespace relmore::sta {
+
+using circuit::SectionId;
+using util::ErrorCode;
+using util::FaultPolicy;
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// The phase never unwinds across workers: kThrow is resolved at the join.
+FaultPolicy phase_policy(FaultPolicy requested) {
+  return requested == FaultPolicy::kThrow ? FaultPolicy::kSkipAndFlag : requested;
+}
+
+/// Extracts the tap-node models of one net from a full TreeModel.
+void fill_from_model(const Net& net, const eed::TreeModel& model, NetModels& out) {
+  out.taps.resize(net.taps.size());
+  bool any_tap_fault = false;
+  for (std::size_t t = 0; t < net.taps.size(); ++t) {
+    out.taps[t] = model.at(net.taps[t].node);
+    any_tap_fault = any_tap_fault || model.faulted(net.taps[t].node);
+  }
+  // A fault anywhere in the tree poisons root-path sums; flag the net even
+  // when no tap node carries a flag bit itself.
+  if (!model.fault_free()) {
+    out.faulted = true;
+    out.status = Status(ErrorCode::kNonFiniteMoment,
+                        "net has " + std::to_string(model.fault_count) + " faulted node(s)")
+                     .with_net(net.name);
+  }
+  (void)any_tap_fault;
+}
+
+}  // namespace
+
+Result<CorpusModels> analyze_corpus_checked(const Design& design, const AnalyzeOptions& options) {
+  if (design.nets.empty()) {
+    return Status(ErrorCode::kEmptyTree, "analyze_corpus: design has no nets");
+  }
+  if (options.lane_width != 0 && options.lane_width != 1 && options.lane_width != 2 &&
+      options.lane_width != 4 && options.lane_width != 8) {
+    return Status(ErrorCode::kInvalidArgument, "analyze_corpus: lane width must be 1, 2, 4, or 8");
+  }
+  const FaultPolicy policy = phase_policy(options.fault_policy);
+  const std::size_t n_nets = design.nets.size();
+  CorpusModels out;
+  out.nets.resize(n_nets);
+
+  // --- bin nets: topology groups vs scalar singles -------------------------
+  // Exact parent-vector keying: only structurally identical trees share a
+  // batched kernel (values are per-lane). std::map keeps group iteration
+  // order deterministic.
+  std::map<std::vector<SectionId>, std::vector<int>> groups;
+  for (std::size_t ni = 0; ni < n_nets; ++ni) {
+    if (design.nets[ni].flat.empty()) {
+      out.nets[ni].faulted = true;
+      out.nets[ni].status =
+          Status(ErrorCode::kEmptyTree, "net has an empty tree").with_net(design.nets[ni].name);
+      continue;
+    }
+    groups[design.nets[ni].flat.parent()].push_back(static_cast<int>(ni));
+  }
+
+  std::vector<int> scalar_nets;
+  std::vector<const std::vector<int>*> batched_groups;
+  const std::size_t min_group = options.min_group == 0 ? 2 : options.min_group;
+  for (const auto& [key, members] : groups) {
+    if (members.size() >= min_group) {
+      batched_groups.push_back(&members);
+    } else {
+      scalar_nets.insert(scalar_nets.end(), members.begin(), members.end());
+    }
+  }
+
+  engine::BatchAnalyzer pool(options.threads);
+
+  // --- scalar path: one net per task, slot-per-net writes ------------------
+  const eed::AnalyzeOptions scalar_opts{policy};
+  pool.parallel_for(scalar_nets.size(), [&](std::size_t k) {
+    const int ni = scalar_nets[k];
+    const Net& net = design.nets[static_cast<std::size_t>(ni)];
+    NetModels& slot = out.nets[static_cast<std::size_t>(ni)];
+    Result<eed::TreeModel> model = eed::analyze_checked(net.flat, scalar_opts);
+    if (!model.is_ok()) {
+      slot.faulted = true;
+      slot.status = model.status().with_net(net.name);
+      return;
+    }
+    fill_from_model(net, model.value(), slot);
+  });
+
+  // --- batched path: one AoSoA lane per net of a topology group ------------
+  for (const std::vector<int>* group : batched_groups) {
+    const Net& first = design.nets[static_cast<std::size_t>(group->front())];
+    Result<engine::BatchedAnalyzer> batch_r =
+        engine::BatchedAnalyzer::create_checked(first.flat, options.lane_width);
+    if (!batch_r.is_ok()) {
+      // Topology rejected (e.g. validate limits): every member degrades to
+      // the scalar verdict rather than silently vanishing.
+      for (const int ni : *group) {
+        NetModels& slot = out.nets[static_cast<std::size_t>(ni)];
+        slot.faulted = true;
+        slot.status = batch_r.status().with_net(design.nets[static_cast<std::size_t>(ni)].name);
+      }
+      continue;
+    }
+    engine::BatchedAnalyzer batch = std::move(batch_r).value();
+    batch.set_fault_policy(policy);
+    batch.resize(group->size());
+    pool.parallel_for(group->size(), [&](std::size_t s) {
+      const Net& net = design.nets[static_cast<std::size_t>((*group)[s])];
+      batch.set_sample(s, net.flat.resistance().data(), net.flat.inductance().data(),
+                       net.flat.capacitance().data());
+    });
+
+    // Tap-node union across the group (taps differ per net even when the
+    // wire topology matches).
+    std::vector<SectionId> ids;
+    std::vector<char> seen(first.flat.size(), 0);
+    for (const int ni : *group) {
+      for (const Net::Tap& tap : design.nets[static_cast<std::size_t>(ni)].taps) {
+        if (!seen[static_cast<std::size_t>(tap.node)]) {
+          seen[static_cast<std::size_t>(tap.node)] = 1;
+          ids.push_back(tap.node);
+        }
+      }
+    }
+    if (ids.empty()) ids.push_back(static_cast<SectionId>(first.flat.size() - 1));
+
+    const engine::BatchedModels models = batch.analyze_nodes(ids, &pool);
+    for (std::size_t s = 0; s < group->size(); ++s) {
+      const int ni = (*group)[s];
+      const Net& net = design.nets[static_cast<std::size_t>(ni)];
+      NetModels& slot = out.nets[static_cast<std::size_t>(ni)];
+      if (models.faulted(s)) {
+        slot.faulted = true;
+        slot.status = Status(ErrorCode::kNonFiniteMoment, "net faulted in batched analysis")
+                          .with_net(net.name);
+        continue;
+      }
+      slot.taps.resize(net.taps.size());
+      for (std::size_t t = 0; t < net.taps.size(); ++t) {
+        slot.taps[t] = models.node(s, net.taps[t].node);
+      }
+      ++out.batched_nets;
+    }
+  }
+
+  // --- join: apply the requested policy ------------------------------------
+  for (const NetModels& slot : out.nets) {
+    if (slot.faulted) ++out.faulted_nets;
+  }
+  if (options.fault_policy == FaultPolicy::kThrow && out.faulted_nets > 0) {
+    for (const NetModels& slot : out.nets) {
+      if (slot.faulted) return slot.status;  // first faulted net, by index
+    }
+  }
+  return out;
+}
+
+}  // namespace relmore::sta

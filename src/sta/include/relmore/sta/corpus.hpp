@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file corpus.hpp
+/// Corpus-sharded moment analysis: every net of a Design analyzed in one
+/// parallel phase, with the same bitwise-reproducibility contract as the
+/// per-tree kernels.
+///
+/// Dispatch: nets whose FlatTrees share an identical parent vector form a
+/// *topology group* and run through the batched AoSoA kernel
+/// (engine::BatchedAnalyzer, one lane per net); every remaining net runs
+/// the scalar FlatTree path. Both paths write into a per-net slot, and
+/// each lane/sample is bitwise-identical to a scalar `eed::analyze` of
+/// that net's tree, so the corpus result is a pure function of the design
+/// — independent of thread count, lane width, and group scheduling.
+///
+/// Faults: one malformed net must not kill a 10^5-net run. The phase
+/// always executes under a flag policy; what the *caller* asked for is
+/// applied at the join: kThrow surfaces the first faulted net (by net
+/// index) as a Status naming it, the flag policies leave the net marked
+/// (NetModels::faulted + status) and every healthy net fully analyzed.
+
+#include <cstddef>
+#include <vector>
+
+#include "relmore/eed/model.hpp"
+#include "relmore/sta/design.hpp"
+#include "relmore/util/diagnostics.hpp"
+
+namespace relmore::sta {
+
+/// Execution + fault knobs for corpus analysis. The execution half
+/// (threads/lane_width/min_group) never changes a single output bit.
+struct AnalyzeOptions {
+  unsigned threads = 0;         ///< engine::BatchAnalyzer workers (0 = default)
+  std::size_t lane_width = 0;   ///< AoSoA lane width 1/2/4/8 (0 = default)
+  std::size_t min_group = 4;    ///< smallest topology group worth batching
+  util::FaultPolicy fault_policy = util::FaultPolicy::kSkipAndFlag;
+};
+
+/// Moment models of one net, at its tap nodes only (the timing graph
+/// reads nothing else; storing full TreeModels for 10^5 nets would be
+/// most of the corpus' memory for no reader).
+struct NetModels {
+  std::vector<eed::NodeModel> taps;  ///< parallel to Net::taps
+  bool faulted = false;
+  util::Status status;               ///< why, when faulted
+};
+
+/// Per-net models for a whole design, indexed like Design::nets.
+struct CorpusModels {
+  std::vector<NetModels> nets;
+  std::size_t faulted_nets = 0;
+  std::size_t batched_nets = 0;  ///< nets that ran through AoSoA lanes
+};
+
+/// Analyzes every net of `design`. Returns a Status only for caller
+/// errors (empty design) or under FaultPolicy::kThrow when a net faulted;
+/// under the flag policies per-net failures are isolated in the result.
+[[nodiscard]] util::Result<CorpusModels> analyze_corpus_checked(const Design& design,
+                                                               const AnalyzeOptions& options = {});
+
+}  // namespace relmore::sta

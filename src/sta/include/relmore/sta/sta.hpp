@@ -1,0 +1,13 @@
+#pragma once
+
+/// \file sta.hpp
+/// Umbrella header for the static-timing module: design corpus model +
+/// reader, Liberty-subset cell tables, corpus-sharded moment analysis,
+/// and the levelized timing graph. Most callers want the relmore::Timer
+/// façade in relmore/timer.hpp instead.
+
+#include "relmore/sta/corpus.hpp"     // IWYU pragma: export
+#include "relmore/sta/design.hpp"     // IWYU pragma: export
+#include "relmore/sta/liberty.hpp"    // IWYU pragma: export
+#include "relmore/sta/synthetic.hpp"  // IWYU pragma: export
+#include "relmore/sta/timing_graph.hpp"  // IWYU pragma: export

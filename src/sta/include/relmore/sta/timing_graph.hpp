@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file timing_graph.hpp
+/// Static timing over a Design: gate→net→gate stages, levelized arrival
+/// and slew propagation, required-time back-propagation, per-endpoint
+/// slack, and worst-path extraction with a report_timing-style formatter.
+///
+/// Semantics (the STA conventions, documented in docs/sta.md):
+///  - wire stage: each tap of a net sees the EED closed form of its tree
+///    node driven by the driver's 10-90% slew (opt::time_stage — ideal
+///    step when the slew is 0); tap arrival = driver arrival + stage
+///    delay, tap slew = the stage's 10-90% output rise.
+///  - cell stage: instance output arrival = max over input pins of
+///    (pin arrival + delay table(pin slew, output net load)); the winning
+///    pin also supplies the output slew lookup. Loads are the driven
+///    net's total capacitance with every sink pin cap folded in.
+///  - endpoints: output ports. required = the port's `required=` when
+///    given, else the design clock period; endpoints with neither are
+///    unconstrained and excluded from WNS/TNS.
+///  - required times propagate backward (min over fanout), so every
+///    timing point carries a slack, not just endpoints.
+///
+/// The moment phase runs through analyze_corpus_checked, so the whole
+/// analysis inherits its bitwise thread/lane-width independence; the
+/// propagation itself is a sequential sweep over Design::topo_nets.
+/// Faulted nets are skipped and poison only their own fanout cone: every
+/// endpoint fed by one reports `timed == false` instead of a fake number.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "relmore/sta/corpus.hpp"
+#include "relmore/sta/design.hpp"
+#include "relmore/util/diagnostics.hpp"
+
+namespace relmore::sta {
+
+/// Timing state of one point (a net driver or one net tap).
+struct PointTiming {
+  bool timed = false;        ///< false: untimed (fault cone or unreached)
+  double arrival = 0.0;      ///< [s]
+  double slew = 0.0;         ///< 10-90% edge rate [s]
+  double required = 0.0;     ///< [s]; +inf when unconstrained
+  bool constrained = false;  ///< required reachable from a constrained endpoint
+};
+
+/// Per-net timing: the driving point plus one entry per tap.
+struct NetTiming {
+  PointTiming driver;
+  std::vector<PointTiming> taps;    ///< parallel to Net::taps
+  std::vector<double> wire_delay;   ///< driver -> tap stage delay, per tap
+  bool faulted = false;             ///< moments unavailable (skipped net)
+};
+
+/// One endpoint's summary row.
+struct EndpointSlack {
+  int port = -1;          ///< index into Design::ports
+  std::string name;
+  bool timed = false;
+  bool constrained = false;
+  double arrival = 0.0;
+  double required = 0.0;
+  double slack = 0.0;     ///< required - arrival
+};
+
+/// Design-wide summary.
+struct TimingSummary {
+  double wns = 0.0;  ///< worst negative slack (most negative slack; >= 0 = met)
+  double tns = 0.0;  ///< total negative slack (sum of negative slacks)
+  std::size_t endpoints = 0;
+  std::size_t constrained_endpoints = 0;
+  std::size_t untimed_endpoints = 0;  ///< endpoints in a faulted fanout cone
+  std::size_t faulted_nets = 0;
+  std::size_t batched_nets = 0;       ///< corpus nets analyzed on AoSoA lanes
+  std::vector<EndpointSlack> endpoints_by_slack;  ///< ascending slack
+};
+
+/// Full analysis result; the input to slack queries and path extraction.
+struct TimingResult {
+  TimingSummary summary;
+  std::vector<NetTiming> nets;       ///< indexed like Design::nets
+  std::vector<int> winning_input;    ///< per instance: arrival-setting pin, -1 = none
+};
+
+/// One point of a reported path, launch to endpoint.
+struct PathPoint {
+  std::string point;    ///< "port clk_in", "u3 (buf_x1)", "net n2 @ s7", ...
+  double incr = 0.0;    ///< delay added by this hop
+  double arrival = 0.0;
+  double slew = 0.0;
+};
+
+/// One extracted worst path.
+struct PathReport {
+  std::string endpoint;
+  double arrival = 0.0;
+  double required = 0.0;
+  double slack = 0.0;
+  bool constrained = false;
+  std::vector<PathPoint> points;  ///< launch first
+};
+
+/// Static timing graph over one Design. Holds a pointer to the design;
+/// the design must outlive the graph (relmore::Timer owns both).
+class TimingGraph {
+ public:
+  /// Validates that `design` is finalized (nets snapshot, topo order
+  /// covering every net) and builds the graph.
+  [[nodiscard]] static util::Result<TimingGraph> build_checked(const Design& design);
+
+  /// Runs corpus moment analysis + levelized propagation. Execution knobs
+  /// in `options` never change results (bitwise).
+  [[nodiscard]] util::Result<TimingResult> analyze_checked(
+      const AnalyzeOptions& options = {}) const;
+
+  [[nodiscard]] const Design& design() const { return *design_; }
+
+ private:
+  explicit TimingGraph(const Design* design) : design_(design) {}
+  const Design* design_;
+};
+
+/// Slack of the endpoint (output port) named `port`. kInvalidArgument for
+/// unknown or non-endpoint ports; kNonFiniteMoment when the endpoint sits
+/// in a faulted fanout cone.
+[[nodiscard]] util::Result<double> endpoint_slack_checked(const Design& design,
+                                                          const TimingResult& result,
+                                                          const std::string& port);
+
+/// The `k` worst (smallest-slack) constrained endpoints' critical paths,
+/// backtracked through winning arcs. Fewer than `k` when the design has
+/// fewer timed endpoints.
+[[nodiscard]] util::Result<std::vector<PathReport>> worst_paths_checked(
+    const Design& design, const TimingResult& result, std::size_t k);
+
+/// report_timing-style text: one block per path, point/incr/arrival
+/// columns, slack line at the bottom.
+[[nodiscard]] std::string format_path(const PathReport& path);
+
+/// One-paragraph design summary (WNS/TNS/endpoint counts/fault counts).
+[[nodiscard]] std::string format_summary(const TimingSummary& summary);
+
+}  // namespace relmore::sta

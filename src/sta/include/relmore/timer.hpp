@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file timer.hpp
+/// The top-level façade of the library: load a design corpus, time it,
+/// query slack, report worst paths — four Result-returning calls.
+///
+///     relmore::Timer timer;
+///     if (util::Status s = timer.load(file); !s.is_ok()) { ... }
+///     auto summary = timer.analyze();
+///     auto paths = timer.report_worst_paths(3);
+///     auto slack = timer.slack("out0");
+///
+/// Every entry point returns util::Status / util::Result<T> — the
+/// `_checked` convention the per-module APIs follow, with the exception
+/// shims dropped: a chip-scale flow has no sensible place to catch, so
+/// the façade is Result-only by design. The Timer owns its Design behind
+/// a stable pointer, so moving the Timer never invalidates the analysis
+/// state.
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relmore/sta/sta.hpp"
+#include "relmore/util/diagnostics.hpp"
+
+namespace relmore {
+
+/// One design, loaded once, analyzed on demand. Queries (`slack`,
+/// `report_worst_paths`, `report_timing`) run `analyze()` lazily when the
+/// design has not been timed yet, and reuse the cached result otherwise.
+class Timer {
+ public:
+  Timer();
+  ~Timer();
+  Timer(Timer&&) noexcept;
+  Timer& operator=(Timer&&) noexcept;
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Parses + finalizes a corpus stream (see sta/design.hpp for the
+  /// format). Replaces any previously loaded design and drops its cached
+  /// analysis. `report`, when given, collects every finding.
+  [[nodiscard]] util::Status load(std::istream& is,
+                                  sta::CellLibrary library = sta::generic_library(),
+                                  util::DiagnosticsReport* report = nullptr);
+
+  /// Adopts an already-built design (e.g. sta::make_synthetic_design_checked).
+  [[nodiscard]] util::Status load(sta::Design design);
+
+  /// Times the loaded design; caches and returns the summary. `options`
+  /// tunes execution only — results are bitwise-independent of it.
+  [[nodiscard]] util::Result<sta::TimingSummary> analyze(const sta::AnalyzeOptions& options = {});
+
+  /// Slack of endpoint (output port) `endpoint`, timing the design first
+  /// if needed.
+  [[nodiscard]] util::Result<double> slack(const std::string& endpoint);
+
+  /// The `k` worst constrained paths, report_timing-style.
+  [[nodiscard]] util::Result<std::vector<sta::PathReport>> report_worst_paths(std::size_t k = 1);
+
+  /// Formats the summary plus the `k` worst paths into `os`. Returns the
+  /// Status of the underlying analysis.
+  [[nodiscard]] util::Status report_timing(std::ostream& os, std::size_t k = 1);
+
+  [[nodiscard]] bool loaded() const { return design_ != nullptr; }
+  /// nullptr until load() succeeds.
+  [[nodiscard]] const sta::Design* design() const { return design_.get(); }
+  /// nullptr until analyze() succeeds.
+  [[nodiscard]] const sta::TimingResult* result() const;
+
+ private:
+  [[nodiscard]] util::Status ensure_analyzed();
+
+  std::unique_ptr<sta::Design> design_;        ///< stable address across moves
+  std::optional<sta::TimingResult> result_;
+  sta::AnalyzeOptions options_;
+};
+
+}  // namespace relmore

@@ -1,0 +1,107 @@
+#include "relmore/sta/synthetic.hpp"
+
+#include <sstream>
+
+#include "relmore/circuit/random_tree.hpp"
+
+namespace relmore::sta {
+
+namespace {
+
+/// Parent list of topology class `k`: 5 + k sections, deterministic mild
+/// branching. Every net of a class shares this list verbatim, which is
+/// exactly the corpus layer's batching key.
+std::vector<int> class_parents(std::size_t k) {
+  const std::size_t n = 5 + k;
+  circuit::Rng rng(0xC1A5500DULL + k);
+  std::vector<int> parents(n);
+  parents[0] = -1;
+  for (std::size_t i = 1; i < n; ++i) {
+    const int lo = static_cast<int>(i) - 3 < 0 ? 0 : static_cast<int>(i) - 3;
+    parents[i] = rng.uniform_int(lo, static_cast<int>(i) - 1);
+  }
+  return parents;
+}
+
+void append_value(std::ostringstream& os, double v) {
+  os.precision(17);
+  os << v;
+}
+
+}  // namespace
+
+std::string make_synthetic_design_text(const SyntheticSpec& spec) {
+  const std::size_t depth = spec.chain_depth == 0 ? 1 : spec.chain_depth;
+  const std::size_t chains = (spec.nets + depth - 1) / depth;
+  const std::size_t classes = spec.topo_classes == 0 ? 1 : spec.topo_classes;
+
+  std::vector<std::vector<int>> shapes;
+  shapes.reserve(classes);
+  for (std::size_t k = 0; k < classes; ++k) shapes.push_back(class_parents(k));
+
+  std::ostringstream os;
+  os << "design synthetic_" << chains << "x" << depth << "\n";
+  os << "clock ";
+  append_value(os, spec.clock_period);
+  os << "\n";
+
+  std::size_t net_index = 0;
+  for (std::size_t c = 0; c < chains; ++c) {
+    for (std::size_t s = 0; s < depth; ++s, ++net_index) {
+      const std::size_t k = net_index % classes;
+      const std::vector<int>& parents = shapes[k];
+      // Per-net value perturbation, deterministic in (seed, net_index).
+      circuit::Rng rng(spec.seed * 0x9E3779B97F4A7C15ULL + net_index);
+      os << "net n" << c << "_" << s << "\n";
+      for (std::size_t i = 0; i < parents.size(); ++i) {
+        os << "  section s" << i << " "
+           << (parents[i] < 0 ? std::string("-") : "s" + std::to_string(parents[i]));
+        os << " R=";
+        append_value(os, 10.0 + 90.0 * rng.uniform());
+        os << " L=";
+        // Odd classes carry a little inductance (still overdamped at these
+        // values), so both the RC and RLC closed-form paths are exercised.
+        append_value(os, k % 2 == 1 ? 1e-12 * (0.5 + rng.uniform()) : 0.0);
+        os << " C=";
+        append_value(os, 5e-15 + 45e-15 * rng.uniform());
+        os << "\n";
+      }
+      os << "end\n";
+    }
+  }
+
+  std::size_t inst_index = 0;
+  for (std::size_t c = 0; c < chains; ++c) {
+    os << "input in" << c << " n" << c << "_0 at=0 slew=20p\n";
+    for (std::size_t s = 0; s + 1 < depth; ++s, ++inst_index) {
+      const std::size_t k_in = (c * depth + s) % classes;
+      const std::string tap = "s" + std::to_string(shapes[k_in].size() - 1);
+      const bool two_input = inst_index % 7 == 3 && c > 0;
+      const char* cell = two_input ? "nand2_x1" : (inst_index % 2 == 0 ? "buf_x1" : "buf_x4");
+      os << "inst u" << c << "_" << s << " " << cell << " n" << c << "_" << s + 1 << " n" << c
+         << "_" << s << ":" << tap;
+      if (two_input) {
+        // Side input from the neighboring chain's same-stage net: same
+        // topological level, so no cycle can form.
+        const std::size_t k_side = ((c - 1) * depth + s) % classes;
+        os << " n" << c - 1 << "_" << s << ":s" << shapes[k_side].size() - 1;
+      }
+      os << "\n";
+    }
+    const std::size_t k_last = (c * depth + depth - 1) % classes;
+    os << "output out" << c << " n" << c << "_" << depth - 1 << ":s"
+       << shapes[k_last].size() - 1 << "\n";
+  }
+  return os.str();
+}
+
+util::Result<Design> make_synthetic_design_checked(const SyntheticSpec& spec) {
+  if (spec.nets < 2 || spec.chain_depth == 0) {
+    return util::Status(util::ErrorCode::kInvalidArgument,
+                        "make_synthetic_design: need nets >= 2 and chain_depth >= 1");
+  }
+  std::istringstream is(make_synthetic_design_text(spec));
+  return read_design_checked(is);
+}
+
+}  // namespace relmore::sta

@@ -1,0 +1,82 @@
+#include "relmore/timer.hpp"
+
+#include <ostream>
+#include <utility>
+
+namespace relmore {
+
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+Timer::Timer() = default;
+Timer::~Timer() = default;
+Timer::Timer(Timer&&) noexcept = default;
+Timer& Timer::operator=(Timer&&) noexcept = default;
+
+Status Timer::load(std::istream& is, sta::CellLibrary library, util::DiagnosticsReport* report) {
+  Result<sta::Design> design = sta::read_design_checked(is, std::move(library), report);
+  if (!design.is_ok()) return design.status();
+  return load(std::move(design).value());
+}
+
+Status Timer::load(sta::Design design) {
+  auto owned = std::make_unique<sta::Design>(std::move(design));
+  // Reject before replacing: a failed load keeps the previous design.
+  Result<sta::TimingGraph> graph = sta::TimingGraph::build_checked(*owned);
+  if (!graph.is_ok()) return graph.status();
+  design_ = std::move(owned);
+  result_.reset();
+  return Status::ok();
+}
+
+Result<sta::TimingSummary> Timer::analyze(const sta::AnalyzeOptions& options) {
+  if (design_ == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "Timer: no design loaded");
+  }
+  Result<sta::TimingGraph> graph = sta::TimingGraph::build_checked(*design_);
+  if (!graph.is_ok()) return graph.status();
+  Result<sta::TimingResult> result = graph.value().analyze_checked(options);
+  if (!result.is_ok()) return result.status();
+  result_ = std::move(result).value();
+  options_ = options;
+  return result_->summary;
+}
+
+Status Timer::ensure_analyzed() {
+  if (result_.has_value()) return Status::ok();
+  Result<sta::TimingSummary> summary = analyze(options_);
+  return summary.is_ok() ? Status::ok() : summary.status();
+}
+
+Result<double> Timer::slack(const std::string& endpoint) {
+  if (design_ == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "Timer: no design loaded");
+  }
+  if (Status s = ensure_analyzed(); !s.is_ok()) return s;
+  return sta::endpoint_slack_checked(*design_, *result_, endpoint);
+}
+
+Result<std::vector<sta::PathReport>> Timer::report_worst_paths(std::size_t k) {
+  if (design_ == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "Timer: no design loaded");
+  }
+  if (Status s = ensure_analyzed(); !s.is_ok()) return s;
+  return sta::worst_paths_checked(*design_, *result_, k);
+}
+
+Status Timer::report_timing(std::ostream& os, std::size_t k) {
+  Result<std::vector<sta::PathReport>> paths = report_worst_paths(k);
+  if (!paths.is_ok()) return paths.status();
+  os << sta::format_summary(result_->summary) << "\n";
+  for (const sta::PathReport& path : paths.value()) {
+    os << sta::format_path(path) << "\n";
+  }
+  return Status::ok();
+}
+
+const sta::TimingResult* Timer::result() const {
+  return result_.has_value() ? &*result_ : nullptr;
+}
+
+}  // namespace relmore

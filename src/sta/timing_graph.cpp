@@ -1,0 +1,361 @@
+#include "relmore/sta/timing_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "relmore/opt/path_timing.hpp"
+
+namespace relmore::sta {
+
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Endpoint required time: the port's own constraint, else the design
+/// clock, else unconstrained.
+void endpoint_required(const Design& design, const DesignPort& port, double* required,
+                       bool* constrained) {
+  if (port.has_required) {
+    *required = port.required;
+    *constrained = true;
+  } else if (design.clock_period > 0.0) {
+    *required = design.clock_period;
+    *constrained = true;
+  } else {
+    *required = kInf;
+    *constrained = false;
+  }
+}
+
+}  // namespace
+
+Result<TimingGraph> TimingGraph::build_checked(const Design& design) {
+  if (design.nets.empty()) {
+    return Status(ErrorCode::kEmptyTree, "TimingGraph: design has no nets");
+  }
+  if (design.topo_nets.size() != design.nets.size()) {
+    return Status(ErrorCode::kCycle,
+                  "TimingGraph: design is not finalized (topological order incomplete)");
+  }
+  for (const Net& net : design.nets) {
+    if (net.flat.size() != net.tree.size()) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "TimingGraph: net snapshot is stale (re-run read_design)")
+          .with_net(net.name);
+    }
+  }
+  return TimingGraph(&design);
+}
+
+Result<TimingResult> TimingGraph::analyze_checked(const AnalyzeOptions& options) const {
+  const Design& design = *design_;
+  Result<CorpusModels> corpus_r = analyze_corpus_checked(design, options);
+  if (!corpus_r.is_ok()) return corpus_r.status();
+  const CorpusModels corpus = std::move(corpus_r).value();
+
+  TimingResult result;
+  result.nets.resize(design.nets.size());
+  result.winning_input.assign(design.instances.size(), -1);
+
+  // --- forward sweep: arrivals and slews, in net topological order --------
+  for (const int ni : design.topo_nets) {
+    const Net& net = design.nets[static_cast<std::size_t>(ni)];
+    NetTiming& nt = result.nets[static_cast<std::size_t>(ni)];
+    nt.taps.resize(net.taps.size());
+    nt.wire_delay.assign(net.taps.size(), 0.0);
+    nt.faulted = corpus.nets[static_cast<std::size_t>(ni)].faulted;
+    nt.driver.required = kInf;
+    for (PointTiming& tap : nt.taps) tap.required = kInf;
+
+    // Driving point.
+    if (net.driver_kind == DriverKind::kPort) {
+      const DesignPort& port = design.ports[static_cast<std::size_t>(net.driver_index)];
+      nt.driver.timed = true;
+      nt.driver.arrival = port.arrival;
+      nt.driver.slew = port.slew;
+    } else if (net.driver_kind == DriverKind::kInstance) {
+      const Instance& inst = design.instances[static_cast<std::size_t>(net.driver_index)];
+      const Cell& cell = design.library.cell(static_cast<std::size_t>(inst.cell));
+      const double load = net.total_cap;
+      bool all_timed = true;
+      double best = -kInf;
+      int winning = -1;
+      for (std::size_t pi = 0; pi < inst.inputs.size(); ++pi) {
+        const Instance::Pin& pin = inst.inputs[pi];
+        const PointTiming& at =
+            result.nets[static_cast<std::size_t>(pin.net)].taps[static_cast<std::size_t>(pin.tap)];
+        if (!at.timed) {
+          all_timed = false;
+          break;
+        }
+        const double arr = at.arrival + cell.arc_delay(at.slew, load);
+        if (arr > best) {  // ties keep the earlier pin: deterministic
+          best = arr;
+          winning = static_cast<int>(pi);
+        }
+      }
+      if (all_timed && winning >= 0) {
+        const Instance::Pin& win = inst.inputs[static_cast<std::size_t>(winning)];
+        const PointTiming& at =
+            result.nets[static_cast<std::size_t>(win.net)].taps[static_cast<std::size_t>(win.tap)];
+        nt.driver.timed = true;
+        nt.driver.arrival = best;
+        nt.driver.slew = cell.arc_slew(at.slew, load);
+        result.winning_input[static_cast<std::size_t>(net.driver_index)] = winning;
+      }
+    }
+
+    // Wire stages to every tap.
+    if (!nt.driver.timed || nt.faulted) continue;
+    const NetModels& models = corpus.nets[static_cast<std::size_t>(ni)];
+    for (std::size_t t = 0; t < net.taps.size(); ++t) {
+      try {
+        const opt::StageTiming stage = opt::time_stage(models.taps[t], nt.driver.slew);
+        nt.taps[t].timed = true;
+        nt.taps[t].arrival = nt.driver.arrival + stage.delay;
+        nt.taps[t].slew = stage.output_rise;
+        nt.wire_delay[t] = stage.delay;
+      } catch (const std::exception&) {
+        // Ramp root-finding failed for this tap's model: degrade the tap
+        // to untimed (same isolation as a corpus-phase fault).
+        nt.faulted = true;
+      }
+    }
+  }
+
+  // --- backward sweep: required times, reverse topological order ----------
+  for (auto it = design.topo_nets.rbegin(); it != design.topo_nets.rend(); ++it) {
+    const int ni = *it;
+    const Net& net = design.nets[static_cast<std::size_t>(ni)];
+    NetTiming& nt = result.nets[static_cast<std::size_t>(ni)];
+    for (std::size_t t = 0; t < net.taps.size(); ++t) {
+      const Net::Tap& tap = net.taps[t];
+      PointTiming& tt = nt.taps[t];
+      if (tap.is_port) {
+        endpoint_required(design, design.ports[static_cast<std::size_t>(tap.index)],
+                          &tt.required, &tt.constrained);
+      } else {
+        const Instance& inst = design.instances[static_cast<std::size_t>(tap.index)];
+        const PointTiming& out_driver =
+            result.nets[static_cast<std::size_t>(inst.out_net)].driver;
+        if (out_driver.constrained && tt.timed) {
+          const Cell& cell = design.library.cell(static_cast<std::size_t>(inst.cell));
+          const double load = design.nets[static_cast<std::size_t>(inst.out_net)].total_cap;
+          tt.required = out_driver.required - cell.arc_delay(tt.slew, load);
+          tt.constrained = true;
+        }
+      }
+      if (tt.constrained && tt.timed) {
+        const double cand = tt.required - nt.wire_delay[t];
+        if (cand < nt.driver.required) nt.driver.required = cand;
+        nt.driver.constrained = true;
+      }
+    }
+  }
+
+  // --- endpoint summary ----------------------------------------------------
+  TimingSummary& summary = result.summary;
+  summary.faulted_nets = corpus.faulted_nets;
+  summary.batched_nets = corpus.batched_nets;
+  for (std::size_t pi = 0; pi < design.ports.size(); ++pi) {
+    const DesignPort& port = design.ports[pi];
+    if (port.is_input) continue;
+    ++summary.endpoints;
+    EndpointSlack row;
+    row.port = static_cast<int>(pi);
+    row.name = port.name;
+    const PointTiming& tt =
+        result.nets[static_cast<std::size_t>(port.net)].taps[static_cast<std::size_t>(port.tap)];
+    row.timed = tt.timed;
+    row.constrained = tt.constrained;
+    if (!tt.timed) {
+      ++summary.untimed_endpoints;
+    } else {
+      row.arrival = tt.arrival;
+      row.required = tt.required;
+      row.slack = tt.required - tt.arrival;
+      if (tt.constrained) {
+        ++summary.constrained_endpoints;
+        if (row.slack < 0.0) summary.tns += row.slack;
+      }
+    }
+    summary.endpoints_by_slack.push_back(std::move(row));
+  }
+  std::sort(summary.endpoints_by_slack.begin(), summary.endpoints_by_slack.end(),
+            [](const EndpointSlack& a, const EndpointSlack& b) {
+              // timed+constrained rows first, ascending slack; stable
+              // tie-break on port index keeps the order deterministic.
+              const int ra = a.timed && a.constrained ? 0 : a.timed ? 1 : 2;
+              const int rb = b.timed && b.constrained ? 0 : b.timed ? 1 : 2;
+              if (ra != rb) return ra < rb;
+              if (a.slack != b.slack) return a.slack < b.slack;
+              return a.port < b.port;
+            });
+  summary.wns = 0.0;
+  bool first = true;
+  for (const EndpointSlack& row : summary.endpoints_by_slack) {
+    if (!row.timed || !row.constrained) continue;
+    if (first || row.slack < summary.wns) summary.wns = row.slack;
+    first = false;
+  }
+  return result;
+}
+
+Result<double> endpoint_slack_checked(const Design& design, const TimingResult& result,
+                                      const std::string& port) {
+  const int pi = design.find_port(port);
+  if (pi < 0) {
+    return Status(ErrorCode::kInvalidArgument, "unknown port '" + port + "'");
+  }
+  const DesignPort& p = design.ports[static_cast<std::size_t>(pi)];
+  if (p.is_input) {
+    return Status(ErrorCode::kInvalidArgument, "port '" + port + "' is not an endpoint");
+  }
+  const PointTiming& tt =
+      result.nets[static_cast<std::size_t>(p.net)].taps[static_cast<std::size_t>(p.tap)];
+  if (!tt.timed) {
+    return Status(ErrorCode::kNonFiniteMoment,
+                  "endpoint '" + port + "' is untimed (faulted fanout cone)")
+        .with_net(design.nets[static_cast<std::size_t>(p.net)].name);
+  }
+  return tt.required - tt.arrival;
+}
+
+Result<std::vector<PathReport>> worst_paths_checked(const Design& design,
+                                                    const TimingResult& result, std::size_t k) {
+  if (result.nets.size() != design.nets.size()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "worst_paths: result does not belong to this design");
+  }
+  std::vector<PathReport> out;
+  for (const EndpointSlack& row : result.summary.endpoints_by_slack) {
+    if (out.size() >= k) break;
+    if (!row.timed) continue;
+    const DesignPort& port = design.ports[static_cast<std::size_t>(row.port)];
+    PathReport path;
+    path.endpoint = port.name;
+    path.arrival = row.arrival;
+    path.required = row.required;
+    path.slack = row.slack;
+    path.constrained = row.constrained;
+
+    // Backtrack endpoint -> launch, then reverse.
+    std::vector<PathPoint> rev;
+    int ni = port.net;
+    int tap = port.tap;
+    bool done = false;
+    while (!done) {
+      const Net& net = design.nets[static_cast<std::size_t>(ni)];
+      const NetTiming& nt = result.nets[static_cast<std::size_t>(ni)];
+      const Net::Tap& t = net.taps[static_cast<std::size_t>(tap)];
+      const PointTiming& tt = nt.taps[static_cast<std::size_t>(tap)];
+      PathPoint wire;
+      wire.point = "net " + net.name + " @ " +
+                   net.tree.section(t.node).name;
+      wire.incr = nt.wire_delay[static_cast<std::size_t>(tap)];
+      wire.arrival = tt.arrival;
+      wire.slew = tt.slew;
+      rev.push_back(std::move(wire));
+
+      if (net.driver_kind == DriverKind::kPort) {
+        const DesignPort& in = design.ports[static_cast<std::size_t>(net.driver_index)];
+        PathPoint launch;
+        launch.point = "port " + in.name;
+        launch.incr = 0.0;
+        launch.arrival = nt.driver.arrival;
+        launch.slew = nt.driver.slew;
+        rev.push_back(std::move(launch));
+        done = true;
+      } else {
+        const Instance& inst = design.instances[static_cast<std::size_t>(net.driver_index)];
+        const Cell& cell = design.library.cell(static_cast<std::size_t>(inst.cell));
+        const int wi = result.winning_input[static_cast<std::size_t>(net.driver_index)];
+        if (wi < 0) {
+          return Status(ErrorCode::kInvalidArgument,
+                        "worst_paths: untimed instance on path (inconsistent result)")
+              .with_net(net.name);
+        }
+        const Instance::Pin& pin = inst.inputs[static_cast<std::size_t>(wi)];
+        const PointTiming& pin_t =
+            result.nets[static_cast<std::size_t>(pin.net)].taps[static_cast<std::size_t>(pin.tap)];
+        PathPoint gate;
+        gate.point = inst.name + " (" + cell.name + ")";
+        gate.incr = nt.driver.arrival - pin_t.arrival;
+        gate.arrival = nt.driver.arrival;
+        gate.slew = nt.driver.slew;
+        rev.push_back(std::move(gate));
+        ni = pin.net;
+        tap = pin.tap;
+      }
+    }
+    std::reverse(rev.begin(), rev.end());
+    path.points = std::move(rev);
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+namespace {
+
+std::string ps(double seconds) {
+  std::ostringstream os;
+  if (std::isinf(seconds)) {
+    os << (seconds > 0 ? "inf" : "-inf");
+    return os.str();
+  }
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << seconds * 1e12;
+  return os.str();
+}
+
+}  // namespace
+
+std::string format_path(const PathReport& path) {
+  std::size_t width = 24;
+  for (const PathPoint& p : path.points) width = std::max(width, p.point.size() + 2);
+  std::ostringstream os;
+  os << "Path to endpoint '" << path.endpoint << "'";
+  if (!path.constrained) os << " (unconstrained)";
+  os << "\n";
+  auto pad = [&](const std::string& s, std::size_t w) {
+    os << s;
+    for (std::size_t i = s.size(); i < w; ++i) os << ' ';
+  };
+  pad("point", width);
+  pad("incr [ps]", 14);
+  pad("arrival [ps]", 14);
+  os << "slew [ps]\n";
+  for (const PathPoint& p : path.points) {
+    pad(p.point, width);
+    pad(ps(p.incr), 14);
+    pad(ps(p.arrival), 14);
+    os << ps(p.slew) << "\n";
+  }
+  pad("required", width);
+  os << ps(path.required) << " ps\n";
+  pad("arrival", width);
+  os << ps(path.arrival) << " ps\n";
+  pad("slack", width);
+  os << ps(path.slack) << " ps" << (path.slack < 0.0 ? "  (VIOLATED)" : "") << "\n";
+  return os.str();
+}
+
+std::string format_summary(const TimingSummary& summary) {
+  std::ostringstream os;
+  os << "endpoints: " << summary.endpoints << " (" << summary.constrained_endpoints
+     << " constrained, " << summary.untimed_endpoints << " untimed)\n"
+     << "WNS: " << ps(summary.wns) << " ps   TNS: " << ps(summary.tns) << " ps\n"
+     << "nets faulted: " << summary.faulted_nets << "   nets batched: " << summary.batched_nets
+     << "\n";
+  return os.str();
+}
+
+}  // namespace relmore::sta

@@ -38,6 +38,7 @@ std::string Diagnostic::to_string() const {
   std::string out = warning ? "warning [" : "error [";
   out += error_code_name(code);
   out += "]";
+  if (!net.empty()) out += " in net '" + net + "'";
   if (node >= 0) {
     out += " at node " + std::to_string(node);
     if (!path.empty()) out += " (" + path + ")";
@@ -52,6 +53,7 @@ std::string Status::to_string() const {
   std::string out = "[";
   out += error_code_name(code_);
   out += "]";
+  if (!net_.empty()) out += " net '" + net_ + "'";
   if (node_ >= 0) out += " node " + std::to_string(node_);
   if (line_ >= 0) out += " line " + std::to_string(line_);
   out += ": " + message_;
@@ -60,7 +62,9 @@ std::string Status::to_string() const {
 
 Status DiagnosticsReport::to_status() const {
   for (const Diagnostic& d : entries_) {
-    if (!d.warning) return Status(d.code, d.to_string(), d.node, d.line);
+    if (!d.warning) {
+      return Status(d.code, d.to_string(), d.node, d.line).with_net(d.net);
+    }
   }
   return Status::ok();
 }

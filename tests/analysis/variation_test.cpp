@@ -19,8 +19,9 @@ TEST(Variation, DeterministicForSeed) {
   SectionId out = circuit::kInput;
   const RlcTree t = test_tree(&out);
   const VariationSpec spec;
-  const auto a = monte_carlo_delay(t, out, spec, 200, 7);
-  const auto b = monte_carlo_delay(t, out, spec, 200, 7);
+  const MonteCarloOptions opts{spec, 200, 7, {}};
+  const auto a = monte_carlo_delay(t, out, opts);
+  const auto b = monte_carlo_delay(t, out, opts);
   EXPECT_DOUBLE_EQ(a.mean, b.mean);
   EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
   EXPECT_DOUBLE_EQ(a.q95, b.q95);
@@ -33,7 +34,7 @@ TEST(Variation, ZeroSigmaCollapsesToNominal) {
   spec.sigma_resistance = 0.0;
   spec.sigma_inductance = 0.0;
   spec.sigma_capacitance = 0.0;
-  const auto d = monte_carlo_delay(t, out, spec, 50, 1);
+  const auto d = monte_carlo_delay(t, out, MonteCarloOptions{spec, 50, 1, {}});
   EXPECT_NEAR(d.stddev, 0.0, 1e-12 * d.nominal);
   EXPECT_NEAR(d.mean, d.nominal, 1e-12 * d.nominal);
   EXPECT_DOUBLE_EQ(d.min, d.max);
@@ -42,7 +43,7 @@ TEST(Variation, ZeroSigmaCollapsesToNominal) {
 TEST(Variation, StatisticsAreOrdered) {
   SectionId out = circuit::kInput;
   const RlcTree t = test_tree(&out);
-  const auto d = monte_carlo_delay(t, out, VariationSpec{}, 500, 3);
+  const auto d = monte_carlo_delay(t, out, MonteCarloOptions{VariationSpec{}, 500, 3, {}});
   EXPECT_LE(d.min, d.mean);
   EXPECT_LE(d.mean, d.max);
   EXPECT_GE(d.q95, d.mean - d.stddev);
@@ -61,8 +62,8 @@ TEST(Variation, SpreadGrowsWithSigma) {
   VariationSpec large;
   large.sigma_resistance = large.sigma_capacitance = 0.15;
   large.sigma_inductance = 0.08;
-  const auto ds = monte_carlo_delay(t, out, small, 400, 5);
-  const auto dl = monte_carlo_delay(t, out, large, 400, 5);
+  const auto ds = monte_carlo_delay(t, out, MonteCarloOptions{small, 400, 5, {}});
+  const auto dl = monte_carlo_delay(t, out, MonteCarloOptions{large, 400, 5, {}});
   EXPECT_GT(dl.stddev, 3.0 * ds.stddev);
 }
 
@@ -74,7 +75,7 @@ TEST(Variation, LinearEstimateTracksMonteCarloForSmallSigma) {
   spec.sigma_inductance = 0.02;
   spec.sigma_capacitance = 0.03;
   const double linear = delay_stddev_linear(t, out, spec);
-  const auto mc = monte_carlo_delay(t, out, spec, 4000, 17);
+  const auto mc = monte_carlo_delay(t, out, MonteCarloOptions{spec, 4000, 17, {}});
   EXPECT_NEAR(linear, mc.stddev, 0.2 * mc.stddev);
 }
 
@@ -89,10 +90,10 @@ TEST(Variation, BitwiseIdenticalAcrossThreadsAndLaneWidths) {
   spec.sigma_resistance = 0.08;
   spec.sigma_inductance = 0.05;
   spec.sigma_capacitance = 0.08;
-  const auto base = monte_carlo_delay(t, out, spec, 97, 11, {1, 1});
+  const auto base = monte_carlo_delay(t, out, MonteCarloOptions{spec, 97, 11, {1, 1}});
   for (const unsigned threads : {1u, 4u}) {
     for (const std::size_t lanes : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
-      const auto got = monte_carlo_delay(t, out, spec, 97, 11, {threads, lanes});
+      const auto got = monte_carlo_delay(t, out, MonteCarloOptions{spec, 97, 11, {threads, lanes}});
       EXPECT_EQ(got.mean, base.mean) << "threads " << threads << " lanes " << lanes;
       EXPECT_EQ(got.stddev, base.stddev) << "threads " << threads << " lanes " << lanes;
       EXPECT_EQ(got.q95, base.q95) << "threads " << threads << " lanes " << lanes;
@@ -105,7 +106,8 @@ TEST(Variation, BitwiseIdenticalAcrossThreadsAndLaneWidths) {
 TEST(Variation, RejectsTooFewSamples) {
   SectionId out = circuit::kInput;
   const RlcTree t = test_tree(&out);
-  EXPECT_THROW(monte_carlo_delay(t, out, VariationSpec{}, 1, 0), std::invalid_argument);
+  EXPECT_THROW(monte_carlo_delay(t, out, MonteCarloOptions{VariationSpec{}, 1, 0, {}}),
+               std::invalid_argument);
 }
 
 TEST(Variation, LinearEstimateZeroForZeroSigma) {

@@ -1,0 +1,66 @@
+// libFuzzer harness for sta::read_design_checked, the corpus reader.
+//
+// Invariants checked (abort on violation):
+//  - the checked reader never throws, with or without a diagnostics mirror;
+//  - a rejected corpus carries a non-ok Status and at least one error in
+//    the mirrored report;
+//  - an accepted design is finalized: the topological order covers every
+//    net, every net has a driver and a current FlatTree snapshot;
+//  - an accepted design times end to end without an exception — the whole
+//    TimingGraph flow under kSkipAndFlag (per-net faults must be isolated,
+//    never thrown across the corpus phase).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "relmore/sta/corpus.hpp"
+#include "relmore/sta/design.hpp"
+#include "relmore/sta/timing_graph.hpp"
+#include "relmore/util/diagnostics.hpp"
+
+namespace sta = relmore::sta;
+namespace util = relmore::util;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size > 65536) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  util::DiagnosticsReport report;
+  util::Result<sta::Design> parsed(sta::Design{});
+  try {
+    std::istringstream is(text);
+    parsed = sta::read_design_checked(is, sta::generic_library(), &report);
+  } catch (...) {
+    std::abort();  // the checked API promises "never throws"
+  }
+  if (!parsed.is_ok()) {
+    // A rejection must explain itself, in the Status and in the mirror.
+    if (parsed.status().is_ok()) std::abort();
+    if (report.error_count() == 0) std::abort();
+    return 0;
+  }
+
+  const sta::Design& design = parsed.value();
+  if (design.topo_nets.size() != design.nets.size()) std::abort();
+  for (const sta::Net& net : design.nets) {
+    if (net.driver_kind == sta::DriverKind::kNone) std::abort();
+    if (net.flat.size() != net.tree.size()) std::abort();
+    if (net.epoch != design.epoch) std::abort();
+  }
+
+  try {
+    util::Result<sta::TimingGraph> graph = sta::TimingGraph::build_checked(design);
+    if (!graph.is_ok()) std::abort();  // an accepted design must build
+    sta::AnalyzeOptions options;
+    options.fault_policy = util::FaultPolicy::kSkipAndFlag;
+    const util::Result<sta::TimingResult> result = graph.value().analyze_checked(options);
+    if (!result.is_ok()) std::abort();  // flag policy: faults stay in-band
+    if (result.value().nets.size() != design.nets.size()) std::abort();
+  } catch (...) {
+    std::abort();  // no exception may cross the corpus phase
+  }
+  return 0;
+}
