@@ -12,45 +12,45 @@
 namespace relmore::circuit {
 
 /// A uniform n-section line (the paper treats a line as a depth-n "tree").
-RlcTree make_line(int sections, const SectionValues& per_section);
+[[nodiscard]] RlcTree make_line(int sections, const SectionValues& per_section);
 
 /// Balanced tree: `levels` levels, every section at a level has `branching`
 /// children, all sections identical. Level 1 is a single root section, so a
 /// binary tree with `levels` levels has 2^levels − 1 sections and
 /// 2^(levels−1) sinks.
-RlcTree make_balanced_tree(int levels, int branching, const SectionValues& per_section);
+[[nodiscard]] RlcTree make_balanced_tree(int levels, int branching, const SectionValues& per_section);
 
 /// Balanced tree whose per-level values differ (vector index = level − 1).
-RlcTree make_balanced_tree_per_level(const std::vector<SectionValues>& per_level, int branching);
+[[nodiscard]] RlcTree make_balanced_tree_per_level(const std::vector<SectionValues>& per_level, int branching);
 
 /// The paper's asymmetry experiment (Fig. 12): a binary tree where at every
 /// branching the *left* child's impedance is `asym` times the right child's
 /// (left R,L scaled by asym; left C scaled by 1/asym, so the left subtree is
 /// a higher-impedance, lighter-load path). `asym = 1` gives the balanced
 /// tree. The root section keeps the base values.
-RlcTree make_asymmetric_tree(int levels, double asym, const SectionValues& base);
+[[nodiscard]] RlcTree make_asymmetric_tree(int levels, double asym, const SectionValues& base);
 
 /// The seven-section, three-level binary tree of paper Fig. 5. Sections are
 /// added in the paper's numbering (1; 2,3; 4,5,6,7) so id 6 is "node 7".
 /// Returns the id of paper node 7 through `node7` when non-null.
-RlcTree make_fig5_tree(const SectionValues& per_section, SectionId* node7 = nullptr);
+[[nodiscard]] RlcTree make_fig5_tree(const SectionValues& per_section, SectionId* node7 = nullptr);
 
 /// A representative stand-in for the paper's Fig. 8 example tree (component
 /// values were not preserved in the available text — see DESIGN.md §4):
 /// 8 sections, 3 sinks, moderately underdamped at the observed output "O".
 /// Returns the id of the observed sink through `out` when non-null.
-RlcTree make_fig8_tree(SectionId* out = nullptr);
+[[nodiscard]] RlcTree make_fig8_tree(SectionId* out = nullptr);
 
 /// Symmetric H-tree clock network with `levels` H-levels. Each level halves
 /// the wire length; `unit` describes one full-length segment and is scaled
 /// per level. Used by the clock-skew example.
-RlcTree make_h_tree(int levels, const SectionValues& unit);
+[[nodiscard]] RlcTree make_h_tree(int levels, const SectionValues& unit);
 
 /// Comb/fishbone routing structure: a spine of `spine_sections` identical
 /// sections with one tooth (a single section ending in a sink) hanging off
 /// every spine node — the shape of standard-cell row feeds and some clock
 /// meshes. Tooth i is the child of spine section i.
-RlcTree make_comb_tree(int spine_sections, const SectionValues& spine,
+[[nodiscard]] RlcTree make_comb_tree(int spine_sections, const SectionValues& spine,
                        const SectionValues& tooth);
 
 /// Uniformly scales all inductances by `factor` (ζ targeting).
@@ -63,6 +63,6 @@ void scale_resistances(RlcTree& tree, double factor);
 /// [27][28]. Returns an electrically equivalent tree in which no section
 /// has more than two children; `original_of[new_id]` maps back to the
 /// source section (kInput for inserted zero-impedance stubs).
-RlcTree binarize(const RlcTree& tree, std::vector<SectionId>* original_of = nullptr);
+[[nodiscard]] RlcTree binarize(const RlcTree& tree, std::vector<SectionId>* original_of = nullptr);
 
 }  // namespace relmore::circuit

@@ -31,20 +31,20 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed);
   /// Uniform in [0, 1).
-  double uniform();
+  [[nodiscard]] double uniform();
   /// Uniform integer in [lo, hi] inclusive.
-  int uniform_int(int lo, int hi);
+  [[nodiscard]] int uniform_int(int lo, int hi);
   /// Log-uniform in [lo, hi]; returns lo when lo == hi (including 0).
-  double log_uniform(double lo, double hi);
+  [[nodiscard]] double log_uniform(double lo, double hi);
 
  private:
-  std::uint64_t next();
+  [[nodiscard]] std::uint64_t next();
   std::uint64_t s0_;
   std::uint64_t s1_;
 };
 
 /// Generates a random tree; the same (spec, seed) pair always yields the
 /// same tree. Every tree has at least one section and valid topology.
-RlcTree make_random_tree(const RandomTreeSpec& spec, std::uint64_t seed);
+[[nodiscard]] RlcTree make_random_tree(const RandomTreeSpec& spec, std::uint64_t seed);
 
 }  // namespace relmore::circuit

@@ -23,23 +23,23 @@ struct WireSpec {
 
 /// Typical upper-metal global wire (copper, wide pitch): the regime the
 /// paper's introduction motivates — low resistance, visible inductance.
-WireSpec global_wire_spec();
+[[nodiscard]] WireSpec global_wire_spec();
 /// Typical thin local interconnect: resistance-dominated, RC-adequate.
-WireSpec local_wire_spec();
+[[nodiscard]] WireSpec local_wire_spec();
 
 /// Lumped values of one segment when the wire is split into `segments`.
-SectionValues segment_values(const WireSpec& wire, int segments);
+[[nodiscard]] SectionValues segment_values(const WireSpec& wire, int segments);
 
 /// Appends the wire as a chain of `segments` identical sections under
 /// `parent` (kInput to drive it directly); returns the far-end section id.
 /// Section names are prefix + ".0" .. prefix + ".<segments-1>".
-SectionId append_wire(RlcTree& tree, SectionId parent, const WireSpec& wire, int segments,
+[[nodiscard]] SectionId append_wire(RlcTree& tree, SectionId parent, const WireSpec& wire, int segments,
                       const std::string& prefix = "w");
 
 /// Rule-of-thumb segment count: enough sections that the per-segment LC
 /// resonance sits well above the wire's own bandwidth (10 segments per
 /// wavelength-equivalent; at least `min_segments`).
-int suggested_segments(const WireSpec& wire, double signal_rise_seconds,
+[[nodiscard]] int suggested_segments(const WireSpec& wire, double signal_rise_seconds,
                        int min_segments = 5);
 
 }  // namespace relmore::circuit

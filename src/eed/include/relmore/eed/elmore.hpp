@@ -14,18 +14,18 @@
 namespace relmore::eed {
 
 /// Elmore time constants tau_i = sum_k C_k R_ki for every node, O(n).
-std::vector<double> elmore_time_constants(const circuit::RlcTree& tree);
+[[nodiscard]] std::vector<double> elmore_time_constants(const circuit::RlcTree& tree);
 
 /// Elmore's original 50% delay estimate: the time constant itself.
-double elmore_delay_50(double tau);
+[[nodiscard]] double elmore_delay_50(double tau);
 
 /// Wyatt's single-pole 50% delay: ln2 * tau.
-double wyatt_delay_50(double tau);
+[[nodiscard]] double wyatt_delay_50(double tau);
 
 /// Wyatt's single-pole 10-90% rise time: ln9 * tau.
-double wyatt_rise_time(double tau);
+[[nodiscard]] double wyatt_rise_time(double tau);
 
 /// Wyatt single-pole step response 1 - e^{-t/tau} scaled by v_supply.
-double wyatt_step_response(double tau, double t, double v_supply = 1.0);
+[[nodiscard]] double wyatt_step_response(double tau, double t, double v_supply = 1.0);
 
 }  // namespace relmore::eed

@@ -29,14 +29,14 @@ struct InductanceFiguresOfMerit {
 
 /// Assesses a line from its totals. Throws std::invalid_argument when
 /// L or C is non-positive (no inductance question to ask).
-InductanceFiguresOfMerit assess_line(double total_r, double total_l, double total_c,
+[[nodiscard]] InductanceFiguresOfMerit assess_line(double total_r, double total_l, double total_c,
                                      double rise_seconds);
 
 /// Convenience for a physical wire spec.
-InductanceFiguresOfMerit assess_wire(const circuit::WireSpec& wire, double rise_seconds);
+[[nodiscard]] InductanceFiguresOfMerit assess_wire(const circuit::WireSpec& wire, double rise_seconds);
 
 /// Tree-level screen: evaluates the root-to-node path totals of the most
 /// remote sink; a cheap routing decision between RC-Elmore and EED.
-InductanceFiguresOfMerit assess_tree(const circuit::RlcTree& tree, double rise_seconds);
+[[nodiscard]] InductanceFiguresOfMerit assess_tree(const circuit::RlcTree& tree, double rise_seconds);
 
 }  // namespace relmore::eed

@@ -20,11 +20,11 @@ struct ScaledFitReport {
 };
 
 /// Fits a·e^(−z/b) + c·z to scaled_delay_exact over [zeta_min, zeta_max].
-ScaledFitReport fit_scaled_delay(double zeta_min = 0.0, double zeta_max = 3.0,
+[[nodiscard]] ScaledFitReport fit_scaled_delay(double zeta_min = 0.0, double zeta_max = 3.0,
                                  int samples = 121);
 
 /// Fits the same form to scaled_rise_exact.
-ScaledFitReport fit_scaled_rise(double zeta_min = 0.0, double zeta_max = 3.0,
+[[nodiscard]] ScaledFitReport fit_scaled_rise(double zeta_min = 0.0, double zeta_max = 3.0,
                                 int samples = 121);
 
 }  // namespace relmore::eed

@@ -19,12 +19,12 @@ namespace relmore::eed {
 /// H(j·omega) of the node's second-order model
 /// 1 / (1 + 2 zeta (s/wn) + (s/wn)^2). For pure-RC nodes, the Wyatt
 /// single-pole 1/(1 + j w tau).
-std::complex<double> transfer_function(const NodeModel& node, double omega);
+[[nodiscard]] std::complex<double> transfer_function(const NodeModel& node, double omega);
 
 /// 20 log10 |H(jw)|.
-double magnitude_db(const NodeModel& node, double omega);
+[[nodiscard]] double magnitude_db(const NodeModel& node, double omega);
 /// Phase of H(jw) in degrees, in (-180, 0].
-double phase_deg(const NodeModel& node, double omega);
+[[nodiscard]] double phase_deg(const NodeModel& node, double omega);
 
 /// One Bode sample.
 struct BodePoint {
@@ -34,20 +34,20 @@ struct BodePoint {
 };
 
 /// Log-spaced Bode sweep over [omega_lo, omega_hi].
-std::vector<BodePoint> bode_sweep(const NodeModel& node, double omega_lo, double omega_hi,
+[[nodiscard]] std::vector<BodePoint> bode_sweep(const NodeModel& node, double omega_lo, double omega_hi,
                                   int points);
 
 /// True when the magnitude response has a resonant peak (zeta < 1/sqrt(2)).
-bool has_resonant_peak(const NodeModel& node);
+[[nodiscard]] bool has_resonant_peak(const NodeModel& node);
 
 /// Resonant peak frequency  wn * sqrt(1 - 2 zeta^2); throws when no peak.
-double peak_frequency(const NodeModel& node);
+[[nodiscard]] double peak_frequency(const NodeModel& node);
 
 /// Peak magnitude |H|max = 1 / (2 zeta sqrt(1 - zeta^2)); throws when no peak.
-double peak_magnitude(const NodeModel& node);
+[[nodiscard]] double peak_magnitude(const NodeModel& node);
 
 /// -3 dB bandwidth: wn * sqrt(1 - 2z^2 + sqrt((1 - 2z^2)^2 + 1)); for
 /// pure-RC nodes, 1/tau.
-double bandwidth_3db(const NodeModel& node);
+[[nodiscard]] double bandwidth_3db(const NodeModel& node);
 
 }  // namespace relmore::eed

@@ -15,35 +15,35 @@
 namespace relmore::eed {
 
 /// Step response v_i(t) with supply `v_supply` (paper eq. 31).
-double step_response(const NodeModel& node, double t, double v_supply = 1.0);
+[[nodiscard]] double step_response(const NodeModel& node, double t, double v_supply = 1.0);
 
 /// Closed-form response to the exponential input V(1 − e^{−t/tau})
 /// (paper eqs. 43–48), valid for all damping conditions.
-double exp_input_response(const NodeModel& node, double t, double v_supply, double tau);
+[[nodiscard]] double exp_input_response(const NodeModel& node, double t, double v_supply, double tau);
 
 /// Closed-form response to a finite linear ramp (0 → v_supply over
 /// `rise_seconds`, then flat) — the other canonical driver waveform the
 /// paper's Section IV procedure covers. Derived by integrating the step
 /// response: v(t) = V/T·[S(t) − S(t−T)] with S = ∫ step.
-double ramp_input_response(const NodeModel& node, double t, double v_supply,
+[[nodiscard]] double ramp_input_response(const NodeModel& node, double t, double v_supply,
                            double rise_seconds);
 
 /// Samples step_response over `times`.
-sim::Waveform step_waveform(const NodeModel& node, const std::vector<double>& times,
+[[nodiscard]] sim::Waveform step_waveform(const NodeModel& node, const std::vector<double>& times,
                             double v_supply = 1.0);
 
 /// Samples exp_input_response over `times`.
-sim::Waveform exp_input_waveform(const NodeModel& node, const std::vector<double>& times,
+[[nodiscard]] sim::Waveform exp_input_waveform(const NodeModel& node, const std::vector<double>& times,
                                  double v_supply, double tau);
 
 /// Samples ramp_input_response over `times`.
-sim::Waveform ramp_input_waveform(const NodeModel& node, const std::vector<double>& times,
+[[nodiscard]] sim::Waveform ramp_input_waveform(const NodeModel& node, const std::vector<double>& times,
                                   double v_supply, double rise_seconds);
 
 /// Response of the second-order model to an arbitrary source, integrated
 /// with adaptive RK45 on  v'' + 2 zeta omega_n v' + omega_n^2 v =
 /// omega_n^2 u(t). Sampled at `times` (must be increasing from >= 0).
-sim::Waveform arbitrary_input_waveform(const NodeModel& node, const sim::Source& source,
+[[nodiscard]] sim::Waveform arbitrary_input_waveform(const NodeModel& node, const sim::Source& source,
                                        const std::vector<double>& times);
 
 }  // namespace relmore::eed

@@ -33,11 +33,11 @@ struct SensitivityReport {
 };
 
 /// d/dzeta of the fitted scaled delay (paper eq. 33 form, analytic).
-double scaled_delay_fitted_derivative(double zeta);
+[[nodiscard]] double scaled_delay_fitted_derivative(double zeta);
 
 /// Computes the full delay gradient at `node` in O(n). For nodes with no
 /// inductance on any contributing path (pure-RC limit) the L-sensitivities
 /// are reported as 0 and R/C follow the Wyatt form ln2·SR.
-SensitivityReport delay_sensitivity(const circuit::RlcTree& tree, circuit::SectionId node);
+[[nodiscard]] SensitivityReport delay_sensitivity(const circuit::RlcTree& tree, circuit::SectionId node);
 
 }  // namespace relmore::eed

@@ -71,29 +71,48 @@ struct BatchAnalyzer::Impl {
   }
 };
 
-BatchAnalyzer::BatchAnalyzer(unsigned threads) : impl_(new Impl) {
-  if (threads == 0) {
-    // RELMORE_THREADS pins the default worker count (CI, benchmarks),
-    // accepted range [1, 64]. A value that is empty, non-numeric, only
-    // partially numeric ("8x"), negative, zero, or out of range is NOT
-    // silently honored or truncated: it falls back to the hardware
-    // default with one warning on stderr, so a typo in a CI matrix shows
-    // up in the log instead of as a mysterious thread count.
-    if (const char* env = std::getenv("RELMORE_THREADS")) {
-      errno = 0;
-      char* end = nullptr;
-      const long parsed = std::strtol(env, &end, 10);
-      if (*env != '\0' && end != env && *end == '\0' && errno == 0 && parsed >= 1 &&
-          parsed <= 64) {
-        threads = static_cast<unsigned>(parsed);
-      } else {
-        std::fprintf(stderr,
-                     "relmore: ignoring RELMORE_THREADS=\"%s\" (want an integer in "
-                     "[1, 64]); using the hardware default\n",
-                     env);
-      }
+namespace {
+
+/// RELMORE_THREADS pins the default worker count (CI, benchmarks),
+/// accepted range [1, 64]. A value that is empty, non-numeric, only
+/// partially numeric ("8x"), negative, zero, or out of range is NOT
+/// silently honored or truncated: it falls back to the hardware default
+/// (returns 0) with one warning on stderr, so a typo in a CI matrix
+/// shows up in the log instead of as a mysterious thread count.
+///
+/// The environment is read exactly once per process, under
+/// std::call_once: constructing BatchAnalyzer from several threads
+/// concurrently must not interleave getenv with the warning path, and
+/// every pool in the process must agree on the same default even if the
+/// environment is mutated between constructions (setenv concurrent with
+/// getenv is a data race in POSIX — reading once at first use is the
+/// only read-vs-spawn ordering we can promise).
+unsigned env_default_threads() {
+  static std::once_flag once;
+  static unsigned cached = 0;  // 0 = unset/invalid → hardware default
+  std::call_once(once, [] {
+    const char* env = std::getenv("RELMORE_THREADS");
+    if (env == nullptr) return;
+    errno = 0;
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (*env != '\0' && end != env && *end == '\0' && errno == 0 && parsed >= 1 &&
+        parsed <= 64) {
+      cached = static_cast<unsigned>(parsed);
+    } else {
+      std::fprintf(stderr,
+                   "relmore: ignoring RELMORE_THREADS=\"%s\" (want an integer in "
+                   "[1, 64]); using the hardware default\n",
+                   env);
     }
-  }
+  });
+  return cached;
+}
+
+}  // namespace
+
+BatchAnalyzer::BatchAnalyzer(unsigned threads) : impl_(new Impl) {
+  if (threads == 0) threads = env_default_threads();
   if (threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     threads = std::min(hw == 0 ? 1u : hw, 8u);

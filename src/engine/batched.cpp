@@ -105,6 +105,7 @@ template <std::size_t W, typename ValueAt>
 void run_group_passes(std::size_t n, const SectionId* parent, const ValueAt& r_at,
                       const ValueAt& l_at, const ValueAt& c_at, double* ctot, double* sr,
                       double* sl) {
+  // relmore-lint: begin-hot-loop(batched-two-pass)
   // Upward pass (Fig. 17): subtree capacitance, one reverse id scan.
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t at = i * W;
@@ -131,6 +132,7 @@ void run_group_passes(std::size_t n, const SectionId* parent, const ValueAt& r_a
     RELMORE_SIMD
     for (std::size_t t = 0; t < W; ++t) sl[at + t] = up_sl[t] + l_at(i, t) * ctot[at + t];
   }
+  // relmore-lint: end-hot-loop
 }
 
 /// Stored-path kernel: values in AoSoA order.

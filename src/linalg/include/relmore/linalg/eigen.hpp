@@ -29,14 +29,14 @@ struct EigenSystem {
 /// All eigenvalues of a real square matrix. Throws std::runtime_error when
 /// the QR iteration fails to converge (does not happen for the circuit
 /// matrices this library builds, but the guard is kept honest).
-std::vector<Complex> eigenvalues(const Matrix& a, int max_sweeps = 0);
+[[nodiscard]] std::vector<Complex> eigenvalues(const Matrix& a, int max_sweeps = 0);
 
 /// Eigenvalues and right eigenvectors.
-EigenSystem eigen_decompose(const Matrix& a, int max_sweeps = 0);
+[[nodiscard]] EigenSystem eigen_decompose(const Matrix& a, int max_sweeps = 0);
 
 /// Solves the complex dense system M x = b with partial-pivot elimination.
 /// Exposed because the modal solver must expand initial conditions in a
 /// (complex) eigenvector basis.
-std::vector<Complex> solve_complex(std::vector<std::vector<Complex>> m, std::vector<Complex> b);
+[[nodiscard]] std::vector<Complex> solve_complex(std::vector<std::vector<Complex>> m, std::vector<Complex> b);
 
 }  // namespace relmore::linalg

@@ -23,13 +23,13 @@ namespace relmore::moments {
 
 /// moments[q][node] = m_q at that node, for q = 0..max_order.
 /// max_order >= 0; moments[0] is all ones.
-std::vector<std::vector<double>> tree_moments(const circuit::RlcTree& tree, int max_order);
+[[nodiscard]] std::vector<std::vector<double>> tree_moments(const circuit::RlcTree& tree, int max_order);
 
 /// Convenience: the first and second moments of one node.
 struct FirstTwoMoments {
   double m1 = 0.0;
   double m2 = 0.0;
 };
-FirstTwoMoments first_two_moments(const circuit::RlcTree& tree, circuit::SectionId node);
+[[nodiscard]] FirstTwoMoments first_two_moments(const circuit::RlcTree& tree, circuit::SectionId node);
 
 }  // namespace relmore::moments

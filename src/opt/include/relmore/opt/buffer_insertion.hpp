@@ -38,23 +38,23 @@ struct BufferSolution {
 /// Path delay of a candidate under a closed-form model: stages are the
 /// maximal unbuffered wire spans; each stage is an RLC line driven by the
 /// previous stage's driver and loaded by the next stage's input cap.
-double evaluate_solution(const BufferInsertionProblem& problem,
+[[nodiscard]] double evaluate_solution(const BufferInsertionProblem& problem,
                          const std::vector<bool>& buffered, DelayModel model);
 
 /// Same path delay measured with the transient simulator stage by stage
 /// (linearized drivers), summing measured stage 50% delays.
-double evaluate_solution_simulated(const BufferInsertionProblem& problem,
+[[nodiscard]] double evaluate_solution_simulated(const BufferInsertionProblem& problem,
                                    const std::vector<bool>& buffered);
 
 /// Exhaustively enumerates all 2^slots candidates (slots <= 20) and
 /// returns the model-optimal one.
-BufferSolution optimize_buffers_exhaustive(const BufferInsertionProblem& problem,
+[[nodiscard]] BufferSolution optimize_buffers_exhaustive(const BufferInsertionProblem& problem,
                                            DelayModel model);
 
 /// Fidelity of a model on this problem: Spearman rank correlation between
 /// the model's ranking of all candidates and the simulator's. 1.0 means
 /// the model always picks the same order.
-double ranking_fidelity(const BufferInsertionProblem& problem, DelayModel model,
+[[nodiscard]] double ranking_fidelity(const BufferInsertionProblem& problem, DelayModel model,
                         int max_candidates = 64);
 
 }  // namespace relmore::opt

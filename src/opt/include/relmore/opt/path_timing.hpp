@@ -38,10 +38,10 @@ struct PathTiming {
 
 /// Stage delay and output rise for a linear-ramp input with the given rise
 /// time (0 = ideal step), computed from the closed-form ramp response.
-StageTiming time_stage(const eed::NodeModel& node, double input_rise_seconds);
+[[nodiscard]] StageTiming time_stage(const eed::NodeModel& node, double input_rise_seconds);
 
 /// Walks the path: stage k is driven by a ramp whose rise time equals
 /// stage k-1's output rise (stage 0 sees `first_input_rise`, default step).
-PathTiming time_path(const std::vector<PathStage>& stages, double first_input_rise = 0.0);
+[[nodiscard]] PathTiming time_path(const std::vector<PathStage>& stages, double first_input_rise = 0.0);
 
 }  // namespace relmore::opt

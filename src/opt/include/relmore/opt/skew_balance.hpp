@@ -34,7 +34,7 @@ struct SkewBalanceResult {
 /// Balances the tree in place. Returns the before/after skew under the
 /// closed-form EED delay. Throws std::invalid_argument for trees without
 /// sinks or non-positive option values.
-SkewBalanceResult balance_skew(circuit::RlcTree& tree,
+[[nodiscard]] SkewBalanceResult balance_skew(circuit::RlcTree& tree,
                                const SkewBalanceOptions& opts = {});
 
 }  // namespace relmore::opt

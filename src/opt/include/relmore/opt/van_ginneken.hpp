@@ -38,14 +38,14 @@ struct VanGinnekenResult {
 /// Runs the DP. `sink_rat[i]` gives the required time at section i (only
 /// leaf entries are read; pass {} for all-zero). `source_resistance`
 /// models the root driver when computing the final source RAT.
-VanGinnekenResult van_ginneken(const circuit::RlcTree& tree, const Driver& buffer,
+[[nodiscard]] VanGinnekenResult van_ginneken(const circuit::RlcTree& tree, const Driver& buffer,
                                double source_resistance,
                                const std::vector<double>& sink_rat = {});
 
 /// Worst-sink path delay of a buffered tree under a closed-form model:
 /// buffers split the tree into stages; each stage's sink delays come from
 /// the chosen model; path delays accumulate stage by stage.
-double evaluate_buffered_tree(const circuit::RlcTree& tree, const std::vector<bool>& buffered,
+[[nodiscard]] double evaluate_buffered_tree(const circuit::RlcTree& tree, const std::vector<bool>& buffered,
                               const Driver& buffer, double source_resistance,
                               DelayModel model);
 

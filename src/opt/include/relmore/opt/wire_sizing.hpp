@@ -47,11 +47,11 @@ struct WireSizingProblem {
 /// Builds the RLC tree for a given width assignment (driver modeled as a
 /// zero-length series resistance, load as a final capacitive stub).
 /// The sink is the last section.
-circuit::RlcTree build_sized_line(const WireSizingProblem& problem,
+[[nodiscard]] circuit::RlcTree build_sized_line(const WireSizingProblem& problem,
                                   const std::vector<double>& widths);
 
 /// Closed-form sink delay of a width assignment under the chosen model.
-double sized_line_delay(const WireSizingProblem& problem, const std::vector<double>& widths,
+[[nodiscard]] double sized_line_delay(const WireSizingProblem& problem, const std::vector<double>& widths,
                         DelayModel model);
 
 /// Sink delays of many width assignments at once. Every candidate shares
@@ -61,7 +61,7 @@ double sized_line_delay(const WireSizingProblem& problem, const std::vector<doub
 /// candidates.size() tree builds + scalar analyses. `pool` (optional)
 /// fans lane-groups across its workers. Each result is bitwise equal to
 /// `sized_line_delay` of that candidate.
-std::vector<double> sized_line_delays(const WireSizingProblem& problem,
+[[nodiscard]] std::vector<double> sized_line_delays(const WireSizingProblem& problem,
                                       const std::vector<std::vector<double>>& candidates,
                                       DelayModel model,
                                       engine::BatchAnalyzer* pool = nullptr);
@@ -76,7 +76,7 @@ struct WireSizingResult {
 
 /// Minimizes the sink delay over per-segment widths with coordinate
 /// descent from the all-ones start.
-WireSizingResult optimize_wire_sizing(const WireSizingProblem& problem, DelayModel model);
+[[nodiscard]] WireSizingResult optimize_wire_sizing(const WireSizingProblem& problem, DelayModel model);
 
 /// Options for the batched-sweep optimizer.
 struct BatchedSizingOptions {
@@ -93,7 +93,7 @@ struct BatchedSizingOptions {
 /// chain of sequential golden-section probes. Same minima as
 /// `optimize_wire_sizing` on the smooth sizing objectives, but the probe
 /// evaluations vectorize lane-per-candidate.
-WireSizingResult optimize_wire_sizing_batched(const WireSizingProblem& problem, DelayModel model,
+[[nodiscard]] WireSizingResult optimize_wire_sizing_batched(const WireSizingProblem& problem, DelayModel model,
                                               const BatchedSizingOptions& opts = {});
 
 }  // namespace relmore::opt

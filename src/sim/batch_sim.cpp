@@ -32,7 +32,14 @@ using circuit::SectionId;
 /// operations, just at different vector widths, and the repo-wide
 /// -ffp-contract=off applies to all clones, so no FMA contraction can
 /// make them diverge.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+/// Disabled under ThreadSanitizer: the ifunc resolvers run during early
+/// relocation, before the TSan runtime is initialized, and the
+/// interceptor-instrumented resolver segfaults at load time. The TSan leg
+/// only checks synchronization, so losing the AVX2 clone there costs
+/// nothing (the bitwise contract makes all clones equal anyway).
+#if defined(__SANITIZE_THREAD__)
+#define RELMORE_KERNEL_CLONES
+#elif defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
 #define RELMORE_KERNEL_CLONES __attribute__((target_clones("default", "arch=x86-64-v3")))
 #else
 #define RELMORE_KERNEL_CLONES
@@ -158,6 +165,7 @@ RELMORE_KERNEL_CLONES void step_group_impl(std::size_t n, const SectionId* paren
   double* __restrict j = s.j;
   double* __restrict j_eq = s.j_eq;
 
+  // relmore-lint: begin-hot-loop(batch-sim-step)
   // State-dependent companion sources. No cross-node dependencies, so one
   // flat n·W loop — no per-node loop-entry overhead. v_node still holds
   // the previous step's voltages here; they are consumed in place (the
@@ -228,6 +236,7 @@ RELMORE_KERNEL_CLONES void step_group_impl(std::size_t n, const SectionId* paren
       i_c[at + t] = cvals[at + t] > 0.0 ? i_c_new : 0.0;
     }
   }
+  // relmore-lint: end-hot-loop
 }
 
 template <std::size_t W>

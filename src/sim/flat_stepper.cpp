@@ -138,6 +138,7 @@ void FlatStepper::advance(const double* i_l_old, const double* v_l_old, const do
   double* i_b = i_b_.data();
   double* v_new = state_.v_node.data();
 
+  // relmore-lint: begin-hot-loop(flat-stepper-advance)
   // State-dependent companion sources (the conductances live in `f`).
   if (trapezoidal) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -194,6 +195,7 @@ void FlatStepper::advance(const double* i_l_old, const double* v_l_old, const do
       i_c[ii] = cap[ii] > 0.0 ? i_c_new : 0.0;
     }
   }
+  // relmore-lint: end-hot-loop
   state_.time = src_time + h;
 }
 

@@ -37,12 +37,12 @@ struct AdaptiveOptions {
 /// Adaptive transient from zero state; the returned time grid is
 /// non-uniform. Throws std::runtime_error when the step controller cannot
 /// meet the tolerance above dt_min.
-TransientResult simulate_tree_adaptive(const circuit::RlcTree& tree, const Source& source,
+[[nodiscard]] TransientResult simulate_tree_adaptive(const circuit::RlcTree& tree, const Source& source,
                                        const AdaptiveOptions& opts);
 
 /// Same, over a prebuilt snapshot (amortizes the SoA conversion across
 /// repeated runs).
-TransientResult simulate_tree_adaptive(const circuit::FlatTree& tree, const Source& source,
+[[nodiscard]] TransientResult simulate_tree_adaptive(const circuit::FlatTree& tree, const Source& source,
                                        const AdaptiveOptions& opts);
 
 }  // namespace relmore::sim

@@ -26,12 +26,12 @@ struct TimingMeasurement {
 /// `v_final` (pass the supply voltage; using the last sample would bias
 /// underdamped waveforms that have not fully rung down).
 /// `settle_band` is the paper's `x` (default 0.1 = ±10%).
-TimingMeasurement measure_rising(const Waveform& w, double v_final, double settle_band = 0.1);
+[[nodiscard]] TimingMeasurement measure_rising(const Waveform& w, double v_final, double settle_band = 0.1);
 
 /// First time after which the waveform stays within ±band·v_final of
 /// v_final; std::nullopt when it never settles inside the sampled window.
 /// The band is relative, so `v_final == 0` (or a non-finite v_final) has no
 /// meaningful band — the contract is std::nullopt, never a fabricated time.
-std::optional<double> settling_time(const Waveform& w, double v_final, double band);
+[[nodiscard]] std::optional<double> settling_time(const Waveform& w, double v_final, double band);
 
 }  // namespace relmore::sim

@@ -27,11 +27,11 @@ struct MnaSystem {
 };
 
 /// Stamps the tree into descriptor form.
-MnaSystem build_mna(const circuit::RlcTree& tree);
+[[nodiscard]] MnaSystem build_mna(const circuit::RlcTree& tree);
 
 /// Trapezoidal transient on the MNA system; same options/result contract as
 /// simulate_tree(). (be_startup_steps is honored the same way.)
-TransientResult simulate_mna(const circuit::RlcTree& tree, const Source& source,
+[[nodiscard]] TransientResult simulate_mna(const circuit::RlcTree& tree, const Source& source,
                              const TransientOptions& opts);
 
 }  // namespace relmore::sim

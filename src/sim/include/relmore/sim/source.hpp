@@ -40,9 +40,9 @@ using Source = std::variant<StepSource, RampSource, ExpSource, PwlSource>;
 
 /// Source value at time t (t < 0 returns the t=0 limit from below, i.e. 0
 /// for the canonical sources).
-double source_value(const Source& src, double t);
+[[nodiscard]] double source_value(const Source& src, double t);
 
 /// Final (t -> inf) value of the source.
-double source_final_value(const Source& src);
+[[nodiscard]] double source_final_value(const Source& src);
 
 }  // namespace relmore::sim

@@ -21,7 +21,7 @@ void write_waveform_csv(const Waveform& w, std::ostream& os,
 
 /// Reads a two-column CSV (header optional); extra columns are ignored.
 /// Throws std::invalid_argument on malformed rows or non-increasing time.
-Waveform read_waveform_csv(std::istream& is);
+[[nodiscard]] Waveform read_waveform_csv(std::istream& is);
 
 /// Writes "time,v0,v1,..." for all (or the selected) nodes of a transient
 /// result; labels defaults to "n<i>".

@@ -23,12 +23,12 @@ struct FitResult {
 /// Solves min ||A p - y||_2 where A is given row-major (rows x cols,
 /// rows >= cols) via normal equations with partial-pivot Gaussian
 /// elimination. Small dense problems only.
-std::vector<double> linear_least_squares(const std::vector<std::vector<double>>& A,
+[[nodiscard]] std::vector<double> linear_least_squares(const std::vector<std::vector<double>>& A,
                                          const std::vector<double>& y);
 
 /// Damped Gauss–Newton (Levenberg) fit of model(x, p) to samples (xs, ys).
 /// The Jacobian is formed by forward differences. `p0` seeds the iteration.
-FitResult fit_nonlinear(const std::function<double(double, const std::vector<double>&)>& model,
+[[nodiscard]] FitResult fit_nonlinear(const std::function<double(double, const std::vector<double>&)>& model,
                         const std::vector<double>& xs, const std::vector<double>& ys,
                         std::vector<double> p0, int max_iter = 200, double tol = 1e-12);
 

@@ -27,13 +27,13 @@ struct OdeOptions {
 /// Integrates from (t0, y0) to t1, invoking `observe(t, y)` after every
 /// accepted step (including the initial state). Returns the final state.
 /// Throws std::runtime_error if the step count is exhausted.
-std::vector<double> integrate_ode(const OdeRhs& f, double t0, std::vector<double> y0, double t1,
+[[nodiscard]] std::vector<double> integrate_ode(const OdeRhs& f, double t0, std::vector<double> y0, double t1,
                                   const OdeOptions& opts = {},
                                   const std::function<void(double, const std::vector<double>&)>&
                                       observe = nullptr);
 
 /// Adaptive Simpson quadrature of f over [a, b].
-double integrate_quad(const std::function<double(double)>& f, double a, double b,
+[[nodiscard]] double integrate_quad(const std::function<double(double)>& f, double a, double b,
                       double tol = 1e-10, int max_depth = 40);
 
 }  // namespace relmore::util

@@ -16,7 +16,7 @@ namespace relmore::util {
 /// the Talbot contour. Returns f(t) for t > 0. `terms` trades accuracy for
 /// F-evaluations; 32 gives ~1e-8 for smooth, stable F. Throws
 /// std::invalid_argument for t <= 0.
-double invert_laplace_talbot(const std::function<std::complex<double>(std::complex<double>)>& F,
+[[nodiscard]] double invert_laplace_talbot(const std::function<std::complex<double>(std::complex<double>)>& F,
                              double t, int terms = 32);
 
 }  // namespace relmore::util

@@ -18,7 +18,7 @@ struct MinimizeResult {
 };
 
 /// Golden-section search for a minimum of a unimodal f on [a, b].
-MinimizeResult minimize_golden(const std::function<double(double)>& f, double a, double b,
+[[nodiscard]] MinimizeResult minimize_golden(const std::function<double(double)>& f, double a, double b,
                                double x_tol = 1e-9, int max_iter = 200);
 
 /// Options for coordinate descent.
@@ -39,7 +39,7 @@ struct CoordinateDescentResult {
 /// Cyclic coordinate descent with golden-section line searches, boxed to
 /// [lo[i], hi[i]] per coordinate. Suitable for the smooth, low-dimensional
 /// sizing problems in relmore::opt; not a general NLP solver.
-CoordinateDescentResult minimize_coordinate_descent(
+[[nodiscard]] CoordinateDescentResult minimize_coordinate_descent(
     const std::function<double(const std::vector<double>&)>& f, std::vector<double> x0,
     const std::vector<double>& lo, const std::vector<double>& hi,
     const CoordinateDescentOptions& opts = {});

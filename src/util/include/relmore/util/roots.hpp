@@ -20,18 +20,18 @@ struct RootOptions {
 /// Requires f(a) and f(b) to have opposite signs (either may be zero).
 /// Returns std::nullopt when the bracket is invalid or the iteration cap is
 /// exceeded without convergence.
-std::optional<double> brent(const std::function<double(double)>& f, double a, double b,
+[[nodiscard]] std::optional<double> brent(const std::function<double(double)>& f, double a, double b,
                             const RootOptions& opts = {});
 
 /// Plain bisection; slower than brent() but immune to pathological functions.
-std::optional<double> bisect(const std::function<double(double)>& f, double a, double b,
+[[nodiscard]] std::optional<double> bisect(const std::function<double(double)>& f, double a, double b,
                              const RootOptions& opts = {});
 
 /// Expands [a, b] geometrically to the right until f changes sign, then
 /// finds the root with brent(). Useful for "first crossing after t=a"
 /// searches where the right edge is unknown. `growth` scales the step each
 /// attempt; gives up after `max_expand` expansions.
-std::optional<double> find_root_forward(const std::function<double(double)>& f, double a,
+[[nodiscard]] std::optional<double> find_root_forward(const std::function<double(double)>& f, double a,
                                         double initial_step, double growth = 1.6,
                                         int max_expand = 200, const RootOptions& opts = {});
 

@@ -52,18 +52,18 @@ std::vector<double> integrate_ode(
     for (int s = 1; s < 7; ++s) {
       for (std::size_t i = 0; i < n; ++i) {
         double acc = y[i];
-        for (int j = 0; j < s; ++j) acc += h * kA[s][j] * k[j][i];
+        for (int j = 0; j < s; ++j) acc += h * kA[s][j] * k[static_cast<std::size_t>(j)][i];
         ytmp[i] = acc;
       }
-      f(t + kC[s] * h, ytmp, k[s]);
+      f(t + kC[s] * h, ytmp, k[static_cast<std::size_t>(s)]);
     }
     double err = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       double acc5 = y[i];
       double acc4 = y[i];
       for (int s = 0; s < 7; ++s) {
-        acc5 += h * kB5[s] * k[s][i];
-        acc4 += h * kB4[s] * k[s][i];
+        acc5 += h * kB5[s] * k[static_cast<std::size_t>(s)][i];
+        acc4 += h * kB4[s] * k[static_cast<std::size_t>(s)][i];
       }
       y5[i] = acc5;
       y4[i] = acc4;

@@ -45,7 +45,7 @@ std::vector<std::complex<double>> Polynomial::roots(int max_iter, double tol) co
 
   // Cauchy bound on root magnitude seeds the Durand–Kerner circle.
   double bound = 0.0;
-  for (int i = 0; i < n; ++i) bound = std::max(bound, std::abs(a[i]));
+  for (int i = 0; i < n; ++i) bound = std::max(bound, std::abs(a[static_cast<std::size_t>(i)]));
   bound += 1.0;
 
   std::vector<std::complex<double>> z(static_cast<std::size_t>(n));

@@ -42,7 +42,7 @@ TEST(Rng, UniformIntCoversRange) {
     seen.insert(v);
   }
   EXPECT_EQ(seen.size(), 5u);
-  EXPECT_THROW(r.uniform_int(5, 4), std::invalid_argument);
+  EXPECT_THROW((void)r.uniform_int(5, 4), std::invalid_argument);
 }
 
 TEST(Rng, LogUniformRangeAndDegenerates) {
@@ -54,7 +54,7 @@ TEST(Rng, LogUniformRangeAndDegenerates) {
   }
   EXPECT_DOUBLE_EQ(r.log_uniform(5.0, 5.0), 5.0);
   EXPECT_DOUBLE_EQ(r.log_uniform(0.0, 0.0), 0.0);
-  EXPECT_THROW(r.log_uniform(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)r.log_uniform(2.0, 1.0), std::invalid_argument);
 }
 
 TEST(RandomTree, ReproducibleFromSeed) {

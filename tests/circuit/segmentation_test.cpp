@@ -75,9 +75,9 @@ TEST(Segmentation, SuggestedSegmentsRcWire) {
 
 TEST(Segmentation, RejectsBadArguments) {
   const WireSpec w = global_wire_spec();
-  EXPECT_THROW(segment_values(w, 0), std::invalid_argument);
-  EXPECT_THROW(segment_values(WireSpec{}, 3), std::invalid_argument);
-  EXPECT_THROW(suggested_segments(w, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)segment_values(w, 0), std::invalid_argument);
+  EXPECT_THROW((void)segment_values(WireSpec{}, 3), std::invalid_argument);
+  EXPECT_THROW((void)suggested_segments(w, 0.0), std::invalid_argument);
 }
 
 TEST(Segmentation, PresetSpecsAreSane) {

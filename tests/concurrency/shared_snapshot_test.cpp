@@ -1,0 +1,172 @@
+// Writer/reader stress over one SharedSnapshot — the TSan leg's main
+// subject and the happens-before contract the future analysis daemon
+// inherits (see snapshot.hpp).
+//
+// One writer owns a TimingEngine: it opens transactions, applies random
+// value edits, commits or rolls back, computes the reference delay at a
+// probe node, and publishes an epoch-stamped FlatTree snapshot. Reader
+// threads concurrently acquire whatever snapshot is current and analyze
+// it through the batched kernel. The assertions are the repo's two
+// contracts at once:
+//
+//   * memory safety / ordering: TSan must see no race between the
+//     writer's edits and the readers' analyses (records are immutable,
+//     hand-off is mutex release/acquire);
+//   * bitwise reproducibility: a reader's result for epoch e equals the
+//     writer's reference for epoch e bit for bit, regardless of
+//     interleaving — the epoch fully determines every bit of the answer.
+
+#include <bit>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "relmore/circuit/flat_tree.hpp"
+#include "relmore/circuit/random_tree.hpp"
+#include "relmore/engine/batched.hpp"
+#include "relmore/engine/snapshot.hpp"
+#include "relmore/engine/timing_engine.hpp"
+
+namespace {
+
+using relmore::circuit::FlatTree;
+using relmore::circuit::RandomTreeSpec;
+using relmore::circuit::RlcTree;
+using relmore::circuit::SectionId;
+using relmore::circuit::SectionValues;
+using relmore::engine::BatchedAnalyzer;
+using relmore::engine::SharedSnapshot;
+using relmore::engine::TimingEngine;
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Reader-side analysis of a published snapshot: nominal values through
+/// the batched kernel (bitwise-equal to scalar eed::analyze by the PR 2
+/// contract, hence to the writer's TimingEngine reference by the PR 1
+/// contract).
+double analyze_snapshot(const FlatTree& tree, SectionId probe) {
+  BatchedAnalyzer batched(tree, /*lane_width=*/4);
+  batched.resize(1);  // one sample at the snapshot's nominal values
+  return batched.analyze().delay_50(0, probe);
+}
+
+TEST(SharedSnapshotStress, WriterEditsReadersAnalyzeBitwise) {
+  RandomTreeSpec spec;
+  spec.min_sections = 40;
+  spec.max_sections = 48;
+  const RlcTree base = relmore::circuit::make_random_tree(spec, /*seed=*/0x5eed0007);
+  const auto probe = static_cast<SectionId>(base.size() - 1);
+
+  constexpr std::uint64_t kFinalEpoch = 120;
+  constexpr int kReaders = 3;
+
+  TimingEngine engine(base);
+  SharedSnapshot board;
+
+  // expected[e] is written by the writer strictly before epoch e is
+  // published; a reader holding epoch e's record reads it strictly after
+  // acquire. The publish/acquire mutex pair orders the two — this vector
+  // is exactly the kind of epoch-indexed side table the daemon's result
+  // cache will be.
+  std::vector<double> expected(kFinalEpoch + 1, 0.0);
+
+  expected[1] = engine.delay_50(probe);
+  board.publish(FlatTree(engine.tree()), 1);
+
+  std::thread writer([&] {
+    relmore::circuit::Rng rng(0xca11ab1e);
+    for (std::uint64_t e = 2; e <= kFinalEpoch; ++e) {
+      engine.begin_transaction();
+      const int edits = rng.uniform_int(1, 4);
+      for (int k = 0; k < edits; ++k) {
+        const auto id = static_cast<SectionId>(rng.uniform_int(0, static_cast<int>(base.size()) - 1));
+        SectionValues v;
+        v.resistance = rng.log_uniform(spec.resistance_lo, spec.resistance_hi);
+        v.inductance = rng.log_uniform(spec.inductance_lo, spec.inductance_hi);
+        v.capacitance = rng.log_uniform(spec.capacitance_lo, spec.capacitance_hi);
+        engine.set_section_values(id, v);
+      }
+      // Roughly a third of the transactions roll back: the published
+      // snapshot must then match the *pre-transaction* tree exactly.
+      if (rng.uniform_int(0, 2) == 0) {
+        engine.rollback();
+      } else {
+        engine.commit();
+      }
+      expected[e] = engine.delay_50(probe);
+      board.publish(FlatTree(engine.tree()), e);
+    }
+  });
+
+  std::vector<std::thread> readers;
+  std::vector<std::uint64_t> reads_ok(kReaders, 0);
+  std::vector<std::uint64_t> mismatches(kReaders, 0);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t last_seen = 0;
+      while (last_seen < kFinalEpoch) {
+        const auto record = board.acquire();
+        ASSERT_NE(record, nullptr);
+        // Epochs may only move forward between acquires.
+        ASSERT_GE(record->epoch, last_seen);
+        last_seen = record->epoch;
+        const double got = analyze_snapshot(record->tree, probe);
+        if (bits(got) == bits(expected[record->epoch])) {
+          ++reads_ok[r];
+        } else {
+          ++mismatches[r];
+        }
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  for (int r = 0; r < kReaders; ++r) {
+    EXPECT_EQ(mismatches[r], 0u) << "reader " << r << " saw a non-reproducible snapshot";
+    EXPECT_GT(reads_ok[r], 0u) << "reader " << r << " never completed a read";
+  }
+}
+
+TEST(SharedSnapshot, StartsEmptyAndStampsEpochs) {
+  SharedSnapshot board;
+  EXPECT_EQ(board.acquire(), nullptr);
+  EXPECT_EQ(board.epoch(), 0u);
+
+  RandomTreeSpec spec;
+  const RlcTree tree = relmore::circuit::make_random_tree(spec, 1);
+  board.publish(FlatTree(tree), 5);
+  EXPECT_EQ(board.epoch(), 5u);
+  const auto rec = board.acquire();
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->epoch, 5u);
+  EXPECT_EQ(rec->tree.size(), tree.size());
+}
+
+TEST(SharedSnapshot, RejectsEpochRegression) {
+  SharedSnapshot board;
+  RandomTreeSpec spec;
+  const RlcTree tree = relmore::circuit::make_random_tree(spec, 2);
+  board.publish(FlatTree(tree), 3);
+  EXPECT_THROW(board.publish(FlatTree(tree), 3), std::invalid_argument);
+  EXPECT_THROW(board.publish(FlatTree(tree), 2), std::invalid_argument);
+  // The rejected publishes left the current record untouched.
+  EXPECT_EQ(board.epoch(), 3u);
+}
+
+TEST(SharedSnapshot, OldRecordSurvivesLaterPublishes) {
+  SharedSnapshot board;
+  RandomTreeSpec spec;
+  const RlcTree tree = relmore::circuit::make_random_tree(spec, 3);
+  board.publish(FlatTree(tree), 1);
+  const auto held = board.acquire();
+  board.publish(FlatTree(tree), 2);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->epoch, 1u);           // unaffected by the later publish
+  EXPECT_EQ(board.acquire()->epoch, 2u);
+}
+
+}  // namespace

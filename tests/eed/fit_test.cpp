@@ -46,9 +46,9 @@ TEST(Fit, RespectsCustomRange) {
 }
 
 TEST(Fit, RejectsBadParameters) {
-  EXPECT_THROW(fit_scaled_delay(1.0, 0.5, 50), std::invalid_argument);
-  EXPECT_THROW(fit_scaled_delay(0.0, 3.0, 2), std::invalid_argument);
-  EXPECT_THROW(fit_scaled_rise(-1.0, 3.0, 50), std::invalid_argument);
+  EXPECT_THROW((void)fit_scaled_delay(1.0, 0.5, 50), std::invalid_argument);
+  EXPECT_THROW((void)fit_scaled_delay(0.0, 3.0, 2), std::invalid_argument);
+  EXPECT_THROW((void)fit_scaled_rise(-1.0, 3.0, 50), std::invalid_argument);
 }
 
 TEST(Fit, PaperDelayCoefficientsAnchorChecks) {

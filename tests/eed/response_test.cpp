@@ -110,7 +110,7 @@ TEST(ExpInput, SurvivesPoleCollision) {
 }
 
 TEST(ExpInput, RejectsBadTau) {
-  EXPECT_THROW(exp_input_response(underdamped_node(), 1e-9, 1.0, 0.0),
+  EXPECT_THROW((void)exp_input_response(underdamped_node(), 1e-9, 1.0, 0.0),
                std::invalid_argument);
 }
 

@@ -1,0 +1,13 @@
+// relmore-lint: fixture
+// Seeded R1 violation: a call site of the [[deprecated]] positional
+// overload of analysis::compare_step_response (the PR 6 API redesign left
+// the old (v_supply, samples) tail deprecated; new code must use the
+// CompareOptions form). relmore-lint must exit nonzero on this TU.
+
+#include "relmore/analysis/compare.hpp"
+
+double old_style(const relmore::circuit::RlcTree& tree) {
+  // BAD: positional (v_supply, samples) tail — the deprecated overload.
+  auto row = relmore::analysis::compare_step_response(tree, 3, 1.0, 501);
+  return row.delay_err_pct;
+}

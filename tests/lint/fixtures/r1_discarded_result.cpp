@@ -1,0 +1,16 @@
+// relmore-lint: fixture
+// Seeded R1 violation: a Status/Result-returning call whose value is
+// dropped at statement level. relmore-lint must exit nonzero on this TU.
+// The file is lexed, never compiled — it only has to look like the real
+// call sites do.
+
+#include <istream>
+
+namespace relmore::sta {
+struct Design;
+}
+
+void load_corpus(std::istream& is) {
+  // BAD: the Result<Design> is discarded — a parse failure vanishes.
+  relmore::sta::read_design_checked(is);
+}

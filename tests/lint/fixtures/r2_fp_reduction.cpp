@@ -1,0 +1,22 @@
+// relmore-lint: lane-file
+// Seeded R2 violations: order-dependent FP reductions inside a (declared)
+// lane file. Both `std::reduce` (unspecified evaluation order) and an
+// `omp simd reduction` clause re-associate the sum, breaking the bitwise
+// contract the AoSoA kernels promise. relmore-lint must exit nonzero.
+
+#include <numeric>
+#include <vector>
+
+double lane_sum(const std::vector<double>& values) {
+  // BAD: std::reduce may re-associate the FP sum.
+  return std::reduce(values.begin(), values.end(), 0.0);
+}
+
+double lane_sum_simd(const double* values, std::size_t n) {
+  double acc = 0.0;
+// BAD: the reduction clause builds per-lane partial sums and combines
+// them in an unspecified order.
+#pragma omp simd reduction(+ : acc)
+  for (std::size_t i = 0; i < n; ++i) acc += values[i];
+  return acc;
+}

@@ -1,0 +1,18 @@
+// Seeded R3 violations: allocation, locking, and throwing inside a marked
+// hot-loop region. relmore-lint must exit nonzero on this TU.
+
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+std::mutex m;
+
+void per_step_sweep(std::vector<double>& out, const double* v, std::size_t n) {
+  // relmore-lint: begin-hot-loop(fixture-sweep)
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(v[i]);               // BAD: allocation in the step loop
+    std::lock_guard<std::mutex> g(m);  // BAD: locking in the step loop
+    if (v[i] < 0.0) throw std::runtime_error("negative");  // BAD: throwing
+  }
+  // relmore-lint: end-hot-loop
+}

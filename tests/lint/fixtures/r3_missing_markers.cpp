@@ -1,0 +1,10 @@
+// relmore-lint: require-markers
+// Seeded R3 meta-rule violation: this file declares itself a kernel file
+// (as src/engine/batched.cpp, src/sim/flat_stepper.cpp and
+// src/sim/batch_sim.cpp are, by the tool's built-in list) but carries no
+// begin-hot-loop/end-hot-loop region. Deleting the markers from a real
+// kernel must itself be a lint failure; relmore-lint must exit nonzero.
+
+void step(double* v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) v[i] *= 0.5;
+}

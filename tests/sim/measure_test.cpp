@@ -82,10 +82,10 @@ TEST(Measure, SettlingNulloptWhenFinalValueDegenerate) {
 }
 
 TEST(Measure, RejectsBadInputs) {
-  EXPECT_THROW(measure_rising(Waveform{}, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)measure_rising(Waveform{}, 1.0), std::invalid_argument);
   Waveform w({0.0, 1.0}, {0.0, 1.0});
-  EXPECT_THROW(measure_rising(w, 0.0), std::invalid_argument);
-  EXPECT_THROW(settling_time(Waveform{}, 1.0, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)measure_rising(w, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)settling_time(Waveform{}, 1.0, 0.1), std::invalid_argument);
 }
 
 TEST(Measure, NeverCrossingReportsNegative) {

@@ -46,7 +46,7 @@ TEST(IntegrateOde, ObserverSeesMonotoneTime) {
   };
   double last_t = -1.0;
   int calls = 0;
-  integrate_ode(rhs, 0.0, {1.0}, 1.0, {},
+  (void)integrate_ode(rhs, 0.0, {1.0}, 1.0, {},  // consumed via the observer
                 [&](double t, const std::vector<double>&) {
                   EXPECT_GT(t, last_t - 1e-15);
                   last_t = t;

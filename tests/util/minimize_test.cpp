@@ -28,7 +28,7 @@ TEST(MinimizeGolden, NonPolynomialObjective) {
 }
 
 TEST(MinimizeGolden, RejectsInvertedInterval) {
-  EXPECT_THROW(minimize_golden([](double x) { return x; }, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)minimize_golden([](double x) { return x; }, 1.0, 0.0), std::invalid_argument);
 }
 
 TEST(CoordinateDescent, SeparableQuadratic) {

@@ -1,0 +1,784 @@
+#!/usr/bin/env python3
+"""relmore-lint: repo-specific static checks for the relmore contracts.
+
+The repo promises three things no general-purpose tool checks for us:
+
+  R1  Every `Status`/`Result<T>` an API hands back is consumed. The PR 6
+      `_checked` convention makes error handling explicit *only* if call
+      sites actually look at the result; a statement-level call that drops
+      it is a silent-wrong-answer bug at corpus scale. The rule also bans
+      call sites of `[[deprecated]]` positional overloads: the compiler
+      merely warns, the lint fails.
+
+  R2  The AoSoA lane loops stay bitwise-reproducible. `-ffp-contract=off`
+      and fixed association order are the contract; any order-dependent or
+      contraction-sensitive construct (`std::reduce`, `std::fma`,
+      `#pragma omp simd reduction` over FP, per-function fast-math
+      attributes) inside a lane file silently breaks it on the next
+      compiler upgrade.
+
+  R3  The per-step / per-lane hot loops do not allocate, lock, or throw.
+      Regions are delimited in-source:
+
+          // relmore-lint: begin-hot-loop(<name>)
+          ...
+          // relmore-lint: end-hot-loop
+
+      and the kernel files are *required* to carry at least one region, so
+      deleting the markers is itself a violation.
+
+Suppression policy (see docs/static-analysis.md): a finding is silenced
+only by an on-line annotation naming the rule, e.g.
+
+    some_call();  // relmore-lint: allow(R1) reason...
+
+Usage:
+    relmore_lint.py [--repo-root DIR] [--compile-commands FILE]
+                    [--rules R1,R2,R3] [paths...]
+
+With no paths, lints every TU listed in compile_commands.json that lives
+under src/, bench/, or examples/ (plus all headers under src/); without a
+compile_commands.json it falls back to walking those directories. Exits 0
+when clean, 1 on violations, 2 on usage errors. Python 3 stdlib only — no
+libclang in the loop, so it runs anywhere the repo builds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+# --------------------------------------------------------------------------
+# Configuration: the repo-specific scope of each rule.
+# --------------------------------------------------------------------------
+
+# Directories (relative to the repo root) whose code rule R1 covers.
+R1_DIRS = ("src", "bench", "examples")
+
+# Files whose lane loops carry the bitwise-reproducibility contract (R2).
+# Matched as suffixes of the repo-relative path.
+LANE_FILE_PATTERNS = (
+    "src/engine/batched.cpp",
+    "src/sim/",  # every sim TU: flat_stepper, batch_sim, tree_transient, ...
+    "src/sta/design.cpp",
+)
+
+# Kernel files that must contain at least one hot-loop region (R3 meta rule).
+REQUIRED_MARKER_FILES = (
+    "src/engine/batched.cpp",
+    "src/sim/flat_stepper.cpp",
+    "src/sim/batch_sim.cpp",
+)
+
+# Functions whose return value is a Status/Result by *convention*, indexed
+# even when the declaration is not visible to the signature scan.
+CONVENTION_RESULT_SUFFIXES = ("_checked",)
+
+# Identifiers banned inside a hot-loop region, by category (R3).
+HOT_LOOP_BANNED = {
+    "allocation": {
+        "new", "delete", "malloc", "calloc", "realloc", "free",
+        "push_back", "emplace_back", "emplace", "resize", "reserve",
+        "shrink_to_fit", "make_unique", "make_shared", "string", "to_string",
+    },
+    "locking": {
+        "mutex", "lock", "unlock", "try_lock", "lock_guard", "unique_lock",
+        "scoped_lock", "shared_lock", "condition_variable", "call_once",
+    },
+    "throwing": {"throw"},
+}
+
+# Order-dependent / contraction-sensitive constructs banned in lane files
+# (R2). Matched against stripped code text.
+R2_BANNED_CALLS = (
+    "std::reduce", "std::transform_reduce", "std::inner_product",
+    "std::fma", "fmaf", "__builtin_fma",
+)
+R2_BANNED_PRAGMA_RE = re.compile(
+    r"#\s*pragma\s+omp\s.*\breduction\s*\(|"      # omp FP reductions
+    r'_Pragma\s*\(\s*"omp[^"]*\breduction\b|'      # same, operator form
+    r"#\s*pragma\s+STDC\s+FP_CONTRACT\s+ON|"       # re-enabling contraction
+    r"#\s*pragma\s+GCC\s+optimize|"                # per-function fast-math
+    r"__attribute__\s*\(\s*\(\s*optimize"
+)
+
+DIRECTIVE_RE = re.compile(r"//\s*relmore-lint:\s*(.+?)\s*$")
+
+# --------------------------------------------------------------------------
+# Lexing helpers
+# --------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string and char literals, preserving offsets.
+
+    Every replaced character becomes a space (newlines survive), so byte
+    offsets and line numbers in the stripped text match the original.
+    Handles //, /* */, "..." with escapes, '...' and raw strings R"delim(...)delim".
+    """
+    out = list(text)
+    i, n = 0, len(text)
+
+    def blank(a: int, b: int) -> None:
+        for k in range(a, b):
+            if out[k] != "\n":
+                out[k] = " "
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            blank(i, j)
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            blank(i, j)
+            i = j
+        elif c == '"':
+            # Raw string?
+            m = re.match(r'R"([^ ()\\\t\n]*)\(', text[i - 1 : i + 18]) if i >= 1 else None
+            if i >= 1 and text[i - 1] == "R" and m:
+                delim = m.group(1)
+                close = ')' + delim + '"'
+                j = text.find(close, i + 1)
+                j = n if j < 0 else j + len(close)
+                blank(i, j)
+                i = j
+            else:
+                j = i + 1
+                while j < n and text[j] != '"':
+                    j += 2 if text[j] == "\\" else 1
+                j = min(j + 1, n)
+                blank(i, j)
+                i = j
+        elif c == "'":
+            # Skip digit separators (1'000'000): a quote sandwiched in digits.
+            if i > 0 and text[i - 1].isalnum() and i + 1 < n and text[i + 1].isalnum() and (
+                text[i - 1].isdigit() or text[i - 1] in "abcdefABCDEF"
+            ):
+                i += 1
+                continue
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            blank(i, j)
+            i = j
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def match_paren(text: str, open_idx: int) -> int:
+    """Index just past the `)` matching text[open_idx] == '('; -1 if unbalanced."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def prev_significant(text: str, idx: int) -> tuple[str, int]:
+    """Last non-whitespace char before idx (and its index); ('', -1) at BOF."""
+    i = idx - 1
+    while i >= 0 and text[i] in " \t\n\r":
+        i -= 1
+    return (text[i], i) if i >= 0 else ("", -1)
+
+
+def next_significant(text: str, idx: int) -> tuple[str, int]:
+    i = idx
+    n = len(text)
+    while i < n and text[i] in " \t\n\r":
+        i += 1
+    return (text[i], i) if i < n else ("", -1)
+
+
+def _match_group_back(text: str, close_idx: int) -> int:
+    """Offset of the opener matching the `)`/`]` at close_idx; -1 if none."""
+    close = text[close_idx]
+    opener = "(" if close == ")" else "["
+    depth = 0
+    k = close_idx
+    while k >= 0:
+        if text[k] == close:
+            depth += 1
+        elif text[k] == opener:
+            depth -= 1
+            if depth == 0:
+                return k
+        k -= 1
+    return -1
+
+
+def _consume_ident_back(text: str, end_idx: int) -> int:
+    """Start offset of the identifier whose last char is at end_idx."""
+    k = end_idx
+    while k >= 0 and (text[k].isalnum() or text[k] == "_"):
+        k -= 1
+    return k + 1
+
+
+def walk_back_callee_chain(text: str, name_start: int) -> int:
+    """Start offset of the full postfix expression ending at the callee name.
+
+    Walks left over member/scope connectors (`::`, `.`, `->`) and the
+    postfix expressions they join — identifiers and matched `()`/`[]`
+    groups with their callee names — so `graph.value().analyze_checked`
+    resolves to the offset of `graph`. An identifier NOT joined by a
+    connector (e.g. the return type in a declaration, or the `return`
+    keyword) stops the walk: the chain must not leak across expression
+    boundaries.
+    """
+    i = name_start
+    while True:
+        c, j = prev_significant(text, i)
+        if c == ":" and j > 0 and text[j - 1] == ":":
+            before = j - 2
+        elif c == ".":
+            before = j - 1
+        elif c == ">" and j > 0 and text[j - 1] == "-":
+            before = j - 2
+        else:
+            return i
+        # Consume the postfix expression that ends just before the connector:
+        # trailing groups first (`foo(...)`, `arr[...]`), then the head name.
+        k = before + 1
+        while True:
+            c2, j2 = prev_significant(text, k)
+            if c2 in ")]":
+                g = _match_group_back(text, j2)
+                if g < 0:
+                    return i
+                k = g
+                c3, j3 = prev_significant(text, k)
+                if c3 and (c3.isalnum() or c3 == "_"):
+                    k = _consume_ident_back(text, j3)
+                i = k
+                break
+            if c2 and (c2.isalnum() or c2 == "_"):
+                i = _consume_ident_back(text, j2)
+                break
+            return i
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class SourceFile:
+    path: str           # as given (for reporting)
+    rel: str            # repo-relative, '/'-separated
+    text: str           # raw
+    stripped: str       # comments/strings blanked
+    directives: dict[int, list[str]] = field(default_factory=dict)  # line -> directives
+
+    def allows(self, line: int, rule: str) -> bool:
+        for d in self.directives.get(line, []):
+            m = re.match(r"allow\(([\w,\s]+)\)", d)
+            if m and rule in {r.strip() for r in m.group(1).split(",")}:
+                return True
+        return False
+
+    def has_directive(self, directive: str) -> bool:
+        return any(d.startswith(directive) for ds in self.directives.values() for d in ds)
+
+
+def load_source(path: str, repo_root: str) -> SourceFile:
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    rel = os.path.relpath(os.path.abspath(path), repo_root).replace(os.sep, "/")
+    sf = SourceFile(path=path, rel=rel, text=text, stripped=strip_comments_and_strings(text))
+    for lineno, line in enumerate(text.splitlines(), 1):
+        m = DIRECTIVE_RE.search(line)
+        if m:
+            sf.directives.setdefault(lineno, []).append(m.group(1))
+    return sf
+
+
+# --------------------------------------------------------------------------
+# Signature index (drives R1)
+# --------------------------------------------------------------------------
+
+RESULT_DECL_RE = re.compile(
+    r"\b(?:util\s*::\s*)?(?:Result\s*<[^;{}()]{1,200}?>|Status)\s+"
+    r"(?:[A-Za-z_]\w*\s*::\s*)?"          # optional class qualifier (defs)
+    r"([A-Za-z_]\w*)\s*\("
+)
+
+DEPRECATED_RE = re.compile(r"\[\[\s*deprecated\b")
+
+
+@dataclass
+class DeprecatedOverload:
+    name: str
+    min_arity: int
+    max_arity: int
+    decl_rel: str
+    decl_line: int
+
+
+@dataclass
+class SignatureIndex:
+    result_returning: set[str] = field(default_factory=set)
+    deprecated: list[DeprecatedOverload] = field(default_factory=list)
+    # Arity ranges of the *non*-deprecated overloads sharing a deprecated name.
+    fresh_arities: dict[str, set[int]] = field(default_factory=dict)
+
+
+def count_params(params: str) -> tuple[int, int]:
+    """(min_arity, max_arity) of a parameter-list string (no outer parens)."""
+    if not params.strip():
+        return (0, 0)
+    depth_round = depth_angle = depth_brace = 0
+    parts, cur = [], []
+    for ch in params:
+        if ch == "(":
+            depth_round += 1
+        elif ch == ")":
+            depth_round -= 1
+        elif ch == "<":
+            depth_angle += 1
+        elif ch == ">":
+            depth_angle = max(0, depth_angle - 1)
+        elif ch == "{":
+            depth_brace += 1
+        elif ch == "}":
+            depth_brace -= 1
+        elif ch == "," and depth_round == depth_angle == depth_brace == 0:
+            parts.append("".join(cur))
+            cur = []
+            continue
+        cur.append(ch)
+    parts.append("".join(cur))
+    max_arity = len(parts)
+    defaulted = sum(1 for p in parts if "=" in p)
+    return (max_arity - defaulted, max_arity)
+
+
+def index_signatures(files: list[SourceFile]) -> SignatureIndex:
+    idx = SignatureIndex()
+    for sf in files:
+        s = sf.stripped
+        for m in RESULT_DECL_RE.finditer(s):
+            idx.result_returning.add(m.group(1))
+        # Deprecated declarations: attribute, then the next function name + params.
+        for m in DEPRECATED_RE.finditer(s):
+            # The attribute may carry a (blanked) message: skip to the closing ]].
+            close = s.find("]]", m.start())
+            if close < 0:
+                continue
+            tail = s[close + 2 : close + 600]
+            dm = re.search(r"([A-Za-z_]\w*)\s*\(", tail)
+            if not dm:
+                continue
+            name = dm.group(1)
+            open_idx = close + 2 + dm.end() - 1
+            end = match_paren(s, open_idx)
+            if end < 0:
+                continue
+            lo, hi = count_params(s[open_idx + 1 : end - 1])
+            idx.deprecated.append(
+                DeprecatedOverload(name, lo, hi, sf.rel, line_of(s, m.start()))
+            )
+        # Arity ranges of non-deprecated overloads of those names come in a
+        # second pass below (needs the deprecated set complete first).
+    dep_names = {d.name for d in idx.deprecated}
+    if dep_names:
+        dep_spans: dict[str, list[tuple[int, int]]] = {}
+        for d in idx.deprecated:
+            dep_spans.setdefault(d.name, [])
+        for sf in files:
+            s = sf.stripped
+            for name in dep_names:
+                for m in re.finditer(r"\b" + re.escape(name) + r"\s*\(", s):
+                    # A declaration (not a call): preceded by an identifier or
+                    # `>` (return type) and followed, after the param list, by
+                    # `;` or `{` — heuristic, only used to learn arities.
+                    c, j = prev_significant(s, m.start())
+                    if not (c and (c.isalnum() or c in "_>&")):
+                        continue
+                    end = match_paren(s, s.index("(", m.start()))
+                    if end < 0:
+                        continue
+                    nxt, _ = next_significant(s, end)
+                    if nxt not in ";{" :
+                        continue
+                    # Deprecated or not? Look back a bit for the attribute.
+                    back = s[max(0, m.start() - 400) : m.start()]
+                    if DEPRECATED_RE.search(back):
+                        continue
+                    lo, hi = count_params(s[s.index("(", m.start()) + 1 : end - 1])
+                    idx.fresh_arities.setdefault(name, set()).update(range(lo, hi + 1))
+    return idx
+
+
+# --------------------------------------------------------------------------
+# R1: discarded results + deprecated call sites
+# --------------------------------------------------------------------------
+
+
+def is_result_name(name: str, idx: SignatureIndex) -> bool:
+    if name in idx.result_returning:
+        return True
+    return any(name.endswith(sfx) for sfx in CONVENTION_RESULT_SUFFIXES)
+
+
+def check_r1(sf: SourceFile, idx: SignatureIndex) -> list[Finding]:
+    findings: list[Finding] = []
+    if not sf.rel.startswith(R1_DIRS) and not sf.has_directive("fixture"):
+        return findings
+    s = sf.stripped
+    for m in IDENT_RE.finditer(s):
+        name = m.group(0)
+        open_idx = m.end()
+        nxt, open_at = next_significant(s, open_idx)
+        if nxt != "(":
+            continue
+        interesting = is_result_name(name, idx)
+        dep = [d for d in idx.deprecated if d.name == name]
+        if not interesting and not dep:
+            continue
+        end = match_paren(s, open_at)
+        if end < 0:
+            continue
+        line = line_of(s, m.start())
+
+        # --- deprecated-overload call sites ------------------------------
+        for d in dep:
+            if sf.rel == d.decl_rel:
+                continue  # the declaring header itself
+            # Is this a declaration? (learned-arity pass used the same test)
+            c, _ = prev_significant(s, walk_back_callee_chain(s, m.start()))
+            lo, hi = count_params(s[open_at + 1 : end - 1])
+            arity = hi  # at a call site every argument is present
+            if not (d.min_arity <= arity <= d.max_arity):
+                continue
+            pc, _ = prev_significant(s, m.start())
+            if pc and (pc.isalnum() or pc in "_>&*~"):
+                continue  # part of a declaration/definition, not a call
+            fresh = idx.fresh_arities.get(name, set())
+            if arity in fresh:
+                # Ambiguous arity: the fresh overload takes an options struct
+                # at the first diverging position; a braced init or a
+                # *Options name there means the call is fine.
+                args = s[open_at + 1 : end - 1]
+                if "{" in args or "Options" in sf.text[open_at + 1 : end - 1]:
+                    continue
+            if sf.allows(line, "R1"):
+                continue
+            findings.append(Finding(
+                sf.path, line, "R1",
+                f"call of [[deprecated]] overload '{name}' (arity {arity}); "
+                f"use the options-struct or _checked form "
+                f"(declared {d.decl_rel}:{d.decl_line})",
+            ))
+            break
+
+        if not interesting:
+            continue
+
+        # --- discarded Status/Result -------------------------------------
+        # The value is used if the call expression is consumed by anything
+        # other than an expression statement.
+        nxt2, _ = next_significant(s, end)
+        if nxt2 in ".[-":  # member access / index / '->' chains use the value
+            continue
+        if nxt2 != ";":
+            continue  # operand of something (return, =, comparison, arg, ...)
+        chain_start = walk_back_callee_chain(s, m.start())
+        c, j = prev_significant(s, chain_start)
+        # NOTE: ':' is NOT statement context — it is almost always the arm
+        # of a ternary (`ok() ? a : b.status()`); labels are rare enough
+        # that the false-negative is acceptable.
+        statement_start = c in {";", "{", "}", ")", ""}
+        if c and (c.isalnum() or c == "_"):
+            # Preceded by an identifier/keyword: `return foo(...)`,
+            # `Status s = ...` never reaches here (that's '='), but
+            # `co_return`/`co_await` or a declaration `Status foo(...);`
+            # land here — all of those consume or declare, not discard.
+            statement_start = False
+            # ... unless the identifier is a statement-like keyword: `else`.
+            k = j
+            while k >= 0 and (s[k].isalnum() or s[k] == "_"):
+                k -= 1
+            word = s[k + 1 : j + 1]
+            if word in {"else", "do"}:
+                statement_start = True
+        if not statement_start:
+            continue
+        if c == ")":
+            # `if (...) foo_checked();` → still a discard; but a C-style
+            # cast `(void)foo()` is also a discard by policy. Either way
+            # it's a finding; fall through.
+            pass
+        if sf.allows(line, "R1"):
+            continue
+        findings.append(Finding(
+            sf.path, line, "R1",
+            f"result of '{name}' (Status/Result-returning) is discarded; "
+            "consume the Status/Result or branch on is_ok()",
+        ))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# R2: FP-contraction / order-dependence in lane files
+# --------------------------------------------------------------------------
+
+
+def is_lane_file(sf: SourceFile) -> bool:
+    if sf.has_directive("lane-file"):
+        return True
+    return any(
+        sf.rel == p or (p.endswith("/") and sf.rel.startswith(p))
+        for p in LANE_FILE_PATTERNS
+    )
+
+
+def check_r2(sf: SourceFile) -> list[Finding]:
+    if not is_lane_file(sf):
+        return []
+    findings: list[Finding] = []
+    s = sf.stripped
+    for pat in R2_BANNED_CALLS:
+        for m in re.finditer(re.escape(pat) + r"\s*\(", s):
+            line = line_of(s, m.start())
+            if sf.allows(line, "R2"):
+                continue
+            findings.append(Finding(
+                sf.path, line, "R2",
+                f"'{pat}' in a lane file: unspecified evaluation order / FP "
+                "contraction breaks the bitwise-reproducibility contract "
+                "(-ffp-contract=off, fixed association order)",
+            ))
+    # Pragmas live outside strings/comments in real code, but the operator
+    # form _Pragma("...") IS a string — scan the raw text for both.
+    for m in R2_BANNED_PRAGMA_RE.finditer(sf.text):
+        line = line_of(sf.text, m.start())
+        if sf.allows(line, "R2"):
+            continue
+        # Ignore matches inside comments (raw-text scan).
+        if sf.stripped[m.start()] == " " and "_Pragma" not in m.group(0) and "#" not in m.group(0):
+            continue
+        line_text = sf.text.splitlines()[line - 1].lstrip()
+        if line_text.startswith("//") or line_text.startswith("*") or line_text.startswith("///"):
+            continue
+        findings.append(Finding(
+            sf.path, line, "R2",
+            "order-dependent FP reduction or contraction pragma in a lane "
+            "file (omp reduction / FP_CONTRACT ON / per-function optimize)",
+        ))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# R3: hot-loop regions
+# --------------------------------------------------------------------------
+
+BEGIN_RE = re.compile(r"begin-hot-loop\((\w[\w-]*)\)")
+END_RE = re.compile(r"end-hot-loop")
+
+
+def check_r3(sf: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    # Collect regions from directives.
+    marks: list[tuple[int, str, str]] = []  # (line, kind, name)
+    for line, ds in sorted(sf.directives.items()):
+        for d in ds:
+            bm = BEGIN_RE.match(d)
+            if bm:
+                marks.append((line, "begin", bm.group(1)))
+            elif END_RE.match(d):
+                marks.append((line, "end", ""))
+    regions: list[tuple[int, int, str]] = []
+    open_mark: tuple[int, str] | None = None
+    for line, kind, name in marks:
+        if kind == "begin":
+            if open_mark is not None:
+                findings.append(Finding(sf.path, line, "R3",
+                                        "nested/unterminated begin-hot-loop"))
+            open_mark = (line, name)
+        else:
+            if open_mark is None:
+                findings.append(Finding(sf.path, line, "R3",
+                                        "end-hot-loop without a begin"))
+            else:
+                regions.append((open_mark[0], line, open_mark[1]))
+                open_mark = None
+    if open_mark is not None:
+        findings.append(Finding(sf.path, open_mark[0], "R3",
+                                f"begin-hot-loop({open_mark[1]}) never closed"))
+
+    required = any(sf.rel == p for p in REQUIRED_MARKER_FILES) or sf.has_directive(
+        "require-markers"
+    )
+    if required and not regions:
+        findings.append(Finding(
+            sf.path, 1, "R3",
+            "kernel file must delimit its per-step/per-lane hot loops with "
+            "begin-hot-loop/end-hot-loop markers (none found)",
+        ))
+    if not regions:
+        return findings
+
+    lines = sf.stripped.splitlines()
+    banned = {w: cat for cat, words in HOT_LOOP_BANNED.items() for w in words}
+    for begin, end, name in regions:
+        for lineno in range(begin + 1, end):
+            text = lines[lineno - 1] if lineno - 1 < len(lines) else ""
+            for m in IDENT_RE.finditer(text):
+                word = m.group(0)
+                cat = banned.get(word)
+                if cat is None:
+                    continue
+                if sf.allows(lineno, "R3"):
+                    continue
+                findings.append(Finding(
+                    sf.path, lineno, "R3",
+                    f"'{word}' ({cat}) inside hot-loop region '{name}' "
+                    f"(lines {begin}-{end}): per-step/per-lane code must not "
+                    "allocate, lock, or throw",
+                ))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def discover_files(repo_root: str, compile_commands: str | None) -> list[str]:
+    paths: set[str] = set()
+    if compile_commands and os.path.isfile(compile_commands):
+        with open(compile_commands, "r", encoding="utf-8") as f:
+            for entry in json.load(f):
+                p = entry.get("file", "")
+                if not os.path.isabs(p):
+                    p = os.path.join(entry.get("directory", ""), p)
+                p = os.path.abspath(p)
+                rel = os.path.relpath(p, repo_root)
+                if rel.startswith(R1_DIRS) and os.path.isfile(p):
+                    paths.add(p)
+    else:
+        for d in R1_DIRS:
+            root = os.path.join(repo_root, d)
+            for dirpath, _, names in os.walk(root):
+                for nm in names:
+                    if nm.endswith((".cpp", ".cc", ".cxx")):
+                        paths.add(os.path.join(dirpath, nm))
+    # Headers under src/ always join the scan (inline code carries the same
+    # contracts; they also feed the signature index).
+    for dirpath, _, names in os.walk(os.path.join(repo_root, "src")):
+        for nm in names:
+            if nm.endswith((".hpp", ".h")):
+                paths.add(os.path.join(dirpath, nm))
+    return sorted(paths)
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", help="files to lint (default: repo scan)")
+    ap.add_argument("--repo-root", default=None)
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json to enumerate TUs (default: "
+                         "<repo-root>/build/compile_commands.json when present)")
+    ap.add_argument("--rules", default="R1,R2,R3",
+                    help="comma-separated subset of rules to run")
+    args = ap.parse_args(argv)
+
+    repo_root = os.path.abspath(args.repo_root or find_repo_root())
+    cc = args.compile_commands
+    if cc is None:
+        default_cc = os.path.join(repo_root, "build", "compile_commands.json")
+        cc = default_cc if os.path.isfile(default_cc) else None
+
+    rules = {r.strip().upper() for r in args.rules.split(",") if r.strip()}
+    bad_rules = rules - {"R1", "R2", "R3"}
+    if bad_rules:
+        print(f"relmore-lint: unknown rules {sorted(bad_rules)}", file=sys.stderr)
+        return 2
+
+    if args.paths:
+        files = [os.path.abspath(p) for p in args.paths]
+        missing = [p for p in files if not os.path.isfile(p)]
+        if missing:
+            for p in missing:
+                print(f"relmore-lint: no such file: {p}", file=sys.stderr)
+            return 2
+    else:
+        files = discover_files(repo_root, cc)
+    sources = [load_source(p, repo_root) for p in files]
+
+    # The signature index always sees the repo's headers, even when only a
+    # fixture file was passed, so R1 knows the Result/Status names.
+    index_inputs = list(sources)
+    seen = {sf.path for sf in sources}
+    for dirpath, _, names in os.walk(os.path.join(repo_root, "src")):
+        for nm in names:
+            if nm.endswith((".hpp", ".h", ".cpp")):
+                p = os.path.join(dirpath, nm)
+                if p not in seen:
+                    index_inputs.append(load_source(p, repo_root))
+    idx = index_signatures(index_inputs)
+
+    findings: list[Finding] = []
+    for sf in sources:
+        if "R1" in rules:
+            findings.extend(check_r1(sf, idx))
+        if "R2" in rules:
+            findings.extend(check_r2(sf))
+        if "R3" in rules:
+            findings.extend(check_r3(sf))
+
+    for f in sorted(findings, key=lambda f: (f.path, f.line)):
+        print(f)
+    n_files = len(sources)
+    if findings:
+        print(f"relmore-lint: {len(findings)} finding(s) in {n_files} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"relmore-lint: clean ({n_files} file(s), rules {','.join(sorted(rules))})",
+          file=sys.stderr)
+    return 0
+
+
+def find_repo_root() -> str:
+    d = os.path.abspath(os.path.dirname(__file__))
+    while d != os.path.dirname(d):
+        if os.path.isdir(os.path.join(d, ".git")) or os.path.isfile(
+            os.path.join(d, "ROADMAP.md")
+        ):
+            return d
+        d = os.path.dirname(d)
+    return os.getcwd()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
