@@ -16,13 +16,14 @@
 ///   batched W=4/8      — one BatchSimulator sweep (AoSoA lanes)
 ///   batched W=8 + pool — lane-groups fanned across the BatchAnalyzer pool
 ///
-/// The multi-run phase runs at two tree sizes because the batched win is
-/// a cache story: W lanes multiply the per-step working set by W, so the
-/// AoSoA sweep pays off while a lane-group stays cache-resident — the
-/// stage-tree regime (n = 63, the van Ginneken / Monte-Carlo workload
-/// where BatchSimulator is actually deployed) — and decays toward the
-/// serial baseline once W x the scalar working set spills (n = 255 is
-/// recorded as the honest crossover row, not an acceptance point).
+/// The multi-run phase sweeps tree sizes from the stage-tree regime
+/// (n = 63, the van Ginneken / Monte-Carlo workload where BatchSimulator
+/// is actually deployed) up to n = 16383 because the batched win is a
+/// cache story: W lanes multiply the per-step working set by W, so the
+/// AoSoA sweep pays off while a lane-group stays cache-resident, and the
+/// tile-blocked downward sweep (engine::KernelTuner) is what keeps it
+/// from collapsing once W x the scalar working set spills past L2. Step
+/// counts scale inversely with n to keep each grid point's cost flat.
 ///
 /// Throughput metric: section·steps (·runs) per second; the table reports
 /// ns per unit and the speedup over each phase's baseline. The acceptance
@@ -120,12 +121,12 @@ int main(int argc, char** argv) {
   double checksum = 0.0;
 
   const auto add_row = [&](const std::string& name, std::size_t n, std::size_t runs,
-                           const Measured& m, double baseline_ns) {
+                           std::size_t steps_used, const Measured& m, double baseline_ns) {
     checksum += m.checksum;
     const double speedup = baseline_ns / m.ns_per_unit;
     table.add_row({name, util::Table::fmt(static_cast<double>(n), 0),
                    util::Table::fmt(static_cast<double>(runs), 0),
-                   util::Table::fmt(static_cast<double>(steps), 0),
+                   util::Table::fmt(static_cast<double>(steps_used), 0),
                    util::Table::fmt(m.ns_per_unit, 3), util::Table::fmt(speedup, 2)});
     rows.push_back({name, n, runs, m.ns_per_unit, speedup});
   };
@@ -146,13 +147,13 @@ int main(int argc, char** argv) {
 
     const Measured legacy = time_pass(
         units, min_seconds, [&] { return legacy_simulate(tree, src, opts, sink); });
-    add_row("legacy AoS full record", n, 1, legacy, legacy.ns_per_unit);
+    add_row("legacy AoS full record", n, 1, steps, legacy, legacy.ns_per_unit);
 
     const Measured flat_full = time_pass(units, min_seconds, [&] {
       const sim::TransientResult r = sim::simulate_tree(flat, src, opts);
       return r.node_voltage[static_cast<std::size_t>(sink)].back();
     });
-    add_row("flat full record", n, 1, flat_full, legacy.ns_per_unit);
+    add_row("flat full record", n, 1, steps, flat_full, legacy.ns_per_unit);
 
     sim::TransientOptions probe_opts = opts;
     probe_opts.probes = {sink};
@@ -160,29 +161,33 @@ int main(int argc, char** argv) {
       const sim::TransientResult r = sim::simulate_tree(flat, src, probe_opts);
       return r.node_voltage[0].back();
     });
-    add_row("flat probe-selective", n, 1, flat_probe, legacy.ns_per_unit);
+    add_row("flat probe-selective", n, 1, steps, flat_probe, legacy.ns_per_unit);
 
     const Measured crossings = time_pass(units, min_seconds, [&] {
       return sim::simulate_first_crossings(flat, src, opts, {sink}, 0.5).front();
     });
-    add_row("flat crossings-only", n, 1, crossings, legacy.ns_per_unit);
+    add_row("flat crossings-only", n, 1, steps, crossings, legacy.ns_per_unit);
   }
 
   // --- Phase 2: multi-run sweep, S value samples over one topology. The
   // acceptance point is the stage-sized tree (levels = 6, n = 63); the
-  // larger tree documents the cache-capacity crossover.
-  for (const int levels : (quick ? std::vector<int>{6} : std::vector<int>{6, 8})) {
+  // larger trees — up to n = 16383, far beyond L2 — document how the
+  // tiled sweep holds up across the cache-capacity crossover. Step count
+  // scales as ~63/n so each grid point simulates a comparable number of
+  // section·step·run units and the whole sweep stays tractable.
+  for (const int levels : (quick ? std::vector<int>{6} : std::vector<int>{6, 8, 10, 12, 14})) {
     const std::size_t kRuns = 64;
     const circuit::RlcTree tree =
         circuit::make_balanced_tree(levels, 2, {10.0, 1e-9, 0.1e-12});
     const circuit::FlatTree flat(tree);
     const std::size_t n = tree.size();
+    const std::size_t run_steps = std::max<std::size_t>(50, steps * 63 / n);
     const circuit::SectionId sink = flat.leaves().back();
     sim::TransientOptions opts;
     opts.dt = sim::suggest_timestep(tree, 0.05);
-    opts.t_stop = static_cast<double>(steps) * opts.dt;
+    opts.t_stop = static_cast<double>(run_steps) * opts.dt;
     opts.probes = {sink};
-    const std::size_t units = n * steps * kRuns;
+    const std::size_t units = n * run_steps * kRuns;
 
     // Per-run values: the nominal tree mildly perturbed, deterministic in
     // the run index (the Monte-Carlo / candidate-sweep workload).
@@ -212,10 +217,10 @@ int main(int argc, char** argv) {
       }
       return acc;
     });
-    add_row("serial FlatStepper x" + std::to_string(kRuns), n, kRuns, serial,
+    add_row("serial FlatStepper x" + std::to_string(kRuns), n, kRuns, run_steps, serial,
             serial.ns_per_unit);
 
-    for (const std::size_t w : {std::size_t{4}, std::size_t{8}}) {
+    for (const std::size_t w : {std::size_t{0}, std::size_t{4}, std::size_t{8}}) {
       sim::BatchSimulator batch(flat, w);
       batch.resize(kRuns);
       const Measured m = time_pass(units, min_seconds, [&] {
@@ -229,7 +234,10 @@ int main(int argc, char** argv) {
         }
         return acc;
       });
-      add_row("batched W=" + std::to_string(w), n, kRuns, m, serial.ns_per_unit);
+      const std::string name = w == 0 ? "batched auto (W=" + std::to_string(batch.lane_width()) +
+                                            ", tuner tile)"
+                                      : "batched W=" + std::to_string(w);
+      add_row(name, n, kRuns, run_steps, m, serial.ns_per_unit);
     }
 
     {
@@ -247,8 +255,8 @@ int main(int argc, char** argv) {
         }
         return acc;
       });
-      add_row("batched W=8 + pool(" + std::to_string(pool.thread_count()) + ")", n, kRuns, m,
-              serial.ns_per_unit);
+      add_row("batched W=8 + pool(" + std::to_string(pool.thread_count()) + ")", n, kRuns,
+              run_steps, m, serial.ns_per_unit);
     }
   }
 
@@ -260,7 +268,8 @@ int main(int argc, char** argv) {
                "single-run win (acceptance: >= 3x at n = 1023 for the probed run);\n"
                "the AoSoA lanes buy the multi-run win on top of the already-flat\n"
                "serial baseline (acceptance: >= 2x at S = 64, n = 63 — the\n"
-               "stage-tree regime; the n = 255 rows record the cache crossover).\n"
+               "stage-tree regime; the larger-n rows track the sweep across the\n"
+               "cache-capacity crossover, held up by the tiled downward pass).\n"
                "(checksum " << (checksum == checksum ? "ok" : "NAN") << ")\n";
 
   if (!json_path.empty()) {

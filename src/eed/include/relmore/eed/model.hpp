@@ -98,6 +98,19 @@ TreeModel analyze(const circuit::RlcTree& tree);
 TreeModel analyze(const circuit::FlatTree& tree, const AnalyzeOptions& options);
 TreeModel analyze(const circuit::FlatTree& tree);
 
+/// Re-analyzes one set of element values over a fixed FlatTree topology,
+/// writing into a caller-owned `model` (resized as needed, allocation-free
+/// once warm). `resistance`/`inductance`/`capacitance` are arrays of
+/// length `topology.size()`; the topology's own stored values are
+/// ignored. This is the sweep-loop form of analyze(FlatTree): when the
+/// same tree is re-analyzed with many value sets (parameter sweeps, the
+/// scalar baseline of bench/batched_throughput), it skips the per-call
+/// FlatTree rebuild and result allocation while staying bitwise-equal to
+/// analyze(FlatTree) on a tree holding those values.
+void analyze_values(const circuit::FlatTree& topology, const double* resistance,
+                    const double* inductance, const double* capacitance, TreeModel& model,
+                    const AnalyzeOptions& options = {});
+
 /// Result-returning forms of analyze() — same arithmetic, same fault
 /// policies, but an empty tree or a kThrow-policy fault comes back as a
 /// structured Status instead of an exception. These are the entry points

@@ -147,16 +147,18 @@ TreeModel analyze(const RlcTree& tree, const AnalyzeOptions& options) {
 
 TreeModel analyze(const RlcTree& tree) { return analyze(tree, AnalyzeOptions{}); }
 
-TreeModel analyze(const circuit::FlatTree& tree, const AnalyzeOptions& options) {
-  if (tree.empty()) throw std::invalid_argument("eed::analyze: empty tree");
-  const std::size_t n = tree.size();
-  const SectionId* parent = tree.parent().data();
-  const double* r = tree.resistance().data();
-  const double* l = tree.inductance().data();
-  const double* c = tree.capacitance().data();
-  TreeModel model;
+namespace {
+
+/// The two FlatTree moment passes over caller-supplied value arrays,
+/// writing into a reused `model`. Shared by analyze(FlatTree) and
+/// analyze_values; same arithmetic in the same order as analyze(RlcTree),
+/// so every entry stays bitwise-equal.
+void analyze_arrays(std::size_t n, const SectionId* parent, const double* r, const double* l,
+                    const double* c, TreeModel& model, FaultPolicy policy, const char* entry) {
   model.nodes.resize(n);
   model.load_capacitance.assign(c, c + n);
+  model.fault_flags.clear();
+  model.fault_count = 0;
 
   for (std::size_t i = n; i-- > 0;) {
     if (parent[i] != circuit::kInput) {
@@ -184,11 +186,29 @@ TreeModel analyze(const circuit::FlatTree& tree, const AnalyzeOptions& options) 
       nm.zeta = std::numeric_limits<double>::infinity();
     }
   }
-  apply_guards(model, options.fault_policy, "eed::analyze(FlatTree)", lowest, poison);
+  apply_guards(model, policy, entry, lowest, poison);
+}
+
+}  // namespace
+
+TreeModel analyze(const circuit::FlatTree& tree, const AnalyzeOptions& options) {
+  if (tree.empty()) throw std::invalid_argument("eed::analyze: empty tree");
+  TreeModel model;
+  analyze_arrays(tree.size(), tree.parent().data(), tree.resistance().data(),
+                 tree.inductance().data(), tree.capacitance().data(), model,
+                 options.fault_policy, "eed::analyze(FlatTree)");
   return model;
 }
 
 TreeModel analyze(const circuit::FlatTree& tree) { return analyze(tree, AnalyzeOptions{}); }
+
+void analyze_values(const circuit::FlatTree& topology, const double* resistance,
+                    const double* inductance, const double* capacitance, TreeModel& model,
+                    const AnalyzeOptions& options) {
+  if (topology.empty()) throw std::invalid_argument("eed::analyze_values: empty tree");
+  analyze_arrays(topology.size(), topology.parent().data(), resistance, inductance, capacitance,
+                 model, options.fault_policy, "eed::analyze_values");
+}
 
 namespace {
 

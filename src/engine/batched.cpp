@@ -9,6 +9,8 @@
 #include "relmore/circuit/validate.hpp"
 #include "relmore/eed/second_order.hpp"
 #include "relmore/engine/batch.hpp"
+#include "relmore/engine/tuner.hpp"
+#include "relmore/util/arena.hpp"
 
 namespace relmore::engine {
 
@@ -26,11 +28,35 @@ using circuit::SectionId;
 #define RELMORE_SIMD
 #endif
 
+/// Function multi-versioning for the hot kernels, exactly as in
+/// sim/batch_sim.cpp: GCC emits a portable baseline clone plus an
+/// x86-64-v3 (AVX2) clone behind an ifunc resolver, so one binary
+/// vectorizes at full lane width on capable CPUs without any -march build
+/// flag. Bitwise-safe: every clone runs the same IEEE operations, just at
+/// different vector widths, and the repo-wide -ffp-contract=off applies
+/// to all clones, so no FMA contraction can make them diverge.
+/// Disabled under ThreadSanitizer: the ifunc resolvers run during early
+/// relocation, before the TSan runtime is initialized, and the
+/// interceptor-instrumented resolver segfaults at load time.
+#if defined(__SANITIZE_THREAD__)
+#define RELMORE_KERNEL_CLONES
+#elif defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define RELMORE_KERNEL_CLONES __attribute__((target_clones("default", "arch=x86-64-v3")))
+#else
+#define RELMORE_KERNEL_CLONES
+#endif
+
 namespace {
 
 /// Upstream prefix of a root section: all lanes zero. Sized for the
 /// widest supported lane group.
 constexpr double kZeroPrefix[8] = {};
+
+/// How many sections ahead the sweep loops prefetch the parent-indexed
+/// row. The gather is the one access pattern the hardware prefetcher
+/// cannot predict; ~16 iterations covers an L2 hit's latency at the
+/// sweeps' throughput without thrashing the L1 fill buffers.
+constexpr std::size_t kPrefetchAhead = 16;
 
 /// Verdict of one branch-free validity scan over a value buffer.
 struct ValueScan {
@@ -82,38 +108,125 @@ util::Status bad_sample_status(const char* entry, std::size_t sample, bool non_f
           " element value in sample " + std::to_string(sample));
 }
 
-/// The two-pass kernel over one lane-group. `r`/`l`/`c` point at the
-/// group's AoSoA values, `ctot`/`sr`/`sl` at n*W scratch (or output)
-/// doubles. Lane t runs exactly the scalar analysis of sample
-/// group*W + t: same operations, same association order, so the lanes are
-/// bitwise-equal to S independent scalar passes. W is a compile-time
-/// constant so the inner lane loops have a fixed trip count and
-/// autovectorize at -O3.
-/// The two passes over one lane-group, parameterized over how sample
-/// values are addressed: `*_at(i, t)` yields lane t's value of section i.
-/// The stored path reads the AoSoA arrays (i*W + t); the streaming path
-/// reads sample-major staging rows (t*n + i) directly, skipping a
-/// transpose. Both run the identical operations in identical order, so
-/// every lane is bitwise-equal to a scalar analysis of its sample.
-///
-/// The lane loops stage their cross-row reads through W-wide locals:
-/// `up`/`mine` (and `sr + at`/`up_sr`) point into the same array, and
-/// without the copy the compiler must assume they overlap and serialize
-/// the loop. Rows never overlap (parent id != own id), so the staging is
-/// free of semantics — it exists purely to unblock vectorization.
-template <std::size_t W, typename ValueAt>
-void run_group_passes(std::size_t n, const SectionId* parent, const ValueAt& r_at,
-                      const ValueAt& l_at, const ValueAt& c_at, double* ctot, double* sr,
-                      double* sl) {
-  // relmore-lint: begin-hot-loop(batched-two-pass)
-  // Upward pass (Fig. 17): subtree capacitance, one reverse id scan.
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t at = i * W;
+/// Sink called after the downward sweep finishes sections [lo, hi): the
+/// rows completed by the tile are drained (copied to the output layout)
+/// while still cache-hot. A plain function pointer — not a template
+/// parameter — so the kernels keep plain-type signatures and
+/// RELMORE_KERNEL_CLONES stays applicable to them.
+using TileSinkFn = void (*)(void* ctx, std::size_t lo, std::size_t hi);
+
+/// Sink for the path-walk kernel: one call per requested output row with
+/// the walked prefix sums and the row's subtree-capacitance lanes.
+using RowSinkFn = void (*)(void* ctx, std::size_t row, const double* acc_sr,
+                           const double* acc_sl, const double* ctot_row);
+
+/// Everything a drain sink needs: the output arrays, which scratch rows
+/// to copy (ids ascending, with their output rows), and the per-lane
+/// poison accumulators. One instance per lane-group task, so no sharing.
+struct DrainCtx {
+  double* out_sr = nullptr;
+  double* out_sl = nullptr;
+  double* out_ctot = nullptr;
+  std::size_t padded = 0;  ///< output padded sample count
+  std::size_t g = 0;       ///< lane-group index
+  std::size_t w = 0;       ///< lane width
+  const double* sr = nullptr;    ///< scratch, n*w (two-pass mode)
+  const double* sl = nullptr;    ///< scratch, n*w (two-pass mode)
+  const double* ctot = nullptr;  ///< scratch, n*w
+  const SectionId* ids = nullptr;  ///< drain ids, ascending
+  const int* rows = nullptr;       ///< output row of each drain id
+  std::size_t count = 0;
+  std::size_t cursor = 0;  ///< next drain entry; monotone across tiles
+  double poison[8] = {};
+};
+
+/// Drains every requested row with id in [cursor's id, hi) — exactly the
+/// rows the tile [lo, hi) just completed, because ids are ascending and
+/// tiles arrive in order. Rescans the freshly copied (cache-hot) values
+/// with the poison trick: each term is 0 for a finite value and NaN
+/// otherwise, so after the sweep poison[t] answers "did lane t report any
+/// non-finite moment?" without branching. Per-term multiplies — summing
+/// first could overflow to Inf on legitimately huge finite moments. The
+/// terms are all +0.0 or NaN, so accumulation order cannot change the
+/// verdict (or the bits).
+void drain_tile(void* vctx, std::size_t lo, std::size_t hi) {
+  auto* d = static_cast<DrainCtx*>(vctx);
+  (void)lo;
+  const std::size_t w = d->w;
+  while (d->cursor < d->count && static_cast<std::size_t>(d->ids[d->cursor]) < hi) {
+    const auto i = static_cast<std::size_t>(d->ids[d->cursor]);
+    const std::size_t dst =
+        static_cast<std::size_t>(d->rows[d->cursor]) * d->padded + d->g * w;
+    std::memcpy(d->out_sr + dst, d->sr + i * w, w * sizeof(double));
+    std::memcpy(d->out_sl + dst, d->sl + i * w, w * sizeof(double));
+    std::memcpy(d->out_ctot + dst, d->ctot + i * w, w * sizeof(double));
+    const double* a = d->sr + i * w;
+    const double* b = d->sl + i * w;
+    const double* cc = d->ctot + i * w;
     RELMORE_SIMD
-    for (std::size_t t = 0; t < W; ++t) ctot[at + t] = c_at(i, t);
+    for (std::size_t t = 0; t < w; ++t) {
+      d->poison[t] += a[t] * 0.0 + b[t] * 0.0 + cc[t] * 0.0;
+    }
+    ++d->cursor;
   }
+}
+
+/// Path-walk drain: the walked prefix sums land directly in output row
+/// `row` (the walk visits rows in output order, no cursor needed).
+void drain_row(void* vctx, std::size_t row, const double* acc_sr, const double* acc_sl,
+               const double* ctot_row) {
+  auto* d = static_cast<DrainCtx*>(vctx);
+  const std::size_t w = d->w;
+  const std::size_t dst = row * d->padded + d->g * w;
+  std::memcpy(d->out_sr + dst, acc_sr, w * sizeof(double));
+  std::memcpy(d->out_sl + dst, acc_sl, w * sizeof(double));
+  std::memcpy(d->out_ctot + dst, ctot_row, w * sizeof(double));
+  RELMORE_SIMD
+  for (std::size_t t = 0; t < w; ++t) {
+    d->poison[t] += acc_sr[t] * 0.0 + acc_sl[t] * 0.0 + ctot_row[t] * 0.0;
+  }
+}
+
+/// Upward pass (Fig. 17): subtree capacitance in one reverse id scan,
+/// with the init fused in behind a lazy frontier. Values are read in
+/// sample-major rows (`rows_c[t*n + i]` is lane t's value of section i —
+/// both the stored arrays and the streaming staging use this layout), the
+/// lane blocks `ctot[i*W + t]` are the working form.
+///
+/// The frontier invariant: rows [front, n) are initialized. Before
+/// accumulating into parent p the loop forces front <= p, so a row is
+/// always a pure overwrite of c before any child folds into it, and the
+/// folds still arrive in descending child-id order — exactly the scalar
+/// pass's per-location operation order, hence bitwise-equal results. The
+/// fusion saves one full pass over ctot; the prefetch covers the
+/// parent-row gather, the only access the hardware prefetcher cannot
+/// predict.
+///
+/// The lane loops stage their cross-row reads through W-wide locals
+/// (`up`/`mine` point into the same array, and without the copy the
+/// compiler must assume they overlap and serialize the loop). Rows never
+/// overlap (parent id != own id), so the staging is free of semantics.
+template <std::size_t W>
+RELMORE_KERNEL_CLONES void upward_pass(std::size_t n, const SectionId* parent,
+                                       const double* rows_c, double* ctot) {
+  // relmore-lint: begin-hot-loop(batched-upward)
+  std::size_t front = n;
   for (std::size_t i = n; i-- > 0;) {
+    if (i >= kPrefetchAhead) {
+      const SectionId fp = parent[i - kPrefetchAhead];
+      if (fp != circuit::kInput) {
+        __builtin_prefetch(ctot + static_cast<std::size_t>(fp) * W, 1, 3);
+      }
+    }
     const SectionId p = parent[i];
+    const std::size_t need = p == circuit::kInput ? i : static_cast<std::size_t>(p);
+    while (front > need) {
+      --front;
+      double* dst = ctot + front * W;
+      const double* src = rows_c + front;
+      RELMORE_SIMD
+      for (std::size_t t = 0; t < W; ++t) dst[t] = src[t * n];
+    }
     if (p != circuit::kInput) {
       double* up = ctot + static_cast<std::size_t>(p) * W;
       const double* mine = ctot + i * W;
@@ -121,42 +234,117 @@ void run_group_passes(std::size_t n, const SectionId* parent, const ValueAt& r_a
       for (std::size_t t = 0; t < W; ++t) up[t] += mine[t];
     }
   }
-  // Downward pass (Fig. 18): prefix sums along each root path.
-  for (std::size_t i = 0; i < n; ++i) {
-    const SectionId p = parent[i];
-    const double* up_sr = p == circuit::kInput ? kZeroPrefix : sr + static_cast<std::size_t>(p) * W;
-    const double* up_sl = p == circuit::kInput ? kZeroPrefix : sl + static_cast<std::size_t>(p) * W;
-    const std::size_t at = i * W;
-    RELMORE_SIMD
-    for (std::size_t t = 0; t < W; ++t) sr[at + t] = up_sr[t] + r_at(i, t) * ctot[at + t];
-    RELMORE_SIMD
-    for (std::size_t t = 0; t < W; ++t) sl[at + t] = up_sl[t] + l_at(i, t) * ctot[at + t];
+  // relmore-lint: end-hot-loop
+}
+
+/// Downward pass (Fig. 18): prefix sums along each root path, swept in
+/// contiguous tiles of `tile_rows` sections (0 = whole tree). After each
+/// tile the sink drains the just-completed rows while they are still
+/// cache-hot, so at large n the output copy rides the sweep instead of
+/// re-streaming three cold n*W arrays afterwards. Tiling changes only the
+/// touch order — every sr/sl element is still computed by the identical
+/// expression from already-final parent values (parents precede children
+/// in id order), so results are bitwise-equal for every tile size.
+template <std::size_t W>
+RELMORE_KERNEL_CLONES void downward_pass(std::size_t n, const SectionId* parent,
+                                         const double* rows_r, const double* rows_l,
+                                         const double* ctot, double* sr, double* sl,
+                                         std::size_t tile_rows, TileSinkFn sink, void* ctx) {
+  const std::size_t tile = tile_rows == 0 ? n : tile_rows;
+  for (std::size_t lo = 0; lo < n; lo += tile) {
+    const std::size_t hi = lo + tile < n ? lo + tile : n;
+    // relmore-lint: begin-hot-loop(batched-downward-tile)
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (i + kPrefetchAhead < n) {
+        const SectionId fp = parent[i + kPrefetchAhead];
+        if (fp != circuit::kInput) {
+          __builtin_prefetch(sr + static_cast<std::size_t>(fp) * W, 0, 3);
+          __builtin_prefetch(sl + static_cast<std::size_t>(fp) * W, 0, 3);
+        }
+      }
+      const SectionId p = parent[i];
+      const double* up_sr =
+          p == circuit::kInput ? kZeroPrefix : sr + static_cast<std::size_t>(p) * W;
+      const double* up_sl =
+          p == circuit::kInput ? kZeroPrefix : sl + static_cast<std::size_t>(p) * W;
+      const std::size_t at = i * W;
+      RELMORE_SIMD
+      for (std::size_t t = 0; t < W; ++t) {
+        sr[at + t] = up_sr[t] + rows_r[t * n + i] * ctot[at + t];
+      }
+      RELMORE_SIMD
+      for (std::size_t t = 0; t < W; ++t) {
+        sl[at + t] = up_sl[t] + rows_l[t * n + i] * ctot[at + t];
+      }
+    }
+    // relmore-lint: end-hot-loop
+    if (sink != nullptr) sink(ctx, lo, hi);
+  }
+}
+
+/// Sparse-query alternative to the downward pass: when only a few shallow
+/// nodes are requested, walking each one's root path and accumulating
+/// r·ctot / l·ctot along it touches O(sum of path lengths) rows instead
+/// of sweeping all n — and needs no sr/sl scratch at all. The
+/// accumulation runs root -> node, which is exactly the association order
+/// the recurrence unrolls to (the scalar root starts from the zero
+/// prefix: 0.0 + r·ctot), so the walked sums are bitwise-equal to the
+/// swept ones. `path` is caller scratch for one root path (n indices).
+template <std::size_t W>
+RELMORE_KERNEL_CLONES void pathwalk_pass(std::size_t n, const SectionId* parent,
+                                         const double* rows_r, const double* rows_l,
+                                         const double* ctot, const SectionId* ids,
+                                         std::size_t count, std::size_t* path,
+                                         RowSinkFn sink, void* ctx) {
+  // relmore-lint: begin-hot-loop(batched-path-walk)
+  for (std::size_t row = 0; row < count; ++row) {
+    std::size_t depth = 0;
+    for (SectionId j = ids[row]; j != circuit::kInput;
+         j = parent[static_cast<std::size_t>(j)]) {
+      path[depth++] = static_cast<std::size_t>(j);
+    }
+    double acc_sr[W] = {};
+    double acc_sl[W] = {};
+    while (depth-- > 0) {
+      const std::size_t j = path[depth];
+      const std::size_t at = j * W;
+      RELMORE_SIMD
+      for (std::size_t t = 0; t < W; ++t) acc_sr[t] += rows_r[t * n + j] * ctot[at + t];
+      RELMORE_SIMD
+      for (std::size_t t = 0; t < W; ++t) acc_sl[t] += rows_l[t * n + j] * ctot[at + t];
+    }
+    sink(ctx, row, acc_sr, acc_sl, ctot + static_cast<std::size_t>(ids[row]) * W);
   }
   // relmore-lint: end-hot-loop
 }
 
-/// Stored-path kernel: values in AoSoA order.
+/// One lane-group, fully swept: upward pass, then either the tiled
+/// downward sweep (draining per tile) or the path walk (draining per
+/// row). `path != nullptr` selects the walk.
 template <std::size_t W>
-void run_group_kernel(std::size_t n, const SectionId* parent, const double* r, const double* l,
-                      const double* c, double* ctot, double* sr, double* sl) {
-  const auto at = [](const double* v) {
-    return [v](std::size_t i, std::size_t t) { return v[i * W + t]; };
-  };
-  run_group_passes<W>(n, parent, at(r), at(l), at(c), ctot, sr, sl);
-}
-
-/// Streaming-path kernel: values in W sample-major rows of length n.
-template <std::size_t W>
-void run_group_rows(std::size_t n, const SectionId* parent, const double* rows_r,
-                    const double* rows_l, const double* rows_c, double* ctot, double* sr,
-                    double* sl) {
-  const auto at = [n](const double* v) {
-    return [v, n](std::size_t i, std::size_t t) { return v[t * n + i]; };
-  };
-  run_group_passes<W>(n, parent, at(rows_r), at(rows_l), at(rows_c), ctot, sr, sl);
+void run_sweep(std::size_t n, const SectionId* parent, const double* rows_r,
+               const double* rows_l, const double* rows_c, double* ctot, double* sr,
+               double* sl, std::size_t tile_rows, std::size_t* path,
+               const SectionId* walk_ids, std::size_t walk_count, DrainCtx* ctx) {
+  upward_pass<W>(n, parent, rows_c, ctot);
+  if (path != nullptr) {
+    pathwalk_pass<W>(n, parent, rows_r, rows_l, ctot, walk_ids, walk_count, path,
+                     &drain_row, ctx);
+  } else {
+    downward_pass<W>(n, parent, rows_r, rows_l, ctot, sr, sl, tile_rows, &drain_tile, ctx);
+  }
 }
 
 }  // namespace
+
+/// How one analysis call sweeps its lane-groups — resolved once per call,
+/// shared read-only by every group task.
+struct BatchedAnalyzer::SweepPlan {
+  std::size_t tile_rows = 0;  ///< downward tile size; 0 = whole tree
+  bool use_pathwalk = false;  ///< sparse shallow queries take the walk
+  std::vector<circuit::SectionId> drain_ids;  ///< output ids, ascending
+  std::vector<int> drain_rows;                ///< output row per drain id
+};
 
 // --- BatchedModels ----------------------------------------------------------
 
@@ -224,7 +412,9 @@ BatchedAnalyzer::BatchedAnalyzer(circuit::FlatTree topology, std::size_t lane_wi
   if (const util::DiagnosticsReport report = circuit::validate(topo_); !report.is_ok()) {
     throw util::FaultError(report.to_status());
   }
-  if (lane_width == 0) lane_width = kDefaultLaneWidth;
+  if (lane_width == 0) {
+    lane_width = KernelTuner::instance().analysis_plan(topo_.size(), 0).lane_width;
+  }
   if (lane_width != 1 && lane_width != 2 && lane_width != 4 && lane_width != 8) {
     throw std::invalid_argument("BatchedAnalyzer: lane width must be 1, 2, 4, or 8");
   }
@@ -249,31 +439,25 @@ util::Result<BatchedAnalyzer> BatchedAnalyzer::create_checked(circuit::FlatTree 
 }
 
 std::size_t BatchedAnalyzer::value_slot(std::size_t s, std::size_t section) const {
-  const std::size_t group = s / lane_width_;
-  const std::size_t lane = s % lane_width_;
-  return (group * topo_.size() + section) * lane_width_ + lane;
+  return s * topo_.size() + section;
 }
 
 void BatchedAnalyzer::resize(std::size_t samples) {
   samples_ = samples;
   groups_ = (samples + lane_width_ - 1) / lane_width_;
   const std::size_t n = topo_.size();
-  const std::size_t total = groups_ * n * lane_width_;
-  r_.resize(total);
-  l_.resize(total);
-  c_.resize(total);
+  const std::size_t padded = groups_ * lane_width_;
+  r_.resize(padded * n);
+  l_.resize(padded * n);
+  c_.resize(padded * n);
   input_fault_.assign(samples, 0);
-  // Nominal values everywhere, padding lanes included — padding computes
-  // harmless real numbers and is never read back.
-  for (std::size_t g = 0; g < groups_; ++g) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t at = (g * n + i) * lane_width_;
-      for (std::size_t t = 0; t < lane_width_; ++t) {
-        r_[at + t] = topo_.resistance()[i];
-        l_[at + t] = topo_.inductance()[i];
-        c_[at + t] = topo_.capacitance()[i];
-      }
-    }
+  // Nominal values everywhere, padding rows included — padding computes
+  // harmless real numbers and is never read back. Sample-major rows make
+  // this (and set_sample) a straight memcpy per array.
+  for (std::size_t row = 0; row < padded; ++row) {
+    std::memcpy(r_.data() + row * n, topo_.resistance().data(), n * sizeof(double));
+    std::memcpy(l_.data() + row * n, topo_.inductance().data(), n * sizeof(double));
+    std::memcpy(c_.data() + row * n, topo_.capacitance().data(), n * sizeof(double));
   }
 }
 
@@ -282,29 +466,28 @@ void BatchedAnalyzer::set_sample(std::size_t s, const double* resistance,
   if (s >= samples_) throw std::out_of_range("BatchedAnalyzer::set_sample: sample out of range");
   const std::size_t n = topo_.size();
   // Validate first with a branch-free scan (a throw-per-element form
-  // defeats vectorization of both this scan and the copy loops), then
-  // copy with the slot arithmetic hoisted out of the loop: slots of one
-  // sample differ only by a fixed stride of lane_width_.
+  // defeats vectorization of both this scan and the copy), then land the
+  // values with three contiguous copies — sample s owns row s of each
+  // array, so no strided scatter is involved.
   ValueScan scan = scan_values(resistance, n);
   scan.merge(scan_values(inductance, n));
   scan.merge(scan_values(capacitance, n));
   if (scan.bad() && policy_ == util::FaultPolicy::kThrow) {
     throw util::FaultError(bad_sample_status("BatchedAnalyzer", s, scan.non_finite()));
   }
-  const std::size_t w = lane_width_;
   const std::size_t base = value_slot(s, 0);
-  for (std::size_t i = 0; i < n; ++i) r_[base + i * w] = resistance[i];
-  for (std::size_t i = 0; i < n; ++i) l_[base + i * w] = inductance[i];
-  for (std::size_t i = 0; i < n; ++i) c_[base + i * w] = capacitance[i];
+  std::memcpy(r_.data() + base, resistance, n * sizeof(double));
+  std::memcpy(l_.data() + base, inductance, n * sizeof(double));
+  std::memcpy(c_.data() + base, capacitance, n * sizeof(double));
   input_fault_[s] = 0;
   if (scan.bad()) {
     // Flag-policy slow path: mark the sample; under kClampAndFlag rewrite
     // just-stored invalid entries to 0 so the kernel sees usable numbers.
     input_fault_[s] = eed::kFaultBadInput;
     if (policy_ == util::FaultPolicy::kClampAndFlag) {
-      for (std::size_t i = 0; i < n; ++i) {
-        for (double* slot : {&r_[base + i * w], &l_[base + i * w], &c_[base + i * w]}) {
-          if (!util::valid_element_value(*slot)) *slot = 0.0;
+      for (double* row : {r_.data() + base, l_.data() + base, c_.data() + base}) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!util::valid_element_value(row[i])) row[i] = 0.0;
         }
       }
     }
@@ -339,20 +522,94 @@ void BatchedAnalyzer::set_section(std::size_t s, SectionId id, const circuit::Se
   c_[at] = stored.capacitance;
 }
 
-void BatchedAnalyzer::run_group(std::size_t group, double* ctot, double* sr, double* sl) const {
+void BatchedAnalyzer::set_tile_rows(std::size_t tile_rows) { tile_rows_ = tile_rows; }
+
+BatchedAnalyzer::SweepPlan BatchedAnalyzer::make_plan(const BatchedModels& out,
+                                                      bool all_nodes,
+                                                      std::size_t samples) const {
   const std::size_t n = topo_.size();
-  const SectionId* parent = topo_.parent().data();
-  const std::size_t base = group * n * lane_width_;
-  const double* r = r_.data() + base;
-  const double* l = l_.data() + base;
-  const double* c = c_.data() + base;
-  switch (lane_width_) {
-    case 1: run_group_kernel<1>(n, parent, r, l, c, ctot, sr, sl); return;
-    case 2: run_group_kernel<2>(n, parent, r, l, c, ctot, sr, sl); return;
-    case 4: run_group_kernel<4>(n, parent, r, l, c, ctot, sr, sl); return;
-    case 8: run_group_kernel<8>(n, parent, r, l, c, ctot, sr, sl); return;
-    default: throw std::logic_error("BatchedAnalyzer: unsupported lane width");
+  SweepPlan plan;
+  plan.tile_rows = tile_rows_ != 0
+                       ? tile_rows_
+                       : KernelTuner::instance().analysis_plan(n, samples).tile_rows;
+  if (!all_nodes && !out.ids_.empty()) {
+    // The path walk wins when the requested root paths touch fewer rows
+    // than the full sweep would; level() is exactly each path's length.
+    std::size_t walked = 0;
+    for (const SectionId id : out.ids_) {
+      walked += static_cast<std::size_t>(topo_.level()[static_cast<std::size_t>(id)]);
+    }
+    plan.use_pathwalk = 2 * walked < n;
   }
+  if (!plan.use_pathwalk) {
+    const std::size_t rows = out.ids_.size();
+    plan.drain_rows.resize(rows);
+    if (all_nodes) {
+      plan.drain_ids = out.ids_;  // already 0..n-1, row == id
+      for (std::size_t i = 0; i < rows; ++i) plan.drain_rows[i] = static_cast<int>(i);
+    } else {
+      // Sort the output rows by id so tiles drain with one monotone cursor.
+      std::vector<int> order(rows);
+      for (std::size_t i = 0; i < rows; ++i) order[i] = static_cast<int>(i);
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return out.ids_[static_cast<std::size_t>(a)] < out.ids_[static_cast<std::size_t>(b)];
+      });
+      plan.drain_ids.resize(rows);
+      for (std::size_t i = 0; i < rows; ++i) {
+        plan.drain_ids[i] = out.ids_[static_cast<std::size_t>(order[i])];
+        plan.drain_rows[i] = order[i];
+      }
+    }
+  }
+  return plan;
+}
+
+void BatchedAnalyzer::sweep_group(const SweepPlan& plan, BatchedModels& out, std::size_t g,
+                                  const double* rows_r, const double* rows_l,
+                                  const double* rows_c, double* scratch, std::size_t* path,
+                                  const std::uint8_t* lane_input) const {
+  const std::size_t n = topo_.size();
+  const std::size_t w = lane_width_;
+  const SectionId* parent = topo_.parent().data();
+  double* ctot = scratch;
+  double* sr = path != nullptr ? nullptr : scratch + n * w;
+  double* sl = path != nullptr ? nullptr : scratch + 2 * n * w;
+  DrainCtx ctx;
+  ctx.out_sr = out.sr_.data();
+  ctx.out_sl = out.sl_.data();
+  ctx.out_ctot = out.ctot_.data();
+  ctx.padded = out.padded_samples_;
+  ctx.g = g;
+  ctx.w = w;
+  ctx.sr = sr;
+  ctx.sl = sl;
+  ctx.ctot = ctot;
+  ctx.ids = plan.drain_ids.data();
+  ctx.rows = plan.drain_rows.data();
+  ctx.count = plan.drain_ids.size();
+  const SectionId* walk_ids = out.ids_.data();
+  const std::size_t walk_count = out.ids_.size();
+  switch (w) {
+    case 1:
+      run_sweep<1>(n, parent, rows_r, rows_l, rows_c, ctot, sr, sl, plan.tile_rows, path,
+                   walk_ids, walk_count, &ctx);
+      break;
+    case 2:
+      run_sweep<2>(n, parent, rows_r, rows_l, rows_c, ctot, sr, sl, plan.tile_rows, path,
+                   walk_ids, walk_count, &ctx);
+      break;
+    case 4:
+      run_sweep<4>(n, parent, rows_r, rows_l, rows_c, ctot, sr, sl, plan.tile_rows, path,
+                   walk_ids, walk_count, &ctx);
+      break;
+    case 8:
+      run_sweep<8>(n, parent, rows_r, rows_l, rows_c, ctot, sr, sl, plan.tile_rows, path,
+                   walk_ids, walk_count, &ctx);
+      break;
+    default:
+      throw std::logic_error("BatchedAnalyzer: unsupported lane width");
+  }
+  flag_group(out, g, ctx.poison, lane_input);
 }
 
 BatchedModels BatchedAnalyzer::make_output(const std::vector<SectionId>& ids, bool all_nodes,
@@ -386,31 +643,6 @@ BatchedModels BatchedAnalyzer::make_output(const std::vector<SectionId>& ids, bo
   // finalize_faults drops the storage again when nothing faulted.
   out.fault_flags_.assign(samples, 0);
   return out;
-}
-
-void BatchedAnalyzer::copy_group(BatchedModels& out, std::size_t g, const double* ctot,
-                                 const double* sr, const double* sl, double* poison) const {
-  const std::size_t w = lane_width_;
-  const std::size_t rows = out.ids_.size();
-  for (std::size_t row = 0; row < rows; ++row) {
-    const auto i = static_cast<std::size_t>(out.ids_[row]);
-    const std::size_t dst = row * out.padded_samples_ + g * w;
-    std::memcpy(out.sr_.data() + dst, sr + i * w, w * sizeof(double));
-    std::memcpy(out.sl_.data() + dst, sl + i * w, w * sizeof(double));
-    std::memcpy(out.ctot_.data() + dst, ctot + i * w, w * sizeof(double));
-    // Rescan the freshly copied (cache-hot) values with the poison trick:
-    // each term is 0 for a finite value and NaN otherwise, so after the
-    // sweep poison[t] answers "did lane t report any non-finite moment?"
-    // without branching. Per-term multiplies — summing first could
-    // overflow to Inf on legitimately huge finite moments.
-    const double* a = sr + i * w;
-    const double* b = sl + i * w;
-    const double* d = ctot + i * w;
-    RELMORE_SIMD
-    for (std::size_t t = 0; t < w; ++t) {
-      poison[t] += a[t] * 0.0 + b[t] * 0.0 + d[t] * 0.0;
-    }
-  }
 }
 
 void BatchedAnalyzer::flag_group(BatchedModels& out, std::size_t g, const double* poison,
@@ -469,30 +701,33 @@ BatchedModels BatchedAnalyzer::analyze_impl(const std::vector<SectionId>& ids, b
   const std::size_t n = topo_.size();
   const std::size_t w = lane_width_;
   BatchedModels out = make_output(ids, all_nodes, samples_, groups_);
+  const SweepPlan plan = make_plan(out, all_nodes, samples_);
 
   // One lane-group per task; each task writes a disjoint sample range of
   // every output row (and disjoint flag bytes), so scheduling order cannot
-  // affect the results. Scratch lives in the caller's frame (serial) or one
-  // allocation per task invocation (pooled) — never one allocation per
-  // group per pass. Fault policies never throw inside a task: verdicts are
-  // recorded per sample and resolved after the join (finalize_faults), so
-  // a faulted lane cannot abandon other groups' results mid-flight.
-  const auto run_into = [&](std::size_t g, double* ctot, double* sr, double* sl) {
-    run_group(g, ctot, sr, sl);
-    double poison[8] = {};
-    copy_group(out, g, ctot, sr, sl, poison);
-    flag_group(out, g, poison, nullptr);
+  // affect the results. Scratch comes from the worker's bump arena — one
+  // grab per chunk, reused across that chunk's groups, retained across
+  // calls — never one allocation per group per pass. Fault policies never
+  // throw inside a task: verdicts are recorded per sample and resolved
+  // after the join (finalize_faults), so a faulted lane cannot abandon
+  // other groups' results mid-flight.
+  const std::size_t scratch_doubles = plan.use_pathwalk ? n * w : 3 * n * w;
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    util::Arena& arena = util::thread_arena();
+    const util::ArenaScope scope(arena);
+    double* scratch = arena.grab<double>(scratch_doubles);
+    std::size_t* path = plan.use_pathwalk ? arena.grab<std::size_t>(n) : nullptr;
+    for (std::size_t g = begin; g < end; ++g) {
+      const double* base_r = r_.data() + g * w * n;
+      const double* base_l = l_.data() + g * w * n;
+      const double* base_c = c_.data() + g * w * n;
+      sweep_group(plan, out, g, base_r, base_l, base_c, scratch, path, nullptr);
+    }
   };
   if (pool != nullptr && groups_ > 1) {
-    pool->parallel_for(groups_, [&](std::size_t g) {
-      std::vector<double> scratch(3 * n * w);
-      run_into(g, scratch.data(), scratch.data() + n * w, scratch.data() + 2 * n * w);
-    });
+    pool->parallel_chunks(groups_, run_range);
   } else {
-    std::vector<double> scratch(3 * n * w);
-    for (std::size_t g = 0; g < groups_; ++g) {
-      run_into(g, scratch.data(), scratch.data() + n * w, scratch.data() + 2 * n * w);
-    }
+    run_range(0, groups_);
   }
   finalize_faults(out, "BatchedAnalyzer::analyze");
   return out;
@@ -505,21 +740,22 @@ BatchedModels BatchedAnalyzer::analyze_stream(std::size_t samples, const SampleF
   const std::size_t n = topo_.size();
   const std::size_t w = lane_width_;
   const std::size_t groups = (samples + w - 1) / w;
-  BatchedModels out = make_output(ids, /*all_nodes=*/ids.empty(), samples, groups);
-  const SectionId* parent = topo_.parent().data();
+  const bool all_nodes = ids.empty();
+  BatchedModels out = make_output(ids, all_nodes, samples, groups);
+  const SweepPlan plan = make_plan(out, all_nodes, samples);
 
   // Per-group working set: w sample-major staging rows (what the fill
   // callback writes) plus the kernel scratch. All of it lives and dies
   // inside one group, so for cache-sized n the values never round-trip
   // through memory — unlike the set_sample path, where the whole S·n
   // fill completes (and is evicted) before the first kernel sweep starts.
-  // The kernel reads the staging rows in place (run_group_rows); no
-  // transposed copy is materialized.
-  const auto task = [&](std::size_t g, std::vector<double>& buf) {
-    double* rows_r = buf.data();              // w rows of n: staging
+  // The kernel reads the staging rows in place; no transposed copy is
+  // materialized (the stored path uses the same sample-major rows).
+  const auto task = [&](std::size_t g, double* staging, double* scratch,
+                        std::size_t* path) {
+    double* rows_r = staging;  // w rows of n
     double* rows_l = rows_r + w * n;
     double* rows_c = rows_l + w * n;
-    double* scratch = rows_c + w * n;         // ctot/sr/sl, n*w each
     for (std::size_t t = 0; t < w; ++t) {
       const std::size_t s = g * w + t;
       if (s < samples) {
@@ -533,7 +769,7 @@ BatchedModels BatchedAnalyzer::analyze_stream(std::size_t samples, const SampleF
       }
     }
     std::uint8_t lane_input[8] = {};
-    if (scan_values(buf.data(), 3 * w * n).bad()) {
+    if (scan_values(staging, 3 * w * n).bad()) {
       // Rare slow path: attribute the fault to specific lanes so healthy
       // samples in the same group stay unflagged; under kClampAndFlag the
       // staging values are repaired before the kernel consumes them.
@@ -545,33 +781,25 @@ BatchedModels BatchedAnalyzer::analyze_stream(std::size_t samples, const SampleF
       }
       if (policy_ == util::FaultPolicy::kClampAndFlag) {
         for (std::size_t i = 0; i < 3 * w * n; ++i) {
-          if (!util::valid_element_value(buf[i])) buf[i] = 0.0;
+          if (!util::valid_element_value(staging[i])) staging[i] = 0.0;
         }
       }
     }
-    double* ctot = scratch;
-    double* sr = scratch + n * w;
-    double* sl = scratch + 2 * n * w;
-    switch (w) {
-      case 1: run_group_rows<1>(n, parent, rows_r, rows_l, rows_c, ctot, sr, sl); break;
-      case 2: run_group_rows<2>(n, parent, rows_r, rows_l, rows_c, ctot, sr, sl); break;
-      case 4: run_group_rows<4>(n, parent, rows_r, rows_l, rows_c, ctot, sr, sl); break;
-      case 8: run_group_rows<8>(n, parent, rows_r, rows_l, rows_c, ctot, sr, sl); break;
-      default: throw std::logic_error("BatchedAnalyzer: unsupported lane width");
-    }
-    double poison[8] = {};
-    copy_group(out, g, ctot, sr, sl, poison);
-    flag_group(out, g, poison, lane_input);
+    sweep_group(plan, out, g, rows_r, rows_l, rows_c, scratch, path, lane_input);
   };
-  const std::size_t buf_size = 6 * n * w;  // 3 staging + 3 scratch
+  const std::size_t scratch_doubles = plan.use_pathwalk ? n * w : 3 * n * w;
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    util::Arena& arena = util::thread_arena();
+    const util::ArenaScope scope(arena);
+    double* staging = arena.grab<double>(3 * w * n);
+    double* scratch = arena.grab<double>(scratch_doubles);
+    std::size_t* path = plan.use_pathwalk ? arena.grab<std::size_t>(n) : nullptr;
+    for (std::size_t g = begin; g < end; ++g) task(g, staging, scratch, path);
+  };
   if (pool != nullptr && groups > 1) {
-    pool->parallel_chunks(groups, [&](std::size_t begin, std::size_t end) {
-      std::vector<double> buf(buf_size);
-      for (std::size_t g = begin; g < end; ++g) task(g, buf);
-    });
+    pool->parallel_chunks(groups, run_range);
   } else {
-    std::vector<double> buf(buf_size);
-    for (std::size_t g = 0; g < groups; ++g) task(g, buf);
+    run_range(0, groups);
   }
   finalize_faults(out, "BatchedAnalyzer::analyze_stream");
   return out;

@@ -10,21 +10,33 @@
 /// independent `eed::analyze` calls repeats the topology walk, the
 /// per-call result allocations, and the AoS cache misses S times over.
 /// `BatchedAnalyzer` instead fixes the topology once (a
-/// `circuit::FlatTree` snapshot) and lays the S value sets out AoSoA:
-/// samples are grouped into lane-groups of width W (1, 2, 4, or 8
-/// doubles), and within a group the values of section i are stored as W
-/// adjacent doubles — one lane per sample:
+/// `circuit::FlatTree` snapshot) and groups samples into lane-groups of
+/// width W (1, 2, 4, or 8 doubles). Values are *stored* sample-major —
+/// sample s owns one contiguous row of n doubles per array, so fills are
+/// straight memcpys — and the kernel reads the W rows of a group
+/// directly, transposing into its W-wide lane blocks on the fly:
 ///
-///   values[group][section i][lane t]  =  sample (group·W + t)'s value of i
+///   values[sample s][section i],  lane t of group g  =  sample g·W + t
 ///
 /// The upward/downward passes then run once per lane-group with a
 /// fixed-width inner loop over the lanes, which `-O3` autovectorizes (no
-/// intrinsics; see the RELMORE_ENABLE_NATIVE_ARCH CMake option for wider
-/// codegen). Each lane executes exactly the scalar pass's operations in
-/// exactly its association order, so every sample's results are *bitwise*
-/// identical to a scalar `eed::analyze` of that sample's tree — and hence
+/// intrinsics; the hot kernels are additionally multi-versioned via GCC
+/// target_clones so an AVX2 clone is dispatched at runtime, and the
+/// RELMORE_ENABLE_NATIVE_ARCH CMake option widens codegen further). Each
+/// lane executes exactly the scalar pass's operations in exactly its
+/// association order, so every sample's results are *bitwise* identical
+/// to a scalar `eed::analyze` of that sample's tree — and hence
 /// independent of the lane width and of how lane-groups are scheduled
 /// across threads.
+///
+/// Working-set control (see docs/kernels.md): the downward sweep runs in
+/// contiguous tiles of `tile_rows()` sections, draining completed output
+/// rows while cache-hot; sparse shallow `analyze_nodes` queries take a
+/// root-path walk instead of the full downward sweep. Lane width (when
+/// constructed with 0) and tile size (when left at 0 = auto) come from
+/// `engine::KernelTuner`, overridable process-wide via `RELMORE_TUNE=WxT`.
+/// Tiling and tuning reorder only the *touch* order, never the reduction
+/// order — results stay bitwise-equal across every (W, tile) choice.
 ///
 /// Lane-groups are independent, so a `BatchAnalyzer` pool can fan them
 /// across cores (`analyze(&pool)`); outputs are written to disjoint
@@ -62,8 +74,10 @@ namespace relmore::engine {
 
 class BatchAnalyzer;
 
-/// Default lane width: 8 doubles (one AVX-512 vector, two AVX2 vectors —
-/// wide enough to keep any current x86-64 FP pipe fed).
+/// Widest supported lane width: 8 doubles (one AVX-512 vector, two AVX2
+/// vectors). Callers passing lane_width 0 get the KernelTuner's pick for
+/// the tree size rather than this maximum — wide groups multiply the
+/// per-section working set and lose past L2.
 inline constexpr std::size_t kDefaultLaneWidth = 8;
 
 /// Result of one batched analysis: (SR, SL, Ctot) for every requested
@@ -121,7 +135,8 @@ class BatchedModels {
 /// in one or more kernel sweeps.
 class BatchedAnalyzer {
  public:
-  /// `lane_width` must be 1, 2, 4, or 8; 0 picks kDefaultLaneWidth.
+  /// `lane_width` must be 1, 2, 4, or 8; 0 lets `engine::KernelTuner`
+  /// pick for this tree size (respecting RELMORE_TUNE).
   /// Throws std::invalid_argument on other widths or an empty topology, and
   /// util::FaultError when `circuit::validate` rejects the topology.
   explicit BatchedAnalyzer(circuit::FlatTree topology, std::size_t lane_width = 0);
@@ -145,6 +160,14 @@ class BatchedAnalyzer {
   [[nodiscard]] std::size_t lane_width() const { return lane_width_; }
   [[nodiscard]] std::size_t samples() const { return samples_; }
   [[nodiscard]] std::size_t lane_groups() const { return groups_; }
+
+  /// Tile size (sections) for the downward sweep. 0 (the default) lets
+  /// `engine::KernelTuner` pick per analysis call; any explicit value —
+  /// including degenerate ones (1, or >= sections() for an untiled
+  /// sweep) — is used as-is. Tiling never changes results, only the
+  /// order in which the sweep touches memory.
+  void set_tile_rows(std::size_t tile_rows);
+  [[nodiscard]] std::size_t tile_rows() const { return tile_rows_; }
 
   /// Sets the sample count and (re)initializes every sample — including
   /// the padding lanes of the last group — to the snapshot's nominal
@@ -187,8 +210,9 @@ class BatchedAnalyzer {
   /// pair once S·n values outgrow the cache. Ignores (and does not
   /// disturb) any values stored via resize/set_sample; `samples` is
   /// independent of samples(). Results are bitwise identical to
-  /// resize + set_sample(s, ...) + analyze_nodes(ids): the same AoSoA
-  /// block is built per group and the same kernel consumes it. An empty
+  /// resize + set_sample(s, ...) + analyze_nodes(ids): the same
+  /// sample-major rows are built per group and the same kernel consumes
+  /// them. An empty
   /// `ids` stores every node (analyze() semantics). Padding lanes
   /// replicate the group's first sample. Throws std::invalid_argument on
   /// samples == 0; bad filled values follow the fault policy (kThrow
@@ -199,18 +223,26 @@ class BatchedAnalyzer {
                                              BatchAnalyzer* pool = nullptr) const;
 
  private:
-  void run_group(std::size_t group, double* ctot, double* sr, double* sl) const;
+  /// Per-call sweep schedule (tile size, path-walk choice, drain order);
+  /// built once by make_plan, shared read-only by every group task.
+  struct SweepPlan;
+
   [[nodiscard]] BatchedModels analyze_impl(const std::vector<circuit::SectionId>& ids,
                                            bool all_nodes, BatchAnalyzer* pool) const;
   [[nodiscard]] BatchedModels make_output(const std::vector<circuit::SectionId>& ids,
                                           bool all_nodes, std::size_t samples,
                                           std::size_t groups) const;
   [[nodiscard]] std::size_t value_slot(std::size_t s, std::size_t section) const;
-  /// Copies group `g`'s reported rows into `out` and accumulates each
-  /// lane's output poison term (NaN iff any copied value is non-finite)
-  /// into `poison[0..lane_width_)`.
-  void copy_group(BatchedModels& out, std::size_t g, const double* ctot, const double* sr,
-                  const double* sl, double* poison) const;
+  [[nodiscard]] SweepPlan make_plan(const BatchedModels& out, bool all_nodes,
+                                    std::size_t samples) const;
+  /// Runs the full kernel for lane-group `g` over the three sample-major
+  /// value rows, draining results into `out` and recording the group's
+  /// fault verdicts. `scratch` holds n*W doubles (path-walk mode) or
+  /// 3·n·W (two-pass mode); `path` non-null selects the path walk.
+  void sweep_group(const SweepPlan& plan, BatchedModels& out, std::size_t g,
+                   const double* rows_r, const double* rows_l, const double* rows_c,
+                   double* scratch, std::size_t* path,
+                   const std::uint8_t* lane_input) const;
   /// Merges group `g`'s input flags (`lane_input[t]`, or input_fault_ when
   /// null) with the output `poison` verdicts into `out`'s per-sample flags.
   void flag_group(BatchedModels& out, std::size_t g, const double* poison,
@@ -224,8 +256,10 @@ class BatchedAnalyzer {
   std::size_t lane_width_ = kDefaultLaneWidth;
   std::size_t samples_ = 0;
   std::size_t groups_ = 0;
+  std::size_t tile_rows_ = 0;  ///< explicit downward tile; 0 = auto
   util::FaultPolicy policy_ = util::FaultPolicy::kThrow;
-  /// AoSoA values, indexed [(group * sections + section) * lane_width + lane].
+  /// Sample-major values, indexed [sample * sections + section]; rows
+  /// samples_..(lane_groups * lane_width) are nominal-valued padding.
   std::vector<double> r_, l_, c_;
   /// Per-sample eed::kFaultBadInput marks recorded by the flag policies.
   std::vector<std::uint8_t> input_fault_;

@@ -9,6 +9,8 @@
 
 #include "relmore/engine/batch.hpp"
 #include "relmore/engine/batched.hpp"
+#include "relmore/engine/tuner.hpp"
+#include "relmore/util/arena.hpp"
 
 namespace relmore::sim {
 
@@ -72,6 +74,51 @@ struct GroupFactors {
 /// Number of n·W blocks a group workspace holds: 7 state/scratch arrays
 /// plus two 5-array factorizations (backward-Euler and trapezoidal).
 constexpr std::size_t kWorkspaceBlocks = 17;
+
+/// How many sections ahead the sweeps prefetch the parent-indexed row —
+/// the one access the hardware prefetcher cannot predict. Matches
+/// engine/batched.cpp.
+constexpr std::size_t kPrefetchAhead = 16;
+
+/// Sink called after the downward sweep finalizes sections [lo, hi) of a
+/// step: rows completed by the tile are drained (probe voltages copied
+/// out) while still cache-hot. A plain function pointer — not a template
+/// parameter — so the kernels keep plain-type signatures and
+/// RELMORE_KERNEL_CLONES stays applicable.
+using TileSinkFn = void (*)(void* ctx, std::size_t lo, std::size_t hi);
+
+/// Drain state for the recording path: probe sections ascending, with
+/// their output rows, plus the per-(group, step) output coordinates.
+/// One instance per lane-group task; `cursor`/`step` are reset per step.
+struct ProbeDrainCtx {
+  double* out_v = nullptr;
+  const double* v_node = nullptr;
+  const std::size_t* secs = nullptr;  ///< probe sections, ascending
+  const int* rows = nullptr;          ///< output row of each probe
+  std::size_t count = 0;
+  std::size_t cursor = 0;
+  std::size_t samples = 0;
+  std::size_t padded = 0;
+  std::size_t group = 0;
+  std::size_t w = 0;
+  std::size_t step = 0;
+};
+
+/// Copies every probe with section in [cursor's section, hi) — exactly
+/// the rows the tile just finalized, because sections are ascending and
+/// tiles arrive in order.
+void drain_probes(void* vctx, std::size_t lo, std::size_t hi) {
+  auto* d = static_cast<ProbeDrainCtx*>(vctx);
+  (void)lo;
+  const std::size_t w = d->w;
+  while (d->cursor < d->count && d->secs[d->cursor] < hi) {
+    const std::size_t dst =
+        (static_cast<std::size_t>(d->rows[d->cursor]) * d->samples + d->step) * d->padded +
+        d->group * w;
+    std::memcpy(d->out_v + dst, d->v_node + d->secs[d->cursor] * w, w * sizeof(double));
+    ++d->cursor;
+  }
+}
 
 /// Builds the state-independent factors for every lane of one group, in
 /// FlatStepper's exact expression and accumulation order per lane. The
@@ -144,11 +191,18 @@ RELMORE_KERNEL_CLONES void build_factors(std::size_t n, const SectionId* parent,
 /// scalar FlatStepper::advance operations of run group·W + t, in the same
 /// order; the j/g_node division goes through a selected safe divisor,
 /// which leaves live lanes' bits untouched and keeps dead lanes finite.
+///
+/// The downward sweep runs in contiguous tiles of `tile_rows` sections
+/// (0 = whole tree); after each tile the optional sink drains the
+/// just-finalized voltage rows while cache-hot. Tiling changes only the
+/// touch order (the sweep still visits sections in ascending id order),
+/// so results are bitwise-equal for every tile size.
 template <std::size_t W, bool TRAP>
 RELMORE_KERNEL_CLONES void step_group_impl(std::size_t n, const SectionId* parent,
                                            const double* lvals, const double* cvals,
                                            const GroupFactors& f, const GroupState& s,
-                                           const double* vin) {
+                                           const double* vin, std::size_t tile_rows,
+                                           TileSinkFn sink, void* ctx) {
   // Restrict-qualified local views of the disjoint workspace slices (see
   // build_factors): without them the struct indirection defeats
   // if-conversion and every inner loop stays scalar.
@@ -166,32 +220,48 @@ RELMORE_KERNEL_CLONES void step_group_impl(std::size_t n, const SectionId* paren
   double* __restrict j_eq = s.j_eq;
 
   // relmore-lint: begin-hot-loop(batch-sim-step)
-  // State-dependent companion sources. No cross-node dependencies, so one
-  // flat n·W loop — no per-node loop-entry overhead. v_node still holds
-  // the previous step's voltages here; they are consumed in place (the
-  // downward sweep re-reads its own old voltage before overwriting it, so
-  // no checkpoint copy is needed).
-  RELMORE_SIMD
-  for (std::size_t k = 0; k < n * W; ++k) {
-    if constexpr (TRAP) {
-      e_b[k] = -(frl[k] * i_l[k] + v_l[k]);
-      j[k] = fgc[k] * v_node[k] + i_c[k];
-    } else {
-      e_b[k] = -(frl[k] * i_l[k]);
-      j[k] = fgc[k] * v_node[k];
-    }
-  }
-
-  // Upward sweep: only source currents accumulate. The division runs
+  // Upward sweep with the state-dependent companion sources fused in
+  // behind a lazy frontier: rows [front, n) of e_b/j are initialized.
+  // Before accumulating into parent p the loop forces front <= p, so a
+  // row's companion values are always a pure overwrite of previous-step
+  // state (i_l/v_l/v_node/i_c, none of which the upward sweep modifies)
+  // before any child folds into its j — exactly the per-location
+  // operation order of a separate init loop followed by the reverse
+  // accumulation, hence bitwise-equal. The fusion saves a full e_b/j
+  // round trip through memory per step, which is what stalls the sweep
+  // once the working set outgrows L1/L2. The division runs
   // unconditionally through the selected safe divisor (live lanes divide
   // by their real g_node, so their bits are untouched; dead lanes divide
   // by 1), keeping the body branch-free and vectorizable. The root's
   // parent accumulation lands in a stack sink so the per-node body is a
-  // single branch-free loop.
+  // single branch-free loop; the prefetch covers the parent-row gather,
+  // the one access the hardware prefetcher cannot predict.
   double root_sink[W] = {};
+  std::size_t front = n;
   for (std::size_t ii = n; ii-- > 0;) {
-    const std::size_t at = ii * W;
+    if (ii >= kPrefetchAhead) {
+      const SectionId fp = parent[ii - kPrefetchAhead];
+      if (fp != circuit::kInput) {
+        __builtin_prefetch(j + static_cast<std::size_t>(fp) * W, 1, 3);
+      }
+    }
     const SectionId p = parent[ii];
+    const std::size_t need = p == circuit::kInput ? ii : static_cast<std::size_t>(p);
+    while (front > need) {
+      --front;
+      const std::size_t fat = front * W;
+      RELMORE_SIMD
+      for (std::size_t t = 0; t < W; ++t) {
+        if constexpr (TRAP) {
+          e_b[fat + t] = -(frl[fat + t] * i_l[fat + t] + v_l[fat + t]);
+          j[fat + t] = fgc[fat + t] * v_node[fat + t] + i_c[fat + t];
+        } else {
+          e_b[fat + t] = -(frl[fat + t] * i_l[fat + t]);
+          j[fat + t] = fgc[fat + t] * v_node[fat + t];
+        }
+      }
+    }
+    const std::size_t at = ii * W;
     double* __restrict up =
         p == circuit::kInput ? root_sink : j + static_cast<std::size_t>(p) * W;
     RELMORE_SIMD
@@ -212,41 +282,52 @@ RELMORE_KERNEL_CLONES void step_group_impl(std::size_t n, const SectionId* paren
   // Parents are finalized before children read them; the parent-row read
   // is staged through a W-wide local so the compiler need not prove the
   // rows disjoint.
-  for (std::size_t ii = 0; ii < n; ++ii) {
-    const std::size_t at = ii * W;
-    const SectionId p = parent[ii];
-    const double* __restrict src =
-        p == circuit::kInput ? vin : v_node + static_cast<std::size_t>(p) * W;
-    RELMORE_SIMD
-    for (std::size_t t = 0; t < W; ++t) {
-      const double vp = src[t];
-      const double g = fg[at + t];
-      const double cur = g > 0.0 ? fge[at + t] * vp - j_eq[at + t] : -j[at + t];
-      const double v_old = v_node[at + t];
-      const double v_new = vp - frb[at + t] * cur - e_b[at + t];
-      v_node[at + t] = v_new;
-      double i_c_new;
-      if constexpr (TRAP) {
-        i_c_new = fgc[at + t] * v_new - (fgc[at + t] * v_old + i_c[at + t]);
-      } else {
-        i_c_new = fgc[at + t] * (v_new - v_old);
+  const std::size_t tile = tile_rows == 0 ? n : tile_rows;
+  for (std::size_t lo = 0; lo < n; lo += tile) {
+    const std::size_t hi = lo + tile < n ? lo + tile : n;
+    for (std::size_t ii = lo; ii < hi; ++ii) {
+      if (ii + kPrefetchAhead < n) {
+        const SectionId fp = parent[ii + kPrefetchAhead];
+        if (fp != circuit::kInput) {
+          __builtin_prefetch(v_node + static_cast<std::size_t>(fp) * W, 0, 3);
+        }
       }
-      v_l[at + t] = lvals[at + t] > 0.0 ? frl[at + t] * cur + e_b[at + t] : 0.0;
-      i_l[at + t] = cur;
-      i_c[at + t] = cvals[at + t] > 0.0 ? i_c_new : 0.0;
+      const std::size_t at = ii * W;
+      const SectionId p = parent[ii];
+      const double* __restrict src =
+          p == circuit::kInput ? vin : v_node + static_cast<std::size_t>(p) * W;
+      RELMORE_SIMD
+      for (std::size_t t = 0; t < W; ++t) {
+        const double vp = src[t];
+        const double g = fg[at + t];
+        const double cur = g > 0.0 ? fge[at + t] * vp - j_eq[at + t] : -j[at + t];
+        const double v_old = v_node[at + t];
+        const double v_new = vp - frb[at + t] * cur - e_b[at + t];
+        v_node[at + t] = v_new;
+        double i_c_new;
+        if constexpr (TRAP) {
+          i_c_new = fgc[at + t] * v_new - (fgc[at + t] * v_old + i_c[at + t]);
+        } else {
+          i_c_new = fgc[at + t] * (v_new - v_old);
+        }
+        v_l[at + t] = lvals[at + t] > 0.0 ? frl[at + t] * cur + e_b[at + t] : 0.0;
+        i_l[at + t] = cur;
+        i_c[at + t] = cvals[at + t] > 0.0 ? i_c_new : 0.0;
+      }
     }
+    if (sink != nullptr) sink(ctx, lo, hi);
   }
   // relmore-lint: end-hot-loop
 }
 
 template <std::size_t W>
 void step_group(std::size_t n, const SectionId* parent, const double* lvals, const double* cvals,
-                const GroupFactors& f, const GroupState& s, const double* vin,
-                bool trapezoidal) {
+                const GroupFactors& f, const GroupState& s, const double* vin, bool trapezoidal,
+                std::size_t tile_rows, TileSinkFn sink, void* ctx) {
   if (trapezoidal) {
-    step_group_impl<W, true>(n, parent, lvals, cvals, f, s, vin);
+    step_group_impl<W, true>(n, parent, lvals, cvals, f, s, vin, tile_rows, sink, ctx);
   } else {
-    step_group_impl<W, false>(n, parent, lvals, cvals, f, s, vin);
+    step_group_impl<W, false>(n, parent, lvals, cvals, f, s, vin, tile_rows, sink, ctx);
   }
 }
 
@@ -262,13 +343,16 @@ void init_workspace(std::size_t n, double* ws, GroupState& s, GroupFactors& fbe,
   std::memset(ws, 0, 4 * b * sizeof(double));  // i_l, v_l, i_c, v_node start at zero
 }
 
-/// One lane-group of the recording path.
+/// One lane-group of the recording path. `drain_secs`/`drain_rows` list
+/// the probes ascending by section (with their output rows) so each
+/// step's probe copies ride the downward sweep's tile sink while the
+/// voltages are cache-hot.
 template <std::size_t W>
 void simulate_group(std::size_t n, const SectionId* parent, const double* r, const double* l,
                     const double* c, const Source* sources, const TransientOptions& opts,
-                    std::size_t steps, const std::vector<std::size_t>& probe_sections,
-                    double* out_v, std::size_t samples, std::size_t padded, std::size_t group,
-                    double* ws) {
+                    std::size_t steps, const std::size_t* drain_secs, const int* drain_rows,
+                    std::size_t drain_count, std::size_t tile_rows, double* out_v,
+                    std::size_t samples, std::size_t padded, std::size_t group, double* ws) {
   GroupState s;
   GroupFactors fbe;
   GroupFactors ftr;
@@ -277,6 +361,16 @@ void simulate_group(std::size_t n, const SectionId* parent, const double* r, con
   bool be_built = false;
   bool tr_built = false;
   double vin[W];
+  ProbeDrainCtx drain;
+  drain.out_v = out_v;
+  drain.v_node = s.v_node;
+  drain.secs = drain_secs;
+  drain.rows = drain_rows;
+  drain.count = drain_count;
+  drain.samples = samples;
+  drain.padded = padded;
+  drain.group = group;
+  drain.w = W;
   for (std::size_t step = 1; step <= steps; ++step) {
     const double t = static_cast<double>(step) * h;
     const bool trap = static_cast<int>(step) > opts.be_startup_steps;
@@ -291,11 +385,9 @@ void simulate_group(std::size_t n, const SectionId* parent, const double* r, con
     for (std::size_t t_lane = 0; t_lane < W; ++t_lane) {
       vin[t_lane] = source_value(sources[t_lane], t);
     }
-    step_group<W>(n, parent, l, c, f, s, vin, trap);
-    for (std::size_t row = 0; row < probe_sections.size(); ++row) {
-      std::memcpy(out_v + (row * samples + step) * padded + group * W,
-                  s.v_node + probe_sections[row] * W, W * sizeof(double));
-    }
+    drain.cursor = 0;
+    drain.step = step;
+    step_group<W>(n, parent, l, c, f, s, vin, trap, tile_rows, &drain_probes, &drain);
   }
 }
 
@@ -305,7 +397,7 @@ template <std::size_t W>
 void crossings_group(std::size_t n, const SectionId* parent, const double* r, const double* l,
                      const double* c, const Source* sources, const TransientOptions& opts,
                      std::size_t steps, std::size_t probe_section, double threshold,
-                     std::size_t live, double* out, double* ws) {
+                     std::size_t live, std::size_t tile_rows, double* out, double* ws) {
   GroupState s;
   GroupFactors fbe;
   GroupFactors ftr;
@@ -334,7 +426,7 @@ void crossings_group(std::size_t n, const SectionId* parent, const double* r, co
     for (std::size_t t_lane = 0; t_lane < W; ++t_lane) {
       vin[t_lane] = source_value(sources[t_lane], t);
     }
-    step_group<W>(n, parent, l, c, f, s, vin, trap);
+    step_group<W>(n, parent, l, c, f, s, vin, trap, tile_rows, nullptr, nullptr);
     const double* volt = s.v_node + probe_section * W;
     for (std::size_t t_lane = 0; t_lane < live; ++t_lane) {
       const double v = volt[t_lane];
@@ -400,11 +492,21 @@ Waveform BatchTransientResult::waveform(std::size_t run, SectionId node) const {
 BatchSimulator::BatchSimulator(FlatTree topology, std::size_t lane_width)
     : topo_(std::move(topology)) {
   if (topo_.empty()) throw std::invalid_argument("BatchSimulator: empty topology");
-  if (lane_width == 0) lane_width = engine::kDefaultLaneWidth;
+  if (lane_width == 0) {
+    lane_width = engine::KernelTuner::instance().sim_plan(topo_.size(), 0).lane_width;
+  }
   if (lane_width != 1 && lane_width != 2 && lane_width != 4 && lane_width != 8) {
     throw std::invalid_argument("BatchSimulator: lane width must be 1, 2, 4, or 8");
   }
   lane_width_ = lane_width;
+}
+
+void BatchSimulator::set_tile_rows(std::size_t tile_rows) { tile_rows_ = tile_rows; }
+
+std::size_t BatchSimulator::resolved_tile_rows() const {
+  return tile_rows_ != 0
+             ? tile_rows_
+             : engine::KernelTuner::instance().sim_plan(topo_.size(), runs_).tile_rows;
 }
 
 std::size_t BatchSimulator::value_slot(std::size_t s, std::size_t section) const {
@@ -489,28 +591,36 @@ BatchTransientResult BatchSimulator::simulate(const TransientOptions& opts,
     out.time_[step] = static_cast<double>(step) * opts.dt;
   }
   out.row_of_.assign(n, -1);
-  std::vector<std::size_t> probe_sections;
   if (opts.probes.empty()) {
     out.ids_.resize(n);
-    probe_sections.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       out.ids_[i] = static_cast<SectionId>(i);
       out.row_of_[i] = static_cast<int>(i);
-      probe_sections[i] = i;
     }
   } else {
     out.ids_ = opts.probes;
-    probe_sections.reserve(opts.probes.size());
     for (std::size_t row = 0; row < opts.probes.size(); ++row) {
-      const auto i = static_cast<std::size_t>(opts.probes[row]);
-      out.row_of_[i] = static_cast<int>(row);
-      probe_sections.push_back(i);
+      out.row_of_[static_cast<std::size_t>(opts.probes[row])] = static_cast<int>(row);
     }
+  }
+  // Probes sorted ascending by section (with their output rows) so each
+  // step's copies drain through the downward sweep's tile sink with one
+  // monotone cursor.
+  const std::size_t probe_count = out.ids_.size();
+  std::vector<std::size_t> drain_secs(probe_count);
+  std::vector<int> drain_rows(probe_count);
+  for (std::size_t row = 0; row < probe_count; ++row) drain_rows[row] = static_cast<int>(row);
+  std::sort(drain_rows.begin(), drain_rows.end(), [&](int a, int b) {
+    return out.ids_[static_cast<std::size_t>(a)] < out.ids_[static_cast<std::size_t>(b)];
+  });
+  for (std::size_t i = 0; i < probe_count; ++i) {
+    drain_secs[i] = static_cast<std::size_t>(out.ids_[static_cast<std::size_t>(drain_rows[i])]);
   }
   // Zero-filled storage doubles as the t=0 sample (everything starts at
   // 0 V) and as the padding lanes' rows.
   out.v_.assign(out.ids_.size() * samples * out.padded_runs_, 0.0);
 
+  const std::size_t tile_rows = resolved_tile_rows();
   const SectionId* parent = topo_.parent().data();
   const auto run_one = [&](std::size_t g, double* ws) {
     const std::size_t base = g * n * w;
@@ -520,36 +630,46 @@ BatchTransientResult BatchSimulator::simulate(const TransientOptions& opts,
     const Source* srcs = sources_.data() + g * w;
     switch (w) {
       case 1:
-        simulate_group<1>(n, parent, r, l, c, srcs, opts, steps, probe_sections, out.v_.data(),
-                          samples, out.padded_runs_, g, ws);
+        simulate_group<1>(n, parent, r, l, c, srcs, opts, steps, drain_secs.data(),
+                          drain_rows.data(), probe_count, tile_rows, out.v_.data(), samples,
+                          out.padded_runs_, g, ws);
         return;
       case 2:
-        simulate_group<2>(n, parent, r, l, c, srcs, opts, steps, probe_sections, out.v_.data(),
-                          samples, out.padded_runs_, g, ws);
+        simulate_group<2>(n, parent, r, l, c, srcs, opts, steps, drain_secs.data(),
+                          drain_rows.data(), probe_count, tile_rows, out.v_.data(), samples,
+                          out.padded_runs_, g, ws);
         return;
       case 4:
-        simulate_group<4>(n, parent, r, l, c, srcs, opts, steps, probe_sections, out.v_.data(),
-                          samples, out.padded_runs_, g, ws);
+        simulate_group<4>(n, parent, r, l, c, srcs, opts, steps, drain_secs.data(),
+                          drain_rows.data(), probe_count, tile_rows, out.v_.data(), samples,
+                          out.padded_runs_, g, ws);
         return;
       case 8:
-        simulate_group<8>(n, parent, r, l, c, srcs, opts, steps, probe_sections, out.v_.data(),
-                          samples, out.padded_runs_, g, ws);
+        simulate_group<8>(n, parent, r, l, c, srcs, opts, steps, drain_secs.data(),
+                          drain_rows.data(), probe_count, tile_rows, out.v_.data(), samples,
+                          out.padded_runs_, g, ws);
         return;
       default: throw std::logic_error("BatchSimulator: unsupported lane width");
     }
   };
 
   // One lane-group per task, outputs to disjoint run ranges — results are
-  // independent of scheduling. Workspace is reused across a chunk's groups.
+  // independent of scheduling. Workspace comes from the worker's bump
+  // arena: one grab per chunk, reused across its groups and retained
+  // across calls, so corpus-scale sweeps don't churn the allocator.
   const std::size_t ws_size = kWorkspaceBlocks * n * w;
   if (pool != nullptr && groups_ > 1) {
     pool->parallel_chunks(groups_, [&](std::size_t begin, std::size_t end) {
-      std::vector<double> ws(ws_size);
-      for (std::size_t g = begin; g < end; ++g) run_one(g, ws.data());
+      util::Arena& arena = util::thread_arena();
+      const util::ArenaScope scope(arena);
+      double* ws = arena.grab<double>(ws_size);
+      for (std::size_t g = begin; g < end; ++g) run_one(g, ws);
     });
   } else {
-    std::vector<double> ws(ws_size);
-    for (std::size_t g = 0; g < groups_; ++g) run_one(g, ws.data());
+    util::Arena& arena = util::thread_arena();
+    const util::ArenaScope scope(arena);
+    double* ws = arena.grab<double>(ws_size);
+    for (std::size_t g = 0; g < groups_; ++g) run_one(g, ws);
   }
   return out;
 }
@@ -568,6 +688,7 @@ std::vector<double> BatchSimulator::first_crossings(const TransientOptions& opts
   const auto probe_section = static_cast<std::size_t>(probe);
 
   std::vector<double> out(runs_, -1.0);
+  const std::size_t tile_rows = resolved_tile_rows();
   const SectionId* parent = topo_.parent().data();
   const auto run_one = [&](std::size_t g, double* ws) {
     const std::size_t base = g * n * w;
@@ -580,19 +701,19 @@ std::vector<double> BatchSimulator::first_crossings(const TransientOptions& opts
     switch (w) {
       case 1:
         crossings_group<1>(n, parent, r, l, c, srcs, opts, steps, probe_section, threshold,
-                           live, dst, ws);
+                           live, tile_rows, dst, ws);
         return;
       case 2:
         crossings_group<2>(n, parent, r, l, c, srcs, opts, steps, probe_section, threshold,
-                           live, dst, ws);
+                           live, tile_rows, dst, ws);
         return;
       case 4:
         crossings_group<4>(n, parent, r, l, c, srcs, opts, steps, probe_section, threshold,
-                           live, dst, ws);
+                           live, tile_rows, dst, ws);
         return;
       case 8:
         crossings_group<8>(n, parent, r, l, c, srcs, opts, steps, probe_section, threshold,
-                           live, dst, ws);
+                           live, tile_rows, dst, ws);
         return;
       default: throw std::logic_error("BatchSimulator: unsupported lane width");
     }
@@ -601,12 +722,16 @@ std::vector<double> BatchSimulator::first_crossings(const TransientOptions& opts
   const std::size_t ws_size = kWorkspaceBlocks * n * w;
   if (pool != nullptr && groups_ > 1) {
     pool->parallel_chunks(groups_, [&](std::size_t begin, std::size_t end) {
-      std::vector<double> ws(ws_size);
-      for (std::size_t g = begin; g < end; ++g) run_one(g, ws.data());
+      util::Arena& arena = util::thread_arena();
+      const util::ArenaScope scope(arena);
+      double* ws = arena.grab<double>(ws_size);
+      for (std::size_t g = begin; g < end; ++g) run_one(g, ws);
     });
   } else {
-    std::vector<double> ws(ws_size);
-    for (std::size_t g = 0; g < groups_; ++g) run_one(g, ws.data());
+    util::Arena& arena = util::thread_arena();
+    const util::ArenaScope scope(arena);
+    double* ws = arena.grab<double>(ws_size);
+    for (std::size_t g = 0; g < groups_; ++g) run_one(g, ws);
   }
   return out;
 }

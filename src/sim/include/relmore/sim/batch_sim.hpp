@@ -31,6 +31,15 @@
 /// fans them across cores with outputs written to disjoint ranges.
 /// Recording is probe-selective, as in simulate_tree, and the streaming
 /// first_crossings path keeps only a one-sample ring per lane.
+///
+/// Working-set control: each timestep's downward sweep is tiled into
+/// blocks of sections sized by `engine::KernelTuner` (overridable with
+/// `RELMORE_TUNE=WxT` or `set_tile_rows`) so the per-step state stays
+/// inside L2 at large n, and probe recording drains through the tile
+/// sink while rows are still cache-hot. Tiling changes only the *touch*
+/// order of independent per-section updates, never any reduction order,
+/// so every configuration remains bitwise-equal to the scalar
+/// FlatStepper. See docs/sim.md.
 
 #include <cstddef>
 #include <vector>
@@ -85,8 +94,9 @@ class BatchTransientResult {
 /// the simulator contract is caller-prepared trees.
 class BatchSimulator {
  public:
-  /// `lane_width` must be 1, 2, 4, or 8; 0 picks engine's default (8).
-  /// Throws std::invalid_argument on other widths or an empty topology.
+  /// `lane_width` must be 1, 2, 4, or 8; 0 lets engine::KernelTuner pick
+  /// (auto-calibrated, overridable via RELMORE_TUNE). Throws
+  /// std::invalid_argument on other widths or an empty topology.
   explicit BatchSimulator(circuit::FlatTree topology, std::size_t lane_width = 0);
 
   [[nodiscard]] const circuit::FlatTree& topology() const { return topo_; }
@@ -109,6 +119,15 @@ class BatchSimulator {
   /// Overwrites one section of one run.
   void set_run_section(std::size_t s, circuit::SectionId id, const circuit::SectionValues& v);
 
+  /// Overrides the downward-sweep tile size (rows per tile) for
+  /// subsequent simulate/first_crossings calls. 0 restores auto
+  /// calibration via engine::KernelTuner. Explicit values — including
+  /// degenerate ones (1, or >= sections(), which behaves untiled) — are
+  /// used as-is; every setting is bitwise-equivalent.
+  void set_tile_rows(std::size_t tile_rows);
+  /// The explicit tile override (0 = auto).
+  [[nodiscard]] std::size_t tile_rows() const { return tile_rows_; }
+
   /// Simulates every run from zero initial conditions over the fixed-step
   /// grid of `opts` (probe-selective via opts.probes; empty records every
   /// section). `pool` (optional) distributes lane-groups across workers;
@@ -128,11 +147,15 @@ class BatchSimulator {
 
  private:
   [[nodiscard]] std::size_t value_slot(std::size_t s, std::size_t section) const;
+  /// Effective tile for a sweep: the explicit override, else the tuner's
+  /// sim plan for (sections, runs). 0 means untiled.
+  [[nodiscard]] std::size_t resolved_tile_rows() const;
 
   circuit::FlatTree topo_;
   std::size_t lane_width_ = 0;
   std::size_t runs_ = 0;
   std::size_t groups_ = 0;
+  std::size_t tile_rows_ = 0;  ///< explicit downward tile; 0 = auto
   /// AoSoA values, indexed [(group * sections + section) * lane_width + lane].
   std::vector<double> r_, l_, c_;
   /// One source per padded run (padding replicates StepSource{1.0}).

@@ -5,6 +5,7 @@
 
 #include "relmore/engine/batch.hpp"
 #include "relmore/engine/batched.hpp"
+#include "relmore/engine/tuner.hpp"
 
 namespace relmore::sta {
 
@@ -101,8 +102,20 @@ Result<CorpusModels> analyze_corpus_checked(const Design& design, const AnalyzeO
   // --- batched path: one AoSoA lane per net of a topology group ------------
   for (const std::vector<int>* group : batched_groups) {
     const Net& first = design.nets[static_cast<std::size_t>(group->front())];
+    // Default execution plan comes from the kernel tuner, sized to this
+    // group's (sections, nets) shape; an explicit options.lane_width wins
+    // and leaves tile selection to the analyzer. Neither choice changes
+    // an output bit.
+    std::size_t width = options.lane_width;
+    std::size_t tile_rows = 0;
+    if (width == 0) {
+      const engine::KernelPlan plan =
+          engine::KernelTuner::instance().analysis_plan(first.flat.size(), group->size());
+      width = plan.lane_width;
+      tile_rows = plan.tile_rows;
+    }
     Result<engine::BatchedAnalyzer> batch_r =
-        engine::BatchedAnalyzer::create_checked(first.flat, options.lane_width);
+        engine::BatchedAnalyzer::create_checked(first.flat, width);
     if (!batch_r.is_ok()) {
       // Topology rejected (e.g. validate limits): every member degrades to
       // the scalar verdict rather than silently vanishing.
@@ -115,6 +128,7 @@ Result<CorpusModels> analyze_corpus_checked(const Design& design, const AnalyzeO
     }
     engine::BatchedAnalyzer batch = std::move(batch_r).value();
     batch.set_fault_policy(policy);
+    batch.set_tile_rows(tile_rows);
     batch.resize(group->size());
     pool.parallel_for(group->size(), [&](std::size_t s) {
       const Net& net = design.nets[static_cast<std::size_t>((*group)[s])];

@@ -32,7 +32,7 @@ namespace relmore::sta {
 /// (threads/lane_width/min_group) never changes a single output bit.
 struct AnalyzeOptions {
   unsigned threads = 0;         ///< engine::BatchAnalyzer workers (0 = default)
-  std::size_t lane_width = 0;   ///< AoSoA lane width 1/2/4/8 (0 = default)
+  std::size_t lane_width = 0;   ///< lane width 1/2/4/8 (0 = engine::KernelTuner's pick)
   std::size_t min_group = 4;    ///< smallest topology group worth batching
   util::FaultPolicy fault_policy = util::FaultPolicy::kSkipAndFlag;
 };

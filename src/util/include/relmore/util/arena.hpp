@@ -1,0 +1,147 @@
+#pragma once
+
+/// \file arena.hpp
+/// Bump-arena allocation for kernel group workspaces.
+///
+/// The batched kernels (engine::BatchedAnalyzer, sim::BatchSimulator) need
+/// a few scratch blocks per lane-group task. At corpus scale — thousands
+/// of same-topology net groups swept per timing pass — allocating those
+/// blocks with `std::vector` per task churns the allocator: every group
+/// pays a malloc/free pair (plus the zero-fill) for memory whose size and
+/// lifetime are identical to the previous group's. An `Arena` instead
+/// grabs from a slab that is reused across tasks: allocation is a pointer
+/// bump, release is a scope-exit rewind, and the slab survives from one
+/// group to the next.
+///
+/// Usage (the kernel-task pattern):
+///
+///   util::Arena& arena = util::thread_arena();
+///   const util::ArenaScope scope(arena);       // rewinds at scope exit
+///   double* scratch = arena.grab<double>(3 * n * w);
+///
+/// Blocks are 64-byte aligned (one cache line / one AVX-512 vector) and
+/// uninitialized — kernel scratch is always fully written before it is
+/// read, so the vector zero-fill the arena replaces was pure waste.
+///
+/// Thread safety: an Arena is single-threaded by design; `thread_arena()`
+/// hands every thread (pool workers included) its own instance, so no
+/// synchronization is needed and TSan stays silent. Scopes must nest
+/// stack-like, which the RAII guard enforces structurally.
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace relmore::util {
+
+/// Grow-by-slab bump allocator. Memory is released only by rewinding (via
+/// ArenaScope) or destroying the arena; individual grabs are never freed.
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  ~Arena() {
+    for (const Slab& s : slabs_) {
+      ::operator delete(s.data, std::align_val_t{kAlign});
+    }
+  }
+
+  /// Returns an uninitialized, 64-byte-aligned block of `count` T. The
+  /// block stays valid until the enclosing ArenaScope rewinds past it.
+  template <typename T>
+  [[nodiscard]] T* grab(std::size_t count) {
+    static_assert(alignof(T) <= kAlign, "Arena alignment is 64 bytes");
+    return static_cast<T*>(grab_bytes(count * sizeof(T)));
+  }
+
+  /// Total bytes currently owned (all slabs, grabbed or not).
+  [[nodiscard]] std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Slab& s : slabs_) total += s.size;
+    return total;
+  }
+
+ private:
+  friend class ArenaScope;
+  static constexpr std::size_t kAlign = 64;
+  /// First slab size; later slabs double the total, so a workload's
+  /// steady-state grab pattern settles into one slab after O(log) growths.
+  static constexpr std::size_t kMinSlabBytes = std::size_t{1} << 16;
+
+  struct Slab {
+    void* data = nullptr;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  struct Mark {
+    std::size_t slab = 0;
+    std::size_t used = 0;
+  };
+
+  [[nodiscard]] void* grab_bytes(std::size_t bytes) {
+    bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
+    if (bytes == 0) bytes = kAlign;  // distinct non-null blocks for empty grabs
+    // Advance through retained slabs before growing: after a rewind the
+    // early slabs are empty again and get refilled in order.
+    while (active_ < slabs_.size()) {
+      Slab& s = slabs_[active_];
+      if (s.size - s.used >= bytes) {
+        void* p = static_cast<char*>(s.data) + s.used;
+        s.used += bytes;
+        return p;
+      }
+      if (++active_ < slabs_.size()) slabs_[active_].used = 0;
+    }
+    std::size_t grow = capacity();
+    grow = grow < kMinSlabBytes ? kMinSlabBytes : grow;
+    if (grow < bytes) grow = bytes;
+    Slab s;
+    s.data = ::operator new(grow, std::align_val_t{kAlign});
+    s.size = grow;
+    s.used = bytes;
+    slabs_.push_back(s);
+    active_ = slabs_.size() - 1;
+    return s.data;
+  }
+
+  [[nodiscard]] Mark mark() const {
+    if (slabs_.empty()) return {};
+    return {active_, active_ < slabs_.size() ? slabs_[active_].used : 0};
+  }
+
+  void rewind(Mark m) {
+    if (slabs_.empty()) return;
+    for (std::size_t i = m.slab; i < slabs_.size(); ++i) slabs_[i].used = 0;
+    if (m.slab < slabs_.size()) slabs_[m.slab].used = m.used;
+    active_ = m.slab;
+  }
+
+  std::vector<Slab> slabs_;
+  std::size_t active_ = 0;
+};
+
+/// RAII rewind guard: grabs made while the scope is alive are released
+/// (capacity retained) when it exits. Scopes nest stack-like.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+  ~ArenaScope() { arena_.rewind(mark_); }
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+/// The calling thread's arena. Pool workers each get their own, so group
+/// tasks can grab scratch without synchronization; the slab persists
+/// across tasks, which is the whole point at corpus scale.
+inline Arena& thread_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace relmore::util

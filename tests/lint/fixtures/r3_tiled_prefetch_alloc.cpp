@@ -1,0 +1,22 @@
+// Seeded R3 violation in a tiled, prefetching hot loop — the shape the
+// working-set-aware kernels use. A per-tile scratch resize sneaks an
+// allocation inside the marked region; relmore-lint must exit nonzero.
+
+#include <cstddef>
+#include <vector>
+
+void tiled_downward(double* acc, const double* contrib, const int* parent, std::size_t n,
+                    std::size_t tile_rows) {
+  std::vector<double> scratch;
+  // relmore-lint: begin-hot-loop(fixture-tiled-prefetch)
+  for (std::size_t lo = 0; lo < n; lo += tile_rows) {
+    const std::size_t hi = lo + tile_rows < n ? lo + tile_rows : n;
+    scratch.resize(hi - lo);  // BAD: per-tile allocation in the sweep
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (i + 16 < hi) __builtin_prefetch(&acc[static_cast<std::size_t>(parent[i + 16])], 0, 1);
+      scratch[i - lo] = acc[static_cast<std::size_t>(parent[i])] + contrib[i];
+    }
+    for (std::size_t i = lo; i < hi; ++i) acc[i] = scratch[i - lo];
+  }
+  // relmore-lint: end-hot-loop
+}

@@ -1,0 +1,102 @@
+#include "relmore/util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using relmore::util::Arena;
+using relmore::util::ArenaScope;
+
+bool aligned64(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % 64 == 0;
+}
+
+TEST(ArenaTest, GrabsAreAlignedAndDisjoint) {
+  Arena arena;
+  const ArenaScope scope(arena);
+  double* a = arena.grab<double>(7);
+  double* b = arena.grab<double>(100);
+  int* c = arena.grab<int>(3);
+  EXPECT_TRUE(aligned64(a));
+  EXPECT_TRUE(aligned64(b));
+  EXPECT_TRUE(aligned64(c));
+  // Writing one block must not disturb another.
+  for (int i = 0; i < 7; ++i) a[i] = 1.0 + i;
+  for (int i = 0; i < 100; ++i) b[i] = -2.0 * i;
+  for (int i = 0; i < 3; ++i) c[i] = 42 + i;
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(a[i], 1.0 + i);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(b[i], -2.0 * i);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(c[i], 42 + i);
+}
+
+TEST(ArenaTest, ScopeRewindReusesMemoryWithoutGrowth) {
+  Arena arena;
+  void* first = nullptr;
+  {
+    const ArenaScope scope(arena);
+    first = arena.grab<double>(512);
+  }
+  const std::size_t after_one = arena.capacity();
+  for (int round = 0; round < 100; ++round) {
+    const ArenaScope scope(arena);
+    void* again = arena.grab<double>(512);
+    EXPECT_EQ(again, first);
+  }
+  EXPECT_EQ(arena.capacity(), after_one);
+}
+
+TEST(ArenaTest, GrowsAcrossSlabsAndKeepsOldBlocksValid) {
+  Arena arena;
+  const ArenaScope scope(arena);
+  // Force several slab growths while holding earlier blocks live.
+  std::vector<double*> blocks;
+  std::vector<std::size_t> sizes;
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t count = std::size_t{4096} << round;
+    double* p = arena.grab<double>(count);
+    for (std::size_t i = 0; i < count; i += 997) p[i] = round + i * 1e-9;
+    blocks.push_back(p);
+    sizes.push_back(count);
+  }
+  for (std::size_t r = 0; r < blocks.size(); ++r) {
+    for (std::size_t i = 0; i < sizes[r]; i += 997) {
+      EXPECT_EQ(blocks[r][i], static_cast<double>(r) + i * 1e-9);
+    }
+  }
+}
+
+TEST(ArenaTest, NestedScopesRewindStackLike) {
+  Arena arena;
+  const ArenaScope outer(arena);
+  double* a = arena.grab<double>(16);
+  a[0] = 5.0;
+  void* inner_first = nullptr;
+  {
+    const ArenaScope inner(arena);
+    inner_first = arena.grab<double>(16);
+  }
+  void* again = arena.grab<double>(16);
+  EXPECT_EQ(again, inner_first);  // inner rewind released only inner grabs
+  EXPECT_EQ(a[0], 5.0);
+}
+
+TEST(ArenaTest, EmptyGrabReturnsNonNull) {
+  Arena arena;
+  const ArenaScope scope(arena);
+  EXPECT_NE(arena.grab<double>(0), nullptr);
+}
+
+TEST(ArenaTest, ThreadArenaIsPerThread) {
+  Arena* main_arena = &relmore::util::thread_arena();
+  Arena* worker_arena = nullptr;
+  std::thread worker([&] { worker_arena = &relmore::util::thread_arena(); });
+  worker.join();
+  EXPECT_NE(main_arena, worker_arena);
+}
+
+}  // namespace

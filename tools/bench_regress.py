@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against a committed baseline and fail on
+regressions.
+
+Both files are arrays of rows as written by bench/json_out.hpp:
+
+    {"bench": ..., "n": ..., "samples": ..., "ns_per_section": ..., "speedup": ...}
+
+Rows are keyed by (bench, n, samples). The compared quantity is the
+*speedup* column — each bench's ratio against its own same-run scalar
+baseline — because absolute ns/section depends on the recording machine
+while the ratio is what the kernels actually promise. A cell regresses
+when
+
+    current_speedup < baseline_speedup * (1 - threshold)
+
+Only keys present in both files are compared (a `--quick` CI run covers
+a subset of the committed full grid); pass --require-all to also fail on
+baseline keys missing from the current run. --current accepts several
+files: each cell takes its best speedup across them, so CI can gate on
+best-of-N quick runs and a single noisy run (CI runners are shared
+machines) cannot fail the build on its own. Exit codes: 0 clean, 1
+regression (or missing keys under --require-all), 2 usage/IO error.
+
+Stdlib only — runs anywhere CI has a python3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Returns {(bench, n, samples): speedup} from a bench JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON array of bench rows")
+    cells = {}
+    for row in data:
+        key = (row["bench"], int(row["n"]), int(row["samples"]))
+        if key in cells:
+            raise ValueError(f"{path}: duplicate row key {key}")
+        cells[key] = float(row["speedup"])
+    return cells
+
+
+def merge_best(cell_maps):
+    """Per-cell best speedup across several runs of the same bench."""
+    merged = {}
+    for cells in cell_maps:
+        for key, speedup in cells.items():
+            if key not in merged or speedup > merged[key]:
+                merged[key] = speedup
+    return merged
+
+
+def compare(baseline, current, threshold, require_all=False):
+    """Returns (regressions, missing): lists of human-readable cell reports.
+
+    `regressions` lists cells whose current speedup fell more than
+    `threshold` (fractional) below the baseline; `missing` lists baseline
+    keys absent from the current run (fatal only under require_all).
+    """
+    regressions = []
+    missing = []
+    for key in sorted(baseline):
+        if key not in current:
+            missing.append(f"{key[0]} @ n={key[1]} S={key[2]}")
+            continue
+        want = baseline[key]
+        got = current[key]
+        if got < want * (1.0 - threshold):
+            regressions.append(
+                f"{key[0]} @ n={key[1]} S={key[2]}: speedup {got:.3g} vs "
+                f"baseline {want:.3g} ({(1.0 - got / want) * 100.0:.1f}% drop, "
+                f"allowed {threshold * 100.0:.0f}%)"
+            )
+    if not require_all:
+        missing = []
+    return regressions, missing
+
+
+def self_test():
+    base = {("k", 255, 256): 4.0, ("k", 1023, 256): 3.0, ("k", 16383, 256): 2.0}
+    # Within threshold: 10% drop on one cell, improvement on another.
+    ok = {("k", 255, 256): 3.6, ("k", 1023, 256): 3.5, ("k", 16383, 256): 2.0}
+    regs, miss = compare(base, ok, 0.15)
+    assert regs == [] and miss == [], (regs, miss)
+    # Beyond threshold: 20% drop must be reported for exactly that cell.
+    bad = dict(ok)
+    bad[("k", 1023, 256)] = 3.0 * 0.8
+    regs, _ = compare(base, bad, 0.15)
+    assert len(regs) == 1 and "n=1023" in regs[0], regs
+    # Boundary: a drop of exactly the threshold is allowed.
+    edge = {k: v * 0.85 for k, v in base.items()}
+    regs, _ = compare(base, edge, 0.15)
+    assert regs == [], regs
+    # Subset runs pass by default, fail under require_all.
+    subset = {("k", 255, 256): 4.0}
+    regs, miss = compare(base, subset, 0.15)
+    assert regs == [] and miss == []
+    _, miss = compare(base, subset, 0.15, require_all=True)
+    assert len(miss) == 2, miss
+    # Extra keys in the current run are fine (grid grew).
+    grown = dict(base)
+    grown[("k", 65535, 256)] = 1.5
+    regs, miss = compare(base, grown, 0.15, require_all=True)
+    assert regs == [] and miss == []
+    # Best-of-N: one noisy run is rescued by a clean sibling; a cell bad
+    # in every run still fails.
+    merged = merge_best([bad, ok])
+    regs, _ = compare(base, merged, 0.15)
+    assert regs == [], regs
+    all_bad = merge_best([bad, dict(bad)])
+    regs, _ = compare(base, all_bad, 0.15)
+    assert len(regs) == 1, regs
+    print("bench_regress: self-test ok")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", help="committed bench JSON (e.g. BENCH_batched.json)")
+    parser.add_argument(
+        "--current",
+        nargs="+",
+        help="freshly produced bench JSON(s); each cell takes its best speedup across them",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="allowed fractional speedup drop per cell (default 0.15)",
+    )
+    parser.add_argument(
+        "--require-all",
+        action="store_true",
+        help="also fail when baseline cells are missing from the current run",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true", help="run the built-in comparator checks and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        self_test()
+        return 0
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required (or use --self-test)")
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error("--threshold must be in [0, 1)")
+
+    try:
+        baseline = load_rows(args.baseline)
+        current = merge_best([load_rows(p) for p in args.current])
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
+        print(f"bench_regress: {err}", file=sys.stderr)
+        return 2
+
+    regressions, missing = compare(baseline, current, args.threshold, args.require_all)
+    compared = sum(1 for k in baseline if k in current)
+    for line in missing:
+        print(f"MISSING   {line}")
+    for line in regressions:
+        print(f"REGRESSED {line}")
+    if regressions or missing:
+        print(
+            f"bench_regress: {len(regressions)} regression(s), {len(missing)} missing "
+            f"cell(s) out of {compared} compared"
+        )
+        return 1
+    print(f"bench_regress: clean ({compared} cells within {args.threshold * 100.0:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
