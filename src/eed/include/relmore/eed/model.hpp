@@ -37,6 +37,7 @@ enum AnalysisFault : std::uint8_t {
   kFaultBadInput = 1,          ///< input R/L/C was NaN, Inf, or negative
   kFaultNonFiniteMoment = 2,   ///< SR/SL/Ctot became NaN or Inf
   kFaultNegativeMoment = 4,    ///< SR/SL/Ctot went negative
+  kFaultNotRun = 8,            ///< sample skipped: deadline/cancel stop
 };
 
 /// Guardrail configuration for analyze(): what to do when a node's moment

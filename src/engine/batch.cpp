@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
@@ -12,6 +13,7 @@
 #include <thread>
 
 #include "relmore/eed/model.hpp"
+#include "relmore/util/fault_injector.hpp"
 
 namespace relmore::engine {
 
@@ -37,10 +39,21 @@ struct BatchAnalyzer::Impl {
   std::exception_ptr first_error;
 
   void drain(const std::function<void(std::size_t)>& fn, std::size_t n) {
+    using util::FaultSite;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
       try {
+        // Injection sites: a slow worker (scheduling jitter, page fault
+        // storm) and a dying worker (OOM-killed thread, stuck syscall
+        // surfacing as an exception). Per task dispatch, outside kernels.
+        if (util::fault_should_fire(FaultSite::kPoolDelay)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        if (util::fault_should_fire(FaultSite::kPoolAbort)) {
+          throw util::FaultError(
+              util::FaultInjector::fire_status(FaultSite::kPoolAbort));
+        }
         fn(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);

@@ -11,6 +11,7 @@
 #include "relmore/engine/batch.hpp"
 #include "relmore/engine/tuner.hpp"
 #include "relmore/util/arena.hpp"
+#include "relmore/util/fault_injector.hpp"
 
 namespace relmore::engine {
 
@@ -472,6 +473,11 @@ void BatchedAnalyzer::set_sample(std::size_t s, const double* resistance,
   ValueScan scan = scan_values(resistance, n);
   scan.merge(scan_values(inductance, n));
   scan.merge(scan_values(capacitance, n));
+  // Injection site: a poisoned value arriving at snapshot fill — folded
+  // into the scan verdict before the policy branch, so it flows through
+  // the exact guards a genuinely bad input would (throw / clamp / flag).
+  const bool inject = util::fault_should_fire(util::FaultSite::kSnapshotNan);
+  if (inject) scan.poison += std::numeric_limits<double>::quiet_NaN();
   if (scan.bad() && policy_ == util::FaultPolicy::kThrow) {
     throw util::FaultError(bad_sample_status("BatchedAnalyzer", s, scan.non_finite()));
   }
@@ -479,6 +485,7 @@ void BatchedAnalyzer::set_sample(std::size_t s, const double* resistance,
   std::memcpy(r_.data() + base, resistance, n * sizeof(double));
   std::memcpy(l_.data() + base, inductance, n * sizeof(double));
   std::memcpy(c_.data() + base, capacitance, n * sizeof(double));
+  if (inject) r_[base] = std::numeric_limits<double>::quiet_NaN();
   input_fault_[s] = 0;
   if (scan.bad()) {
     // Flag-policy slow path: mark the sample; under kClampAndFlag rewrite
@@ -659,6 +666,46 @@ void BatchedAnalyzer::flag_group(BatchedModels& out, std::size_t g, const double
   }
 }
 
+bool BatchedAnalyzer::group_stopped(std::atomic<std::uint8_t>& stop, BatchedModels& out,
+                                    std::size_t g) const {
+  std::uint8_t code = stop.load(std::memory_order_relaxed);
+  if (code == 0) {
+    if (!run_.armed()) return false;
+    const util::ErrorCode c = run_.stop_code();
+    if (c == util::ErrorCode::kOk) return false;
+    // First observer latches the code; a racing observer's verdict only
+    // differs when deadline and cancel trip in the same instant, and
+    // either answer is a truthful stop reason.
+    std::uint8_t expected = 0;
+    stop.compare_exchange_strong(expected, static_cast<std::uint8_t>(c),
+                                 std::memory_order_relaxed);
+  }
+  // Skipped group: flag its real lanes so the caller can tell exactly
+  // which samples never ran. Tasks own disjoint sample ranges, so these
+  // writes race with nothing.
+  for (std::size_t t = 0; t < lane_width_; ++t) {
+    const std::size_t s = g * lane_width_ + t;
+    if (s >= out.samples_) break;
+    out.fault_flags_[s] |= eed::kFaultNotRun;
+  }
+  return true;
+}
+
+void BatchedAnalyzer::finalize_stop(std::atomic<std::uint8_t>& stop, BatchedModels& out,
+                                    const char* entry) const {
+  const std::uint8_t code = stop.load(std::memory_order_relaxed);
+  if (code == 0) return;
+  std::size_t not_run = 0;
+  for (const std::uint8_t f : out.fault_flags_) {
+    not_run += (f & eed::kFaultNotRun) != 0 ? 1u : 0u;
+  }
+  out.stop_status_ = util::Status(
+      static_cast<util::ErrorCode>(code),
+      std::string(entry) + ": stopped early (" + std::to_string(not_run) + " of " +
+          std::to_string(out.samples_) + " samples not run)");
+  if (policy_ == util::FaultPolicy::kThrow) throw util::FaultError(out.stop_status_);
+}
+
 void BatchedAnalyzer::finalize_faults(BatchedModels& out, const char* entry) const {
   std::size_t count = 0;
   for (const std::uint8_t f : out.fault_flags_) count += f != 0 ? 1u : 0u;
@@ -712,12 +759,14 @@ BatchedModels BatchedAnalyzer::analyze_impl(const std::vector<SectionId>& ids, b
   // after the join (finalize_faults), so a faulted lane cannot abandon
   // other groups' results mid-flight.
   const std::size_t scratch_doubles = plan.use_pathwalk ? n * w : 3 * n * w;
+  std::atomic<std::uint8_t> stop{0};
   const auto run_range = [&](std::size_t begin, std::size_t end) {
     util::Arena& arena = util::thread_arena();
     const util::ArenaScope scope(arena);
     double* scratch = arena.grab<double>(scratch_doubles);
     std::size_t* path = plan.use_pathwalk ? arena.grab<std::size_t>(n) : nullptr;
     for (std::size_t g = begin; g < end; ++g) {
+      if (group_stopped(stop, out, g)) continue;
       const double* base_r = r_.data() + g * w * n;
       const double* base_l = l_.data() + g * w * n;
       const double* base_c = c_.data() + g * w * n;
@@ -729,6 +778,7 @@ BatchedModels BatchedAnalyzer::analyze_impl(const std::vector<SectionId>& ids, b
   } else {
     run_range(0, groups_);
   }
+  finalize_stop(stop, out, "BatchedAnalyzer::analyze");
   finalize_faults(out, "BatchedAnalyzer::analyze");
   return out;
 }
@@ -768,6 +818,12 @@ BatchedModels BatchedAnalyzer::analyze_stream(std::size_t samples, const SampleF
         std::memcpy(rows_c + t * n, rows_c, n * sizeof(double));
       }
     }
+    // Injection site: poison one staged value (group's first lane) after
+    // the fill, before validation — the per-lane attribution and policy
+    // handling below treat it exactly like a genuinely bad fill.
+    if (util::fault_should_fire(util::FaultSite::kSnapshotNan)) {
+      rows_r[0] = std::numeric_limits<double>::quiet_NaN();
+    }
     std::uint8_t lane_input[8] = {};
     if (scan_values(staging, 3 * w * n).bad()) {
       // Rare slow path: attribute the fault to specific lanes so healthy
@@ -788,19 +844,24 @@ BatchedModels BatchedAnalyzer::analyze_stream(std::size_t samples, const SampleF
     sweep_group(plan, out, g, rows_r, rows_l, rows_c, scratch, path, lane_input);
   };
   const std::size_t scratch_doubles = plan.use_pathwalk ? n * w : 3 * n * w;
+  std::atomic<std::uint8_t> stop{0};
   const auto run_range = [&](std::size_t begin, std::size_t end) {
     util::Arena& arena = util::thread_arena();
     const util::ArenaScope scope(arena);
     double* staging = arena.grab<double>(3 * w * n);
     double* scratch = arena.grab<double>(scratch_doubles);
     std::size_t* path = plan.use_pathwalk ? arena.grab<std::size_t>(n) : nullptr;
-    for (std::size_t g = begin; g < end; ++g) task(g, staging, scratch, path);
+    for (std::size_t g = begin; g < end; ++g) {
+      if (group_stopped(stop, out, g)) continue;
+      task(g, staging, scratch, path);
+    }
   };
   if (pool != nullptr && groups > 1) {
     pool->parallel_chunks(groups, run_range);
   } else {
     run_range(0, groups);
   }
+  finalize_stop(stop, out, "BatchedAnalyzer::analyze_stream");
   finalize_faults(out, "BatchedAnalyzer::analyze_stream");
   return out;
 }

@@ -60,6 +60,7 @@
 /// kernel's arithmetic, only its inputs (at fill time) and the copied-out
 /// results.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -68,6 +69,7 @@
 #include "relmore/circuit/flat_tree.hpp"
 #include "relmore/circuit/rlc_tree.hpp"
 #include "relmore/eed/model.hpp"
+#include "relmore/util/deadline.hpp"
 #include "relmore/util/diagnostics.hpp"
 
 namespace relmore::engine {
@@ -115,6 +117,15 @@ class BatchedModels {
   /// Indices of every faulted sample, ascending.
   [[nodiscard]] std::vector<std::size_t> faulted_samples() const;
 
+  // --- run control (see set_run_control) ---------------------------------
+
+  /// Non-ok when the analysis stopped early at a deadline/cancellation
+  /// (kDeadlineExceeded / kCancelled). Samples that were not swept carry
+  /// eed::kFaultNotRun in their flags (and count as faulted); every swept
+  /// sample is bitwise-identical to an uninterrupted run.
+  [[nodiscard]] const util::Status& stop_status() const { return stop_status_; }
+  [[nodiscard]] bool stopped() const { return !stop_status_.is_ok(); }
+
  private:
   friend class BatchedAnalyzer;
   [[nodiscard]] std::size_t slot(std::size_t sample, circuit::SectionId id) const;
@@ -128,6 +139,7 @@ class BatchedModels {
   /// Per-sample eed::AnalysisFault bits; empty when every sample is healthy.
   std::vector<std::uint8_t> fault_flags_;
   std::size_t fault_count_ = 0;
+  util::Status stop_status_;  ///< deadline/cancel verdict; ok when ran to completion
 };
 
 /// Same-topology batched analyzer: topology fixed at construction, value
@@ -154,6 +166,17 @@ class BatchedAnalyzer {
   /// at the next analyze.
   void set_fault_policy(util::FaultPolicy policy) { policy_ = policy; }
   [[nodiscard]] util::FaultPolicy fault_policy() const { return policy_; }
+
+  /// Cooperative deadline/cancellation for subsequent analyze calls. The
+  /// sweep polls the control at lane-group boundaries (never inside the
+  /// hot loops): groups swept before the stop was observed are kept and
+  /// stay bitwise-identical to an uninterrupted run; the rest are flagged
+  /// eed::kFaultNotRun. Under kThrow a stop raises util::FaultError with
+  /// kDeadlineExceeded / kCancelled; under the flag policies the result
+  /// comes back with `BatchedModels::stop_status()` set. The caller must
+  /// keep `rc.cancel` (when non-null) alive across the analyze calls.
+  void set_run_control(util::RunControl rc) { run_ = rc; }
+  [[nodiscard]] const util::RunControl& run_control() const { return run_; }
 
   [[nodiscard]] const circuit::FlatTree& topology() const { return topo_; }
   [[nodiscard]] std::size_t sections() const { return topo_.size(); }
@@ -251,6 +274,16 @@ class BatchedAnalyzer {
   /// policy (throw / clamp reported rows), and drops the flag storage
   /// when every sample is healthy.
   void finalize_faults(BatchedModels& out, const char* entry) const;
+  /// Group-boundary run-control poll. Returns true when group `g` must be
+  /// skipped (stop already latched, or this poll trips it — the first
+  /// observer CASes the code into `stop`); skipped groups' samples are
+  /// flagged eed::kFaultNotRun in `out`.
+  [[nodiscard]] bool group_stopped(std::atomic<std::uint8_t>& stop, BatchedModels& out,
+                                   std::size_t g) const;
+  /// Post-join stop resolution: records BatchedModels::stop_status (and
+  /// throws under kThrow) when a deadline/cancel tripped mid-run.
+  void finalize_stop(std::atomic<std::uint8_t>& stop, BatchedModels& out,
+                     const char* entry) const;
 
   circuit::FlatTree topo_;
   std::size_t lane_width_ = kDefaultLaneWidth;
@@ -258,6 +291,7 @@ class BatchedAnalyzer {
   std::size_t groups_ = 0;
   std::size_t tile_rows_ = 0;  ///< explicit downward tile; 0 = auto
   util::FaultPolicy policy_ = util::FaultPolicy::kThrow;
+  util::RunControl run_;       ///< disarmed by default (never stops)
   /// Sample-major values, indexed [sample * sections + section]; rows
   /// samples_..(lane_groups * lane_width) are nominal-valued padding.
   std::vector<double> r_, l_, c_;

@@ -49,6 +49,17 @@ using circuit::SectionId;
 
 namespace {
 
+/// Group/step-boundary run-control poll. A tripped deadline/cancel aborts
+/// the whole batched call (TransientOptions::run_control documents why
+/// the simulator keeps no partial results): the throw unwinds to the pool
+/// join and surfaces as util::FaultError from simulate/first_crossings.
+void throw_if_stopped(const util::RunControl& rc, const char* who) {
+  if (!rc.armed()) return;
+  const util::ErrorCode code = rc.stop_code();
+  if (code == util::ErrorCode::kOk) return;
+  throw util::FaultError(util::Status(code, std::string(who) + ": run stopped"));
+}
+
 /// Pointers into one lane-group's integration state and per-step scratch;
 /// each array holds n·W doubles laid out [section][lane].
 struct GroupState {
@@ -372,6 +383,7 @@ void simulate_group(std::size_t n, const SectionId* parent, const double* r, con
   drain.group = group;
   drain.w = W;
   for (std::size_t step = 1; step <= steps; ++step) {
+    if ((step & 255u) == 0u) throw_if_stopped(opts.run_control, "BatchSimulator::simulate");
     const double t = static_cast<double>(step) * h;
     const bool trap = static_cast<int>(step) > opts.be_startup_steps;
     const GroupFactors& f = trap ? ftr : fbe;
@@ -413,6 +425,9 @@ void crossings_group(std::size_t n, const SectionId* parent, const double* r, co
   std::size_t remaining = live;
   double t_prev = 0.0;
   for (std::size_t step = 1; step <= steps; ++step) {
+    if ((step & 255u) == 0u) {
+      throw_if_stopped(opts.run_control, "BatchSimulator::first_crossings");
+    }
     const double t = static_cast<double>(step) * h;
     const bool trap = static_cast<int>(step) > opts.be_startup_steps;
     const GroupFactors& f = trap ? ftr : fbe;
@@ -663,13 +678,19 @@ BatchTransientResult BatchSimulator::simulate(const TransientOptions& opts,
       util::Arena& arena = util::thread_arena();
       const util::ArenaScope scope(arena);
       double* ws = arena.grab<double>(ws_size);
-      for (std::size_t g = begin; g < end; ++g) run_one(g, ws);
+      for (std::size_t g = begin; g < end; ++g) {
+        throw_if_stopped(opts.run_control, "BatchSimulator::simulate");
+        run_one(g, ws);
+      }
     });
   } else {
     util::Arena& arena = util::thread_arena();
     const util::ArenaScope scope(arena);
     double* ws = arena.grab<double>(ws_size);
-    for (std::size_t g = 0; g < groups_; ++g) run_one(g, ws);
+    for (std::size_t g = 0; g < groups_; ++g) {
+      throw_if_stopped(opts.run_control, "BatchSimulator::simulate");
+      run_one(g, ws);
+    }
   }
   return out;
 }
@@ -725,13 +746,19 @@ std::vector<double> BatchSimulator::first_crossings(const TransientOptions& opts
       util::Arena& arena = util::thread_arena();
       const util::ArenaScope scope(arena);
       double* ws = arena.grab<double>(ws_size);
-      for (std::size_t g = begin; g < end; ++g) run_one(g, ws);
+      for (std::size_t g = begin; g < end; ++g) {
+        throw_if_stopped(opts.run_control, "BatchSimulator::first_crossings");
+        run_one(g, ws);
+      }
     });
   } else {
     util::Arena& arena = util::thread_arena();
     const util::ArenaScope scope(arena);
     double* ws = arena.grab<double>(ws_size);
-    for (std::size_t g = 0; g < groups_; ++g) run_one(g, ws);
+    for (std::size_t g = 0; g < groups_; ++g) {
+      throw_if_stopped(opts.run_control, "BatchSimulator::first_crossings");
+      run_one(g, ws);
+    }
   }
   return out;
 }

@@ -16,6 +16,7 @@
 #include "relmore/circuit/rlc_tree.hpp"
 #include "relmore/sim/source.hpp"
 #include "relmore/sim/waveform.hpp"
+#include "relmore/util/deadline.hpp"
 
 namespace relmore::sim {
 
@@ -29,6 +30,15 @@ struct TransientOptions {
   /// and store traffic scale with the probe count rather than the tree
   /// size. The simulated voltages are identical either way.
   std::vector<circuit::SectionId> probes;
+  /// Cooperative deadline/cancellation, honored by sim::BatchSimulator
+  /// (polled at lane-group boundaries and every 256 steps, outside the
+  /// hot loops). A tripped control aborts the whole call with
+  /// util::FaultError carrying kDeadlineExceeded / kCancelled — transient
+  /// waveforms have no per-run partial-result story (a half-integrated
+  /// run is not a usable waveform), unlike the analysis-side engines.
+  /// The scalar single-tree paths ignore it. The caller keeps
+  /// `run_control.cancel` (when non-null) alive for the call's duration.
+  util::RunControl run_control;
 };
 
 /// Node voltages sampled at every timestep for the recorded sections.

@@ -1,6 +1,10 @@
 #include "relmore/sta/corpus.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <exception>
 #include <map>
+#include <thread>
 #include <utility>
 
 #include "relmore/engine/batch.hpp"
@@ -25,10 +29,8 @@ FaultPolicy phase_policy(FaultPolicy requested) {
 /// Extracts the tap-node models of one net from a full TreeModel.
 void fill_from_model(const Net& net, const eed::TreeModel& model, NetModels& out) {
   out.taps.resize(net.taps.size());
-  bool any_tap_fault = false;
   for (std::size_t t = 0; t < net.taps.size(); ++t) {
     out.taps[t] = model.at(net.taps[t].node);
-    any_tap_fault = any_tap_fault || model.faulted(net.taps[t].node);
   }
   // A fault anywhere in the tree poisons root-path sums; flag the net even
   // when no tap node carries a flag bit itself.
@@ -38,7 +40,37 @@ void fill_from_model(const Net& net, const eed::TreeModel& model, NetModels& out
                         "net has " + std::to_string(model.fault_count) + " faulted node(s)")
                      .with_net(net.name);
   }
-  (void)any_tap_fault;
+}
+
+/// Sorts a phase exception into the degradation ladder's two bins.
+/// Returns true for *transient* failures worth retrying — resource
+/// exhaustion (allocation failed under pressure) and injected pool
+/// faults. Everything else (data faults, logic errors) is final:
+/// rerunning a pure function on the same bits cannot heal it.
+bool classify_exception(const std::exception_ptr& ep, Status* status) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const util::FaultError& e) {
+    *status = e.status();
+    return e.code() == ErrorCode::kInjectedFault || e.code() == ErrorCode::kResourceExhausted;
+  } catch (const std::bad_alloc&) {
+    *status = Status(ErrorCode::kResourceExhausted, "workspace allocation failed");
+    return true;
+  } catch (const std::exception& e) {
+    *status = Status(ErrorCode::kInvalidArgument, e.what());
+    return false;
+  } catch (...) {
+    *status = Status(ErrorCode::kInvalidArgument, "unknown exception in analysis phase");
+    return false;
+  }
+}
+
+/// Capped exponential backoff before retry `attempt` (1-based): 1, 2,
+/// then 4 ms flat. Transient pressure needs breathing room; a corpus pass
+/// must not stall for long either.
+void backoff(std::size_t attempt) {
+  const std::size_t shift = attempt < 3 ? attempt - 1 : 2;
+  std::this_thread::sleep_for(std::chrono::milliseconds(std::size_t{1} << shift));
 }
 
 }  // namespace
@@ -52,9 +84,26 @@ Result<CorpusModels> analyze_corpus_checked(const Design& design, const AnalyzeO
     return Status(ErrorCode::kInvalidArgument, "analyze_corpus: lane width must be 1, 2, 4, or 8");
   }
   const FaultPolicy policy = phase_policy(options.fault_policy);
+  const std::size_t attempts = options.max_attempts == 0 ? 1 : options.max_attempts;
+  const util::RunControl rc{options.deadline, options.cancel};
   const std::size_t n_nets = design.nets.size();
   CorpusModels out;
   out.nets.resize(n_nets);
+
+  // Stop latch: the first task/phase that observes a tripped deadline or
+  // cancellation CASes the code in; everyone else reads the latch (one
+  // relaxed load) instead of re-deriving a possibly different verdict.
+  std::atomic<std::uint8_t> stop{0};
+  const auto corpus_stopped = [&]() -> bool {
+    if (stop.load(std::memory_order_relaxed) != 0) return true;
+    if (!rc.armed()) return false;
+    const ErrorCode code = rc.stop_code();
+    if (code == ErrorCode::kOk) return false;
+    std::uint8_t expected = 0;
+    stop.compare_exchange_strong(expected, static_cast<std::uint8_t>(code),
+                                 std::memory_order_relaxed);
+    return true;
+  };
 
   // --- bin nets: topology groups vs scalar singles -------------------------
   // Exact parent-vector keying: only structurally identical trees share a
@@ -84,24 +133,86 @@ Result<CorpusModels> analyze_corpus_checked(const Design& design, const AnalyzeO
 
   engine::BatchAnalyzer pool(options.threads);
 
-  // --- scalar path: one net per task, slot-per-net writes ------------------
+  // --- scalar ladder: rounds of one-net tasks, retrying transients ---------
+  // A round leaves a net's slot either decided (analyzed and/or faulted)
+  // or untouched — a task killed by a transient (its exception surfaces at
+  // the join) or skipped at a stop writes nothing, so "still undecided"
+  // is exactly the retry set. Quarantine is the ladder's floor: a net
+  // still failing after the budget is marked faulted with the last
+  // transient's status and poisons only its own timing cone.
   const eed::AnalyzeOptions scalar_opts{policy};
-  pool.parallel_for(scalar_nets.size(), [&](std::size_t k) {
-    const int ni = scalar_nets[k];
-    const Net& net = design.nets[static_cast<std::size_t>(ni)];
-    NetModels& slot = out.nets[static_cast<std::size_t>(ni)];
-    Result<eed::TreeModel> model = eed::analyze_checked(net.flat, scalar_opts);
-    if (!model.is_ok()) {
-      slot.faulted = true;
-      slot.status = model.status().with_net(net.name);
-      return;
+  const auto scalar_round = [&](const std::vector<int>& pending) -> std::exception_ptr {
+    try {
+      pool.parallel_for(pending.size(), [&](std::size_t k) {
+        if (corpus_stopped()) return;
+        const auto ni = static_cast<std::size_t>(pending[k]);
+        const Net& net = design.nets[ni];
+        NetModels& slot = out.nets[ni];
+        Result<eed::TreeModel> model = eed::analyze_checked(net.flat, scalar_opts);
+        if (!model.is_ok()) {
+          slot.faulted = true;
+          slot.status = model.status().with_net(net.name);
+          return;
+        }
+        fill_from_model(net, model.value(), slot);
+        slot.analyzed = true;
+      });
+    } catch (...) {
+      return std::current_exception();
     }
-    fill_from_model(net, model.value(), slot);
-  });
+    return nullptr;
+  };
+  const auto quarantine = [&](const std::vector<int>& nets, const Status& why) {
+    for (const int ni : nets) {
+      NetModels& slot = out.nets[static_cast<std::size_t>(ni)];
+      slot.faulted = true;
+      slot.status = why.with_net(design.nets[static_cast<std::size_t>(ni)].name);
+      ++out.quarantined_nets;
+    }
+  };
+  const auto scalar_ladder = [&](std::vector<int> pending, const char* phase_name) {
+    Status last;
+    bool transient_seen = false;
+    for (std::size_t attempt = 1; attempt <= attempts && !pending.empty(); ++attempt) {
+      if (corpus_stopped()) return;
+      if (attempt > 1) backoff(attempt - 1);
+      const std::exception_ptr ep = scalar_round(pending);
+      std::vector<int> next;
+      for (const int ni : pending) {
+        const NetModels& slot = out.nets[static_cast<std::size_t>(ni)];
+        if (!slot.analyzed && !slot.faulted) next.push_back(ni);
+      }
+      if (ep != nullptr) {
+        Status st;
+        const bool retry = classify_exception(ep, &st);
+        util::Diagnostic d;
+        d.code = st.code();
+        d.warning = true;
+        d.message = std::string(phase_name) + ": " + st.message() +
+                    (retry && attempt < attempts ? " (retrying)" : "");
+        out.diagnostics.add(std::move(d));
+        if (!retry) {
+          quarantine(next, st);
+          return;
+        }
+        last = st;
+        transient_seen = true;
+      }
+      pending = std::move(next);
+    }
+    if (!pending.empty() && !corpus_stopped()) {
+      quarantine(pending, transient_seen
+                              ? last
+                              : Status(ErrorCode::kResourceExhausted,
+                                       "net analysis did not complete"));
+    }
+  };
+
+  scalar_ladder(scalar_nets, "scalar phase");
 
   // --- batched path: one AoSoA lane per net of a topology group ------------
-  for (const std::vector<int>* group : batched_groups) {
-    const Net& first = design.nets[static_cast<std::size_t>(group->front())];
+  const auto run_group = [&](const std::vector<int>& group) {
+    const Net& first = design.nets[static_cast<std::size_t>(group.front())];
     // Default execution plan comes from the kernel tuner, sized to this
     // group's (sections, nets) shape; an explicit options.lane_width wins
     // and leaves tile selection to the analyzer. Neither choice changes
@@ -110,7 +221,7 @@ Result<CorpusModels> analyze_corpus_checked(const Design& design, const AnalyzeO
     std::size_t tile_rows = 0;
     if (width == 0) {
       const engine::KernelPlan plan =
-          engine::KernelTuner::instance().analysis_plan(first.flat.size(), group->size());
+          engine::KernelTuner::instance().analysis_plan(first.flat.size(), group.size());
       width = plan.lane_width;
       tile_rows = plan.tile_rows;
     }
@@ -119,19 +230,20 @@ Result<CorpusModels> analyze_corpus_checked(const Design& design, const AnalyzeO
     if (!batch_r.is_ok()) {
       // Topology rejected (e.g. validate limits): every member degrades to
       // the scalar verdict rather than silently vanishing.
-      for (const int ni : *group) {
+      for (const int ni : group) {
         NetModels& slot = out.nets[static_cast<std::size_t>(ni)];
         slot.faulted = true;
         slot.status = batch_r.status().with_net(design.nets[static_cast<std::size_t>(ni)].name);
       }
-      continue;
+      return;
     }
     engine::BatchedAnalyzer batch = std::move(batch_r).value();
     batch.set_fault_policy(policy);
     batch.set_tile_rows(tile_rows);
-    batch.resize(group->size());
-    pool.parallel_for(group->size(), [&](std::size_t s) {
-      const Net& net = design.nets[static_cast<std::size_t>((*group)[s])];
+    batch.set_run_control(rc);
+    batch.resize(group.size());
+    pool.parallel_for(group.size(), [&](std::size_t s) {
+      const Net& net = design.nets[static_cast<std::size_t>(group[s])];
       batch.set_sample(s, net.flat.resistance().data(), net.flat.inductance().data(),
                        net.flat.capacitance().data());
     });
@@ -140,7 +252,7 @@ Result<CorpusModels> analyze_corpus_checked(const Design& design, const AnalyzeO
     // wire topology matches).
     std::vector<SectionId> ids;
     std::vector<char> seen(first.flat.size(), 0);
-    for (const int ni : *group) {
+    for (const int ni : group) {
       for (const Net::Tap& tap : design.nets[static_cast<std::size_t>(ni)].taps) {
         if (!seen[static_cast<std::size_t>(tap.node)]) {
           seen[static_cast<std::size_t>(tap.node)] = 1;
@@ -151,11 +263,13 @@ Result<CorpusModels> analyze_corpus_checked(const Design& design, const AnalyzeO
     if (ids.empty()) ids.push_back(static_cast<SectionId>(first.flat.size() - 1));
 
     const engine::BatchedModels models = batch.analyze_nodes(ids, &pool);
-    for (std::size_t s = 0; s < group->size(); ++s) {
-      const int ni = (*group)[s];
+    for (std::size_t s = 0; s < group.size(); ++s) {
+      const int ni = group[s];
       const Net& net = design.nets[static_cast<std::size_t>(ni)];
       NetModels& slot = out.nets[static_cast<std::size_t>(ni)];
-      if (models.faulted(s)) {
+      const std::uint8_t flags = models.fault_flags(s);
+      if ((flags & eed::kFaultNotRun) != 0) continue;  // stop: stays undecided
+      if (flags != 0) {
         slot.faulted = true;
         slot.status = Status(ErrorCode::kNonFiniteMoment, "net faulted in batched analysis")
                           .with_net(net.name);
@@ -165,18 +279,92 @@ Result<CorpusModels> analyze_corpus_checked(const Design& design, const AnalyzeO
       for (std::size_t t = 0; t < net.taps.size(); ++t) {
         slot.taps[t] = models.node(s, net.taps[t].node);
       }
+      slot.analyzed = true;
       ++out.batched_nets;
+    }
+  };
+
+  // Group ladder: retry the whole group on transients (no slot was
+  // written — the throw happens before the result loop), then degrade the
+  // group to the scalar ladder. Falling back costs the AoSoA speedup for
+  // those nets but keeps their bits identical: scalar analysis is the
+  // contract both paths reproduce.
+  for (const std::vector<int>* group : batched_groups) {
+    if (corpus_stopped()) break;
+    bool done = false;
+    for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
+      if (corpus_stopped()) break;
+      if (attempt > 1) backoff(attempt - 1);
+      try {
+        run_group(*group);
+        done = true;
+        break;
+      } catch (...) {
+        Status st;
+        const bool retry = classify_exception(std::current_exception(), &st);
+        util::Diagnostic d;
+        d.code = st.code();
+        d.warning = true;
+        d.message = "batched group: " + st.message() +
+                    (retry && attempt < attempts ? " (retrying)" : " (falling back to scalar)");
+        out.diagnostics.add(std::move(d));
+        if (!retry) break;
+      }
+    }
+    if (!done && !corpus_stopped()) {
+      out.fallback_nets += group->size();
+      util::Diagnostic d;
+      d.code = ErrorCode::kResourceExhausted;
+      d.warning = true;
+      d.message = "topology group of " + std::to_string(group->size()) +
+                  " nets fell back to scalar analysis";
+      out.diagnostics.add(std::move(d));
+      scalar_ladder(*group, "batched fallback");
     }
   }
 
-  // --- join: apply the requested policy ------------------------------------
-  for (const NetModels& slot : out.nets) {
-    if (slot.faulted) ++out.faulted_nets;
-  }
-  if (options.fault_policy == FaultPolicy::kThrow && out.faulted_nets > 0) {
-    for (const NetModels& slot : out.nets) {
-      if (slot.faulted) return slot.status;  // first faulted net, by index
+  // --- join: count verdicts, surface the stop, apply the caller policy -----
+  for (std::size_t ni = 0; ni < n_nets; ++ni) {
+    const NetModels& slot = out.nets[ni];
+    if (slot.faulted) {
+      ++out.faulted_nets;
+      util::Diagnostic d;
+      d.code = slot.status.code();
+      d.net = design.nets[ni].name;
+      d.message = slot.status.message();
+      out.diagnostics.add(std::move(d));
+    } else if (!slot.analyzed) {
+      ++out.incomplete_nets;
     }
+  }
+  // An undecided slot means some phase observed the stop — but the observer
+  // may have been the batched analyzer itself (its kFaultNotRun samples),
+  // with no corpus-level poll afterwards. Re-derive so the latch agrees:
+  // deadlines and cancellations are sticky, so this reproduces the verdict.
+  if (out.incomplete_nets > 0) (void)corpus_stopped();
+  if (const std::uint8_t code = stop.load(std::memory_order_relaxed); code != 0) {
+    const auto ec = static_cast<ErrorCode>(code);
+    out.stop_status = Status(ec, ec == ErrorCode::kCancelled
+                                     ? "corpus analysis cancelled"
+                                     : "corpus analysis deadline exceeded");
+    for (std::size_t ni = 0; ni < n_nets; ++ni) {
+      const NetModels& slot = out.nets[ni];
+      if (slot.faulted || slot.analyzed) continue;
+      util::Diagnostic d;
+      d.code = ec;
+      d.net = design.nets[ni].name;
+      d.warning = true;
+      d.message = "net not analyzed before the run stopped";
+      out.diagnostics.add(std::move(d));
+    }
+  }
+  if (options.fault_policy == FaultPolicy::kThrow) {
+    if (out.faulted_nets > 0) {
+      for (const NetModels& slot : out.nets) {
+        if (slot.faulted) return slot.status;  // first faulted net, by index
+      }
+    }
+    if (!out.stop_status.is_ok()) return out.stop_status;
   }
   return out;
 }

@@ -3,9 +3,11 @@
 #include <istream>
 #include <map>
 #include <sstream>
+#include <unordered_set>
 #include <utility>
 
 #include "relmore/circuit/netlist.hpp"
+#include "relmore/util/fault_injector.hpp"
 
 namespace relmore::sta {
 
@@ -147,7 +149,17 @@ namespace {
 void finalize_design(Design& design, const std::vector<RawInst>& raw_insts,
                      const std::vector<RawPort>& raw_ports, Findings& findings) {
   // --- resolve instances -------------------------------------------------
+  // Instance and port names must be unique: find_port / path reports
+  // resolve by name, and a silent duplicate would make every later query
+  // answer for whichever one happened to come first.
+  std::unordered_set<std::string> inst_names;
+  std::unordered_set<std::string> port_names;
   for (const RawInst& ri : raw_insts) {
+    if (!inst_names.insert(ri.name).second) {
+      findings.error(ErrorCode::kDuplicateName, "duplicate instance '" + ri.name + "'", ri.line,
+                     ri.name);
+      continue;
+    }
     Instance inst;
     inst.name = ri.name;
     inst.cell = design.library.find(ri.cell);
@@ -209,6 +221,11 @@ void finalize_design(Design& design, const std::vector<RawInst>& raw_insts,
 
   // --- resolve ports -----------------------------------------------------
   for (const RawPort& rp : raw_ports) {
+    if (!port_names.insert(rp.name).second) {
+      findings.error(ErrorCode::kDuplicateName, "duplicate port '" + rp.name + "'", rp.line,
+                     rp.name);
+      continue;
+    }
     DesignPort port;
     port.name = rp.name;
     port.is_input = rp.is_input;
@@ -348,6 +365,13 @@ Result<Design> read_design_checked(std::istream& is, CellLibrary base,
   constexpr std::size_t kMaxDesignSections = 4u << 20;  // 4M sections across all nets
   while (std::getline(is, line)) {
     ++line_no;
+    // Injected truncation behaves like the stream ending mid-design: stop
+    // reading and report it, so downstream validation sees a short design
+    // with a named diagnostic rather than a silent one.
+    if (util::fault_should_fire(util::FaultSite::kParseTruncate)) {
+      findings.error(ErrorCode::kParseError, "input truncated (injected fault)", line_no);
+      break;
+    }
     const std::vector<std::string> tok = tokenize(line);
     if (tok.empty() || tok[0][0] == '#') continue;
     const std::string& kw = tok[0];

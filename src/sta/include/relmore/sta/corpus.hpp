@@ -18,23 +18,54 @@
 /// applied at the join: kThrow surfaces the first faulted net (by net
 /// index) as a Status naming it, the flag policies leave the net marked
 /// (NetModels::faulted + status) and every healthy net fully analyzed.
+///
+/// Degradation ladder (docs/robustness.md): *transient* failures —
+/// workspace allocation (std::bad_alloc -> kResourceExhausted) and
+/// injected pool faults (kInjectedFault) — are retried with capped
+/// exponential backoff; a topology group whose batched attempts keep
+/// failing falls back to the scalar path per member net; a net that still
+/// fails after the scalar retries is quarantined (faulted, per-net
+/// status), poisoning only its own timing cone. *Data* faults (bad
+/// values, non-finite moments) are never retried — rerunning a pure
+/// function on the same bits cannot heal them. Because every net's result
+/// is a pure function of its tree, retries and fallbacks never change a
+/// healthy net's bits.
+///
+/// Deadlines/cancellation: `AnalyzeOptions::deadline` / `cancel` are
+/// polled between nets and lane groups (and inside the batched engine at
+/// group boundaries). On a stop, every net completed so far is kept —
+/// bitwise-identical to an uninterrupted run — and each unfinished net is
+/// reported by name as a warning in `CorpusModels::diagnostics`
+/// (NetModels::analyzed stays false); `CorpusModels::stop_status` carries
+/// kDeadlineExceeded / kCancelled. Under FaultPolicy::kThrow a stop is
+/// returned as the call's failing Status instead.
 
 #include <cstddef>
 #include <vector>
 
 #include "relmore/eed/model.hpp"
 #include "relmore/sta/design.hpp"
+#include "relmore/util/deadline.hpp"
 #include "relmore/util/diagnostics.hpp"
 
 namespace relmore::sta {
 
 /// Execution + fault knobs for corpus analysis. The execution half
-/// (threads/lane_width/min_group) never changes a single output bit.
+/// (threads/lane_width/min_group/retries/deadline) never changes a single
+/// output bit of any net that completes.
 struct AnalyzeOptions {
   unsigned threads = 0;         ///< engine::BatchAnalyzer workers (0 = default)
   std::size_t lane_width = 0;   ///< lane width 1/2/4/8 (0 = engine::KernelTuner's pick)
   std::size_t min_group = 4;    ///< smallest topology group worth batching
   util::FaultPolicy fault_policy = util::FaultPolicy::kSkipAndFlag;
+  /// Degradation-ladder retry budget for *transient* faults (allocation
+  /// failure, injected pool faults): total attempts per phase/group/net,
+  /// with capped exponential backoff between attempts. Minimum 1.
+  std::size_t max_attempts = 3;
+  /// Cooperative run control, polled between nets and lane groups. The
+  /// caller keeps `cancel` (when non-null) alive for the call's duration.
+  util::Deadline deadline;
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Moment models of one net, at its tap nodes only (the timing graph
@@ -42,6 +73,7 @@ struct AnalyzeOptions {
 /// most of the corpus' memory for no reader).
 struct NetModels {
   std::vector<eed::NodeModel> taps;  ///< parallel to Net::taps
+  bool analyzed = false;  ///< taps hold real results (false: faulted or not run)
   bool faulted = false;
   util::Status status;               ///< why, when faulted
 };
@@ -50,12 +82,23 @@ struct NetModels {
 struct CorpusModels {
   std::vector<NetModels> nets;
   std::size_t faulted_nets = 0;
-  std::size_t batched_nets = 0;  ///< nets that ran through AoSoA lanes
+  std::size_t batched_nets = 0;      ///< nets that ran through AoSoA lanes
+  std::size_t incomplete_nets = 0;   ///< not analyzed: deadline/cancel stop
+  std::size_t fallback_nets = 0;     ///< degraded batched -> scalar
+  std::size_t quarantined_nets = 0;  ///< faulted after exhausting transient retries
+  /// Non-ok when the run stopped at a deadline/cancellation; completed
+  /// nets are kept and bitwise-identical to an uninterrupted run.
+  util::Status stop_status;
+  /// Per-name record of everything that went wrong: one error per faulted
+  /// net, one warning per incomplete net, one warning per recovered
+  /// transient (retry, batched->scalar fallback).
+  util::DiagnosticsReport diagnostics;
 };
 
 /// Analyzes every net of `design`. Returns a Status only for caller
-/// errors (empty design) or under FaultPolicy::kThrow when a net faulted;
-/// under the flag policies per-net failures are isolated in the result.
+/// errors (empty design), under FaultPolicy::kThrow when a net faulted or
+/// the run was stopped; under the flag policies per-net failures are
+/// isolated in the result and a stop comes back as stop_status.
 [[nodiscard]] util::Result<CorpusModels> analyze_corpus_checked(const Design& design,
                                                                const AnalyzeOptions& options = {});
 

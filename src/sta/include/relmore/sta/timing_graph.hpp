@@ -51,7 +51,7 @@ struct NetTiming {
   PointTiming driver;
   std::vector<PointTiming> taps;    ///< parallel to Net::taps
   std::vector<double> wire_delay;   ///< driver -> tap stage delay, per tap
-  bool faulted = false;             ///< moments unavailable (skipped net)
+  bool faulted = false;             ///< moments unavailable (faulted or not run)
 };
 
 /// One endpoint's summary row.
@@ -74,6 +74,7 @@ struct TimingSummary {
   std::size_t untimed_endpoints = 0;  ///< endpoints in a faulted fanout cone
   std::size_t faulted_nets = 0;
   std::size_t batched_nets = 0;       ///< corpus nets analyzed on AoSoA lanes
+  std::size_t incomplete_nets = 0;    ///< corpus nets not analyzed: deadline/cancel
   std::vector<EndpointSlack> endpoints_by_slack;  ///< ascending slack
 };
 
@@ -82,6 +83,14 @@ struct TimingResult {
   TimingSummary summary;
   std::vector<NetTiming> nets;       ///< indexed like Design::nets
   std::vector<int> winning_input;    ///< per instance: arrival-setting pin, -1 = none
+  /// Non-ok when corpus analysis stopped at a deadline/cancellation
+  /// (kDeadlineExceeded / kCancelled). Completed cones are still timed
+  /// bitwise-identically to an uninterrupted run; nets the stop left
+  /// unanalyzed are treated like faulted nets (their cones untimed).
+  util::Status stop_status;
+  /// Corpus-phase record: per-name errors for faulted nets, warnings for
+  /// incomplete nets and recovered transients (see corpus.hpp).
+  util::DiagnosticsReport diagnostics;
 };
 
 /// One point of a reported path, launch to endpoint.

@@ -52,7 +52,11 @@ class Timer {
   [[nodiscard]] util::Status load(sta::Design design);
 
   /// Times the loaded design; caches and returns the summary. `options`
-  /// tunes execution only — results are bitwise-independent of it.
+  /// tunes execution only — results are bitwise-independent of it. An
+  /// analysis stopped by `options.deadline` / `options.cancel` is kept
+  /// queryable (completed cones are exact) but is NOT treated as cached:
+  /// the next analyze()/query re-runs it, so a transient deadline never
+  /// pins a partial result for the Timer's lifetime.
   [[nodiscard]] util::Result<sta::TimingSummary> analyze(const sta::AnalyzeOptions& options = {});
 
   /// Slack of endpoint (output port) `endpoint`, timing the design first

@@ -44,7 +44,9 @@ Result<sta::TimingSummary> Timer::analyze(const sta::AnalyzeOptions& options) {
 }
 
 Status Timer::ensure_analyzed() {
-  if (result_.has_value()) return Status::ok();
+  // A deadline/cancel-stopped result is queryable but not a valid cache:
+  // re-analyze so a transient stop never pins partial timing forever.
+  if (result_.has_value() && result_->stop_status.is_ok()) return Status::ok();
   Result<sta::TimingSummary> summary = analyze(options_);
   return summary.is_ok() ? Status::ok() : summary.status();
 }

@@ -70,7 +70,11 @@ Result<TimingResult> TimingGraph::analyze_checked(const AnalyzeOptions& options)
     NetTiming& nt = result.nets[static_cast<std::size_t>(ni)];
     nt.taps.resize(net.taps.size());
     nt.wire_delay.assign(net.taps.size(), 0.0);
-    nt.faulted = corpus.nets[static_cast<std::size_t>(ni)].faulted;
+    // A net the corpus never reached (deadline/cancel stop) is untimed
+    // exactly like a faulted one: its cone degrades, everything else keeps
+    // its uninterrupted-run bits.
+    const NetModels& net_models = corpus.nets[static_cast<std::size_t>(ni)];
+    nt.faulted = net_models.faulted || !net_models.analyzed;
     nt.driver.required = kInf;
     for (PointTiming& tap : nt.taps) tap.required = kInf;
 
@@ -164,6 +168,9 @@ Result<TimingResult> TimingGraph::analyze_checked(const AnalyzeOptions& options)
   TimingSummary& summary = result.summary;
   summary.faulted_nets = corpus.faulted_nets;
   summary.batched_nets = corpus.batched_nets;
+  summary.incomplete_nets = corpus.incomplete_nets;
+  result.stop_status = corpus.stop_status;
+  result.diagnostics = corpus.diagnostics;
   for (std::size_t pi = 0; pi < design.ports.size(); ++pi) {
     const DesignPort& port = design.ports[pi];
     if (port.is_input) continue;
@@ -353,8 +360,11 @@ std::string format_summary(const TimingSummary& summary) {
   os << "endpoints: " << summary.endpoints << " (" << summary.constrained_endpoints
      << " constrained, " << summary.untimed_endpoints << " untimed)\n"
      << "WNS: " << ps(summary.wns) << " ps   TNS: " << ps(summary.tns) << " ps\n"
-     << "nets faulted: " << summary.faulted_nets << "   nets batched: " << summary.batched_nets
-     << "\n";
+     << "nets faulted: " << summary.faulted_nets << "   nets batched: " << summary.batched_nets;
+  if (summary.incomplete_nets > 0) {
+    os << "   nets incomplete: " << summary.incomplete_nets;
+  }
+  os << "\n";
   return os.str();
 }
 

@@ -21,6 +21,10 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kInvalidArgument: return "invalid-argument";
     case ErrorCode::kPrunedSection: return "pruned-section";
     case ErrorCode::kTransactionState: return "transaction-state";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kResourceExhausted: return "resource-exhausted";
+    case ErrorCode::kInjectedFault: return "injected-fault";
   }
   return "unknown";
 }

@@ -32,6 +32,8 @@
 #include <new>
 #include <vector>
 
+#include "relmore/util/fault_injector.hpp"
+
 namespace relmore::util {
 
 /// Grow-by-slab bump allocator. Memory is released only by rewinding (via
@@ -81,6 +83,10 @@ class Arena {
   };
 
   [[nodiscard]] void* grab_bytes(std::size_t bytes) {
+    // Injection site: workspace allocation failure. Grabs happen once per
+    // lane-group chunk (outside the R3 hot-loop regions), so the disarmed
+    // cost is one relaxed load per chunk, not per node.
+    if (fault_should_fire(FaultSite::kArenaAlloc)) throw std::bad_alloc{};
     bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
     if (bytes == 0) bytes = kAlign;  // distinct non-null blocks for empty grabs
     // Advance through retained slabs before growing: after a rewind the

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file deadline.hpp
+/// Cooperative run control for long-running engine work: a steady-clock
+/// `Deadline`, a thread-safe `CancelToken`, and the `RunControl` pair the
+/// engines carry through their options structs.
+///
+/// Both primitives are *cooperative*: nothing is interrupted mid-kernel.
+/// The batched engines poll `RunControl::stop_code()` at their natural
+/// chunk boundaries (lane-group / tile-batch granularity — never inside
+/// the R3 hot-loop regions), finish or skip whole units of work, and
+/// surface `ErrorCode::kDeadlineExceeded` / `kCancelled` with
+/// well-defined partial-result semantics: every unit completed before the
+/// stop was observed is kept and bitwise-identical to an uninterrupted
+/// run, every unit not started is reported incomplete.
+///
+/// A default-constructed Deadline never expires and a null CancelToken
+/// never cancels, so the disarmed path costs one branch per chunk.
+
+#include <atomic>
+#include <chrono>
+
+#include "relmore/util/diagnostics.hpp"
+
+namespace relmore::util {
+
+/// Absolute steady-clock expiry. Copyable value type; a default
+/// constructed Deadline is "none" and never expires.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+  explicit Deadline(Clock::time_point at) : at_(at), armed_(true) {}
+
+  /// Deadline `budget` from now ("finish within 50 ms").
+  [[nodiscard]] static Deadline after(Clock::duration budget) {
+    return Deadline(Clock::now() + budget);
+  }
+  /// The never-expiring deadline (same as default construction).
+  [[nodiscard]] static Deadline none() { return Deadline{}; }
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] bool expired() const { return armed_ && Clock::now() >= at_; }
+  [[nodiscard]] Clock::time_point time_point() const { return at_; }
+
+ private:
+  Clock::time_point at_{};
+  bool armed_ = false;
+};
+
+/// Cooperative cancellation flag. One writer calls `cancel()`, any number
+/// of workers poll `cancelled()`; the flag is latched (never reset) so a
+/// late poll can't resurrect cancelled work. Shared by pointer — the
+/// caller owns the token and must keep it alive for the duration of every
+/// run it was handed to.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// The (deadline, cancel) pair the engine options carry. Checked together
+/// at chunk boundaries; cancellation wins when both have tripped (it is
+/// the more deliberate signal).
+struct RunControl {
+  Deadline deadline;
+  const CancelToken* cancel = nullptr;
+
+  [[nodiscard]] bool armed() const {
+    return deadline.armed() || cancel != nullptr;
+  }
+
+  /// kOk while the run may continue, else kCancelled / kDeadlineExceeded.
+  [[nodiscard]] ErrorCode stop_code() const {
+    if (cancel != nullptr && cancel->cancelled()) return ErrorCode::kCancelled;
+    if (deadline.expired()) return ErrorCode::kDeadlineExceeded;
+    return ErrorCode::kOk;
+  }
+
+  /// Status form of `stop_code()` with a uniform message, for surfacing
+  /// through Result/DiagnosticsReport paths.
+  [[nodiscard]] Status stop_status() const {
+    switch (stop_code()) {
+      case ErrorCode::kCancelled:
+        return Status(ErrorCode::kCancelled, "run cancelled by caller");
+      case ErrorCode::kDeadlineExceeded:
+        return Status(ErrorCode::kDeadlineExceeded, "deadline exceeded");
+      default:
+        return Status::ok();
+    }
+  }
+};
+
+}  // namespace relmore::util

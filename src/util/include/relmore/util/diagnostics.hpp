@@ -50,6 +50,12 @@ enum class ErrorCode : std::uint8_t {
   kInvalidArgument,       ///< generic bad call argument
   kPrunedSection,         ///< edit/query on a tombstoned section
   kTransactionState,      ///< begin/commit/rollback out of order
+  // --- run control (util::Deadline / util::CancelToken) -------------------
+  kDeadlineExceeded,      ///< work stopped at a steady-clock deadline
+  kCancelled,             ///< work stopped by a cooperative CancelToken
+  // --- resource / injected failures --------------------------------------
+  kResourceExhausted,     ///< allocation (arena/workspace) failure
+  kInjectedFault,         ///< deterministic util::FaultInjector fire
 };
 
 /// Short stable name of a code ("non-finite-value", ...).

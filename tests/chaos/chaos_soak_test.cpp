@@ -1,0 +1,397 @@
+// Chaos soak (PR 9): corpus analysis under seeded randomized schedules of
+// concurrent cancellation, tight deadlines, and deterministic fault
+// injection, across thread counts and lane widths. Each schedule is a
+// pure function of its seed, so a failure reproduces from the seed alone.
+//
+// Invariants asserted on every schedule:
+//   * no crash and no hang (a watchdog thread aborts with a message if a
+//     schedule stops making progress);
+//   * every injected throwing fault is surfaced exactly once in
+//     CorpusModels::diagnostics (fire counts are exact: throwing sites
+//     are armed with limit=1 and never together, so pool first-error
+//     coalescing cannot eat one);
+//   * every net that completed healthy is bitwise-identical to the
+//     fault-free baseline — retries, fallbacks, deadlines, cancellation
+//     and lane-width choices never change a finished net's bits;
+//   * partial-result bookkeeping is consistent: incomplete nets imply a
+//     non-ok stop_status and are each named in diagnostics; no stop
+//     implies every net reached a verdict.
+//
+// Runtime knobs (CI): RELMORE_CHAOS_SEEDS overrides the schedule count,
+// RELMORE_CHAOS_SECONDS caps wall time (the soak stops early, never
+// fails, when the budget runs out).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "relmore/sta/corpus.hpp"
+#include "relmore/sta/design.hpp"
+#include "relmore/sta/synthetic.hpp"
+#include "relmore/sta/timing_graph.hpp"
+#include "relmore/util/deadline.hpp"
+#include "relmore/util/diagnostics.hpp"
+#include "relmore/util/fault_injector.hpp"
+
+namespace sta = relmore::sta;
+namespace ru = relmore::util;
+
+using ru::ErrorCode;
+using ru::FaultInjector;
+using ru::FaultSite;
+
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+/// Aborts the process with a message when the soak stops making progress
+/// — a hang must fail the CI job loudly, not time out silently.
+class Watchdog {
+ public:
+  explicit Watchdog(std::chrono::seconds stall_limit)
+      : stall_limit_(stall_limit), thread_([this] { run(); }) {}
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+  void pet() { progress_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  void run() {
+    std::uint64_t last = progress_.load(std::memory_order_relaxed);
+    auto last_change = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!cv_.wait_for(lock, std::chrono::seconds(1), [this] { return done_; })) {
+      const std::uint64_t cur = progress_.load(std::memory_order_relaxed);
+      if (cur != last) {
+        last = cur;
+        last_change = std::chrono::steady_clock::now();
+        continue;
+      }
+      if (std::chrono::steady_clock::now() - last_change > stall_limit_) {
+        std::fprintf(stderr, "chaos watchdog: no progress after schedule %llu — aborting\n",
+                     static_cast<unsigned long long>(last));
+        std::abort();
+      }
+    }
+  }
+
+  std::chrono::seconds stall_limit_;
+  std::atomic<std::uint64_t> progress_{0};
+  std::mutex mutex_;
+  bool done_ = false;
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+struct InjectorGuard {
+  InjectorGuard() { FaultInjector::instance().disarm_all(); }
+  ~InjectorGuard() { FaultInjector::instance().disarm_all(); }
+};
+
+/// One seeded schedule: execution shape, run control, and armed faults —
+/// all derived from the seed.
+struct Schedule {
+  unsigned threads;
+  std::size_t lane_width;
+  bool with_delay;          ///< pool-delay armed (non-throwing)
+  bool with_nan;            ///< snapshot-nan armed, limit=1 (data fault)
+  int throwing_site;        ///< 0 none, 1 pool-abort, 2 arena-alloc (limit=1)
+  std::uint64_t every;      ///< phase period for the limited sites
+  int cancel_after_us;      ///< <0: no cancel thread
+  int deadline_kind;        ///< 0 none, 1 generous, 2 tiny
+  int deadline_us;          ///< tiny-deadline budget
+
+  static Schedule from_seed(std::uint64_t seed) {
+    const std::uint64_t a = splitmix64(seed);
+    const std::uint64_t b = splitmix64(a);
+    const std::uint64_t c = splitmix64(b);
+    Schedule s;
+    const unsigned thread_choices[] = {1, 2, 4, 8};
+    const std::size_t width_choices[] = {0, 1, 2, 4, 8};
+    s.threads = thread_choices[a % 4];
+    s.lane_width = width_choices[(a >> 8) % 5];
+    s.with_delay = ((a >> 16) & 3) == 0;  // 1 in 4: each fire sleeps 2 ms
+    s.with_nan = ((a >> 24) & 1) != 0;
+    s.throwing_site = static_cast<int>((b >> 4) % 3);
+    s.every = 1 + ((b >> 16) % 4);
+    s.cancel_after_us = ((b >> 32) & 1) != 0 ? static_cast<int>(c % 2000) : -1;
+    s.deadline_kind = static_cast<int>((c >> 16) % 3);
+    s.deadline_us = static_cast<int>((c >> 24) % 500);
+    return s;
+  }
+
+  [[nodiscard]] std::string arm_string() const {
+    std::ostringstream os;
+    const char* sep = "";
+    if (with_delay) {
+      os << "pool-delay:every=16";
+      sep = ",";
+    }
+    if (with_nan) {
+      os << sep << "snapshot-nan:every=" << every << ":limit=1";
+      sep = ",";
+    }
+    if (throwing_site == 1) {
+      os << sep << "pool-abort:every=" << every << ":limit=1";
+    } else if (throwing_site == 2) {
+      os << sep << "arena-alloc:every=" << every << ":limit=1";
+    }
+    return os.str();
+  }
+};
+
+sta::Design chaos_design() {
+  sta::SyntheticSpec spec;
+  spec.nets = 24;
+  spec.topo_classes = 4;
+  spec.chain_depth = 3;
+  spec.seed = 7;
+  auto design = sta::make_synthetic_design_checked(spec);
+  EXPECT_TRUE(design.is_ok()) << design.status().message();
+  return std::move(design).value();
+}
+
+std::size_t count_if_diag(const ru::DiagnosticsReport& report,
+                          const std::function<bool(const ru::Diagnostic&)>& pred) {
+  std::size_t n = 0;
+  for (const ru::Diagnostic& d : report.entries()) {
+    if (pred(d)) ++n;
+  }
+  return n;
+}
+
+TEST(ChaosSoak, SeededSchedulesNeverCrashHangOrCorrupt) {
+  InjectorGuard guard;
+  const sta::Design design = chaos_design();
+
+  // Fault-free baseline: the bits every healthy net must reproduce.
+  sta::AnalyzeOptions base_options;
+  base_options.threads = 2;
+  const auto baseline_r = sta::analyze_corpus_checked(design, base_options);
+  ASSERT_TRUE(baseline_r.is_ok()) << baseline_r.status().message();
+  const sta::CorpusModels& baseline = baseline_r.value();
+  ASSERT_EQ(baseline.faulted_nets, 0u);
+
+  const std::size_t seeds = env_size("RELMORE_CHAOS_SEEDS", 200);
+  const std::size_t budget_s = env_size("RELMORE_CHAOS_SECONDS", 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  Watchdog watchdog(std::chrono::seconds(60));
+
+  std::size_t ran = 0;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    if (budget_s != 0 &&
+        std::chrono::steady_clock::now() - t0 > std::chrono::seconds(budget_s)) {
+      break;  // soft time budget (CI soak): stop early, never fail
+    }
+    const std::uint64_t seed = 0xc4a05'0000ULL + i;
+    const Schedule sched = Schedule::from_seed(seed);
+    SCOPED_TRACE("schedule seed " + std::to_string(seed));
+
+    FaultInjector::instance().disarm_all();
+    const std::string arm = sched.arm_string();
+    if (!arm.empty()) {
+      ASSERT_TRUE(FaultInjector::instance().arm_spec(arm).is_ok()) << arm;
+    }
+
+    sta::AnalyzeOptions options;
+    options.threads = sched.threads;
+    options.lane_width = sched.lane_width;
+    options.max_attempts = 3;
+    ru::CancelToken token;
+    if (sched.cancel_after_us >= 0) options.cancel = &token;
+    if (sched.deadline_kind == 1) {
+      options.deadline = ru::Deadline::after(std::chrono::hours(1));
+    } else if (sched.deadline_kind == 2) {
+      options.deadline = ru::Deadline::after(std::chrono::microseconds(sched.deadline_us));
+    }
+
+    std::thread canceller;
+    if (sched.cancel_after_us >= 0) {
+      canceller = std::thread([&token, delay = sched.cancel_after_us] {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay));
+        token.cancel();
+      });
+    }
+
+    const auto result = sta::analyze_corpus_checked(design, options);
+    if (canceller.joinable()) canceller.join();
+    watchdog.pet();
+    ++ran;
+
+    ASSERT_TRUE(result.is_ok()) << result.status().message();
+    const sta::CorpusModels& models = result.value();
+    const std::uint64_t abort_fires = FaultInjector::instance().fire_count(FaultSite::kPoolAbort);
+    const std::uint64_t arena_fires = FaultInjector::instance().fire_count(FaultSite::kArenaAlloc);
+    const std::uint64_t nan_fires = FaultInjector::instance().fire_count(FaultSite::kSnapshotNan);
+
+    // Healthy nets: bitwise-identical to the fault-free baseline.
+    ASSERT_EQ(models.nets.size(), baseline.nets.size());
+    for (std::size_t ni = 0; ni < models.nets.size(); ++ni) {
+      const sta::NetModels& got = models.nets[ni];
+      if (!got.analyzed || got.faulted) continue;
+      const sta::NetModels& want = baseline.nets[ni];
+      ASSERT_EQ(got.taps.size(), want.taps.size());
+      for (std::size_t t = 0; t < got.taps.size(); ++t) {
+        ASSERT_EQ(bits(got.taps[t].sum_rc), bits(want.taps[t].sum_rc))
+            << design.nets[ni].name << " tap " << t;
+        ASSERT_EQ(bits(got.taps[t].sum_lc), bits(want.taps[t].sum_lc))
+            << design.nets[ni].name << " tap " << t;
+        ASSERT_EQ(bits(got.taps[t].zeta), bits(want.taps[t].zeta))
+            << design.nets[ni].name << " tap " << t;
+      }
+    }
+
+    // Partial-result bookkeeping.
+    std::size_t incomplete = 0;
+    for (const sta::NetModels& slot : models.nets) {
+      if (!slot.analyzed && !slot.faulted) ++incomplete;
+    }
+    EXPECT_EQ(incomplete, models.incomplete_nets);
+    if (models.incomplete_nets > 0) {
+      EXPECT_FALSE(models.stop_status.is_ok());
+      const ErrorCode code = models.stop_status.code();
+      EXPECT_TRUE(code == ErrorCode::kCancelled || code == ErrorCode::kDeadlineExceeded);
+      const std::size_t named = count_if_diag(models.diagnostics, [&](const ru::Diagnostic& d) {
+        return d.warning && d.code == code && !d.net.empty();
+      });
+      EXPECT_EQ(named, models.incomplete_nets);
+    } else if (models.stop_status.is_ok()) {
+      // No stop: every net reached a verdict, and only injected data
+      // faults (snapshot NaNs) may have failed nets — throwing sites are
+      // limit=1 and always retried away within the attempt budget. A
+      // retry triggered by a throwing fault can legitimately *heal* a
+      // poisoned snapshot (the refill injects nothing, the NaN budget is
+      // spent), so with a throwing site armed the bound is one-sided.
+      if (sched.throwing_site == 0) {
+        EXPECT_EQ(models.faulted_nets, nan_fires);
+      } else {
+        EXPECT_LE(models.faulted_nets, nan_fires);
+      }
+      EXPECT_EQ(models.quarantined_nets, 0u);
+    }
+
+    // Exactly-once surfacing of injected throwing faults.
+    const std::size_t abort_diags = count_if_diag(models.diagnostics, [](const ru::Diagnostic& d) {
+      return d.code == ErrorCode::kInjectedFault;
+    });
+    EXPECT_EQ(abort_diags, abort_fires) << "pool-abort fires vs diagnostics";
+    const std::size_t arena_diags = count_if_diag(models.diagnostics, [](const ru::Diagnostic& d) {
+      return d.warning && d.message.find("workspace allocation failed") != std::string::npos;
+    });
+    EXPECT_EQ(arena_diags, arena_fires) << "arena-alloc fires vs diagnostics";
+    // A snapshot NaN that reached a verdict is an error diagnostic naming
+    // its net (a stop may instead leave that net incomplete).
+    if (models.stop_status.is_ok() && nan_fires > 0) {
+      const std::size_t poisoned = count_if_diag(models.diagnostics, [](const ru::Diagnostic& d) {
+        return !d.warning && !d.net.empty();
+      });
+      EXPECT_EQ(poisoned, models.faulted_nets);
+    }
+  }
+  FaultInjector::instance().disarm_all();
+  std::fprintf(stderr, "chaos soak: %zu schedule(s) ran\n", ran);
+  EXPECT_GT(ran, 0u);
+}
+
+TEST(ChaosSoak, ParseTruncationSurfacesAsNamedDiagnostic) {
+  InjectorGuard guard;
+  sta::SyntheticSpec spec;
+  spec.nets = 8;
+  spec.topo_classes = 2;
+  spec.chain_depth = 2;
+  const std::string text = sta::make_synthetic_design_text(spec);
+
+  // Fires on the 3rd reader line: the deck ends mid-design.
+  ASSERT_TRUE(FaultInjector::instance().arm_spec("parse-truncate:every=3:seed=0:limit=1").is_ok());
+  std::istringstream is(text);
+  ru::DiagnosticsReport report;
+  const auto r = sta::read_design_checked(is, sta::generic_library(), &report);
+  EXPECT_EQ(FaultInjector::instance().fire_count(FaultSite::kParseTruncate), 1u);
+  ASSERT_FALSE(r.is_ok());
+  bool surfaced = false;
+  for (const ru::Diagnostic& d : report.entries()) {
+    if (d.code == ErrorCode::kParseError &&
+        d.message.find("input truncated (injected fault)") != std::string::npos) {
+      surfaced = true;
+    }
+  }
+  EXPECT_TRUE(surfaced) << report.to_string();
+
+  // Disarmed, the same deck parses clean.
+  FaultInjector::instance().disarm_all();
+  std::istringstream again(text);
+  const auto clean = sta::read_design_checked(again, sta::generic_library());
+  EXPECT_TRUE(clean.is_ok()) << clean.status().message();
+}
+
+TEST(ChaosSoak, WnsBitwiseStableAcrossRecoveredFaults) {
+  InjectorGuard guard;
+  const sta::Design design = chaos_design();
+  const auto graph = sta::TimingGraph::build_checked(design);
+  ASSERT_TRUE(graph.is_ok());
+
+  sta::AnalyzeOptions options;
+  options.threads = 2;
+  const auto clean = graph.value().analyze_checked(options);
+  ASSERT_TRUE(clean.is_ok());
+  const sta::TimingSummary& want = clean.value().summary;
+  ASSERT_EQ(want.faulted_nets, 0u);
+
+  // A retried pool abort and a slow worker must not move a single bit of
+  // WNS/TNS or any endpoint slack.
+  for (unsigned threads : {1u, 4u}) {
+    ASSERT_TRUE(
+        FaultInjector::instance().arm_spec("pool-abort:every=2:limit=1,pool-delay:every=32")
+            .is_ok());
+    sta::AnalyzeOptions faulty;
+    faulty.threads = threads;
+    const auto got_r = graph.value().analyze_checked(faulty);
+    FaultInjector::instance().disarm_all();
+    ASSERT_TRUE(got_r.is_ok());
+    const sta::TimingSummary& got = got_r.value().summary;
+    EXPECT_EQ(got.faulted_nets, 0u);
+    EXPECT_EQ(got.incomplete_nets, 0u);
+    EXPECT_EQ(bits(got.wns), bits(want.wns));
+    EXPECT_EQ(bits(got.tns), bits(want.tns));
+    ASSERT_EQ(got.endpoints_by_slack.size(), want.endpoints_by_slack.size());
+    for (std::size_t e = 0; e < got.endpoints_by_slack.size(); ++e) {
+      EXPECT_EQ(got.endpoints_by_slack[e].port, want.endpoints_by_slack[e].port);
+      EXPECT_EQ(bits(got.endpoints_by_slack[e].slack), bits(want.endpoints_by_slack[e].slack));
+    }
+  }
+}
+
+}  // namespace

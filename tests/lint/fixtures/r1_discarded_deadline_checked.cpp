@@ -1,0 +1,17 @@
+// relmore-lint: fixture
+// Seeded R1 violation against the deadline-aware corpus API: the
+// Result<CorpusModels> from analyze_corpus_checked is dropped at
+// statement level, so a kDeadlineExceeded / kCancelled stop (and every
+// per-net fault) silently vanishes. relmore-lint must exit nonzero.
+// Lexed, never compiled — it only has to look like the real call sites.
+
+namespace relmore::sta {
+struct Design;
+struct AnalyzeOptions;
+}
+
+void time_with_budget(const relmore::sta::Design& design,
+                      const relmore::sta::AnalyzeOptions& options) {
+  // BAD: a deadline stop has nowhere to surface once the Result is gone.
+  relmore::sta::analyze_corpus_checked(design, options);
+}

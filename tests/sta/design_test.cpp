@@ -167,6 +167,34 @@ TEST(ReadDesign, DuplicateNetRejected) {
   EXPECT_EQ(r.status().net(), "a");
 }
 
+TEST(ReadDesign, DuplicateInstanceRejected) {
+  // Two instances named u0: previously accepted silently, with every
+  // by-name lookup answering for whichever parsed first.
+  util::Result<Design> r = parse(
+      "net a\nsection s0 - R=1 L=0 C=1f\nend\n"
+      "net b\nsection s0 - R=1 L=0 C=1f\nend\n"
+      "net c\nsection s0 - R=1 L=0 C=1f\nend\n"
+      "inst u0 buf_x1 b a:s0\n"
+      "inst u0 buf_x1 c a:s0\n"
+      "input i a\noutput o b:s0\noutput p c:s0\n");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kDuplicateName);
+  EXPECT_EQ(r.status().net(), "u0");
+  EXPECT_NE(r.status().message().find("duplicate instance"), std::string::npos);
+}
+
+TEST(ReadDesign, DuplicatePortRejected) {
+  util::Result<Design> r = parse(
+      "net a\nsection s0 - R=1 L=0 C=1f\nend\n"
+      "net b\nsection s0 - R=1 L=0 C=1f\nend\n"
+      "inst u0 buf_x1 b a:s0\n"
+      "input i a\noutput o b:s0\noutput o a:s0\n");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kDuplicateName);
+  EXPECT_EQ(r.status().net(), "o");
+  EXPECT_NE(r.status().message().find("duplicate port"), std::string::npos);
+}
+
 TEST(ReadDesign, DoubleDrivenNetRejected) {
   util::Result<Design> r = parse(
       "net a\nsection s0 - R=1 L=0 C=1f\nend\n"

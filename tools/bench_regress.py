@@ -32,19 +32,38 @@ import json
 import sys
 
 
+def parse_rows(data, path):
+    """Returns {(bench, n, samples): speedup} from decoded bench JSON.
+
+    Malformed rows raise ValueError naming the row and the field — a
+    truncated or hand-edited baseline must fail with a usable message,
+    not a KeyError traceback.
+    """
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON array of bench rows")
+    cells = {}
+    for i, row in enumerate(data):
+        if not isinstance(row, dict):
+            raise ValueError(f"{path}: row {i} is not an object")
+        for field in ("bench", "n", "samples", "speedup"):
+            if field not in row:
+                raise ValueError(f"{path}: row {i} is missing field '{field}'")
+        try:
+            key = (row["bench"], int(row["n"]), int(row["samples"]))
+            speedup = float(row["speedup"])
+        except (TypeError, ValueError) as err:
+            raise ValueError(f"{path}: row {i} has a non-numeric field: {err}") from None
+        if key in cells:
+            raise ValueError(f"{path}: duplicate row key {key}")
+        cells[key] = speedup
+    return cells
+
+
 def load_rows(path):
     """Returns {(bench, n, samples): speedup} from a bench JSON file."""
     with open(path, "r", encoding="utf-8") as fh:
         data = json.load(fh)
-    if not isinstance(data, list):
-        raise ValueError(f"{path}: expected a JSON array of bench rows")
-    cells = {}
-    for row in data:
-        key = (row["bench"], int(row["n"]), int(row["samples"]))
-        if key in cells:
-            raise ValueError(f"{path}: duplicate row key {key}")
-        cells[key] = float(row["speedup"])
-    return cells
+    return parse_rows(data, path)
 
 
 def merge_best(cell_maps):
@@ -62,10 +81,15 @@ def compare(baseline, current, threshold, require_all=False):
 
     `regressions` lists cells whose current speedup fell more than
     `threshold` (fractional) below the baseline; `missing` lists baseline
-    keys absent from the current run (fatal only under require_all).
+    keys absent from the current run (fatal only under require_all);
+    `extra` names current cells with no baseline (informational: the grid
+    grew, or a bench was renamed — never a traceback, never fatal).
     """
     regressions = []
     missing = []
+    extra = [
+        f"{key[0]} @ n={key[1]} S={key[2]}" for key in sorted(current) if key not in baseline
+    ]
     for key in sorted(baseline):
         if key not in current:
             missing.append(f"{key[0]} @ n={key[1]} S={key[2]}")
@@ -80,43 +104,60 @@ def compare(baseline, current, threshold, require_all=False):
             )
     if not require_all:
         missing = []
-    return regressions, missing
+    return regressions, missing, extra
 
 
 def self_test():
     base = {("k", 255, 256): 4.0, ("k", 1023, 256): 3.0, ("k", 16383, 256): 2.0}
     # Within threshold: 10% drop on one cell, improvement on another.
     ok = {("k", 255, 256): 3.6, ("k", 1023, 256): 3.5, ("k", 16383, 256): 2.0}
-    regs, miss = compare(base, ok, 0.15)
+    regs, miss, _ = compare(base, ok, 0.15)
     assert regs == [] and miss == [], (regs, miss)
     # Beyond threshold: 20% drop must be reported for exactly that cell.
     bad = dict(ok)
     bad[("k", 1023, 256)] = 3.0 * 0.8
-    regs, _ = compare(base, bad, 0.15)
+    regs, _, _ = compare(base, bad, 0.15)
     assert len(regs) == 1 and "n=1023" in regs[0], regs
     # Boundary: a drop of exactly the threshold is allowed.
     edge = {k: v * 0.85 for k, v in base.items()}
-    regs, _ = compare(base, edge, 0.15)
+    regs, _, _ = compare(base, edge, 0.15)
     assert regs == [], regs
     # Subset runs pass by default, fail under require_all.
     subset = {("k", 255, 256): 4.0}
-    regs, miss = compare(base, subset, 0.15)
+    regs, miss, _ = compare(base, subset, 0.15)
     assert regs == [] and miss == []
-    _, miss = compare(base, subset, 0.15, require_all=True)
+    _, miss, _ = compare(base, subset, 0.15, require_all=True)
     assert len(miss) == 2, miss
-    # Extra keys in the current run are fine (grid grew).
+    # Extra keys in the current run never fail, but are named.
     grown = dict(base)
     grown[("k", 65535, 256)] = 1.5
-    regs, miss = compare(base, grown, 0.15, require_all=True)
+    regs, miss, extra = compare(base, grown, 0.15, require_all=True)
     assert regs == [] and miss == []
+    assert extra == ["k @ n=65535 S=256"], extra
     # Best-of-N: one noisy run is rescued by a clean sibling; a cell bad
     # in every run still fails.
     merged = merge_best([bad, ok])
-    regs, _ = compare(base, merged, 0.15)
+    regs, _, _ = compare(base, merged, 0.15)
     assert regs == [], regs
     all_bad = merge_best([bad, dict(bad)])
-    regs, _ = compare(base, all_bad, 0.15)
+    regs, _, _ = compare(base, all_bad, 0.15)
     assert len(regs) == 1, regs
+    # Malformed rows fail with the row index and field named, no KeyError.
+    try:
+        parse_rows([{"bench": "k", "n": 255, "samples": 256}], "f.json")
+        raise AssertionError("missing field accepted")
+    except ValueError as err:
+        assert "row 0" in str(err) and "'speedup'" in str(err), err
+    try:
+        parse_rows([{"bench": "k", "n": "x", "samples": 256, "speedup": 2.0}], "f.json")
+        raise AssertionError("non-numeric field accepted")
+    except ValueError as err:
+        assert "row 0" in str(err) and "non-numeric" in str(err), err
+    try:
+        parse_rows(["not-a-row"], "f.json")
+        raise AssertionError("non-object row accepted")
+    except ValueError as err:
+        assert "row 0 is not an object" in str(err), err
     print("bench_regress: self-test ok")
 
 
@@ -159,8 +200,10 @@ def main(argv):
         print(f"bench_regress: {err}", file=sys.stderr)
         return 2
 
-    regressions, missing = compare(baseline, current, args.threshold, args.require_all)
+    regressions, missing, extra = compare(baseline, current, args.threshold, args.require_all)
     compared = sum(1 for k in baseline if k in current)
+    for line in extra:
+        print(f"EXTRA     {line}  (no baseline cell; not compared)")
     for line in missing:
         print(f"MISSING   {line}")
     for line in regressions:
