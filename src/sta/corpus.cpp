@@ -75,6 +75,41 @@ void backoff(std::size_t attempt) {
 
 }  // namespace
 
+const NetModels* CorpusCache::find(std::size_t net_index, std::uint64_t epoch,
+                                   std::uint64_t fingerprint) {
+  if (net_index < slots_.size()) {
+    const Slot& slot = slots_[net_index];
+    if (slot.valid && slot.epoch == epoch && slot.fingerprint == fingerprint) {
+      ++counters_.hits;
+      return &slot.models;
+    }
+  }
+  ++counters_.misses;
+  return nullptr;
+}
+
+void CorpusCache::store(std::size_t net_index, std::uint64_t epoch, std::uint64_t fingerprint,
+                        NetModels models) {
+  if (net_index >= slots_.size()) slots_.resize(net_index + 1);
+  Slot& slot = slots_[net_index];
+  slot.valid = true;
+  slot.epoch = epoch;
+  slot.fingerprint = fingerprint;
+  slot.models = std::move(models);
+  ++counters_.stores;
+}
+
+void CorpusCache::clear() {
+  slots_.clear();
+  counters_ = Counters{};
+}
+
+std::uint64_t options_fingerprint(const AnalyzeOptions& options) {
+  // Phase policy is the only knob that could steer the result today, and
+  // normalization folds kThrow into kSkipAndFlag; see the header comment.
+  return 0x51a0'0000ULL + static_cast<std::uint64_t>(phase_policy(options.fault_policy));
+}
+
 Result<CorpusModels> analyze_corpus_checked(const Design& design, const AnalyzeOptions& options) {
   if (design.nets.empty()) {
     return Status(ErrorCode::kEmptyTree, "analyze_corpus: design has no nets");
@@ -105,12 +140,34 @@ Result<CorpusModels> analyze_corpus_checked(const Design& design, const AnalyzeO
     return true;
   };
 
+  // --- cache probe: serve epoch-matched nets without scheduling them -------
+  // A hit copies the stored verdict and removes the net from both the
+  // scalar and batched bins below, so an untouched same-topology group
+  // skips its batched kernel entirely. Only healthy decided verdicts are
+  // ever stored (see CorpusCache), so a hit is exactly the bits an
+  // uncached run would produce.
+  const std::uint64_t fingerprint = options_fingerprint(options);
+  std::vector<char> cached(n_nets, 0);
+  if (options.cache != nullptr) {
+    for (std::size_t ni = 0; ni < n_nets; ++ni) {
+      const NetModels* slot = options.cache->find(ni, design.nets[ni].epoch, fingerprint);
+      if (slot != nullptr) {
+        out.nets[ni] = *slot;
+        cached[ni] = 1;
+        ++out.cache_hits;
+      } else {
+        ++out.cache_misses;
+      }
+    }
+  }
+
   // --- bin nets: topology groups vs scalar singles -------------------------
   // Exact parent-vector keying: only structurally identical trees share a
   // batched kernel (values are per-lane). std::map keeps group iteration
   // order deterministic.
   std::map<std::vector<SectionId>, std::vector<int>> groups;
   for (std::size_t ni = 0; ni < n_nets; ++ni) {
+    if (cached[ni] != 0) continue;
     if (design.nets[ni].flat.empty()) {
       out.nets[ni].faulted = true;
       out.nets[ni].status =
@@ -357,6 +414,25 @@ Result<CorpusModels> analyze_corpus_checked(const Design& design, const AnalyzeO
       d.message = "net not analyzed before the run stopped";
       out.diagnostics.add(std::move(d));
     }
+  }
+  // Fill the cache from this run's healthy verdicts (sequentially — the
+  // parallel phases are over), and surface the hit/miss counts where a
+  // report reader can see them.
+  if (options.cache != nullptr) {
+    for (std::size_t ni = 0; ni < n_nets; ++ni) {
+      const NetModels& slot = out.nets[ni];
+      if (cached[ni] != 0 || !slot.analyzed || slot.faulted) continue;
+      options.cache->store(ni, design.nets[ni].epoch, fingerprint, slot);
+    }
+    const CorpusCache::Counters& totals = options.cache->counters();
+    util::Diagnostic d;
+    d.code = ErrorCode::kOk;
+    d.warning = true;
+    d.message = "corpus cache: " + std::to_string(out.cache_hits) + " hit(s), " +
+                std::to_string(out.cache_misses) + " miss(es) this run (lifetime " +
+                std::to_string(totals.hits) + "/" + std::to_string(totals.hits + totals.misses) +
+                ")";
+    out.diagnostics.add(std::move(d));
   }
   if (options.fault_policy == FaultPolicy::kThrow) {
     if (out.faulted_nets > 0) {

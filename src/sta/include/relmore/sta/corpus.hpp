@@ -41,6 +41,7 @@
 /// returned as the call's failing Status instead.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "relmore/eed/model.hpp"
@@ -49,6 +50,8 @@
 #include "relmore/util/diagnostics.hpp"
 
 namespace relmore::sta {
+
+class CorpusCache;
 
 /// Execution + fault knobs for corpus analysis. The execution half
 /// (threads/lane_width/min_group/retries/deadline) never changes a single
@@ -66,6 +69,14 @@ struct AnalyzeOptions {
   /// caller keeps `cancel` (when non-null) alive for the call's duration.
   util::Deadline deadline;
   const util::CancelToken* cancel = nullptr;
+  /// Optional per-net analysis cache (relmore::Timer plugs its own in).
+  /// A net whose (epoch, options fingerprint) matches its cached slot
+  /// skips the scalar/batched kernels entirely — bitwise-safe because a
+  /// net's models are a pure function of its tree bits, and Design bumps
+  /// the net epoch on every re-finalize/edit. The caller keeps the cache
+  /// alive for the call's duration; not thread-safe (one analysis at a
+  /// time per cache, the Timer discipline).
+  CorpusCache* cache = nullptr;
 };
 
 /// Moment models of one net, at its tap nodes only (the timing graph
@@ -86,6 +97,8 @@ struct CorpusModels {
   std::size_t incomplete_nets = 0;   ///< not analyzed: deadline/cancel stop
   std::size_t fallback_nets = 0;     ///< degraded batched -> scalar
   std::size_t quarantined_nets = 0;  ///< faulted after exhausting transient retries
+  std::size_t cache_hits = 0;        ///< nets served from AnalyzeOptions::cache
+  std::size_t cache_misses = 0;      ///< nets the cache could not serve
   /// Non-ok when the run stopped at a deadline/cancellation; completed
   /// nets are kept and bitwise-identical to an uninterrupted run.
   util::Status stop_status;
@@ -94,6 +107,62 @@ struct CorpusModels {
   /// transient (retry, batched->scalar fallback).
   util::DiagnosticsReport diagnostics;
 };
+
+/// Persistent per-net model store keyed by (net epoch, options
+/// fingerprint). Only *decided, healthy* verdicts are cached — faulted
+/// and stop-interrupted nets are recomputed every run, so a transient
+/// failure can never be pinned by the cache. Epoch keying makes
+/// invalidation free: Design::epoch (stamped into Net::epoch) moves on
+/// every finalize/edit, so a stale slot simply stops matching.
+///
+/// Not thread-safe: one analysis/edit at a time per cache (the
+/// relmore::Timer discipline; analyze_corpus_checked touches it only from
+/// the calling thread).
+class CorpusCache {
+ public:
+  /// Lifetime totals, on top of the per-run counts in CorpusModels.
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+  };
+
+  /// The cached models of net `net_index`, or nullptr when the slot is
+  /// empty or keyed to a different (epoch, fingerprint). Counts one hit
+  /// or miss.
+  [[nodiscard]] const NetModels* find(std::size_t net_index, std::uint64_t epoch,
+                                      std::uint64_t fingerprint);
+
+  /// Stores (replaces) net `net_index`'s slot. Only analyzed, unfaulted
+  /// models should be stored; faulted/undecided slots must stay
+  /// recomputable (see class comment).
+  void store(std::size_t net_index, std::uint64_t epoch, std::uint64_t fingerprint,
+             NetModels models);
+
+  void clear();
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    std::uint64_t epoch = 0;
+    std::uint64_t fingerprint = 0;
+    NetModels models;
+  };
+  std::vector<Slot> slots_;
+  Counters counters_;
+};
+
+/// The cache key half derived from `options`. Only knobs that can change
+/// an output bit participate — execution knobs (threads, lane width,
+/// tiling, retries, deadlines) never do. The phase fault policy does
+/// (kClampAndFlag rewrites degenerate moments), so it keys the slot after
+/// kThrow-normalization: kThrow and kSkipAndFlag share a fingerprint (the
+/// phase runs them identically), kClampAndFlag gets its own. Kept
+/// explicit so a future bit-changing option widens the key instead of
+/// poisoning slots.
+[[nodiscard]] std::uint64_t options_fingerprint(const AnalyzeOptions& options);
 
 /// Analyzes every net of `design`. Returns a Status only for caller
 /// errors (empty design), under FaultPolicy::kThrow when a net faulted or

@@ -16,7 +16,9 @@
 /// which is *bilinear*, so bilinear interpolation reproduces it exactly at
 /// every in-range query point — the property the golden STA test leans on.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,13 @@ class TimingTable {
   /// Empty table (lookup returns 0); exists so Cell is an aggregate.
   /// Build real tables via create_checked.
   TimingTable() = default;
+  // The bracket hint is atomic (deleting the implicit copies), so the
+  // value semantics Cell relies on are spelled out; copies carry the
+  // hint along — it is only a probable-hit accelerator either way.
+  TimingTable(const TimingTable& other);
+  TimingTable& operator=(const TimingTable& other);
+  TimingTable(TimingTable&& other) noexcept;
+  TimingTable& operator=(TimingTable&& other) noexcept;
   /// Validates and builds: both axes must be non-empty and strictly
   /// increasing, `values` must hold slews.size() * loads.size() finite
   /// entries. Returns kInvalidArgument / kNonFiniteValue otherwise.
@@ -54,6 +63,15 @@ class TimingTable {
   std::vector<double> slews_;
   std::vector<double> loads_;
   std::vector<double> values_;  ///< row-major [slew][load]
+  /// Last bracketing cell, packed (slew row << 16 | load col). Levelized
+  /// propagation queries each arc with near-identical (slew, load) runs,
+  /// so the previous cell usually still brackets the query: lookup probes
+  /// it before falling back to the binary searches. Never changes a
+  /// result bit — a strictly increasing axis has exactly one bracketing
+  /// cell, and the probe accepts only that one. Relaxed atomic so
+  /// concurrent lookups (corpus workers) stay race-free; a stale hint
+  /// only costs the fallback search.
+  mutable std::atomic<std::uint32_t> hint_{0};
 };
 
 /// One library cell: a single output arc shared by every input pin (the

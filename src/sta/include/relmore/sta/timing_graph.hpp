@@ -75,6 +75,8 @@ struct TimingSummary {
   std::size_t faulted_nets = 0;
   std::size_t batched_nets = 0;       ///< corpus nets analyzed on AoSoA lanes
   std::size_t incomplete_nets = 0;    ///< corpus nets not analyzed: deadline/cancel
+  std::size_t cache_hits = 0;         ///< corpus nets served by AnalyzeOptions::cache
+  std::size_t cache_misses = 0;       ///< corpus nets the cache could not serve
   std::vector<EndpointSlack> endpoints_by_slack;  ///< ascending slack
 };
 
@@ -111,6 +113,30 @@ struct PathReport {
   std::vector<PathPoint> points;  ///< launch first
 };
 
+/// Dirty seeds for an incremental `update_checked` pass, expressed in the
+/// edit vocabulary: which nets had wire values (or their driver's arc
+/// tables) change, which nets' required-time inputs moved, and whether
+/// the design clock was retargeted. The update derives the full dirty
+/// cones from these (fanout for arrivals, fanin for requireds).
+struct UpdateSeeds {
+  std::vector<int> forward_nets;   ///< wire values / driver arc tables changed
+  std::vector<int> backward_nets;  ///< required-time inputs changed (cell swaps
+                                   ///< on fanout, port constraint edits)
+  bool clock_changed = false;      ///< design clock period moved
+};
+
+/// Work accounting for one incremental update pass.
+struct UpdateStats {
+  std::size_t forward_retimed = 0;    ///< nets whose forward half changed bits
+  std::size_t backward_retimed = 0;   ///< nets whose required times were re-derived
+  std::size_t frontier_cutoffs = 0;   ///< dirty-cone recomputes that stopped
+                                      ///< propagation (bitwise-unchanged result)
+  /// Non-ok when the pass stopped at a deadline/cancellation. The result
+  /// is then PARTIALLY updated and must be discarded by the caller (the
+  /// Timer drops its cached analysis); the design itself is untouched.
+  util::Status stop_status;
+};
+
 /// Static timing graph over one Design. Holds a pointer to the design;
 /// the design must outlive the graph (relmore::Timer owns both).
 class TimingGraph {
@@ -123,6 +149,29 @@ class TimingGraph {
   /// in `options` never change results (bitwise).
   [[nodiscard]] util::Result<TimingResult> analyze_checked(
       const AnalyzeOptions& options = {}) const;
+
+  /// Incrementally re-times `result` (a prior full analysis of this
+  /// design) after the edits described by `seeds`: arrivals/slews are
+  /// repropagated forward and required times backward only through the
+  /// levelized dirty cones, with a frontier cutoff wherever a recomputed
+  /// net's forward half is bitwise-unchanged. On success `result` is
+  /// bitwise-equal to a from-scratch analyze of the edited design in
+  /// every PointTiming, wire delay, WNS/TNS, and endpoint row; the
+  /// corpus-phase bookkeeping (batched/cache counts, diagnostics) keeps
+  /// its last-full-analysis values.
+  ///
+  /// `cache` must cover every net in the dirty cones at its current epoch
+  /// (the Timer guarantees this: a full analyze fills it, edits restamp
+  /// the edited slots) — a miss fails with kInvalidArgument and the
+  /// caller falls back to a full analyze. `options.deadline`/`cancel` are
+  /// polled at cone-frontier boundaries; a stop returns ok with
+  /// UpdateStats::stop_status non-ok and the partially-updated `result`
+  /// must be discarded. Errors leave `result` unchanged only for the
+  /// up-front validation failures; a cache miss mid-cone also requires
+  /// discarding (the Timer treats every failure path the same way).
+  [[nodiscard]] util::Result<UpdateStats> update_checked(TimingResult& result, CorpusCache& cache,
+                                                         const UpdateSeeds& seeds,
+                                                         const AnalyzeOptions& options = {}) const;
 
   [[nodiscard]] const Design& design() const { return *design_; }
 

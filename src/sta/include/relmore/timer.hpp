@@ -18,12 +18,15 @@
 /// state.
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "relmore/engine/timing_engine.hpp"
 #include "relmore/sta/sta.hpp"
 #include "relmore/util/diagnostics.hpp"
 
@@ -76,12 +79,118 @@ class Timer {
   /// nullptr until analyze() succeeds.
   [[nodiscard]] const sta::TimingResult* result() const;
 
+  // --- what-if edits -------------------------------------------------------
+
+  /// How a committed edit transaction re-timed the design.
+  struct EditOutcome {
+    /// True: the cached analysis was re-timed in place through the dirty
+    /// cones (sta::TimingGraph::update_checked) and is bitwise-equal to a
+    /// from-scratch analyze of the edited design. False: the cached
+    /// analysis (if any) was dropped; the next analyze()/query runs full.
+    bool incremental = false;
+    /// Cone-work accounting when `incremental`; when the pass was stopped
+    /// by a deadline/cancel, `stats.stop_status` is non-ok, `incremental`
+    /// is false, and the partial result was discarded (the *design* edit
+    /// is committed either way).
+    sta::UpdateStats stats;
+  };
+
+  class Edit;
+
+  /// Opens a what-if edit transaction. Record edits on the handle, then
+  /// `commit()` to apply them atomically: every wire edit is mapped onto
+  /// the net's persistent engine::TimingEngine (O(depth) moment updates
+  /// under its transaction journal) instead of re-snapshotting the net,
+  /// and a failing edit rolls every net back — the design is untouched by
+  /// a failed commit (strong guarantee). An abandoned handle applies
+  /// nothing. One commit per handle; at most one handle should be open at
+  /// a time (the Timer serializes nothing).
+  [[nodiscard]] Edit edit();
+
+  /// The persistent per-net analysis cache analyze() feeds (when the
+  /// caller does not plug its own into AnalyzeOptions::cache) and
+  /// committed edits restamp. Exposed for inspection/tests.
+  [[nodiscard]] const sta::CorpusCache& cache() const { return cache_; }
+
  private:
   [[nodiscard]] util::Status ensure_analyzed();
+  [[nodiscard]] util::Result<EditOutcome> commit_edit(Edit& edit,
+                                                      const sta::AnalyzeOptions& options);
+  [[nodiscard]] util::Result<engine::TimingEngine*> engine_for(int net_index);
 
   std::unique_ptr<sta::Design> design_;        ///< stable address across moves
   std::optional<sta::TimingResult> result_;
   sta::AnalyzeOptions options_;
+  sta::CorpusCache cache_;                     ///< injected into analyze()
+  /// Lazily created per edited net, kept in sync with Net::tree across
+  /// commits (created on a net's first edit, dropped on load()).
+  std::map<int, engine::TimingEngine> engines_;
+};
+
+/// One what-if edit transaction (Timer::edit()). Ops validate their
+/// arguments at record time — an op that returns a non-ok Status recorded
+/// nothing — and commit() applies the recorded sequence in order. The
+/// handle must not outlive its Timer or the loaded design (commit checks
+/// both and fails cleanly on a swap).
+class Timer::Edit {
+ public:
+  /// Sets net `net`'s section `section` to raw wire values `wire` (finite,
+  /// non-negative; SI units). The node's effective shunt C becomes
+  /// `wire.capacitance` plus the folded input-pin caps of every instance
+  /// tapping that node (the finalize fold, re-derived against any cell
+  /// swaps recorded earlier in this transaction).
+  [[nodiscard]] util::Status set_net_section_values(const std::string& net,
+                                                    const std::string& section,
+                                                    const circuit::SectionValues& wire);
+
+  /// Swaps instance `instance` to library cell `cell`: arc tables change,
+  /// and the pin-cap delta is folded into every input tap node.
+  [[nodiscard]] util::Status set_cell(const std::string& instance, const std::string& cell);
+
+  /// Sets output port `port`'s required time (it no longer falls back to
+  /// the clock period).
+  [[nodiscard]] util::Status set_port_required(const std::string& port, double required);
+
+  /// Retargets the design clock period (>= 0; 0 = unconstrained fallback).
+  [[nodiscard]] util::Status set_clock_period(double period);
+
+  /// Applies the recorded ops. On success the design is mutated (epoch
+  /// bumped, edited nets re-snapshot, cache restamped) and the cached
+  /// analysis — when one exists — is incrementally re-timed through the
+  /// dirty cones, falling back to dropping it when the cones cannot be
+  /// served from the cache. On error the design and analysis are exactly
+  /// as before. Either way the handle is consumed. `options` controls
+  /// execution (deadline/cancel polled at cone frontiers) and, as
+  /// everywhere, never changes a result bit; the zero-argument form uses
+  /// the options of the last analyze().
+  [[nodiscard]] util::Result<EditOutcome> commit();
+  [[nodiscard]] util::Result<EditOutcome> commit(const sta::AnalyzeOptions& options);
+
+  /// Recorded (validated) ops not yet committed.
+  [[nodiscard]] std::size_t pending() const { return ops_.size(); }
+
+ private:
+  friend class Timer;
+  enum class OpKind : std::uint8_t { kValue, kCell, kPort, kClock };
+  struct Op {
+    OpKind kind = OpKind::kValue;
+    int net = -1;                  ///< kValue
+    circuit::SectionId section = circuit::kInput;
+    circuit::SectionValues wire;
+    int instance = -1;             ///< kCell
+    int cell = -1;
+    int port = -1;                 ///< kPort
+    double value = 0.0;            ///< kPort required / kClock period
+  };
+
+  Edit(Timer* timer, const sta::Design* design, std::uint64_t epoch)
+      : timer_(timer), design_(design), epoch_(epoch) {}
+
+  Timer* timer_ = nullptr;
+  const sta::Design* design_ = nullptr;  ///< design the ops were validated against
+  std::uint64_t epoch_ = 0;              ///< its epoch at edit() time
+  std::vector<Op> ops_;
+  bool done_ = false;
 };
 
 }  // namespace relmore

@@ -33,7 +33,11 @@ Status check_axis(const std::vector<double>& axis, const char* which) {
 
 /// Index of the cell [lo, lo+1] bracketing x on a clamped axis, plus the
 /// interpolation weight in [0, 1]. Single-point axes pin the weight to 0.
-void bracket(const std::vector<double>& axis, double x, std::size_t* lo, double* w) {
+/// `hint` is a probable bracketing index: when it still brackets x it is
+/// taken as-is (it is the unique such index on a strictly increasing
+/// axis, so the result is bitwise-identical to the binary search).
+void bracket(const std::vector<double>& axis, double x, std::size_t hint, std::size_t* lo,
+             double* w) {
   const std::size_t n = axis.size();
   if (n == 1 || x <= axis.front()) {
     *lo = 0;
@@ -45,14 +49,46 @@ void bracket(const std::vector<double>& axis, double x, std::size_t* lo, double*
     *w = 1.0;
     return;
   }
-  std::size_t i =
-      static_cast<std::size_t>(std::upper_bound(axis.begin(), axis.end(), x) - axis.begin()) - 1;
-  if (i > n - 2) i = n - 2;
+  std::size_t i;
+  if (hint <= n - 2 && axis[hint] <= x && x < axis[hint + 1]) {
+    i = hint;
+  } else {
+    i = static_cast<std::size_t>(std::upper_bound(axis.begin(), axis.end(), x) - axis.begin()) - 1;
+    if (i > n - 2) i = n - 2;
+  }
   *lo = i;
   *w = (x - axis[i]) / (axis[i + 1] - axis[i]);
 }
 
 }  // namespace
+
+TimingTable::TimingTable(const TimingTable& other)
+    : slews_(other.slews_),
+      loads_(other.loads_),
+      values_(other.values_),
+      hint_(other.hint_.load(std::memory_order_relaxed)) {}
+
+TimingTable& TimingTable::operator=(const TimingTable& other) {
+  slews_ = other.slews_;
+  loads_ = other.loads_;
+  values_ = other.values_;
+  hint_.store(other.hint_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  return *this;
+}
+
+TimingTable::TimingTable(TimingTable&& other) noexcept
+    : slews_(std::move(other.slews_)),
+      loads_(std::move(other.loads_)),
+      values_(std::move(other.values_)),
+      hint_(other.hint_.load(std::memory_order_relaxed)) {}
+
+TimingTable& TimingTable::operator=(TimingTable&& other) noexcept {
+  slews_ = std::move(other.slews_);
+  loads_ = std::move(other.loads_);
+  values_ = std::move(other.values_);
+  hint_.store(other.hint_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  return *this;
+}
 
 Result<TimingTable> TimingTable::create_checked(std::vector<double> slews,
                                                 std::vector<double> loads,
@@ -82,12 +118,15 @@ TimingTable TimingTable::create(std::vector<double> slews, std::vector<double> l
 
 double TimingTable::lookup(double input_slew, double load) const {
   if (values_.empty()) return 0.0;
+  const std::uint32_t hint = hint_.load(std::memory_order_relaxed);
   std::size_t si = 0;
   std::size_t li = 0;
   double sw = 0.0;
   double lw = 0.0;
-  bracket(slews_, input_slew, &si, &sw);
-  bracket(loads_, load, &li, &lw);
+  bracket(slews_, input_slew, hint >> 16, &si, &sw);
+  bracket(loads_, load, hint & 0xffffu, &li, &lw);
+  hint_.store(static_cast<std::uint32_t>((si & 0xffff) << 16 | (li & 0xffff)),
+              std::memory_order_relaxed);
   const std::size_t cols = loads_.size();
   const std::size_t s1 = slews_.size() == 1 ? si : si + 1;
   const std::size_t l1 = loads_.size() == 1 ? li : li + 1;

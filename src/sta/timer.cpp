@@ -1,7 +1,9 @@
 #include "relmore/timer.hpp"
 
+#include <cmath>
 #include <ostream>
 #include <utility>
+#include <vector>
 
 namespace relmore {
 
@@ -27,6 +29,8 @@ Status Timer::load(sta::Design design) {
   if (!graph.is_ok()) return graph.status();
   design_ = std::move(owned);
   result_.reset();
+  cache_.clear();
+  engines_.clear();
   return Status::ok();
 }
 
@@ -36,7 +40,12 @@ Result<sta::TimingSummary> Timer::analyze(const sta::AnalyzeOptions& options) {
   }
   Result<sta::TimingGraph> graph = sta::TimingGraph::build_checked(*design_);
   if (!graph.is_ok()) return graph.status();
-  Result<sta::TimingResult> result = graph.value().analyze_checked(options);
+  // The Timer's own cache rides along unless the caller plugged one in.
+  // Injected per call (not stored in options_) so a moved Timer never
+  // leaves a stale pointer to the old object's member behind.
+  sta::AnalyzeOptions effective = options;
+  if (effective.cache == nullptr) effective.cache = &cache_;
+  Result<sta::TimingResult> result = graph.value().analyze_checked(effective);
   if (!result.is_ok()) return result.status();
   result_ = std::move(result).value();
   options_ = options;
@@ -79,6 +88,321 @@ Status Timer::report_timing(std::ostream& os, std::size_t k) {
 
 const sta::TimingResult* Timer::result() const {
   return result_.has_value() ? &*result_ : nullptr;
+}
+
+// --- what-if edits ---------------------------------------------------------
+
+Timer::Edit Timer::edit() {
+  return Edit(this, design_.get(), design_ != nullptr ? design_->epoch : 0);
+}
+
+Result<engine::TimingEngine*> Timer::engine_for(int net_index) {
+  auto it = engines_.find(net_index);
+  if (it == engines_.end()) {
+    Result<engine::TimingEngine> eng = engine::TimingEngine::create_checked(
+        design_->nets[static_cast<std::size_t>(net_index)].tree);
+    if (!eng.is_ok()) {
+      return eng.status().with_net(design_->nets[static_cast<std::size_t>(net_index)].name);
+    }
+    it = engines_.emplace(net_index, std::move(eng).value()).first;
+  }
+  return &it->second;
+}
+
+Status Timer::Edit::set_net_section_values(const std::string& net, const std::string& section,
+                                           const circuit::SectionValues& wire) {
+  if (design_ == nullptr) return Status(ErrorCode::kInvalidArgument, "edit: no design loaded");
+  if (done_) return Status(ErrorCode::kTransactionState, "edit: handle already committed");
+  const int ni = design_->find_net(net);
+  if (ni < 0) {
+    return Status(ErrorCode::kInvalidArgument, "edit: unknown net").with_net(net);
+  }
+  const circuit::SectionId sid =
+      design_->nets[static_cast<std::size_t>(ni)].tree.find_by_name(section);
+  if (sid < 0) {
+    return Status(ErrorCode::kInvalidArgument, "edit: net has no section named '" + section + "'")
+        .with_net(net);
+  }
+  for (const double v : {wire.resistance, wire.inductance, wire.capacitance}) {
+    if (!util::valid_element_value(v)) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "edit: section values must be finite and non-negative")
+          .with_net(net);
+    }
+  }
+  Op op;
+  op.kind = OpKind::kValue;
+  op.net = ni;
+  op.section = sid;
+  op.wire = wire;
+  ops_.push_back(op);
+  return Status::ok();
+}
+
+Status Timer::Edit::set_cell(const std::string& instance, const std::string& cell) {
+  if (design_ == nullptr) return Status(ErrorCode::kInvalidArgument, "edit: no design loaded");
+  if (done_) return Status(ErrorCode::kTransactionState, "edit: handle already committed");
+  int inst = -1;
+  for (std::size_t i = 0; i < design_->instances.size(); ++i) {
+    if (design_->instances[i].name == instance) {
+      inst = static_cast<int>(i);
+      break;
+    }
+  }
+  if (inst < 0) {
+    return Status(ErrorCode::kInvalidArgument, "edit: unknown instance").with_net(instance);
+  }
+  const int ci = design_->library.find(cell);
+  if (ci < 0) {
+    return Status(ErrorCode::kInvalidArgument, "edit: unknown cell '" + cell + "'")
+        .with_net(instance);
+  }
+  Op op;
+  op.kind = OpKind::kCell;
+  op.instance = inst;
+  op.cell = ci;
+  ops_.push_back(op);
+  return Status::ok();
+}
+
+Status Timer::Edit::set_port_required(const std::string& port, double required) {
+  if (design_ == nullptr) return Status(ErrorCode::kInvalidArgument, "edit: no design loaded");
+  if (done_) return Status(ErrorCode::kTransactionState, "edit: handle already committed");
+  const int pi = design_->find_port(port);
+  if (pi < 0) {
+    return Status(ErrorCode::kInvalidArgument, "edit: unknown port").with_net(port);
+  }
+  if (design_->ports[static_cast<std::size_t>(pi)].is_input) {
+    return Status(ErrorCode::kInvalidArgument, "edit: '" + port + "' is not an output port")
+        .with_net(port);
+  }
+  if (!std::isfinite(required)) {
+    return Status(ErrorCode::kInvalidArgument, "edit: required time must be finite").with_net(port);
+  }
+  Op op;
+  op.kind = OpKind::kPort;
+  op.port = pi;
+  op.value = required;
+  ops_.push_back(op);
+  return Status::ok();
+}
+
+Status Timer::Edit::set_clock_period(double period) {
+  if (design_ == nullptr) return Status(ErrorCode::kInvalidArgument, "edit: no design loaded");
+  if (done_) return Status(ErrorCode::kTransactionState, "edit: handle already committed");
+  if (!std::isfinite(period) || period < 0.0) {
+    return Status(ErrorCode::kInvalidArgument, "edit: clock period must be finite and >= 0");
+  }
+  Op op;
+  op.kind = OpKind::kClock;
+  op.value = period;
+  ops_.push_back(op);
+  return Status::ok();
+}
+
+Result<Timer::EditOutcome> Timer::Edit::commit() {
+  if (timer_ == nullptr) return Status(ErrorCode::kInvalidArgument, "edit: no design loaded");
+  return timer_->commit_edit(*this, timer_->options_);
+}
+
+Result<Timer::EditOutcome> Timer::Edit::commit(const sta::AnalyzeOptions& options) {
+  if (timer_ == nullptr) return Status(ErrorCode::kInvalidArgument, "edit: no design loaded");
+  return timer_->commit_edit(*this, options);
+}
+
+Result<Timer::EditOutcome> Timer::commit_edit(Edit& edit, const sta::AnalyzeOptions& options) {
+  if (edit.done_) {
+    return Status(ErrorCode::kTransactionState, "edit: handle already committed");
+  }
+  if (design_ == nullptr || edit.design_ != design_.get() || edit.epoch_ != design_->epoch) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "edit: design changed since the handle was opened");
+  }
+  edit.done_ = true;  // consumed by this attempt, success or not
+  sta::Design& design = *design_;
+
+  // Working cell assignment: cell ops apply sequentially, so later value
+  // ops fold the pin caps the instance will have after the commit.
+  std::vector<int> cell_of(design.instances.size());
+  for (std::size_t i = 0; i < design.instances.size(); ++i) cell_of[i] = design.instances[i].cell;
+
+  std::vector<int> touched;  // nets with an open engine transaction, first-touch order
+  std::vector<char> fwd(design.nets.size(), 0);
+  std::vector<char> bwd(design.nets.size(), 0);
+  sta::UpdateSeeds seeds;
+
+  const auto rollback_all = [&]() {
+    for (const int ni : touched) engines_.at(ni).rollback();
+  };
+  const auto touch = [&](int ni) -> Result<engine::TimingEngine*> {
+    Result<engine::TimingEngine*> eng = engine_for(ni);
+    if (!eng.is_ok()) return eng;
+    if (!eng.value()->in_transaction()) {
+      eng.value()->begin_transaction();
+      touched.push_back(ni);
+    }
+    return eng;
+  };
+  // The folded shunt C at `node` of net `ni`: raw wire C plus the pin cap
+  // of every instance input tapping the node — the finalize fold, against
+  // the working cell assignment, summed in tap order (finalize's order).
+  const auto folded_cap = [&](int ni, circuit::SectionId node, double wire_c) {
+    double c = wire_c;
+    for (const sta::Net::Tap& tap : design.nets[static_cast<std::size_t>(ni)].taps) {
+      if (tap.node == node && !tap.is_port) {
+        const int ci = cell_of[static_cast<std::size_t>(tap.index)];
+        c += design.library.cell(static_cast<std::size_t>(ci)).input_cap;
+      }
+    }
+    return c;
+  };
+
+  // --- apply ops onto the per-net engines (journaled, rollback on error) --
+  for (const Edit::Op& op : edit.ops_) {
+    switch (op.kind) {
+      case Edit::OpKind::kValue: {
+        Result<engine::TimingEngine*> eng = touch(op.net);
+        if (!eng.is_ok()) {
+          rollback_all();
+          return eng.status();
+        }
+        circuit::SectionValues v = op.wire;
+        v.capacitance = folded_cap(op.net, op.section, op.wire.capacitance);
+        try {
+          eng.value()->set_section_values(op.section, v);
+        } catch (const util::FaultError& e) {
+          rollback_all();
+          return e.status().with_net(design.nets[static_cast<std::size_t>(op.net)].name);
+        }
+        fwd[static_cast<std::size_t>(op.net)] = 1;
+        break;
+      }
+      case Edit::OpKind::kCell: {
+        const sta::Instance& inst = design.instances[static_cast<std::size_t>(op.instance)];
+        const double old_cap =
+            design.library.cell(static_cast<std::size_t>(cell_of[static_cast<std::size_t>(
+                                    op.instance)]))
+                .input_cap;
+        const double new_cap = design.library.cell(static_cast<std::size_t>(op.cell)).input_cap;
+        for (const sta::Instance::Pin& pin : inst.inputs) {
+          Result<engine::TimingEngine*> eng = touch(pin.net);
+          if (!eng.is_ok()) {
+            rollback_all();
+            return eng.status();
+          }
+          const sta::Net& in_net = design.nets[static_cast<std::size_t>(pin.net)];
+          const circuit::SectionId node = in_net.taps[static_cast<std::size_t>(pin.tap)].node;
+          circuit::SectionValues v = eng.value()->tree().section(node).v;
+          // Exact inverse of the old fold, then the new fold, in this
+          // order — bitwise-reproducible regardless of edit history.
+          v.capacitance = v.capacitance - old_cap + new_cap;
+          try {
+            eng.value()->set_section_values(node, v);
+          } catch (const util::FaultError& e) {
+            rollback_all();
+            return e.status().with_net(in_net.name);
+          }
+          fwd[static_cast<std::size_t>(pin.net)] = 1;
+          // The swapped arc tables move this pin's required time even when
+          // the output net's driver (required, constrained) pair does not.
+          bwd[static_cast<std::size_t>(pin.net)] = 1;
+        }
+        fwd[static_cast<std::size_t>(inst.out_net)] = 1;
+        cell_of[static_cast<std::size_t>(op.instance)] = op.cell;
+        break;
+      }
+      case Edit::OpKind::kPort:
+        bwd[static_cast<std::size_t>(design.ports[static_cast<std::size_t>(op.port)].net)] = 1;
+        break;
+      case Edit::OpKind::kClock:
+        seeds.clock_changed = true;
+        break;
+    }
+  }
+
+  // --- commit: engines first, then the Design mirrors them ---------------
+  for (const int ni : touched) {
+    engines_.at(ni).commit();  // relmore-lint: allow(R1) engine commit() returns void
+  }
+  design.epoch += 1;
+  for (const int ni : touched) {
+    sta::Net& net = design.nets[static_cast<std::size_t>(ni)];
+    const engine::TimingEngine& eng = engines_.at(ni);
+    for (std::size_t i = 0; i < net.tree.size(); ++i) {
+      net.tree.values(static_cast<circuit::SectionId>(i)) =
+          eng.tree().section(static_cast<circuit::SectionId>(i)).v;
+    }
+    net.flat = circuit::FlatTree(net.tree);
+    net.epoch = design.epoch;
+    net.total_cap = net.tree.total_capacitance();
+  }
+  for (const Edit::Op& op : edit.ops_) {
+    if (op.kind == Edit::OpKind::kPort) {
+      sta::DesignPort& port = design.ports[static_cast<std::size_t>(op.port)];
+      port.required = op.value;
+      port.has_required = true;
+    } else if (op.kind == Edit::OpKind::kClock) {
+      design.clock_period = op.value;
+    }
+  }
+  for (std::size_t i = 0; i < design.instances.size(); ++i) design.instances[i].cell = cell_of[i];
+
+  // --- restamp the cache at the new epoch from the engines' O(depth)
+  // node models (bitwise-identical to eed::analyze of the mirrored tree,
+  // the engine contract). A degenerate model is conservatively NOT stored
+  // — the next analyze recomputes the net with full fault handling — and
+  // disables the in-place re-time (its cone could not be served).
+  bool can_update = true;
+  const std::uint64_t fingerprint = sta::options_fingerprint(options);
+  for (const int ni : touched) {
+    const sta::Net& net = design.nets[static_cast<std::size_t>(ni)];
+    const engine::TimingEngine& eng = engines_.at(ni);
+    sta::NetModels models;
+    models.taps.resize(net.taps.size());
+    bool healthy = true;
+    for (std::size_t t = 0; t < net.taps.size(); ++t) {
+      const eed::NodeModel m = eng.node(net.taps[t].node);
+      // zeta/omega_n are legitimately +inf for pure-RC nodes; NaN and
+      // non-finite Elmore sums are what full analysis would flag.
+      if (!std::isfinite(m.sum_rc) || !std::isfinite(m.sum_lc) || std::isnan(m.zeta) ||
+          std::isnan(m.omega_n)) {
+        healthy = false;
+        break;
+      }
+      models.taps[t] = m;
+    }
+    if (!healthy) {
+      can_update = false;
+      continue;
+    }
+    models.analyzed = true;
+    cache_.store(static_cast<std::size_t>(ni), net.epoch, fingerprint, std::move(models));
+  }
+
+  // --- re-time the cached analysis through the dirty cones ----------------
+  for (std::size_t ni = 0; ni < design.nets.size(); ++ni) {
+    if (fwd[ni] != 0) seeds.forward_nets.push_back(static_cast<int>(ni));
+    if (bwd[ni] != 0) seeds.backward_nets.push_back(static_cast<int>(ni));
+  }
+  EditOutcome outcome;
+  if (result_.has_value() && result_->stop_status.is_ok() && can_update) {
+    Result<sta::TimingGraph> graph = sta::TimingGraph::build_checked(design);
+    if (graph.is_ok()) {
+      sta::AnalyzeOptions effective = options;
+      if (effective.cache == nullptr) effective.cache = &cache_;
+      Result<sta::UpdateStats> stats =
+          graph.value().update_checked(*result_, *effective.cache, seeds, effective);
+      if (stats.is_ok() && stats.value().stop_status.is_ok()) {
+        outcome.incremental = true;
+        outcome.stats = stats.value();
+        return outcome;
+      }
+      if (stats.is_ok()) outcome.stats = stats.value();  // stopped: report why
+    }
+  }
+  // Any fallback path: the old analysis no longer matches the design.
+  result_.reset();
+  return outcome;
 }
 
 }  // namespace relmore

@@ -41,6 +41,7 @@
 #include "relmore/sta/design.hpp"
 #include "relmore/sta/synthetic.hpp"
 #include "relmore/sta/timing_graph.hpp"
+#include "relmore/timer.hpp"
 #include "relmore/util/deadline.hpp"
 #include "relmore/util/diagnostics.hpp"
 #include "relmore/util/fault_injector.hpp"
@@ -324,6 +325,90 @@ TEST(ChaosSoak, SeededSchedulesNeverCrashHangOrCorrupt) {
   FaultInjector::instance().disarm_all();
   std::fprintf(stderr, "chaos soak: %zu schedule(s) ran\n", ran);
   EXPECT_GT(ran, 0u);
+}
+
+TEST(ChaosSoak, StoppedIncrementalUpdateDiscardsPartialResultCleanly) {
+  InjectorGuard guard;
+  relmore::Timer timer;
+  ASSERT_TRUE(timer.load(chaos_design()).is_ok());
+
+  // Deterministic stops first: an already-expired deadline and a
+  // pre-cancelled token each halt update_checked at its first
+  // cone-frontier poll. The partial-result contract: the *design* edit
+  // commits, the in-place re-time is abandoned, and the cached analysis
+  // is discarded rather than left half-updated.
+  struct Stop {
+    const char* net;
+    ErrorCode want;
+  };
+  ru::CancelToken cancelled;
+  cancelled.cancel();
+  for (const Stop stop : {Stop{"n0_0", ErrorCode::kDeadlineExceeded},
+                          Stop{"n1_1", ErrorCode::kCancelled}}) {
+    ASSERT_TRUE(timer.analyze().is_ok());
+    const std::uint64_t epoch = timer.design()->epoch;
+    relmore::Timer::Edit edit = timer.edit();
+    ASSERT_TRUE(edit.set_net_section_values(stop.net, "s0", {60.0, 0.0, 20e-15}).is_ok());
+    sta::AnalyzeOptions options;
+    if (stop.want == ErrorCode::kDeadlineExceeded) {
+      options.deadline = ru::Deadline::after(std::chrono::seconds(0));
+    } else {
+      options.cancel = &cancelled;
+    }
+    const auto outcome = edit.commit(options);
+    ASSERT_TRUE(outcome.is_ok()) << outcome.status().message();
+    EXPECT_FALSE(outcome.value().incremental);
+    EXPECT_EQ(outcome.value().stats.stop_status.code(), stop.want);
+    EXPECT_EQ(timer.result(), nullptr);         // partial result discarded
+    EXPECT_EQ(timer.design()->epoch, epoch + 1);  // the edit itself committed
+
+    // The committed design re-times to the exact from-scratch bits.
+    const auto graph = sta::TimingGraph::build_checked(*timer.design());
+    ASSERT_TRUE(graph.is_ok());
+    const auto fresh = graph.value().analyze_checked();
+    ASSERT_TRUE(fresh.is_ok());
+    const auto summary = timer.analyze();
+    ASSERT_TRUE(summary.is_ok());
+    EXPECT_EQ(bits(summary.value().wns), bits(fresh.value().summary.wns));
+    EXPECT_EQ(bits(summary.value().tns), bits(fresh.value().summary.tns));
+  }
+
+  // Racing canceller: either verdict is legitimate, but the invariant
+  // holds on both sides — an in-place re-time is bitwise-exact, an
+  // abandoned one leaves no cached result behind.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const std::uint64_t seed = splitmix64(0xcafe + i);
+    SCOPED_TRACE("cancel race seed " + std::to_string(seed));
+    ASSERT_TRUE(timer.analyze().is_ok());
+    relmore::Timer::Edit edit = timer.edit();
+    ASSERT_TRUE(edit
+                    .set_net_section_values(i % 2 == 0 ? "n0_1" : "n2_0", "s1",
+                                            {40.0 + static_cast<double>(seed % 50), 0.0,
+                                             15e-15})
+                    .is_ok());
+    ru::CancelToken token;
+    std::thread canceller([&token, delay = seed % 200] {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+      token.cancel();
+    });
+    sta::AnalyzeOptions options;
+    options.cancel = &token;
+    const auto outcome = edit.commit(options);
+    canceller.join();
+    ASSERT_TRUE(outcome.is_ok()) << outcome.status().message();
+    const auto graph = sta::TimingGraph::build_checked(*timer.design());
+    ASSERT_TRUE(graph.is_ok());
+    const auto fresh = graph.value().analyze_checked();
+    ASSERT_TRUE(fresh.is_ok());
+    if (outcome.value().incremental) {
+      ASSERT_NE(timer.result(), nullptr);
+      EXPECT_EQ(bits(timer.result()->summary.wns), bits(fresh.value().summary.wns));
+      EXPECT_EQ(bits(timer.result()->summary.tns), bits(fresh.value().summary.tns));
+    } else {
+      EXPECT_EQ(outcome.value().stats.stop_status.code(), ErrorCode::kCancelled);
+      EXPECT_EQ(timer.result(), nullptr);
+    }
+  }
 }
 
 TEST(ChaosSoak, ParseTruncationSurfacesAsNamedDiagnostic) {

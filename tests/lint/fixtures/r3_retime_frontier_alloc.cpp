@@ -1,0 +1,27 @@
+// Seeded R3 violation in a dirty-cone repropagation sweep — the shape the
+// incremental re-timer's frontier loops use (timing_graph.cpp's
+// retime-forward-frontier / retime-backward-frontier regions). The dirty
+// work-list grows with push_back inside the marked region; relmore-lint
+// must exit nonzero.
+
+#include <cstddef>
+#include <vector>
+
+void retime_forward(const int* topo, const int* fanout, const int* fanout_off, std::size_t n,
+                    std::vector<char>& dirty, double* arrival) {
+  std::vector<int> frontier;
+  // relmore-lint: begin-hot-loop(fixture-retime-frontier)
+  for (std::size_t k = 0; k < n; ++k) {
+    const int ni = topo[k];
+    if (dirty[static_cast<std::size_t>(ni)] == 0) continue;
+    const double before = arrival[ni];
+    arrival[ni] = before * 0.5 + 1.0;
+    if (arrival[ni] == before) continue;  // frontier cutoff: bits unchanged
+    for (int e = fanout_off[ni]; e < fanout_off[ni + 1]; ++e) {
+      dirty[static_cast<std::size_t>(fanout[e])] = 1;
+      frontier.push_back(fanout[e]);  // BAD: work-list growth in the sweep
+    }
+  }
+  // relmore-lint: end-hot-loop
+  for (const int ni : frontier) arrival[ni] += 0.0;
+}

@@ -107,6 +107,26 @@ def compare(baseline, current, threshold, require_all=False):
     return regressions, missing, extra
 
 
+def delta_report(baseline, current):
+    """One line per compared cell with the signed speedup delta.
+
+    Printed whole when the gate fails, so triage sees every cell's
+    movement at one glance — a 16% drop next to seven 1% wiggles reads
+    very differently from a 16% drop next to seven 14% drops.
+    """
+    lines = []
+    for key in sorted(baseline):
+        if key not in current:
+            continue
+        want = baseline[key]
+        got = current[key]
+        pct = (got / want - 1.0) * 100.0
+        lines.append(
+            f"{key[0]} @ n={key[1]} S={key[2]}: speedup {got:.3g} vs {want:.3g} ({pct:+.1f}%)"
+        )
+    return lines
+
+
 def self_test():
     base = {("k", 255, 256): 4.0, ("k", 1023, 256): 3.0, ("k", 16383, 256): 2.0}
     # Within threshold: 10% drop on one cell, improvement on another.
@@ -142,6 +162,14 @@ def self_test():
     all_bad = merge_best([bad, dict(bad)])
     regs, _, _ = compare(base, all_bad, 0.15)
     assert len(regs) == 1, regs
+    # The failure-mode delta report covers every compared cell with a
+    # signed percentage, skipping cells absent from the current run.
+    deltas = delta_report(base, subset)
+    assert len(deltas) == 1 and "+0.0%" in deltas[0], deltas
+    deltas = delta_report(base, bad)
+    assert len(deltas) == 3, deltas
+    assert any("-20.0%" in line for line in deltas), deltas
+    assert any("-10.0%" in line for line in deltas), deltas
     # Malformed rows fail with the row index and field named, no KeyError.
     try:
         parse_rows([{"bench": "k", "n": 255, "samples": 256}], "f.json")
@@ -209,6 +237,10 @@ def main(argv):
     for line in regressions:
         print(f"REGRESSED {line}")
     if regressions or missing:
+        # Full per-cell picture on failure: one DELTA line per compared
+        # cell, not just the cells that tripped the threshold.
+        for line in delta_report(baseline, current):
+            print(f"DELTA     {line}")
         print(
             f"bench_regress: {len(regressions)} regression(s), {len(missing)} missing "
             f"cell(s) out of {compared} compared"
